@@ -1,0 +1,81 @@
+// Experiment E11 (DESIGN.md): distributed construction in the CONGEST
+// model (Section 8 / Theorem 3). Measured: real message-passing rounds
+// for BFS + ancestry + pipelined sketch aggregation (the O~(D + k) part);
+// modeled per Lemma 13: the NetFind hierarchy rounds O~(sqrt(m) D).
+// Expected shape: measured rounds ~ depth + k (pipelining!); the model
+// grows with sqrt(m) and D.
+#include "bench_util.hpp"
+#include "congest/dist_labeling.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using graph::VertexId;
+
+unsigned tree_depth(const graph::Graph& g) {
+  const auto t = graph::bfs_spanning_tree(g, 0);
+  unsigned d = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) d = std::max(d, t.depth[v]);
+  return d;
+}
+
+void measured_rounds() {
+  std::printf("\n== measured rounds: BFS + ancestry + k-slot pipeline ==\n");
+  Table table({"graph", "n", "m", "depth", "k", "rounds", "depth+k",
+               "messages", "max msg bits"});
+  struct Case {
+    const char* name;
+    graph::Graph g;
+    unsigned k;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid 16x16", graph::grid(16, 16), 8});
+  cases.push_back({"grid 16x16", graph::grid(16, 16), 64});
+  cases.push_back({"random sparse", graph::random_connected(512, 1536, 3), 8});
+  cases.push_back({"random sparse", graph::random_connected(512, 1536, 3), 64});
+  cases.push_back({"random dense", graph::random_connected(256, 4096, 4), 64});
+  for (auto& c : cases) {
+    const unsigned depth = tree_depth(c.g);
+    const auto r = congest::run_distributed_labeling(c.g, 0, c.k);
+    table.add_row({c.name, std::to_string(c.g.num_vertices()),
+                   std::to_string(c.g.num_edges()), std::to_string(depth),
+                   std::to_string(c.k), std::to_string(r.stats.rounds),
+                   std::to_string(depth + c.k),
+                   std::to_string(r.stats.messages),
+                   std::to_string(r.stats.max_message_bits)});
+  }
+  table.print();
+  std::printf("(rounds track depth + k up to small constants: Theorem 3's "
+              "O~(D + f^2) aggregation term)\n");
+}
+
+void modeled_netfind() {
+  std::printf("\n== Lemma 13 model: NetFind hierarchy rounds O~(sqrt(m') D) ==\n");
+  Table table({"m'", "D", "modeled rounds"});
+  for (const std::uint64_t m : {1000u, 4000u, 16000u}) {
+    for (const std::uint64_t d : {8u, 32u}) {
+      table.add_row({std::to_string(m), std::to_string(d),
+                     std::to_string(congest::netfind_round_model(m, d))});
+    }
+  }
+  table.print();
+  std::vector<double> ms{1000, 4000, 16000};
+  std::vector<double> rounds;
+  for (const double m : ms) {
+    rounds.push_back(static_cast<double>(
+        congest::netfind_round_model(static_cast<std::uint64_t>(m), 16)));
+  }
+  std::printf("log-log slope in m': %.2f (sqrt scaling expected, ~0.5)\n",
+              loglog_slope(ms, rounds));
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_congest: Section 8 distributed construction\n");
+  ftc::bench::measured_rounds();
+  ftc::bench::modeled_netfind();
+  return 0;
+}

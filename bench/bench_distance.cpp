@@ -1,0 +1,137 @@
+// Experiment E9 (DESIGN.md): the fault-tolerant approximate distance
+// labeling (Corollary 1). Claims checked by shape:
+//  * label size tracks n^(1/k): higher k -> smaller labels (and larger
+//    stretch); cover overlap tracks n^(1/k);
+//  * measured stretch grows ~linearly in |F| and stays below the
+//    O(|F| k) analytical cap;
+//  * disconnection is always detected exactly.
+#include "bench_util.hpp"
+#include "distance/ft_distance.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using distance::DistEdgeLabel;
+using distance::FtDistanceConfig;
+using distance::FtDistanceScheme;
+using distance::kInfinity;
+using distance::Weight;
+using distance::WeightedGraph;
+using graph::EdgeId;
+using graph::VertexId;
+
+WeightedGraph random_weighted(VertexId n, EdgeId m, Weight max_w,
+                              std::uint64_t seed) {
+  const graph::Graph g = graph::random_connected(n, m, seed);
+  SplitMix64 rng(seed * 7 + 1);
+  WeightedGraph wg(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    wg.add_edge(g.edge(e).u, g.edge(e).v, 1 + rng.next_below(max_w));
+  }
+  return wg;
+}
+
+void label_size_vs_k() {
+  std::printf("\n== distance labels vs cover parameter k (n=96, m=288) ==\n");
+  const WeightedGraph g = random_weighted(96, 288, 6, 5);
+  Table table({"k", "scales", "avg vertex label", "avg overlap (scale 1)",
+               "avg stretch (|F|=2)", "max stretch"});
+  SplitMix64 rng(77);
+  for (const unsigned k : {1u, 2u, 3u}) {
+    FtDistanceConfig cfg;
+    cfg.f = 2;
+    cfg.k = k;
+    const auto scheme = FtDistanceScheme::build(g, cfg);
+    double vbits = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      vbits += static_cast<double>(scheme.vertex_label(v).size_bits());
+    }
+    vbits /= g.num_vertices();
+    double sum_stretch = 0, max_stretch = 0;
+    int counted = 0;
+    for (int it = 0; it < 80; ++it) {
+      std::vector<EdgeId> faults;
+      std::vector<DistEdgeLabel> fl;
+      for (int i = 0; i < 2; ++i) {
+        const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+        faults.push_back(e);
+        fl.push_back(scheme.edge_label(e));
+      }
+      const VertexId s = static_cast<VertexId>(rng.next_below(96));
+      const VertexId t = static_cast<VertexId>(rng.next_below(96));
+      const Weight exact = distance::exact_distance(g, s, t, faults);
+      if (exact == kInfinity || exact == 0) continue;
+      const Weight est = FtDistanceScheme::approx_distance(
+          scheme.vertex_label(s), scheme.vertex_label(t), fl);
+      const double stretch =
+          static_cast<double>(est) / static_cast<double>(exact);
+      sum_stretch += stretch;
+      max_stretch = std::max(max_stretch, stretch);
+      ++counted;
+    }
+    table.add_row({std::to_string(k), std::to_string(scheme.num_scales()),
+                   fmt_bits(static_cast<std::size_t>(vbits)),
+                   fmt(scheme.average_cover_membership(
+                           std::min(1u, scheme.num_scales() - 1)),
+                       "%.2f"),
+                   fmt(sum_stretch / std::max(counted, 1), "%.1f"),
+                   fmt(max_stretch, "%.1f")});
+  }
+  table.print();
+}
+
+void stretch_vs_faults() {
+  std::printf("\n== stretch vs |F| (n=96, m=288, k=2; cap = (2|F|+1)*2(k+1)*2) ==\n");
+  const WeightedGraph g = random_weighted(96, 288, 6, 9);
+  FtDistanceConfig cfg;
+  cfg.f = 6;
+  cfg.k = 2;
+  const auto scheme = FtDistanceScheme::build(g, cfg);
+  Table table({"|F|", "avg stretch", "max stretch", "analytical cap",
+               "disconnects exact"});
+  SplitMix64 rng(88);
+  for (const unsigned nf : {0u, 1u, 2u, 4u, 6u}) {
+    double sum = 0, mx = 0;
+    int counted = 0;
+    bool disc_ok = true;
+    for (int it = 0; it < 60; ++it) {
+      std::vector<EdgeId> faults;
+      std::vector<DistEdgeLabel> fl;
+      for (unsigned i = 0; i < nf; ++i) {
+        const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+        faults.push_back(e);
+        fl.push_back(scheme.edge_label(e));
+      }
+      const VertexId s = static_cast<VertexId>(rng.next_below(96));
+      const VertexId t = static_cast<VertexId>(rng.next_below(96));
+      const Weight exact = distance::exact_distance(g, s, t, faults);
+      const Weight est = FtDistanceScheme::approx_distance(
+          scheme.vertex_label(s), scheme.vertex_label(t), fl);
+      if (exact == kInfinity) {
+        disc_ok = disc_ok && est == kInfinity;
+        continue;
+      }
+      if (exact == 0) continue;
+      const double stretch =
+          static_cast<double>(est) / static_cast<double>(exact);
+      sum += stretch;
+      mx = std::max(mx, stretch);
+      ++counted;
+    }
+    const double cap = (2.0 * nf + 1) * 2 * (cfg.k + 1) * 2;
+    table.add_row({std::to_string(nf), fmt(sum / std::max(counted, 1), "%.1f"),
+                   fmt(mx, "%.1f"), fmt(cap, "%.0f"),
+                   disc_ok ? "yes" : "NO"});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_distance: Corollary 1 fault-tolerant distance labels\n");
+  ftc::bench::label_size_vs_k();
+  ftc::bench::stretch_vs_faults();
+  return 0;
+}

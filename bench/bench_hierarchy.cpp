@@ -1,0 +1,122 @@
+// Experiment E5 (DESIGN.md): (S_{f,T}, k)-good hierarchies (Definition 1,
+// Lemma 5, Proposition 5). Measures depth, per-level shrink factor and —
+// the operative quantity — the empirical "needed k": over sampled
+// S in S_{f,T}, the boundary size at the top nonempty hierarchy level,
+// which is exactly what the sketch threshold k must cover. Expected
+// shape: depth = O(log m), needed-k far below the provable bounds, and
+// the deterministic NetFind hierarchy no worse than random halving.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "geometry/hierarchy.hpp"
+#include "geometry/netfind.hpp"
+#include "geometry/point_map.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+struct Needed {
+  std::size_t max_needed = 0;
+  double avg_needed = 0;
+};
+
+// Samples random S in S_{f,T} (unions of fragments of T minus f random
+// tree edges) and reports the boundary size at the top nonempty level.
+Needed sample_needed_k(const graph::Graph& g, const graph::SpanningTree& t,
+                       const geometry::EdgeHierarchy& h, unsigned f,
+                       int samples, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<EdgeId> tree_edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (t.is_tree_edge[e]) tree_edges.push_back(e);
+  }
+  Needed out;
+  std::size_t total = 0;
+  int counted = 0;
+  for (int it = 0; it < samples; ++it) {
+    // Random fragment union.
+    graph::Graph tree_only(g.num_vertices());
+    std::vector<EdgeId> fault_ids;
+    std::vector<EdgeId> remap(g.num_edges(), graph::kNoEdge);
+    for (const EdgeId e : tree_edges) {
+      remap[e] = tree_only.add_edge(g.edge(e).u, g.edge(e).v);
+    }
+    for (unsigned i = 0; i < f; ++i) {
+      fault_ids.push_back(
+          remap[tree_edges[rng.next_below(tree_edges.size())]]);
+    }
+    const auto comp = graph::components_avoiding(tree_only, fault_ids);
+    const int num_frag =
+        1 + *std::max_element(comp.begin(), comp.end());
+    std::vector<char> frag_in(num_frag);
+    for (auto& b : frag_in) b = rng.next_bool();
+    std::vector<char> in_set(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      in_set[v] = frag_in[comp[v]];
+    }
+    // Top nonempty level boundary.
+    std::size_t needed = 0;
+    for (std::size_t lev = h.levels.size(); lev-- > 0;) {
+      const auto bd = graph::boundary_edges(g, in_set, h.levels[lev]);
+      if (!bd.empty()) {
+        needed = bd.size();
+        break;
+      }
+    }
+    if (needed > 0) {
+      out.max_needed = std::max(out.max_needed, needed);
+      total += needed;
+      ++counted;
+    }
+  }
+  out.avg_needed = counted ? static_cast<double>(total) / counted : 0;
+  return out;
+}
+
+void run(unsigned n, unsigned m, unsigned f) {
+  const auto g = graph::random_connected(n, m, 1234);
+  const auto t = graph::bfs_spanning_tree(g, 0);
+  const auto et = graph::euler_tour(t);
+  const auto pts = geometry::map_nontree_edges(g, t, et);
+
+  std::printf("\n== hierarchy quality: n=%u m=%u f=%u (%zu non-tree edges) ==\n",
+              n, m, f, pts.size());
+  Table table({"hierarchy", "depth", "total edges", "needed k (max)",
+               "needed k (avg)", "provable k"});
+  for (const auto kind : {geometry::HierarchyKind::kDeterministicNetFind,
+                          geometry::HierarchyKind::kRandomSampling}) {
+    geometry::HierarchyConfig cfg;
+    cfg.kind = kind;
+    const auto h = geometry::build_hierarchy(pts, cfg);
+    const auto needed = sample_needed_k(g, t, h, f, 300, 5);
+    const bool det =
+        kind == geometry::HierarchyKind::kDeterministicNetFind;
+    const unsigned provable =
+        det ? geometry::provable_hierarchy_k(
+                  f, geometry::provable_group_len(pts.size()))
+            : geometry::randomized_hierarchy_k(f, n);
+    table.add_row({det ? "NetFind (det)" : "random halving",
+                   std::to_string(h.depth()),
+                   std::to_string(h.total_edges()),
+                   std::to_string(needed.max_needed),
+                   fmt(needed.avg_needed, "%.1f"),
+                   std::to_string(provable)});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_hierarchy: Definition 1 goodness, Lemma 5 vs Prop 5\n");
+  ftc::bench::run(512, 2048, 2);
+  ftc::bench::run(2048, 8192, 4);
+  ftc::bench::run(8192, 24576, 8);
+  return 0;
+}

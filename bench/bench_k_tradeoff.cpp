@@ -1,0 +1,59 @@
+// Experiment E8 (DESIGN.md): the practical-k safety margin (DESIGN.md
+// Section 2.3). The provable k of Lemma 5 has galactic constants; the
+// library defaults to k = ceil(k_scale (f+1) log2 n') with a fail-stop
+// decoder. This bench sweeps k downward and reports, over many random
+// queries: answers correct / capacity errors raised (fail-stop) / wrong
+// answers (must be zero — the decoder detects shortfalls, it never lies).
+#include "bench_util.hpp"
+#include "core/ftc_query.hpp"
+#include "core/ftc_scheme.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using graph::EdgeId;
+
+void run(unsigned n, unsigned m, unsigned f) {
+  const auto g = graph::random_connected(n, m, 2024);
+  const auto cases = make_query_cases(g, f, 150, 31337);
+
+  std::printf("\n== k tradeoff: n=%u m=%u f=%u (150 queries each) ==\n", n, m,
+              f);
+  Table table({"k", "edge label", "correct", "fail-stop", "wrong"});
+  for (const unsigned k : {4u, 6u, 8u, 12u, 24u, 48u}) {
+    core::FtcConfig cfg;
+    cfg.f = f;
+    cfg.k_override = k;
+    const auto scheme = core::FtcScheme::build(g, cfg);
+    int correct = 0, failstop = 0, wrong = 0;
+    for (const auto& qc : cases) {
+      std::vector<core::EdgeLabel> labels;
+      for (const EdgeId e : qc.faults) labels.push_back(scheme.edge_label(e));
+      try {
+        const bool got = core::FtcDecoder::connected(
+            scheme.vertex_label(qc.s), scheme.vertex_label(qc.t), labels);
+        (got == qc.expected ? correct : wrong)++;
+      } catch (const core::FtcCapacityError&) {
+        ++failstop;
+      }
+    }
+    table.add_row({std::to_string(k), fmt_bits(scheme.edge_label_bits()),
+                   std::to_string(correct), std::to_string(failstop),
+                   std::to_string(wrong)});
+  }
+  table.print();
+  std::printf("(practical default for this size would be k=%u)\n",
+              std::max(4u, static_cast<unsigned>(
+                               4.0 * (f + 1) *
+                               ceil_log2(std::max<unsigned>(2 * m, 2)))));
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_k_tradeoff: practical sketch capacity vs fail-stop rate\n");
+  ftc::bench::run(1024, 4096, 4);
+  ftc::bench::run(1024, 4096, 8);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment E4 (DESIGN.md): the NetFind epsilon-net (Lemmas 11/12).
+// Claims verified empirically:
+//  * net size <= |P| log2 |P| / (2 log2 N) (= |P|/2 at the provable
+//    group length);
+//  * construction time O~(N) (log-log slope ~1);
+//  * the net property: every heavy axis-aligned rectangle is hit
+//    (sampled rectangles at scale, exhaustive canonical rectangles in
+//    tests).
+// Also compares against the greedy poly(N) net (the Lemma 10 slot) and
+// random sampling on small inputs.
+#include <set>
+
+#include "bench_util.hpp"
+#include "geometry/greedy_net.hpp"
+#include "geometry/netfind.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Point2> random_points(SplitMix64& rng, std::size_t n,
+                                  std::uint32_t range) {
+  std::vector<Point2> pts;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  while (pts.size() < n) {
+    const auto x = static_cast<std::uint32_t>(rng.next_below(range));
+    const auto y = static_cast<std::uint32_t>(rng.next_below(range));
+    if (!used.insert({x, y}).second) continue;
+    pts.push_back(Point2{x, y, static_cast<graph::EdgeId>(pts.size())});
+  }
+  return pts;
+}
+
+void size_and_time() {
+  std::printf("\n== NetFind: size and time vs N (provable group length) ==\n");
+  SplitMix64 rng(3);
+  Table table({"N", "group len", "net size", "Lemma 12 bound", "time",
+               "heavy rects hit"});
+  std::vector<double> ns, ts;
+  for (const std::size_t n : {2000u, 8000u, 32000u, 128000u}) {
+    auto pts = random_points(rng, n, 1u << 20);
+    const unsigned gl = geometry::provable_group_len(n);
+    Timer t;
+    const auto net = geometry::netfind(pts, gl);
+    const double sec = t.seconds();
+    // Lemma 12 size bound: 2 |P| ceil(log2 |P|) / group_len.
+    const double bound =
+        2.0 * static_cast<double>(n) * std::ceil(std::log2(double(n))) / gl;
+    // Sampled heavy rectangles must all contain a net point.
+    const unsigned thr = geometry::netfind_threshold(gl);
+    int heavy = 0, hit = 0;
+    SplitMix64 rrng(17);
+    while (heavy < 40) {
+      std::uint32_t x1 = static_cast<std::uint32_t>(rrng.next_below(1u << 20));
+      std::uint32_t x2 = static_cast<std::uint32_t>(rrng.next_below(1u << 20));
+      std::uint32_t y1 = static_cast<std::uint32_t>(rrng.next_below(1u << 20));
+      std::uint32_t y2 = static_cast<std::uint32_t>(rrng.next_below(1u << 20));
+      if (x1 > x2) std::swap(x1, x2);
+      if (y1 > y2) std::swap(y1, y2);
+      if (geometry::points_in_rect(pts, x1, x2, y1, y2) < thr) continue;
+      ++heavy;
+      if (geometry::points_in_rect(net, x1, x2, y1, y2) > 0) ++hit;
+    }
+    table.add_row({std::to_string(n), std::to_string(gl),
+                   std::to_string(net.size()), fmt(bound, "%.0f"),
+                   fmt(sec * 1e3, "%.1f ms"),
+                   std::to_string(hit) + "/" + std::to_string(heavy)});
+    ns.push_back(static_cast<double>(n));
+    ts.push_back(sec);
+  }
+  table.print();
+  std::printf("log-log time slope: %.2f (O~(N) expected, ~1)\n",
+              loglog_slope(ns, ts));
+}
+
+void compare_constructions() {
+  std::printf("\n== small-instance comparison: NetFind vs greedy vs random "
+              "(N=100, threshold=15) ==\n");
+  SplitMix64 rng(5);
+  auto pts = random_points(rng, 100, 4096);
+  const unsigned thr = 15;  // = 3 * group_len for group_len 5
+  Table table({"method", "net size", "all heavy rects hit"});
+
+  const auto nf = geometry::netfind(pts, thr / 3);
+  table.add_row({"NetFind (Lemma 12)", std::to_string(nf.size()),
+                 geometry::net_hits_all_heavy_rects(pts, nf, thr) ? "yes"
+                                                                  : "NO"});
+  const auto gr = geometry::greedy_rect_net(pts, thr);
+  table.add_row({"greedy (Lemma 10 slot)", std::to_string(gr.size()),
+                 geometry::net_hits_all_heavy_rects(pts, gr, thr) ? "yes"
+                                                                  : "NO"});
+  // Random halving: hits heavy rects only with some probability.
+  std::vector<Point2> rnd;
+  for (const auto& p : pts) {
+    if (rng.next_bool()) rnd.push_back(p);
+  }
+  table.add_row({"random half (Prop. 5)", std::to_string(rnd.size()),
+                 geometry::net_hits_all_heavy_rects(pts, rnd, thr)
+                     ? "yes"
+                     : "NO (allowed: whp only)"});
+  table.print();
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_netfind: Lemma 11/12 epsilon-net properties\n");
+  ftc::bench::size_and_time();
+  ftc::bench::compare_constructions();
+  return 0;
+}

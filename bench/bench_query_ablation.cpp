@@ -1,0 +1,81 @@
+// Experiment E7 (DESIGN.md): ablation of the two query optimizations of
+// Section 6 / Lemma 6 on an adversarial workload.
+//  * merge order: smallest-cut-first (refined, Section 7.6) vs
+//    source-first (the basic Section 3.1 procedure);
+//  * adaptive prefix decoding vs always decoding at full capacity k.
+// Workload: a long path of cliques with all bridges + a few chords
+// faulted, maximizing fragment count and fragment-size imbalance — the
+// regime where Lemma 6's reordering provably saves an |F| factor.
+#include "bench_util.hpp"
+#include "core/ftc_query.hpp"
+#include "core/ftc_scheme.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+void run(unsigned cliques, unsigned k) {
+  // Path of cliques with an extra long-range chord per pair of adjacent
+  // cliques so faulted bridges remain reconnectable.
+  graph::Graph g = graph::path_of_cliques(cliques, k);
+  SplitMix64 rng(9);
+  std::vector<EdgeId> bridges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (ed.u / k != ed.v / k) bridges.push_back(e);
+  }
+  for (unsigned c = 0; c + 1 < cliques; ++c) {
+    g.add_edge(c * k + 1, (c + 1) * k + 1);  // chord parallel to bridge c
+  }
+
+  core::FtcConfig cfg;
+  cfg.f = static_cast<unsigned>(bridges.size());
+  cfg.k_scale = 1.0;
+  const auto scheme = core::FtcScheme::build(g, cfg);
+
+  // Fault ALL bridges: |F| = cliques-1 fragments chained by chords.
+  std::vector<core::EdgeLabel> fault_labels;
+  for (const EdgeId e : bridges) fault_labels.push_back(scheme.edge_label(e));
+  const auto s = scheme.vertex_label(0);
+  const auto t = scheme.vertex_label((cliques - 1) * k);
+
+  std::printf("\n== query ablation: %u cliques of %u, |F|=%zu ==\n", cliques,
+              k, fault_labels.size());
+  Table table({"strategy", "query time", "outdetect calls", "merges"});
+  for (const bool smallest : {true, false}) {
+    for (const bool adaptive : {true, false}) {
+      core::QueryOptions opt;
+      opt.smallest_cut_first = smallest;
+      opt.adaptive = adaptive;
+      core::QueryStats stats;
+      Timer timer;
+      bool ok = false;
+      const int reps = 20;
+      for (int i = 0; i < reps; ++i) {
+        stats = core::QueryStats{};
+        ok = core::FtcDecoder::connected(s, t, fault_labels, opt, &stats);
+      }
+      const double us = timer.micros() / reps;
+      FTC_CHECK(ok, "chords must reconnect the cliques");
+      table.add_row(
+          {std::string(smallest ? "smallest-cut" : "source-first") +
+               (adaptive ? " + adaptive" : " + fixed-k"),
+           fmt(us, "%.1f us"), std::to_string(stats.outdetect_calls),
+           std::to_string(stats.merges)});
+    }
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_query_ablation: Lemma 6 / Section 6 optimizations\n");
+  ftc::bench::run(8, 6);
+  ftc::bench::run(24, 6);
+  ftc::bench::run(48, 6);
+  return 0;
+}

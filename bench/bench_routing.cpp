@@ -1,0 +1,89 @@
+// Experiment E10 (DESIGN.md): fault-tolerant compact routing simulation
+// (Corollary 2). Measures delivery rate, path stretch and per-router
+// table sizes as the fault count grows. Expected shape: high delivery
+// rate, stretch well under the Corollary 2 bound, table bits dominated by
+// the neighbor distance labels (the O~(f^2 n^(1/k))-per-entry regime).
+#include "bench_util.hpp"
+#include "distance/ft_routing.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using namespace ftc::distance;
+using graph::EdgeId;
+using graph::VertexId;
+
+void run() {
+  const VertexId n = 72;
+  const graph::Graph base = graph::random_connected(n, 3 * n, 4242);
+  SplitMix64 wrng(1);
+  WeightedGraph g(n);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    g.add_edge(base.edge(e).u, base.edge(e).v, 1 + wrng.next_below(4));
+  }
+  FtDistanceConfig cfg;
+  cfg.f = 4;
+  cfg.k = 2;
+  Timer tb;
+  const auto scheme = FtDistanceScheme::build(g, cfg);
+  const FtRouter router(g, scheme);
+  std::printf("built distance labels + tables in %.1f ms\n", tb.millis());
+
+  std::size_t total_table = 0, max_table = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_table += router.table_bits(v);
+    max_table = std::max(max_table, router.table_bits(v));
+  }
+  std::printf("routing tables: total %s, max per-router %s\n",
+              fmt_bits(total_table).c_str(), fmt_bits(max_table).c_str());
+
+  Table table({"|F|", "delivered", "unreachable", "stuck", "avg stretch",
+               "max stretch"});
+  SplitMix64 rng(7);
+  for (const unsigned nf : {0u, 1u, 2u, 4u}) {
+    int delivered = 0, unreachable = 0, stuck = 0, counted = 0;
+    double sum_stretch = 0, max_stretch = 0;
+    for (int it = 0; it < 80; ++it) {
+      std::vector<EdgeId> faults;
+      std::vector<DistEdgeLabel> fl;
+      for (unsigned i = 0; i < nf; ++i) {
+        const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+        faults.push_back(e);
+        fl.push_back(scheme.edge_label(e));
+      }
+      const VertexId s = static_cast<VertexId>(rng.next_below(n));
+      const VertexId t = static_cast<VertexId>(rng.next_below(n));
+      if (s == t) continue;
+      const Weight exact = exact_distance(g, s, t, faults);
+      if (exact == kInfinity) {
+        ++unreachable;
+        continue;
+      }
+      const auto res = router.route(s, t, faults, fl);
+      if (!res.delivered) {
+        ++stuck;
+        continue;
+      }
+      ++delivered;
+      const double stretch = static_cast<double>(res.path_weight) /
+                             static_cast<double>(exact);
+      sum_stretch += stretch;
+      max_stretch = std::max(max_stretch, stretch);
+      ++counted;
+    }
+    table.add_row({std::to_string(nf), std::to_string(delivered),
+                   std::to_string(unreachable), std::to_string(stuck),
+                   fmt(sum_stretch / std::max(counted, 1), "%.2f"),
+                   fmt(max_stretch, "%.2f")});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main() {
+  std::printf("bench_routing: Corollary 2 forbidden-set routing simulation\n");
+  ftc::bench::run();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Experiment E6 (DESIGN.md): the deterministic k-threshold sketch
+// (Proposition 2). google-benchmark micro-measurements:
+//  * field multiplication throughput (GF(2^64) vs GF(2^128));
+//  * sketch toggle cost ~ k;
+//  * decode cost versus actual support size d (adaptive decoding makes it
+//    ~d^2 rather than k^2 — the Section 6 / Appendix B point);
+//  * Berlekamp-Massey vs root-finding split.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "gf/berlekamp_massey.hpp"
+#include "gf/trace_roots.hpp"
+#include "sketch/rs_sketch.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+using ftc::SplitMix64;
+using ftc::gf::GF2_128;
+using ftc::gf::GF2_64;
+
+template <typename F>
+std::vector<F> random_distinct(SplitMix64& rng, unsigned count) {
+  std::set<F> s;
+  while (s.size() < count) {
+    F v;
+    if constexpr (F::kWords == 2) {
+      v = F(rng.next(), rng.next());
+    } else {
+      v = F(rng.next());
+    }
+    if (!v.is_zero()) s.insert(v);
+  }
+  return {s.begin(), s.end()};
+}
+
+template <typename F>
+void BM_FieldMul(benchmark::State& state) {
+  SplitMix64 rng(1);
+  F a, b;
+  if constexpr (F::kWords == 2) {
+    a = F(rng.next(), rng.next());
+    b = F(rng.next(), rng.next());
+  } else {
+    a = F(rng.next());
+    b = F(rng.next());
+  }
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK_TEMPLATE(BM_FieldMul, GF2_64);
+BENCHMARK_TEMPLATE(BM_FieldMul, GF2_128);
+
+void BM_SketchToggle(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  ftc::sketch::RsSketch<GF2_64> sk(k);
+  SplitMix64 rng(2);
+  const GF2_64 x(rng.next());
+  for (auto _ : state) {
+    sk.toggle(x);
+    benchmark::DoNotOptimize(sk);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_SketchToggle)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+// Decode cost as a function of the true support size d with adaptive
+// (prefix-doubling) decoding; capacity k fixed at 256.
+void BM_SketchDecodeAdaptive(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  const unsigned k = 256;
+  SplitMix64 rng(3);
+  const auto xs = random_distinct<GF2_64>(rng, d);
+  ftc::sketch::RsSketch<GF2_64> sk(k);
+  for (const auto& x : xs) sk.toggle(x);
+  for (auto _ : state) {
+    auto r = sk.decode_adaptive();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_SketchDecodeAdaptive)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity();
+
+// Non-adaptive decode at full capacity: the k^2 baseline being avoided.
+void BM_SketchDecodeFullK(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  SplitMix64 rng(4);
+  const auto xs = random_distinct<GF2_64>(rng, std::max(1u, k / 4));
+  ftc::sketch::RsSketch<GF2_64> sk(k);
+  for (const auto& x : xs) sk.toggle(x);
+  for (auto _ : state) {
+    auto r = sk.decode(k);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_SketchDecodeFullK)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_BerlekampMassey(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  SplitMix64 rng(5);
+  const auto xs = random_distinct<GF2_64>(rng, t);
+  std::vector<GF2_64> syn(2 * t, GF2_64::zero());
+  for (const auto& x : xs) {
+    GF2_64 p = GF2_64::one();
+    for (unsigned i = 0; i < 2 * t; ++i) {
+      p *= x;
+      syn[i] += p;
+    }
+  }
+  for (auto _ : state) {
+    auto sigma = ftc::gf::berlekamp_massey(std::span<const GF2_64>(syn));
+    benchmark::DoNotOptimize(sigma);
+  }
+  state.SetComplexityN(t);
+}
+BENCHMARK(BM_BerlekampMassey)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_TraceRootFinding(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  SplitMix64 rng(6);
+  const auto xs = random_distinct<GF2_64>(rng, d);
+  const auto poly = ftc::gf::poly_from_roots<GF2_64>(xs);
+  for (auto _ : state) {
+    auto roots = ftc::gf::find_roots(poly);
+    benchmark::DoNotOptimize(roots);
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_TraceRootFinding)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Shared helpers for the benchmark harness: wall-clock timing, aligned
+// table printing (the benches emit paper-style tables), and fault/query
+// workload generation with ground-truth checking.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Minimal aligned-column table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, const char* spec = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+inline std::string fmt_bits(std::size_t bits) {
+  if (bits < 8192) return std::to_string(bits) + " b";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bits) / 8192);
+  return buf;
+}
+
+// A fault set plus a query endpoint pair with its ground-truth answer.
+struct QueryCase {
+  std::vector<graph::EdgeId> faults;
+  graph::VertexId s = 0;
+  graph::VertexId t = 0;
+  bool expected = false;
+};
+
+inline std::vector<QueryCase> make_query_cases(const graph::Graph& g,
+                                               unsigned num_faults,
+                                               int count, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<QueryCase> cases;
+  cases.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    QueryCase qc;
+    for (unsigned j = 0; j < num_faults; ++j) {
+      qc.faults.push_back(
+          static_cast<graph::EdgeId>(rng.next_below(g.num_edges())));
+    }
+    qc.s = static_cast<graph::VertexId>(rng.next_below(g.num_vertices()));
+    qc.t = static_cast<graph::VertexId>(rng.next_below(g.num_vertices()));
+    qc.expected = graph::connected_avoiding(g, qc.s, qc.t, qc.faults);
+    cases.push_back(std::move(qc));
+  }
+  return cases;
+}
+
+// Log-log least-squares slope: how measured scales with the driver.
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  FTC_REQUIRE(x.size() == y.size() && x.size() >= 2, "need >= 2 samples");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double lx = std::log2(x[i]);
+    const double ly = std::log2(std::max(y[i], 1e-12));
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace ftc::bench

@@ -1,0 +1,102 @@
+// Reproduces the paper's two illustrative figures on an instance with the
+// same shape as the one drawn there: 8 vertices, 12 edges of which 5 are
+// non-tree (e1, e3, e5, e9, e12 in the figure's naming).
+//
+// Figure 1: the auxiliary graph G' — every non-tree edge is subdivided,
+// its first half joins the spanning tree T'.
+// Figure 2: the Euler tour of T' numbers all 2n'-2 directed tree edges;
+// each non-tree edge of G' becomes a 2D point, and the outgoing edges of
+// any vertex set S form the intersection of the point set with a
+// symmetric difference of halfspaces (Lemma 3), verified here explicitly.
+#include <cstdio>
+#include <vector>
+
+#include "geometry/point_map.hpp"
+#include "graph/aux_graph.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+
+int main() {
+  using namespace ftc;
+  using graph::EdgeId;
+  using graph::VertexId;
+
+  // 8 vertices, 12 edges; BFS from vertex 0 makes edges 0..6 the tree.
+  graph::Graph g(8);
+  g.add_edge(0, 1);  // e: tree
+  g.add_edge(0, 2);  // tree
+  g.add_edge(1, 3);  // tree
+  g.add_edge(1, 4);  // tree
+  g.add_edge(2, 5);  // tree
+  g.add_edge(4, 6);  // tree
+  g.add_edge(5, 7);  // tree
+  g.add_edge(3, 4);  // non-tree ("e1")
+  g.add_edge(3, 6);  // non-tree ("e3")
+  g.add_edge(2, 4);  // non-tree ("e5")
+  g.add_edge(6, 7);  // non-tree ("e9")
+  g.add_edge(5, 1);  // non-tree ("e12")
+
+  const auto t = graph::bfs_spanning_tree(g, 0);
+
+  std::printf("== Figure 1: auxiliary graph G' ==\n");
+  const auto aux = graph::build_aux_graph(g, t);
+  std::printf("G : %u vertices, %u edges (%u tree + %u non-tree)\n",
+              g.num_vertices(), g.num_edges(), g.num_vertices() - 1,
+              g.num_edges() - g.num_vertices() + 1);
+  std::printf("G': %u vertices, %u edges (subdivision per non-tree edge)\n",
+              aux.g2.num_vertices(), aux.g2.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (aux.sub_vertex[e] == graph::kNoVertex) continue;
+    const auto& ed = g.edge(e);
+    std::printf("  edge e%-2u = (%u,%u) -> tree half (%u,w%u) + "
+                "non-tree half e%u' = (w%u,%u)\n",
+                e + 1, ed.u, ed.v, ed.u, aux.sub_vertex[e], e + 1,
+                aux.sub_vertex[e], ed.v);
+  }
+
+  std::printf("\n== Figure 2: Euler tour and geometric embedding ==\n");
+  const auto et = graph::euler_tour(aux.t2);
+  std::printf("tour length 2n'-2 = %u directed edges (figure: 24)\n",
+              2 * aux.g2.num_vertices() - 2);
+  std::printf("vertex coordinates c(v) (root r = vertex 0 has c = 0):\n  ");
+  for (VertexId v = 0; v < aux.g2.num_vertices(); ++v) {
+    std::printf("c(%u)=%u ", v, et.coord[v]);
+  }
+  std::printf("\n\nnon-tree edges of G' as 2D points (c(u), c(v)):\n");
+  const auto pts = geometry::map_nontree_edges(aux.g2, aux.t2, et);
+  for (const auto& p : pts) {
+    std::printf("  e%u' -> (%u, %u)\n", aux.orig_of[p.edge] + 1, p.x, p.y);
+  }
+
+  // Lemma 3 on a concrete S: the subtree below vertex 1 (plus the root's
+  // other side excluded), i.e. S = {1, 3, 4, 6} in G.
+  std::printf("\nLemma 3 check for S = {1, 3, 4, 6} (subtree of vertex 1):\n");
+  std::vector<char> in_set(aux.g2.num_vertices(), 0);
+  // S in G'; subdivision vertices inherit membership from their tree side.
+  for (const VertexId v : {1u, 3u, 4u, 6u}) in_set[v] = 1;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (aux.sub_vertex[e] != graph::kNoVertex) {
+      in_set[aux.sub_vertex[e]] = in_set[g.edge(e).u];
+    }
+  }
+  // Complement so the root is inside S (the Lemma 9 convention); the cut
+  // is unchanged.
+  std::vector<char> s_mask(aux.g2.num_vertices());
+  for (VertexId v = 0; v < aux.g2.num_vertices(); ++v) {
+    s_mask[v] = !in_set[v];
+  }
+  const auto cuts = geometry::directed_cut_positions(aux.t2, et, s_mask);
+  std::printf("  directed tree-cut positions:");
+  for (const auto c : cuts) std::printf(" %u", c);
+  std::printf("\n");
+  for (const auto& p : pts) {
+    const auto& ed = aux.g2.edge(p.edge);
+    const bool crossing = in_set[ed.u] != in_set[ed.v];
+    const bool in_region = geometry::in_cut_region(p, cuts);
+    std::printf("  e%u' point (%2u,%2u): region=%d crossing=%d %s\n",
+                aux.orig_of[p.edge] + 1, p.x, p.y, in_region, crossing,
+                in_region == crossing ? "OK" : "MISMATCH");
+  }
+  return 0;
+}

@@ -1,0 +1,286 @@
+#include "congest/dist_labeling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace ftc::congest {
+
+using gf::GF2_64;
+using graph::EdgeId;
+using graph::VertexId;
+
+namespace {
+
+enum Tag : std::uint64_t {
+  kExplore = 1,   // BFS: payload = depth of sender
+  kAdopt = 2,     // child -> parent
+  kSize = 3,      // subtree size convergecast
+  kInterval = 4,  // parent -> child: [tin, tout] of the child subtree
+  kAnc = 5,       // ancestry label exchange on every edge
+  kSyn = 6,       // pipelined syndrome slot: [slot, value]
+};
+
+// Packs two ancestry intervals into a GF(2^64) edge ID (16-bit coords),
+// mirroring core::EdgeCode but local to the CONGEST demo (which runs on
+// the input tree rather than the auxiliary tree).
+GF2_64 edge_id(std::uint32_t tin_a, std::uint32_t tout_a, std::uint32_t tin_b,
+               std::uint32_t tout_b) {
+  if (tin_a > tin_b) {
+    std::swap(tin_a, tin_b);
+    std::swap(tout_a, tout_b);
+  }
+  return GF2_64((std::uint64_t{tin_a}) | (std::uint64_t{tout_a} << 16) |
+                (std::uint64_t{tin_b} << 32) | (std::uint64_t{tout_b} << 48));
+}
+
+class LabelNode : public Node {
+ public:
+  LabelNode(const graph::Graph& g, VertexId self, VertexId root, unsigned k,
+            unsigned anc_bits)
+      : g_(g), self_(self), root_(root), k_(k), anc_bits_(anc_bits) {
+    // Receive buffers exist from round 0: a child may start its syndrome
+    // pipeline before this node finishes earlier phases.
+    syn_acc_.assign(k_, GF2_64::zero());
+    child_syn_count_.assign(k_, 0);
+  }
+
+  // Exposed state, read by run_distributed_labeling after quiescence.
+  VertexId parent = graph::kNoVertex;
+  EdgeId parent_edge = graph::kNoEdge;
+  std::uint32_t depth = 0;
+  std::uint32_t tin = 0;
+  std::uint32_t tout = 0;
+  std::uint32_t subtree_size = 0;
+  std::vector<GF2_64> subtree_syndromes;
+  unsigned sketch_done_round = 0;
+
+  void on_round(unsigned round, std::span<const Message> inbox,
+                std::vector<Message>* outbox) override {
+    // ---- Phase 1: BFS adoption.
+    if (round == 0 && self_ == root_) {
+      parent = self_;
+      depth = 0;
+      adopted_ = true;
+      for (const EdgeId e : g_.incident_edges(self_)) {
+        send(outbox, e, {kExplore, 0});
+      }
+    }
+    for (const Message& msg : inbox) {
+      switch (msg.payload[0]) {
+        case kExplore:
+          if (!adopted_) {
+            adopted_ = true;
+            parent = msg.from;
+            parent_edge = msg.edge;
+            depth = static_cast<std::uint32_t>(msg.payload[1]) + 1;
+            send(outbox, msg.edge, {kAdopt});
+            for (const EdgeId e : g_.incident_edges(self_)) {
+              if (e != msg.edge) send(outbox, e, {kExplore, depth});
+            }
+          }
+          break;
+        case kAdopt:
+          children_.push_back({msg.from, msg.edge});
+          break;
+        case kSize:
+          child_sizes_[msg.from] = static_cast<std::uint32_t>(msg.payload[1]);
+          break;
+        case kInterval:
+          tin = static_cast<std::uint32_t>(msg.payload[1]);
+          tout = static_cast<std::uint32_t>(msg.payload[2]);
+          have_interval_ = true;
+          break;
+        case kAnc:
+          neighbor_anc_[msg.edge] = {
+              static_cast<std::uint32_t>(msg.payload[1]),
+              static_cast<std::uint32_t>(msg.payload[2])};
+          break;
+        case kSyn: {
+          const unsigned slot = static_cast<unsigned>(msg.payload[1]);
+          child_syn_count_[slot] += 1;
+          syn_acc_[slot] += GF2_64(msg.payload[2]);
+          break;
+        }
+        default:
+          FTC_CHECK(false, "unknown message tag");
+      }
+    }
+
+    // ---- Phase 2: subtree sizes. Children are final 2 rounds after
+    // adoption (adopt messages arrive at depth+2).
+    if (adopted_ && !size_sent_ && round >= depth + 2) {
+      std::sort(children_.begin(), children_.end());
+      if (child_sizes_.size() == children_.size()) {
+        subtree_size = 1;
+        for (const auto& [cv, ce] : children_) subtree_size += child_sizes_[cv];
+        size_sent_ = true;
+        if (self_ == root_) {
+          tin = 0;
+          tout = subtree_size - 1;
+          have_interval_ = true;
+        } else {
+          send(outbox, parent_edge, {kSize, subtree_size});
+        }
+      }
+    }
+
+    // Phase-5 sends must not share an edge with this round's phase-4
+    // broadcast: latch the pre-round state.
+    const bool anc_ready_at_entry = anc_sent_;
+
+    // ---- Phase 3: interval assignment to children (pre-order, children
+    // in increasing vertex-id order, matching the centralized layout).
+    if (have_interval_ && !intervals_sent_ && size_sent_) {
+      intervals_sent_ = true;
+      std::uint32_t next = tin + 1;
+      for (const auto& [cv, ce] : children_) {
+        send(outbox, ce, {kInterval, next, next + child_sizes_[cv] - 1});
+        next += child_sizes_[cv];
+      }
+    } else if (intervals_sent_ && !anc_sent_) {
+      // ---- Phase 4 (next round, avoiding two messages on one edge):
+      // announce the ancestry label on every edge.
+      anc_sent_ = true;
+      for (const EdgeId e : g_.incident_edges(self_)) {
+        send(outbox, e, {kAnc, tin, tout});
+      }
+    }
+
+    // ---- Phase 5: pipelined syndrome convergecast. Starts once all
+    // neighbor labels arrived (degree known, one kAnc per edge).
+    if (anc_ready_at_entry && !sketch_started_ &&
+        neighbor_anc_.size() == g_.incident_edges(self_).size()) {
+      sketch_started_ = true;
+      own_syn_.assign(k_, GF2_64::zero());
+      subtree_syndromes.assign(k_, GF2_64::zero());
+      for (const EdgeId e : g_.incident_edges(self_)) {
+        if (e == parent_edge) continue;
+        bool is_child_edge = false;
+        for (const auto& [cv, ce] : children_) is_child_edge |= (ce == e);
+        if (is_child_edge) continue;
+        // Non-tree edge: add its ID's odd power sums.
+        const auto& [ntin, ntout] = neighbor_anc_[e];
+        const GF2_64 id = edge_id(tin, tout, ntin, ntout);
+        const GF2_64 id2 = id.square();
+        GF2_64 p = id;
+        for (unsigned j = 0; j < k_; ++j) {
+          own_syn_[j] += p;
+          p *= id2;
+        }
+      }
+    }
+    if (sketch_started_ && next_slot_ < k_) {
+      // Forward at most ONE slot per round (one message per edge per
+      // round is the CONGEST constraint); slots become ready in order,
+      // which is exactly the pipelining of Section 8.
+      if (next_slot_ < k_ &&
+          child_syn_count_[next_slot_] == children_.size()) {
+        const GF2_64 total = own_syn_[next_slot_] + syn_acc_[next_slot_];
+        subtree_syndromes[next_slot_] = total;
+        if (self_ != root_) {
+          send(outbox, parent_edge, {kSyn, next_slot_, total.value()});
+        }
+        ++next_slot_;
+        if (next_slot_ == k_) sketch_done_round = round;
+      }
+    }
+  }
+
+ private:
+  void send(std::vector<Message>* outbox, EdgeId e,
+            std::vector<std::uint64_t> payload) {
+    Message msg;
+    msg.edge = e;
+    // Tag + up to two coordinates/values; a field element counts as
+    // O(log n) machine words in the standard CONGEST accounting.
+    msg.bits = 8;
+    for (std::size_t i = 1; i < payload.size(); ++i) {
+      msg.bits += std::max(anc_bits_, 64u);
+    }
+    msg.payload = std::move(payload);
+    outbox->push_back(msg);
+  }
+
+  const graph::Graph& g_;
+  VertexId self_;
+  VertexId root_;
+  unsigned k_;
+  unsigned anc_bits_;
+
+  bool adopted_ = false;
+  bool size_sent_ = false;
+  bool have_interval_ = false;
+  bool intervals_sent_ = false;
+  bool anc_sent_ = false;
+  bool sketch_started_ = false;
+  std::vector<std::pair<VertexId, EdgeId>> children_;
+  std::map<VertexId, std::uint32_t> child_sizes_;
+  std::map<EdgeId, std::pair<std::uint32_t, std::uint32_t>> neighbor_anc_;
+  std::vector<GF2_64> own_syn_;
+  std::vector<GF2_64> syn_acc_;
+  std::vector<std::size_t> child_syn_count_;
+  unsigned next_slot_ = 0;
+};
+
+}  // namespace
+
+DistLabelingResult run_distributed_labeling(const graph::Graph& g,
+                                            VertexId root, unsigned k) {
+  FTC_REQUIRE(g.num_vertices() >= 1, "empty graph");
+  const unsigned anc_bits =
+      2 * std::max(1u, ceil_log2(std::max<VertexId>(g.num_vertices(), 2)));
+  // Budget: tag + two values, where a value is a coordinate pair or one
+  // 64-bit field word (O(log n) for the sizes simulated here).
+  Simulator sim(g, /*message_budget_bits=*/8 + 2 * std::max(anc_bits, 64u));
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<LabelNode*> raw;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto node = std::make_unique<LabelNode>(g, v, root, k, anc_bits);
+    raw.push_back(node.get());
+    nodes.push_back(std::move(node));
+  }
+  sim.attach(std::move(nodes));
+  const unsigned max_rounds = 10 * g.num_vertices() + 10 * k + 100;
+  DistLabelingResult result;
+  result.stats = sim.run(max_rounds);
+  FTC_CHECK(result.stats.rounds < max_rounds,
+            "distributed labeling did not quiesce");
+
+  const VertexId n = g.num_vertices();
+  result.parent.resize(n);
+  result.depth.resize(n);
+  result.tin.resize(n);
+  result.tout.resize(n);
+  result.subtree_size.resize(n);
+  result.subtree_syndromes.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.parent[v] = raw[v]->parent;
+    result.depth[v] = raw[v]->depth;
+    result.tin[v] = raw[v]->tin;
+    result.tout[v] = raw[v]->tout;
+    result.subtree_size[v] = raw[v]->subtree_size;
+    result.subtree_syndromes[v] = raw[v]->subtree_syndromes;
+    result.sketch_phase_rounds =
+        std::max(result.sketch_phase_rounds, raw[v]->sketch_done_round);
+  }
+  return result;
+}
+
+std::uint64_t netfind_round_model(std::uint64_t m_prime,
+                                  std::uint64_t diameter) {
+  if (m_prime == 0) return 0;
+  const double m = static_cast<double>(m_prime);
+  const double d = static_cast<double>(diameter);
+  const double logm = std::max(1.0, std::log2(m));
+  // Parallel recursion levels (depth > log(m')/2): (log m')/2 levels at
+  // O(sqrt(m') + D) each; shallow levels: O(sqrt(m')) sequential calls at
+  // O~(D) each; O(log n) hierarchy repetitions.
+  const double per_netfind =
+      (logm / 2) * (std::sqrt(m) + d) + std::sqrt(m) * (d + logm);
+  return static_cast<std::uint64_t>(per_netfind * logm);
+}
+
+}  // namespace ftc::congest

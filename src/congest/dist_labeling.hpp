@@ -1,0 +1,55 @@
+// Distributed label construction in the CONGEST model (Section 8,
+// Theorem 3). Real message-passing phases, all O(log n)-bit messages:
+//
+//   1. synchronous BFS tree construction from the root;
+//   2. subtree-size convergecast;
+//   3. top-down pre-order interval assignment — the KNR ancestry labels;
+//   4. neighbor ancestry exchange (gives every edge its sketch-domain ID);
+//   5. pipelined convergecast of the k outdetect syndromes: a node
+//      forwards syndrome slot j as soon as all children delivered slot j,
+//      so the phase completes in O(depth + k) rounds — the O~(D + f^2)
+//      term of Theorem 3.
+//
+// The NetFind hierarchy construction is *modeled* per Lemma 13 (see
+// DESIGN.md Substitutions #3): `netfind_round_model` returns the round
+// cost the lemma derives; the hierarchy itself is computed by the
+// verified sequential NetFind.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "gf/gf2.hpp"
+#include "graph/graph.hpp"
+
+namespace ftc::congest {
+
+// Runs phases 1-5 on graph g rooted at root, with k syndrome slots.
+// Returns per-phase round counts plus every node's computed state so
+// tests can compare against the centralized algorithms.
+struct DistLabelingResult {
+  SimStats stats;
+  std::vector<graph::VertexId> parent;
+  std::vector<std::uint32_t> depth;
+  std::vector<std::uint32_t> tin;
+  std::vector<std::uint32_t> tout;
+  std::vector<std::uint32_t> subtree_size;
+  // Per vertex: subtree XOR of the k odd power sums of incident non-tree
+  // edge IDs (the quantity a tree edge's label carries, Prop. 4).
+  std::vector<std::vector<gf::GF2_64>> subtree_syndromes;
+  // Rounds at which the pipelined sketch phase started/completed.
+  unsigned sketch_phase_rounds = 0;
+};
+
+DistLabelingResult run_distributed_labeling(const graph::Graph& g,
+                                            graph::VertexId root, unsigned k);
+
+// Lemma 13's analytical round cost for the distributed NetFind hierarchy:
+// parallel recursion levels above depth (log m')/2 cost O(sqrt(m') + D)
+// each; the O(sqrt(m')) shallow calls run sequentially at O~(D) each;
+// O(log n) hierarchy levels repeat the recursion.
+std::uint64_t netfind_round_model(std::uint64_t num_nontree_edges,
+                                  std::uint64_t diameter);
+
+}  // namespace ftc::congest

@@ -1,0 +1,65 @@
+#include "congest/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace ftc::congest {
+
+Simulator::Simulator(const graph::Graph& g, unsigned message_budget_bits)
+    : g_(g), budget_(message_budget_bits) {
+  FTC_REQUIRE(budget_ >= 1, "message budget must be positive");
+}
+
+void Simulator::attach(std::vector<std::unique_ptr<Node>> nodes) {
+  FTC_REQUIRE(nodes.size() == g_.num_vertices(),
+              "need exactly one node per vertex");
+  nodes_ = std::move(nodes);
+}
+
+SimStats Simulator::run(unsigned max_rounds) {
+  FTC_REQUIRE(!nodes_.empty(), "attach nodes before running");
+  SimStats stats;
+  std::vector<std::vector<Message>> inbox(g_.num_vertices());
+  std::vector<std::vector<Message>> next(g_.num_vertices());
+  bool in_flight = true;  // nodes get at least one activation
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    if (round > 0 && !in_flight) break;
+    in_flight = false;
+    ++stats.rounds;
+    for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) {
+      std::vector<Message> outbox;
+      nodes_[v]->on_round(round, inbox[v], &outbox);
+      std::vector<graph::EdgeId> used;
+      for (Message& msg : outbox) {
+        FTC_REQUIRE(msg.edge < g_.num_edges(), "message on unknown edge");
+        const auto& ed = g_.edge(msg.edge);
+        FTC_REQUIRE(ed.u == v || ed.v == v,
+                    "node sent on a non-incident edge");
+        FTC_REQUIRE(std::find(used.begin(), used.end(), msg.edge) ==
+                        used.end(),
+                    "CONGEST allows one message per edge per round");
+        used.push_back(msg.edge);
+        msg.from = v;
+        msg.to = g_.other_endpoint(msg.edge, v);
+        FTC_REQUIRE(msg.bits >= 1 && msg.bits <= budget_,
+                    "message exceeds the CONGEST bit budget");
+        FTC_REQUIRE(msg.payload.size() * 64 >= msg.bits ||
+                        msg.payload.size() * 64 + 64 > msg.bits,
+                    "declared bits inconsistent with payload");
+        ++stats.messages;
+        stats.total_bits += msg.bits;
+        stats.max_message_bits = std::max(stats.max_message_bits, msg.bits);
+        next[msg.to].push_back(std::move(msg));
+        in_flight = true;
+      }
+    }
+    for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) {
+      inbox[v] = std::move(next[v]);
+      next[v].clear();
+    }
+  }
+  return stats;
+}
+
+}  // namespace ftc::congest

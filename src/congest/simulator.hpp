@@ -1,0 +1,59 @@
+// Synchronous message-passing simulator for the CONGEST model
+// (Section 8): per round, every node may send one B-bit message over each
+// incident edge; B = O(log n) is enforced per message, and the simulator
+// accounts rounds, message count and bit volume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftc::congest {
+
+struct Message {
+  graph::EdgeId edge = graph::kNoEdge;
+  graph::VertexId from = graph::kNoVertex;
+  graph::VertexId to = graph::kNoVertex;
+  std::vector<std::uint64_t> payload;
+  unsigned bits = 0;  // declared size; must cover payload and fit budget
+};
+
+// Node behavior: invoked once per round with the messages delivered this
+// round; sends by appending to outbox.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_round(unsigned round, std::span<const Message> inbox,
+                        std::vector<Message>* outbox) = 0;
+};
+
+struct SimStats {
+  unsigned rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  unsigned max_message_bits = 0;
+};
+
+class Simulator {
+ public:
+  // message_budget_bits: the CONGEST B; messages larger than this throw.
+  Simulator(const graph::Graph& g, unsigned message_budget_bits);
+
+  // One node object per vertex, in vertex order.
+  void attach(std::vector<std::unique_ptr<Node>> nodes);
+
+  // Runs until no messages are in flight (quiescence) or max_rounds.
+  SimStats run(unsigned max_rounds);
+
+  unsigned message_budget_bits() const { return budget_; }
+
+ private:
+  const graph::Graph& g_;
+  unsigned budget_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace ftc::congest

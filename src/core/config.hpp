@@ -1,0 +1,52 @@
+// Configuration of the f-FTC labeling schemes (Theorem 1 variants).
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/hierarchy.hpp"
+
+namespace ftc::core {
+
+// Which sparsification hierarchy drives the scheme (Table 1 rows):
+//  kDeterministic — NetFind epsilon-net (this paper, deterministic, full
+//                   query support; near-linear construction).
+//  kDeterministicGreedy — greedy-net hierarchy (the poly(n) Lemma 10 slot;
+//                   small instances only).
+//  kRandomized    — random halving (Prop. 5): the paper's randomized
+//                   full-support variant, competitive with Dory-Parter.
+enum class SchemeKind : std::uint8_t {
+  kDeterministic = 0,
+  kDeterministicGreedy = 1,
+  kRandomized = 2,
+};
+
+// How the sketch threshold k is chosen.
+//  kProvable  — the worst-case bound (Lemma 5 / Prop. 5 formulas). Label
+//               sizes match the theorems' constants; practical only for
+//               small graphs.
+//  kPractical — k = ceil(k_scale * (f + 1) * log2 n'). The decoder is
+//               fail-stop (FtcCapacityError) if this ever proves too
+//               small; bench_k_tradeoff quantifies the safety margin.
+enum class KMode : std::uint8_t {
+  kProvable = 0,
+  kPractical = 1,
+};
+
+enum class FieldKind : std::uint8_t {
+  kAuto = 0,   // GF(2^64) when the auxiliary graph fits, else GF(2^128)
+  kGF64 = 1,   // auxiliary graphs up to 2^16 - 1 vertices
+  kGF128 = 2,  // auxiliary graphs up to 2^32 - 1 vertices
+};
+
+struct FtcConfig {
+  unsigned f = 2;  // maximum number of faulty edges supported
+  SchemeKind kind = SchemeKind::kDeterministic;
+  KMode k_mode = KMode::kPractical;
+  double k_scale = 4.0;      // multiplier for the practical k
+  unsigned k_override = 0;   // nonzero: use exactly this k
+  unsigned group_len = 0;    // NetFind group length (0 = provable default)
+  std::uint64_t seed = 1;    // randomized hierarchy seed
+  FieldKind field = FieldKind::kAuto;
+};
+
+}  // namespace ftc::core

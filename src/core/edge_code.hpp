@@ -1,0 +1,81 @@
+// Edge-ID encoding (Section 3.1): each non-tree edge of the auxiliary
+// graph gets, as its sketch-domain ID, the pair of ancestry labels of its
+// endpoints packed into a single nonzero field element. Decoding an ID
+// therefore immediately reveals the fragments containing both endpoints —
+// the property the fragment-merging query relies on.
+//
+// Coordinate layout (little-endian nibbles of the field element):
+//   [tin_a | tout_a | tin_b | tout_b], each kCoordBits wide,
+// where endpoint a is the one with smaller tin (canonical orientation).
+#pragma once
+
+#include <utility>
+
+#include "gf/gf2.hpp"
+#include "graph/ancestry.hpp"
+#include "util/common.hpp"
+
+namespace ftc::core {
+
+template <typename F>
+struct EdgeCode {
+  static constexpr unsigned kCoordBits = F::kBits / 4;
+  static_assert(F::kBits % 4 == 0);
+
+  // Largest auxiliary-graph size whose coordinates fit.
+  static constexpr std::uint64_t max_vertices() {
+    return std::uint64_t{1} << kCoordBits;
+  }
+
+  static bool fits(std::uint64_t n_aux) { return n_aux <= max_vertices(); }
+
+  static F encode(const graph::AncestryLabel& x,
+                  const graph::AncestryLabel& y) {
+    FTC_REQUIRE(x.tin != y.tin, "edge endpoints must be distinct");
+    const auto& a = x.tin < y.tin ? x : y;
+    const auto& b = x.tin < y.tin ? y : x;
+    if constexpr (F::kWords == 1) {
+      const std::uint64_t v =
+          (std::uint64_t{a.tin}) | (std::uint64_t{a.tout} << kCoordBits) |
+          (std::uint64_t{b.tin} << (2 * kCoordBits)) |
+          (std::uint64_t{b.tout} << (3 * kCoordBits));
+      return F(v);
+    } else {
+      const std::uint64_t lo =
+          (std::uint64_t{a.tin}) | (std::uint64_t{a.tout} << kCoordBits);
+      const std::uint64_t hi =
+          (std::uint64_t{b.tin}) | (std::uint64_t{b.tout} << kCoordBits);
+      return F(lo, hi);
+    }
+  }
+
+  // Inverse of encode: (a, b) with a.tin < b.tin.
+  static std::pair<graph::AncestryLabel, graph::AncestryLabel> decode(F v) {
+    const std::uint64_t mask = (kCoordBits == 64)
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << kCoordBits) - 1);
+    graph::AncestryLabel a, b;
+    if constexpr (F::kWords == 1) {
+      const std::uint64_t w = v.value();
+      a.tin = static_cast<std::uint32_t>(w & mask);
+      a.tout = static_cast<std::uint32_t>((w >> kCoordBits) & mask);
+      b.tin = static_cast<std::uint32_t>((w >> (2 * kCoordBits)) & mask);
+      b.tout = static_cast<std::uint32_t>((w >> (3 * kCoordBits)) & mask);
+    } else {
+      a.tin = static_cast<std::uint32_t>(v.lo() & mask);
+      a.tout = static_cast<std::uint32_t>((v.lo() >> kCoordBits) & mask);
+      b.tin = static_cast<std::uint32_t>(v.hi() & mask);
+      b.tout = static_cast<std::uint32_t>((v.hi() >> kCoordBits) & mask);
+    }
+    return {a, b};
+  }
+
+  // Structural sanity of a decoded ID (used by the fail-stop decoder):
+  // valid intervals, canonical orientation, disjoint or properly oriented.
+  static bool plausible(const graph::AncestryLabel& a,
+                        const graph::AncestryLabel& b) {
+    return a.tin <= a.tout && b.tin <= b.tout && a.tin < b.tin;
+  }
+};
+
+}  // namespace ftc::core

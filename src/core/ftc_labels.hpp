@@ -1,0 +1,80 @@
+// The label objects of the f-FTC labeling scheme (Section 7.1/7.2).
+//
+// A vertex label is its T'-ancestry label (O(log n) bits). An edge label
+// carries the ancestry labels of its sigma-image's endpoints in T' plus,
+// per hierarchy level, the XOR (field sum) of the outdetect labels of all
+// vertices in the subtree below the edge — the quantity Proposition 4
+// turns into per-fragment sketch sums at query time.
+//
+// Labels are self-describing (they embed the scheme parameters), so the
+// decoder is universal: it sees only labels, never the graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/ancestry.hpp"
+#include "util/common.hpp"
+
+namespace ftc::core {
+
+struct LabelParams {
+  std::uint8_t field_bits = 64;   // 64 or 128
+  std::uint32_t n_aux = 0;        // |V_{G'}|: coordinate domain size
+  std::uint32_t k = 0;            // sketch threshold per level
+  std::uint32_t num_levels = 0;   // nonempty hierarchy levels
+  std::uint8_t kind = 0;          // SchemeKind, informational
+
+  friend bool operator==(const LabelParams&, const LabelParams&) = default;
+
+  unsigned coord_bits() const {
+    return n_aux <= 2 ? 1 : ceil_log2(n_aux);
+  }
+  unsigned words_per_elem() const { return field_bits / 64; }
+};
+
+struct VertexLabel {
+  LabelParams params;
+  graph::AncestryLabel anc;
+
+  // Serialized size in bits (information content; the shared params header
+  // is amortized and not charged per label, matching the paper's
+  // accounting of per-vertex O(log n) bits).
+  std::size_t size_bits() const { return 2 * params.coord_bits(); }
+};
+
+struct EdgeLabel {
+  LabelParams params;
+  graph::AncestryLabel upper;  // endpoint nearer the root in T'
+  graph::AncestryLabel lower;  // endpoint whose subtree the edge cuts
+  // Sketch payload: num_levels * k field elements, level-major, each as
+  // words_per_elem() 64-bit words (little-endian).
+  std::vector<std::uint64_t> sketch_words;
+
+  std::size_t size_bits() const {
+    return 4 * params.coord_bits() +
+           static_cast<std::size_t>(params.num_levels) * params.k *
+               params.field_bits;
+  }
+};
+
+// Thrown by the decoder when a sketch fails to decode within its capacity
+// k — impossible under provable parameters, possible (and detected,
+// never silently wrong) under aggressive practical ones.
+class FtcCapacityError : public std::runtime_error {
+ public:
+  explicit FtcCapacityError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Byte-exact serialization (bit-packed coordinates). Round-trips exactly;
+// used for honest label-size measurements in the benches.
+std::vector<std::uint8_t> serialize(const VertexLabel& label);
+std::vector<std::uint8_t> serialize(const EdgeLabel& label);
+VertexLabel deserialize_vertex_label(std::span<const std::uint8_t> bytes);
+EdgeLabel deserialize_edge_label(std::span<const std::uint8_t> bytes);
+
+}  // namespace ftc::core

@@ -1,0 +1,238 @@
+#include "core/ftc_query.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/edge_code.hpp"
+#include "graph/fragments.hpp"
+#include "graph/union_find.hpp"
+#include "sketch/rs_sketch.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+using graph::AncestryLabel;
+
+template <typename F>
+F f_from_words(const std::uint64_t* w) {
+  if constexpr (F::kWords == 1) {
+    return F(w[0]);
+  } else {
+    return F(w[0], w[1]);
+  }
+}
+
+template <typename F>
+struct FragState {
+  std::vector<std::uint64_t> cut;  // bitset over deduplicated fault indices
+  std::vector<F> sums;             // num_levels * k field elements
+
+  unsigned cut_size() const {
+    unsigned c = 0;
+    for (const auto word : cut) {
+      c += static_cast<unsigned>(__builtin_popcountll(word));
+    }
+    return c;
+  }
+
+  void merge_from(const FragState& o) {
+    for (std::size_t i = 0; i < cut.size(); ++i) cut[i] ^= o.cut[i];
+    for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += o.sums[i];
+  }
+};
+
+// Decodes the outgoing edges of a fragment set from its per-level sketch
+// sums: scan from the sparsest level down; the first level with a nonzero
+// sketch is the top nonempty boundary, which the hierarchy guarantees to
+// be decodable (Lemma 2). Returns endpoint ancestry-label pairs; empty
+// means no outgoing edge (the component is complete).
+template <typename F>
+std::vector<std::pair<AncestryLabel, AncestryLabel>> decode_outgoing(
+    const FragState<F>& st, const LabelParams& params,
+    const QueryOptions& options, QueryStats* stats) {
+  const unsigned k = params.k;
+  for (unsigned lev = params.num_levels; lev-- > 0;) {
+    if (stats != nullptr) ++stats->levels_scanned;
+    const F* s = &st.sums[static_cast<std::size_t>(lev) * k];
+    bool nonzero = false;
+    for (unsigned j = 0; j < k; ++j) {
+      if (!s[j].is_zero()) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (!nonzero) continue;
+    if (stats != nullptr) ++stats->outdetect_calls;
+    sketch::RsSketch<F> sk(std::vector<F>(s, s + k));
+    const auto decoded =
+        options.adaptive ? sk.decode_adaptive() : sk.decode(k);
+    if (!decoded.has_value()) {
+      throw FtcCapacityError(
+          "outdetect sketch failed to decode: boundary exceeds k; rebuild "
+          "with larger k (or KMode::kProvable)");
+    }
+    FTC_CHECK(!decoded->empty(), "nonzero sketch decoded to the empty set");
+    std::vector<std::pair<AncestryLabel, AncestryLabel>> out;
+    out.reserve(decoded->size());
+    for (const F& id : *decoded) {
+      const auto [a, b] = EdgeCode<F>::decode(id);
+      if (!EdgeCode<F>::plausible(a, b)) {
+        throw FtcCapacityError(
+            "decoded edge ID is structurally invalid; sketch capacity "
+            "exceeded");
+      }
+      out.emplace_back(a, b);
+    }
+    return out;
+  }
+  return {};
+}
+
+template <typename F>
+bool connected_impl(const VertexLabel& s, const VertexLabel& t,
+                    std::span<const EdgeLabel> faults,
+                    const QueryOptions& options, QueryStats* stats) {
+  const LabelParams& params = faults[0].params;
+  for (const EdgeLabel& f : faults) {
+    FTC_REQUIRE(f.params == params, "fault labels from different schemes");
+  }
+  FTC_REQUIRE(s.params == params && t.params == params,
+              "vertex and edge labels from different schemes");
+  const unsigned k = params.k;
+  const unsigned num_levels = params.num_levels;
+
+  // Deduplicate faults: the lower endpoint identifies a tree edge.
+  std::vector<const EdgeLabel*> uniq;
+  uniq.reserve(faults.size());
+  for (const EdgeLabel& f : faults) uniq.push_back(&f);
+  std::sort(uniq.begin(), uniq.end(), [](const EdgeLabel* a, const EdgeLabel* b) {
+    return a->lower.tin < b->lower.tin;
+  });
+  uniq.erase(std::unique(uniq.begin(), uniq.end(),
+                         [](const EdgeLabel* a, const EdgeLabel* b) {
+                           return a->lower.tin == b->lower.tin;
+                         }),
+             uniq.end());
+  const std::size_t nf = uniq.size();
+
+  // Fragment structure of T' - sigma(F) from the labels alone.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  intervals.reserve(nf);
+  for (const EdgeLabel* f : uniq) {
+    intervals.push_back({f->lower.tin, f->lower.tout});
+  }
+  const graph::FragmentLocator loc(std::move(intervals));
+  const int num_frag = loc.fragment_count();
+  if (stats != nullptr) stats->fragments = static_cast<unsigned>(num_frag);
+
+  const int fs = loc.locate(s.anc.tin);
+  const int ft = loc.locate(t.anc.tin);
+  if (fs == ft) return true;  // connected within T' - sigma(F) already
+
+  // Per-fragment cut bitsets and sketch sums (Proposition 4): each fault
+  // edge contributes its subtree sketch to the fragment below it and the
+  // fragment above it.
+  const std::size_t cut_words = (nf + 63) / 64;
+  std::vector<FragState<F>> state(num_frag);
+  for (auto& st : state) {
+    st.cut.assign(cut_words, 0);
+    st.sums.assign(static_cast<std::size_t>(num_levels) * k, F::zero());
+  }
+  for (std::size_t j = 0; j < nf; ++j) {
+    const int below = loc.fragment_of_fault(j);
+    const int above = loc.parent_fragment(below);
+    FTC_CHECK(above >= 0, "fault fragment without parent");
+    for (const int fr : {below, above}) {
+      state[fr].cut[j / 64] ^= std::uint64_t{1} << (j % 64);
+      const std::uint64_t* w = uniq[j]->sketch_words.data();
+      FTC_REQUIRE(uniq[j]->sketch_words.size() ==
+                      static_cast<std::size_t>(num_levels) * k * F::kWords,
+                  "edge label sketch payload has wrong size");
+      for (std::size_t i = 0; i < state[fr].sums.size(); ++i) {
+        state[fr].sums[i] += f_from_words<F>(w + i * F::kWords);
+      }
+    }
+  }
+
+  graph::UnionFind uf(static_cast<std::size_t>(num_frag));
+  std::vector<char> closed(num_frag, 0);
+  std::vector<std::uint32_t> version(num_frag, 0);
+
+  // (cut size, fragment, version) min-heap with lazy invalidation.
+  using HeapEntry = std::tuple<unsigned, int, std::uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (int fr = 0; fr < num_frag; ++fr) {
+    heap.emplace(state[fr].cut_size(), fr, 0u);
+  }
+
+  const auto pick_source_first = [&]() -> int {
+    const int root = static_cast<int>(uf.find(fs));
+    return closed[root] ? -1 : root;
+  };
+
+  while (true) {
+    int fr = -1;
+    if (options.smallest_cut_first) {
+      while (!heap.empty()) {
+        const auto [sz, cand, ver] = heap.top();
+        heap.pop();
+        if (closed[cand] || version[cand] != ver ||
+            uf.find(cand) != static_cast<std::size_t>(cand)) {
+          continue;
+        }
+        (void)sz;
+        fr = cand;
+        break;
+      }
+      if (fr < 0) return false;  // everything closed; s and t never met
+    } else {
+      fr = pick_source_first();
+      if (fr < 0) return false;
+    }
+
+    const auto edges = decode_outgoing(state[fr], params, options, stats);
+    if (edges.empty()) {
+      closed[fr] = 1;
+      // A closed set is a complete component of G - F. If it holds s or
+      // t, the two can no longer meet.
+      if (static_cast<std::size_t>(fr) == uf.find(fs) ||
+          static_cast<std::size_t>(fr) == uf.find(ft)) {
+        return false;
+      }
+      continue;
+    }
+    for (const auto& [a, b] : edges) {
+      const std::size_t fa = uf.find(loc.locate(a.tin));
+      const std::size_t fb = uf.find(loc.locate(b.tin));
+      if (fa == fb) continue;  // joined by an earlier edge this round
+      uf.unite(fa, fb);
+      const std::size_t root = uf.find(fa);
+      const std::size_t other = root == fa ? fb : fa;
+      state[root].merge_from(state[other]);
+      if (stats != nullptr) ++stats->merges;
+      if (uf.find(fs) == uf.find(ft)) return true;
+    }
+    const std::size_t root = uf.find(fr);
+    ++version[root];
+    heap.emplace(state[root].cut_size(), static_cast<int>(root),
+                 version[root]);
+  }
+}
+
+}  // namespace
+
+bool FtcDecoder::connected(const VertexLabel& s, const VertexLabel& t,
+                           std::span<const EdgeLabel> faults,
+                           const QueryOptions& options, QueryStats* stats) {
+  if (s.anc == t.anc) return true;  // labels are injective: same vertex
+  if (faults.empty()) return true;  // the input graph is connected
+  if (faults[0].params.field_bits == 64) {
+    return connected_impl<gf::GF2_64>(s, t, faults, options, stats);
+  }
+  return connected_impl<gf::GF2_128>(s, t, faults, options, stats);
+}
+
+}  // namespace ftc::core

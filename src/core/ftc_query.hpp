@@ -1,0 +1,45 @@
+// The universal f-FTC decoder (Sections 3.1, 6 and 7.6).
+//
+// Given only the labels of s, t and the faulty edges — never the graph —
+// the decoder rebuilds the fragment structure of T' - sigma(F), computes
+// each fragment's outdetect sketch by XOR-ing fault-edge labels
+// (Proposition 4), and merges fragments along decoded outgoing edges until
+// s and t meet or a component closes.
+//
+// Two algorithmic switches reproduce the paper's ablations:
+//  * adaptive   — prefix-doubling sketch decoding (Appendix B);
+//  * smallest_cut_first — the refined Lemma 6 merge order (min-heap over
+//    |cut| with bit-vector cut sets); disabled = the basic Section 3.1
+//    source-first order.
+#pragma once
+
+#include <span>
+
+#include "core/ftc_labels.hpp"
+
+namespace ftc::core {
+
+struct QueryOptions {
+  bool adaptive = true;
+  bool smallest_cut_first = true;
+};
+
+struct QueryStats {
+  unsigned fragments = 0;        // |F'| + 1 after dedup
+  unsigned outdetect_calls = 0;  // sketch decode invocations
+  unsigned merges = 0;           // fragment-set unions performed
+  unsigned levels_scanned = 0;   // hierarchy levels inspected
+};
+
+class FtcDecoder {
+ public:
+  // Returns s-t connectivity in G - F. Throws FtcCapacityError if a
+  // sketch fails to decode within its capacity (never happens under
+  // provable parameters), std::invalid_argument on inconsistent labels.
+  static bool connected(const VertexLabel& s, const VertexLabel& t,
+                        std::span<const EdgeLabel> faults,
+                        const QueryOptions& options = {},
+                        QueryStats* stats = nullptr);
+};
+
+}  // namespace ftc::core

@@ -1,0 +1,281 @@
+#include "core/ftc_scheme.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/edge_code.hpp"
+#include "geometry/netfind.hpp"
+#include "geometry/point_map.hpp"
+#include "graph/aux_graph.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sketch/rs_sketch.hpp"
+
+namespace ftc::core {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+geometry::HierarchyConfig hierarchy_config(const FtcConfig& cfg) {
+  geometry::HierarchyConfig h;
+  switch (cfg.kind) {
+    case SchemeKind::kDeterministic:
+      h.kind = geometry::HierarchyKind::kDeterministicNetFind;
+      h.group_len = cfg.group_len;
+      break;
+    case SchemeKind::kDeterministicGreedy:
+      h.kind = geometry::HierarchyKind::kDeterministicGreedy;
+      break;
+    case SchemeKind::kRandomized:
+      h.kind = geometry::HierarchyKind::kRandomSampling;
+      h.seed = cfg.seed;
+      break;
+  }
+  return h;
+}
+
+unsigned resolve_k(const FtcConfig& cfg, std::size_t n_aux,
+                   std::size_t num_points) {
+  if (cfg.k_override != 0) return cfg.k_override;
+  if (cfg.k_mode == KMode::kProvable) {
+    if (cfg.kind == SchemeKind::kRandomized) {
+      return geometry::randomized_hierarchy_k(cfg.f, n_aux);
+    }
+    const unsigned gl =
+        cfg.group_len != 0
+            ? cfg.group_len
+            : geometry::provable_group_len(std::max<std::size_t>(num_points, 2));
+    return geometry::provable_hierarchy_k(cfg.f, gl);
+  }
+  const unsigned logn =
+      std::max(1u, ceil_log2(std::max<std::size_t>(n_aux, 2)));
+  const double k = cfg.k_scale * (cfg.f + 1) * logn;
+  return std::max(4u, static_cast<unsigned>(k));
+}
+
+}  // namespace
+
+struct FtcScheme::Impl {
+  LabelParams params;
+  BuildStats stats;
+  VertexId orig_n = 0;
+  EdgeId orig_m = 0;
+  // Per original vertex: T'-ancestry label.
+  std::vector<graph::AncestryLabel> vertex_anc;
+  // Per original edge: sigma-image endpoints in T'.
+  std::vector<graph::AncestryLabel> edge_upper;
+  std::vector<graph::AncestryLabel> edge_lower;
+  // Per original edge: num_levels * k field elements as raw words,
+  // level-major then syndrome index, each F::kWords words.
+  std::size_t words_per_edge = 0;
+  std::vector<std::uint64_t> sketch_data;
+
+  // Computes, per hierarchy level, every T'-vertex's outdetect label (XOR
+  // of incident level-edge IDs) and aggregates subtree sums bottom-up; the
+  // sum below sigma(e)'s lower endpoint is recorded as e's level sketch
+  // (Lemma 1 / Proposition 4).
+  template <typename F>
+  void build_sketches(const graph::AuxGraph& aux,
+                      const graph::AncestryLabeling& anc2,
+                      const geometry::EdgeHierarchy& hier) {
+    const VertexId n2 = aux.g2.num_vertices();
+    const unsigned k = params.k;
+    const unsigned levels = params.num_levels;
+    constexpr unsigned wpe = F::kWords;
+    words_per_edge = static_cast<std::size_t>(levels) * k * wpe;
+    sketch_data.assign(words_per_edge * orig_m, 0);
+
+    // Map T'-tree-edge -> original edge (sigma is a bijection onto T').
+    std::vector<EdgeId> sigma_inv(aux.g2.num_edges(), graph::kNoEdge);
+    for (EdgeId e = 0; e < orig_m; ++e) sigma_inv[aux.sigma[e]] = e;
+
+    // Post-order over T': children strictly before parents.
+    std::vector<VertexId> post;
+    post.reserve(n2);
+    {
+      std::vector<VertexId> stack{aux.t2.root};
+      while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        post.push_back(u);
+        for (const VertexId c : aux.t2.children[u]) stack.push_back(c);
+      }
+      std::reverse(post.begin(), post.end());
+    }
+
+    std::vector<F> acc(static_cast<std::size_t>(n2) * k);
+    for (unsigned lev = 0; lev < levels; ++lev) {
+      std::fill(acc.begin(), acc.end(), F::zero());
+      // Per-vertex own contribution: odd power sums of incident edge IDs.
+      for (const EdgeId e2 : hier.levels[lev]) {
+        const auto& ed = aux.g2.edge(e2);
+        const F id = EdgeCode<F>::encode(anc2.label(ed.u), anc2.label(ed.v));
+        const F id2 = id.square();
+        F p = id;
+        F* au = &acc[static_cast<std::size_t>(ed.u) * k];
+        F* av = &acc[static_cast<std::size_t>(ed.v) * k];
+        for (unsigned j = 0; j < k; ++j) {
+          au[j] += p;
+          av[j] += p;
+          p *= id2;
+        }
+      }
+      // Bottom-up: when v is reached its accumulator already holds the
+      // full subtree sum (children were processed earlier). Record it as
+      // the level sketch of sigma^{-1}(parent edge of v), then push it
+      // into the parent.
+      for (const VertexId v : post) {
+        if (v == aux.t2.root) continue;
+        const F* av = &acc[static_cast<std::size_t>(v) * k];
+        const EdgeId eo = sigma_inv[aux.t2.parent_edge[v]];
+        FTC_CHECK(eo != graph::kNoEdge, "T' tree edge without sigma preimage");
+        std::uint64_t* out = &sketch_data[eo * words_per_edge +
+                                          static_cast<std::size_t>(lev) * k *
+                                              wpe];
+        for (unsigned j = 0; j < k; ++j) {
+          for (unsigned w = 0; w < wpe; ++w) out[j * wpe + w] = av[j].word(w);
+        }
+        F* ap = &acc[static_cast<std::size_t>(aux.t2.parent[v]) * k];
+        for (unsigned j = 0; j < k; ++j) ap[j] += av[j];
+      }
+    }
+  }
+};
+
+FtcScheme FtcScheme::build(const graph::Graph& g, const FtcConfig& config) {
+  FTC_REQUIRE(g.num_vertices() >= 1, "empty graph");
+  FTC_REQUIRE(graph::is_connected(g), "input graph must be connected");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto impl = std::make_unique<Impl>();
+  impl->orig_n = g.num_vertices();
+  impl->orig_m = g.num_edges();
+
+  const graph::SpanningTree t = graph::bfs_spanning_tree(g, 0);
+  const graph::AuxGraph aux = graph::build_aux_graph(g, t);
+  const graph::EulerTour et2 = graph::euler_tour(aux.t2);
+  const graph::AncestryLabeling anc2(aux.t2, et2);
+  const std::uint32_t n_aux = aux.g2.num_vertices();
+
+  // Field selection.
+  FieldKind field = config.field;
+  if (field == FieldKind::kAuto) {
+    field = EdgeCode<gf::GF2_64>::fits(n_aux) ? FieldKind::kGF64
+                                              : FieldKind::kGF128;
+  }
+  if (field == FieldKind::kGF64) {
+    FTC_REQUIRE(EdgeCode<gf::GF2_64>::fits(n_aux),
+                "auxiliary graph too large for GF(2^64) edge IDs");
+  } else {
+    FTC_REQUIRE(EdgeCode<gf::GF2_128>::fits(n_aux),
+                "auxiliary graph too large for GF(2^128) edge IDs");
+  }
+
+  // Hierarchy over the auxiliary graph's non-tree edges.
+  const auto th = std::chrono::steady_clock::now();
+  const auto points = geometry::map_nontree_edges(aux.g2, aux.t2, et2);
+  geometry::EdgeHierarchy hier =
+      geometry::build_hierarchy(points, hierarchy_config(config));
+  // Drop the trailing empty level: it carries no sketch content.
+  FTC_CHECK(!hier.levels.empty() && hier.levels.back().empty(),
+            "hierarchy must terminate with the empty set");
+  if (hier.levels.size() > 1 || !points.empty()) {
+    hier.levels.pop_back();
+  }
+  if (hier.levels.empty()) {
+    hier.levels.push_back({});  // tree input: keep one (empty) level
+  }
+  impl->stats.hierarchy_seconds = seconds_since(th);
+
+  impl->params.field_bits = (field == FieldKind::kGF64) ? 64 : 128;
+  impl->params.n_aux = n_aux;
+  impl->params.k = resolve_k(config, n_aux, points.size());
+  impl->params.num_levels = static_cast<std::uint32_t>(hier.levels.size());
+  impl->params.kind = static_cast<std::uint8_t>(config.kind);
+
+  // Ancestry parts of the labels.
+  impl->vertex_anc.reserve(impl->orig_n);
+  for (VertexId v = 0; v < impl->orig_n; ++v) {
+    impl->vertex_anc.push_back(anc2.label(v));
+  }
+  impl->edge_upper.resize(impl->orig_m);
+  impl->edge_lower.resize(impl->orig_m);
+  for (EdgeId e = 0; e < impl->orig_m; ++e) {
+    const EdgeId te = aux.sigma[e];
+    const VertexId lo = aux.t2.lower_endpoint(aux.g2, te);
+    const VertexId up = aux.t2.parent[lo];
+    impl->edge_lower[e] = anc2.label(lo);
+    impl->edge_upper[e] = anc2.label(up);
+  }
+
+  // Sketch payload.
+  const auto ts = std::chrono::steady_clock::now();
+  if (field == FieldKind::kGF64) {
+    impl->build_sketches<gf::GF2_64>(aux, anc2, hier);
+  } else {
+    impl->build_sketches<gf::GF2_128>(aux, anc2, hier);
+  }
+  impl->stats.sketch_seconds = seconds_since(ts);
+
+  impl->stats.k = impl->params.k;
+  impl->stats.num_levels = impl->params.num_levels;
+  impl->stats.field_bits = impl->params.field_bits;
+  impl->stats.n_aux = n_aux;
+  impl->stats.hierarchy_edges = hier.total_edges();
+  impl->stats.total_seconds = seconds_since(t0);
+  return FtcScheme(std::move(impl));
+}
+
+FtcScheme::FtcScheme(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+FtcScheme::FtcScheme(FtcScheme&&) noexcept = default;
+FtcScheme& FtcScheme::operator=(FtcScheme&&) noexcept = default;
+FtcScheme::~FtcScheme() = default;
+
+VertexLabel FtcScheme::vertex_label(VertexId v) const {
+  FTC_REQUIRE(v < impl_->orig_n, "vertex out of range");
+  return VertexLabel{impl_->params, impl_->vertex_anc[v]};
+}
+
+EdgeLabel FtcScheme::edge_label(EdgeId e) const {
+  FTC_REQUIRE(e < impl_->orig_m, "edge out of range");
+  EdgeLabel label;
+  label.params = impl_->params;
+  label.upper = impl_->edge_upper[e];
+  label.lower = impl_->edge_lower[e];
+  const auto begin =
+      impl_->sketch_data.begin() + static_cast<std::ptrdiff_t>(
+                                       e * impl_->words_per_edge);
+  label.sketch_words.assign(begin,
+                            begin + static_cast<std::ptrdiff_t>(
+                                        impl_->words_per_edge));
+  return label;
+}
+
+graph::VertexId FtcScheme::num_vertices() const { return impl_->orig_n; }
+graph::EdgeId FtcScheme::num_edges() const { return impl_->orig_m; }
+const LabelParams& FtcScheme::params() const { return impl_->params; }
+const BuildStats& FtcScheme::build_stats() const { return impl_->stats; }
+
+std::size_t FtcScheme::vertex_label_bits() const {
+  return VertexLabel{impl_->params, {}}.size_bits();
+}
+
+std::size_t FtcScheme::edge_label_bits() const {
+  EdgeLabel label;
+  label.params = impl_->params;
+  return label.size_bits();
+}
+
+std::size_t FtcScheme::total_label_bits() const {
+  return vertex_label_bits() * impl_->orig_n +
+         edge_label_bits() * impl_->orig_m;
+}
+
+}  // namespace ftc::core

@@ -1,0 +1,63 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+
+namespace ftc::core {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
+                                       const FtcConfig& config)
+    : scheme_(FtcScheme::build(g, config)) {
+  incident_.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto edges = g.incident_edges(v);
+    incident_[v].assign(edges.begin(), edges.end());
+  }
+}
+
+std::vector<EdgeLabel> ConnectivityOracle::fault_labels(
+    std::span<const EdgeId> edge_faults) const {
+  std::vector<EdgeLabel> labels;
+  labels.reserve(edge_faults.size());
+  for (const EdgeId e : edge_faults) labels.push_back(scheme_.edge_label(e));
+  return labels;
+}
+
+bool ConnectivityOracle::connected(
+    VertexId s, VertexId t, std::span<const EdgeId> edge_faults) const {
+  return FtcDecoder::connected(scheme_.vertex_label(s),
+                               scheme_.vertex_label(t),
+                               fault_labels(edge_faults));
+}
+
+bool ConnectivityOracle::connected_vertex_faults(
+    VertexId s, VertexId t,
+    std::span<const VertexId> vertex_faults) const {
+  if (s == t) return true;
+  std::vector<EdgeId> edges;
+  for (const VertexId v : vertex_faults) {
+    FTC_REQUIRE(v < incident_.size(), "vertex fault out of range");
+    if (v == s || v == t) return false;  // an endpoint was deleted
+    edges.insert(edges.end(), incident_[v].begin(), incident_[v].end());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return connected(s, t, edges);
+}
+
+std::vector<bool> ConnectivityOracle::batch_connected(
+    std::span<const Query> queries,
+    std::span<const EdgeId> edge_faults) const {
+  const auto labels = fault_labels(edge_faults);
+  std::vector<bool> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) {
+    out.push_back(FtcDecoder::connected(scheme_.vertex_label(q.s),
+                                        scheme_.vertex_label(q.t), labels));
+  }
+  return out;
+}
+
+}  // namespace ftc::core

@@ -1,0 +1,54 @@
+// Centralized fault-tolerant connectivity oracle facade.
+//
+// Section 1.4: "any f-FTC labeling scheme is also usable as a centralized
+// oracle with the space complexity of m times the label size". This
+// wrapper owns the labels, answers (s, t, F) queries directly, and adds
+// the vertex-fault reduction the paper sketches: a faulty vertex becomes
+// the set of its incident edges (label size Delta * f in the worst case —
+// the reduction the open-problems section wants to beat).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ftc_query.hpp"
+#include "core/ftc_scheme.hpp"
+
+namespace ftc::core {
+
+class ConnectivityOracle {
+ public:
+  ConnectivityOracle(const graph::Graph& g, const FtcConfig& config);
+
+  // s-t connectivity in G - faults.
+  bool connected(graph::VertexId s, graph::VertexId t,
+                 std::span<const graph::EdgeId> edge_faults) const;
+
+  // s-t connectivity after deleting whole vertices (all incident edges).
+  // A deleted endpoint is disconnected from everything else by definition
+  // (and connected to itself).
+  bool connected_vertex_faults(
+      graph::VertexId s, graph::VertexId t,
+      std::span<const graph::VertexId> vertex_faults) const;
+
+  struct Query {
+    graph::VertexId s = 0;
+    graph::VertexId t = 0;
+  };
+  // Shared fault set across a batch: fault labels are materialized once.
+  std::vector<bool> batch_connected(
+      std::span<const Query> queries,
+      std::span<const graph::EdgeId> edge_faults) const;
+
+  const FtcScheme& scheme() const { return scheme_; }
+  std::size_t space_bits() const { return scheme_.total_label_bits(); }
+
+ private:
+  std::vector<EdgeLabel> fault_labels(
+      std::span<const graph::EdgeId> edge_faults) const;
+
+  std::vector<std::vector<graph::EdgeId>> incident_;  // adjacency copy
+  FtcScheme scheme_;
+};
+
+}  // namespace ftc::core

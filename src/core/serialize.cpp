@@ -1,0 +1,128 @@
+// Bit-exact label serialization. The byte format is:
+//   header: field_bits(u8) kind(u8) n_aux(u32) k(u32) num_levels(u32)
+//   vertex labels: tin, tout at coord_bits each (bit-packed)
+//   edge labels:   upper.tin, upper.tout, lower.tin, lower.tout at
+//                  coord_bits each, then num_levels*k field elements as
+//                  full 64-bit words.
+// Round-trips exactly; benches serialize labels to measure real sizes.
+#include <cstring>
+
+#include "core/ftc_labels.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+class BitWriter {
+ public:
+  void write(std::uint64_t value, unsigned bits) {
+    FTC_REQUIRE(bits <= 64, "too many bits");
+    for (unsigned i = 0; i < bits; ++i) {
+      const bool bit = (value >> i) & 1;
+      if (pos_ % 8 == 0) bytes_.push_back(0);
+      if (bit) bytes_.back() |= static_cast<std::uint8_t>(1u << (pos_ % 8));
+      ++pos_;
+    }
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t read(unsigned bits) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      FTC_REQUIRE(pos_ / 8 < bytes_.size(), "serialized label truncated");
+      const bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1;
+      if (bit) v |= std::uint64_t{1} << i;
+      ++pos_;
+    }
+    return v;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_header(BitWriter& w, const LabelParams& p) {
+  w.write(p.field_bits, 8);
+  w.write(p.kind, 8);
+  w.write(p.n_aux, 32);
+  w.write(p.k, 32);
+  w.write(p.num_levels, 32);
+}
+
+LabelParams read_header(BitReader& r) {
+  LabelParams p;
+  p.field_bits = static_cast<std::uint8_t>(r.read(8));
+  p.kind = static_cast<std::uint8_t>(r.read(8));
+  p.n_aux = static_cast<std::uint32_t>(r.read(32));
+  p.k = static_cast<std::uint32_t>(r.read(32));
+  p.num_levels = static_cast<std::uint32_t>(r.read(32));
+  FTC_REQUIRE(p.field_bits == 64 || p.field_bits == 128,
+              "corrupt label header");
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const VertexLabel& label) {
+  BitWriter w;
+  write_header(w, label.params);
+  const unsigned cb = label.params.coord_bits();
+  w.write(label.anc.tin, cb);
+  w.write(label.anc.tout, cb);
+  return w.take();
+}
+
+std::vector<std::uint8_t> serialize(const EdgeLabel& label) {
+  BitWriter w;
+  write_header(w, label.params);
+  const unsigned cb = label.params.coord_bits();
+  w.write(label.upper.tin, cb);
+  w.write(label.upper.tout, cb);
+  w.write(label.lower.tin, cb);
+  w.write(label.lower.tout, cb);
+  const std::size_t expect = static_cast<std::size_t>(label.params.num_levels) *
+                             label.params.k * label.params.words_per_elem();
+  FTC_REQUIRE(label.sketch_words.size() == expect,
+              "edge label payload inconsistent with parameters");
+  for (const std::uint64_t word : label.sketch_words) w.write(word, 64);
+  return w.take();
+}
+
+VertexLabel deserialize_vertex_label(std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  VertexLabel label;
+  label.params = read_header(r);
+  const unsigned cb = label.params.coord_bits();
+  label.anc.tin = static_cast<std::uint32_t>(r.read(cb));
+  label.anc.tout = static_cast<std::uint32_t>(r.read(cb));
+  return label;
+}
+
+EdgeLabel deserialize_edge_label(std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  EdgeLabel label;
+  label.params = read_header(r);
+  const unsigned cb = label.params.coord_bits();
+  label.upper.tin = static_cast<std::uint32_t>(r.read(cb));
+  label.upper.tout = static_cast<std::uint32_t>(r.read(cb));
+  label.lower.tin = static_cast<std::uint32_t>(r.read(cb));
+  label.lower.tout = static_cast<std::uint32_t>(r.read(cb));
+  const std::size_t expect = static_cast<std::size_t>(label.params.num_levels) *
+                             label.params.k * label.params.words_per_elem();
+  label.sketch_words.resize(expect);
+  for (std::uint64_t& word : label.sketch_words) word = r.read(64);
+  return label;
+}
+
+}  // namespace ftc::core

@@ -1,0 +1,162 @@
+#include "distance/ft_distance.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/ftc_query.hpp"
+
+namespace ftc::distance {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+std::size_t DistVertexLabel::size_bits() const {
+  std::size_t bits = 32;
+  for (const auto& e : entries) bits += 64 + e.local.size_bits();
+  return bits;
+}
+
+std::size_t DistEdgeLabel::size_bits() const {
+  std::size_t bits = 32;
+  for (const auto& e : entries) bits += 64 + e.local.size_bits();
+  return bits;
+}
+
+FtDistanceScheme FtDistanceScheme::build(const WeightedGraph& g,
+                                         const FtDistanceConfig& config) {
+  FTC_REQUIRE(graph::is_connected(g.topology()),
+              "input graph must be connected");
+  FtDistanceScheme scheme;
+  scheme.config_ = config;
+
+  // Top scale must cover the whole graph and admit every edge through the
+  // weight filter.
+  const auto ecc = dijkstra(g, 0);
+  Weight reach = 1;
+  for (const Weight d : ecc) reach = std::max(reach, d == kInfinity ? 1 : d);
+  const Weight top = std::max<Weight>(2 * reach, g.max_weight());
+  Weight r = 1;
+  while (true) {
+    Scale scale;
+    scale.r = r;
+    scale.cover = build_sparse_cover(g, r, config.k);
+    const Weight edge_cap = 2 * static_cast<Weight>(config.k + 1) * r;
+    for (const Cluster& cl : scale.cover.clusters) {
+      // Induced subgraph on the cluster with the scale's weight filter.
+      std::vector<VertexId> local_of(g.num_vertices(), graph::kNoVertex);
+      for (std::size_t i = 0; i < cl.vertices.size(); ++i) {
+        local_of[cl.vertices[i]] = static_cast<VertexId>(i);
+      }
+      graph::Graph sub(static_cast<VertexId>(cl.vertices.size()));
+      std::vector<EdgeId> eg, el;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto& ed = g.topology().edge(e);
+        if (local_of[ed.u] == graph::kNoVertex ||
+            local_of[ed.v] == graph::kNoVertex || g.weight(e) > edge_cap) {
+          continue;
+        }
+        el.push_back(sub.add_edge(local_of[ed.u], local_of[ed.v]));
+        eg.push_back(e);
+      }
+      core::FtcConfig fcfg;
+      fcfg.f = config.f;
+      fcfg.k_scale = config.k_scale;
+      scale.schemes.push_back(core::FtcScheme::build(sub, fcfg));
+      scale.members.push_back(cl.vertices);
+      scale.edge_global.push_back(std::move(eg));
+      scale.edge_local.push_back(std::move(el));
+    }
+    scheme.scales_.push_back(std::move(scale));
+    if (r >= top) break;
+    r *= 2;
+  }
+  return scheme;
+}
+
+DistVertexLabel FtDistanceScheme::vertex_label(VertexId v) const {
+  DistVertexLabel label;
+  label.cover_k = config_.k;
+  for (std::uint32_t s = 0; s < scales_.size(); ++s) {
+    const Scale& sc = scales_[s];
+    for (const int c : sc.cover.memberships[v]) {
+      const auto& mem = sc.members[c];
+      const auto it = std::lower_bound(mem.begin(), mem.end(), v);
+      const auto local = static_cast<VertexId>(it - mem.begin());
+      label.entries.push_back(
+          {ClusterKey{s, static_cast<std::uint32_t>(c)},
+           sc.schemes[c].vertex_label(local)});
+    }
+  }
+  return label;
+}
+
+DistEdgeLabel FtDistanceScheme::edge_label(EdgeId e) const {
+  DistEdgeLabel label;
+  label.cover_k = config_.k;
+  for (std::uint32_t s = 0; s < scales_.size(); ++s) {
+    const Scale& sc = scales_[s];
+    for (std::uint32_t c = 0; c < sc.schemes.size(); ++c) {
+      const auto& eg = sc.edge_global[c];
+      const auto it = std::lower_bound(eg.begin(), eg.end(), e);
+      if (it == eg.end() || *it != e) continue;
+      const EdgeId local = sc.edge_local[c][it - eg.begin()];
+      label.entries.push_back(
+          {ClusterKey{s, c}, sc.schemes[c].edge_label(local)});
+    }
+  }
+  return label;
+}
+
+double FtDistanceScheme::average_cover_membership(unsigned scale) const {
+  FTC_REQUIRE(scale < scales_.size(), "scale out of range");
+  return scales_[scale].cover.average_membership();
+}
+
+Weight FtDistanceScheme::approx_distance(
+    const DistVertexLabel& s, const DistVertexLabel& t,
+    std::span<const DistEdgeLabel> faults) {
+  // Group fault labels per cluster key.
+  std::map<ClusterKey, std::vector<core::EdgeLabel>> cluster_faults;
+  for (const DistEdgeLabel& f : faults) {
+    for (const auto& entry : f.entries) {
+      cluster_faults[entry.key].push_back(entry.local);
+    }
+  }
+  // Scan scales bottom-up over common clusters: entries are strictly
+  // increasing by (scale, cluster), so a two-pointer intersection visits
+  // shared clusters in ascending-scale order.
+  std::size_t ia = 0, ib = 0;
+  while (ia < s.entries.size() && ib < t.entries.size()) {
+    const auto& ka = s.entries[ia].key;
+    const auto& kb = t.entries[ib].key;
+    if (ka < kb) {
+      ++ia;
+    } else if (kb < ka) {
+      ++ib;
+    } else {
+      const auto it = cluster_faults.find(ka);
+      const std::vector<core::EdgeLabel> empty;
+      const auto& cf = it == cluster_faults.end() ? empty : it->second;
+      bool connected = false;
+      try {
+        connected = core::FtcDecoder::connected(s.entries[ia].local,
+                                                t.entries[ib].local, cf);
+      } catch (const core::FtcCapacityError&) {
+        connected = false;  // conservative: try higher scales
+      }
+      if (connected) {
+        // Cluster diameter <= 2 (k+1) r; a fault-avoiding path crosses at
+        // most 2|F|+1 tree fragments of the cluster, each of diameter
+        // <= 2 (k+1) r: estimate = (2|F|+1) * 2 (k+1) * 2^scale.
+        const Weight r = Weight{1} << ka.scale;
+        const Weight diam = 2 * static_cast<Weight>(s.cover_k + 1) * r;
+        return (2 * static_cast<Weight>(faults.size()) + 1) * diam;
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return kInfinity;
+}
+
+}  // namespace ftc::distance

@@ -1,0 +1,90 @@
+// Fault-tolerant approximate distance labeling (Corollary 1), via the
+// DP21 black-box reduction the paper invokes: for every distance scale
+// r = 1, 2, 4, ..., build a sparse cover (radius ~k*r, overlap ~n^(1/k))
+// and an f-FTC labeling of every cluster subgraph. A query walks the
+// scales bottom-up; at the first scale where s and t share a cluster that
+// stays connected under the faults, the cluster diameter bounds the
+// distance: the reported estimate is a true upper bound on
+// dist_{G-F}(s, t) within a factor O(|F| k) of optimal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ftc_labels.hpp"
+#include "core/ftc_scheme.hpp"
+#include "distance/sparse_cover.hpp"
+
+namespace ftc::distance {
+
+struct FtDistanceConfig {
+  unsigned f = 2;        // fault capacity of every cluster labeling
+  unsigned k = 2;        // cover parameter (stretch/size tradeoff)
+  double k_scale = 4.0;  // forwarded to the per-cluster FTC schemes
+};
+
+// Globally unique cluster identity: (scale index, cluster index).
+struct ClusterKey {
+  std::uint32_t scale = 0;
+  std::uint32_t index = 0;
+  friend bool operator==(const ClusterKey&, const ClusterKey&) = default;
+  friend auto operator<=>(const ClusterKey&, const ClusterKey&) = default;
+};
+
+struct DistVertexLabel {
+  struct Entry {
+    ClusterKey key;
+    core::VertexLabel local;
+  };
+  std::uint32_t cover_k = 2;   // cover parameter, needed for the estimate
+  std::vector<Entry> entries;  // across all scales, sorted by key
+  std::size_t size_bits() const;
+};
+
+struct DistEdgeLabel {
+  struct Entry {
+    ClusterKey key;
+    core::EdgeLabel local;
+  };
+  std::uint32_t cover_k = 2;
+  std::vector<Entry> entries;
+  std::size_t size_bits() const;
+};
+
+class FtDistanceScheme {
+ public:
+  static FtDistanceScheme build(const WeightedGraph& g,
+                                const FtDistanceConfig& config);
+
+  DistVertexLabel vertex_label(graph::VertexId v) const;
+  DistEdgeLabel edge_label(graph::EdgeId e) const;
+
+  // Universal decoder: an upper bound on dist_{G-F}(s, t) with stretch
+  // O(|F| k), or kInfinity when s and t are disconnected in G - F.
+  static Weight approx_distance(const DistVertexLabel& s,
+                                const DistVertexLabel& t,
+                                std::span<const DistEdgeLabel> faults);
+
+  unsigned num_scales() const { return static_cast<unsigned>(scales_.size()); }
+  double average_cover_membership(unsigned scale) const;
+
+ private:
+  struct Scale {
+    Weight r = 0;
+    SparseCover cover;
+    // Per cluster: the FTC scheme and local vertex index of each member.
+    std::vector<core::FtcScheme> schemes;
+    std::vector<std::vector<graph::VertexId>> members;  // sorted
+    // Per cluster: global EdgeId -> local EdgeId (parallel vectors).
+    std::vector<std::vector<graph::EdgeId>> edge_global;
+    std::vector<std::vector<graph::EdgeId>> edge_local;
+  };
+
+  // The decoder reconstructs the scale radius as 2^key.scale and the
+  // stretch constants from cover_k, so it needs no scheme object.
+  FtDistanceConfig config_;
+  std::vector<Scale> scales_;
+};
+
+}  // namespace ftc::distance

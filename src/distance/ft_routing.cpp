@@ -1,0 +1,72 @@
+#include "distance/ft_routing.hpp"
+
+#include <set>
+
+#include "util/common.hpp"
+
+namespace ftc::distance {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+FtRouter::FtRouter(const WeightedGraph& g, const FtDistanceScheme& scheme)
+    : g_(g) {
+  vertex_labels_.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    vertex_labels_.push_back(scheme.vertex_label(v));
+  }
+}
+
+std::size_t FtRouter::table_bits(VertexId v) const {
+  // Own label plus one neighbor label per incident link.
+  std::size_t bits = vertex_labels_[v].size_bits();
+  for (const EdgeId e : g_.topology().incident_edges(v)) {
+    bits += vertex_labels_[g_.topology().other_endpoint(e, v)].size_bits();
+  }
+  return bits;
+}
+
+RouteResult FtRouter::route(VertexId s, VertexId t,
+                            std::span<const EdgeId> faults,
+                            std::span<const DistEdgeLabel> fault_labels) const {
+  std::vector<char> faulty(g_.num_edges(), 0);
+  for (const EdgeId e : faults) faulty[e] = 1;
+
+  RouteResult result;
+  std::set<VertexId> visited{s};
+  VertexId cur = s;
+  const unsigned max_hops = 4 * g_.num_vertices();
+  while (cur != t && result.hops < max_hops) {
+    VertexId best = graph::kNoVertex;
+    EdgeId best_edge = graph::kNoEdge;
+    Weight best_score = kInfinity;
+    for (const EdgeId e : g_.topology().incident_edges(cur)) {
+      if (faulty[e]) continue;  // forbidden link
+      const VertexId w = g_.topology().other_endpoint(e, cur);
+      if (visited.count(w)) continue;  // loop avoidance
+      if (w == t) {
+        best = w;
+        best_edge = e;
+        break;
+      }
+      const Weight est = FtDistanceScheme::approx_distance(
+          vertex_labels_[w], vertex_labels_[t], fault_labels);
+      if (est == kInfinity) continue;
+      const Weight score = est + g_.weight(e);
+      if (score < best_score) {
+        best_score = score;
+        best = w;
+        best_edge = e;
+      }
+    }
+    if (best == graph::kNoVertex) break;  // stuck: delivery failed
+    result.path_weight += g_.weight(best_edge);
+    ++result.hops;
+    visited.insert(best);
+    cur = best;
+  }
+  result.delivered = (cur == t);
+  return result;
+}
+
+}  // namespace ftc::distance

@@ -1,0 +1,70 @@
+#include "distance/sparse_cover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ftc::distance {
+
+using graph::VertexId;
+
+SparseCover build_sparse_cover(const WeightedGraph& g, Weight r, unsigned k) {
+  FTC_REQUIRE(k >= 1, "cover parameter k must be >= 1");
+  const VertexId n = g.num_vertices();
+  SparseCover cover;
+  cover.home_cluster.assign(n, -1);
+  cover.memberships.assign(n, {});
+  const double growth = std::pow(static_cast<double>(std::max<VertexId>(n, 2)),
+                                 1.0 / static_cast<double>(k));
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (cover.home_cluster[v] != -1) continue;
+    // Grow the ball around v by r-layers until the growth factor drops.
+    const auto dist = dijkstra(g, v);
+    Weight radius = r;
+    std::size_t inner = 0, outer = 0;
+    const auto count_within = [&](Weight b) {
+      std::size_t c = 0;
+      for (VertexId u = 0; u < n; ++u) {
+        if (dist[u] != kInfinity && dist[u] <= b) ++c;
+      }
+      return c;
+    };
+    inner = count_within(radius);
+    while (true) {
+      outer = count_within(radius + r);
+      if (static_cast<double>(outer) <=
+              growth * static_cast<double>(inner) ||
+          radius > static_cast<Weight>(k) * r) {
+        break;
+      }
+      radius += r;
+      inner = outer;
+    }
+    // Cluster = ball(v, radius + r); core = ball(v, radius): every core
+    // vertex's r-ball lies inside the cluster.
+    Cluster cl;
+    cl.center = v;
+    cl.radius = radius + r;
+    for (VertexId u = 0; u < n; ++u) {
+      if (dist[u] != kInfinity && dist[u] <= radius + r) {
+        cl.vertices.push_back(u);
+      }
+    }
+    const int id = static_cast<int>(cover.clusters.size());
+    for (const VertexId u : cl.vertices) {
+      cover.memberships[u].push_back(id);
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      if (dist[u] != kInfinity && dist[u] <= radius &&
+          cover.home_cluster[u] == -1) {
+        cover.home_cluster[u] = id;
+      }
+    }
+    cover.clusters.push_back(std::move(cl));
+  }
+  return cover;
+}
+
+}  // namespace ftc::distance

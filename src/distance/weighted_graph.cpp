@@ -1,0 +1,41 @@
+#include "distance/weighted_graph.hpp"
+
+#include <queue>
+
+namespace ftc::distance {
+
+std::vector<Weight> dijkstra(const WeightedGraph& g, graph::VertexId src,
+                             std::span<const graph::EdgeId> faults,
+                             Weight radius) {
+  const auto& topo = g.topology();
+  std::vector<char> faulty(topo.num_edges(), 0);
+  for (const graph::EdgeId e : faults) faulty[e] = 1;
+  std::vector<Weight> dist(topo.num_vertices(), kInfinity);
+  using Item = std::pair<Weight, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[src] = 0;
+  pq.emplace(0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const graph::EdgeId e : topo.incident_edges(u)) {
+      if (faulty[e]) continue;
+      const graph::VertexId w = topo.other_endpoint(e, u);
+      const Weight nd = d + g.weight(e);
+      if (nd <= radius && nd < dist[w]) {
+        dist[w] = nd;
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  return dist;
+}
+
+Weight exact_distance(const WeightedGraph& g, graph::VertexId s,
+                      graph::VertexId t,
+                      std::span<const graph::EdgeId> faults) {
+  return dijkstra(g, s, faults)[t];
+}
+
+}  // namespace ftc::distance

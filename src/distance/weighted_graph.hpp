@@ -1,0 +1,56 @@
+// Weighted graphs and single-source shortest paths — substrate for the
+// fault-tolerant approximate distance labeling of Corollary 1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftc::distance {
+
+using Weight = std::uint64_t;
+inline constexpr Weight kInfinity = std::numeric_limits<Weight>::max();
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(graph::VertexId n) : g_(n) {}
+
+  graph::VertexId add_vertex() { return g_.add_vertex(); }
+
+  graph::EdgeId add_edge(graph::VertexId u, graph::VertexId v, Weight w) {
+    FTC_REQUIRE(w >= 1, "edge weights must be positive integers");
+    const graph::EdgeId id = g_.add_edge(u, v);
+    weights_.push_back(w);
+    return id;
+  }
+
+  const graph::Graph& topology() const { return g_; }
+  Weight weight(graph::EdgeId e) const { return weights_[e]; }
+  graph::VertexId num_vertices() const { return g_.num_vertices(); }
+  graph::EdgeId num_edges() const { return g_.num_edges(); }
+  Weight max_weight() const {
+    Weight w = 1;
+    for (const Weight x : weights_) w = std::max(w, x);
+    return w;
+  }
+
+ private:
+  graph::Graph g_;
+  std::vector<Weight> weights_;
+};
+
+// Dijkstra from src, optionally avoiding a fault set and stopping at a
+// radius bound. dist[v] == kInfinity for unreachable vertices.
+std::vector<Weight> dijkstra(const WeightedGraph& g, graph::VertexId src,
+                             std::span<const graph::EdgeId> faults = {},
+                             Weight radius = kInfinity);
+
+// Exact s-t distance in g - faults (kInfinity if disconnected).
+Weight exact_distance(const WeightedGraph& g, graph::VertexId s,
+                      graph::VertexId t,
+                      std::span<const graph::EdgeId> faults = {});
+
+}  // namespace ftc::distance

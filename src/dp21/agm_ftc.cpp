@@ -1,0 +1,183 @@
+#include "dp21/agm_ftc.hpp"
+
+#include <algorithm>
+
+#include "graph/aux_graph.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/fragments.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/union_find.hpp"
+#include "util/common.hpp"
+
+namespace ftc::dp21 {
+
+using graph::AncestryLabel;
+using graph::EdgeId;
+using graph::VertexId;
+using sketch::AgmSketch;
+using sketch::PackedId;
+
+namespace {
+
+// Pack an endpoint pair of ancestry labels into a 128-bit ID (32-bit
+// coordinates; the canonical endpoint order is by tin).
+PackedId pack_id(const AncestryLabel& x, const AncestryLabel& y) {
+  const AncestryLabel& a = x.tin < y.tin ? x : y;
+  const AncestryLabel& b = x.tin < y.tin ? y : x;
+  return PackedId{std::uint64_t{a.tin} | (std::uint64_t{a.tout} << 32),
+                  std::uint64_t{b.tin} | (std::uint64_t{b.tout} << 32)};
+}
+
+std::pair<AncestryLabel, AncestryLabel> unpack_id(const PackedId& id) {
+  AncestryLabel a{static_cast<std::uint32_t>(id.lo & 0xffffffffULL),
+                  static_cast<std::uint32_t>(id.lo >> 32)};
+  AncestryLabel b{static_cast<std::uint32_t>(id.hi & 0xffffffffULL),
+                  static_cast<std::uint32_t>(id.hi >> 32)};
+  return {a, b};
+}
+
+}  // namespace
+
+AgmFtc AgmFtc::build(const graph::Graph& g, const AgmFtcConfig& config) {
+  FTC_REQUIRE(graph::is_connected(g), "input graph must be connected");
+  const graph::SpanningTree t = graph::bfs_spanning_tree(g, 0);
+  const graph::AuxGraph aux = graph::build_aux_graph(g, t);
+  const graph::EulerTour et2 = graph::euler_tour(aux.t2);
+  const graph::AncestryLabeling anc2(aux.t2, et2);
+  const VertexId n2 = aux.g2.num_vertices();
+  const unsigned logn = std::max(1u, ceil_log2(std::max<VertexId>(n2, 2)));
+
+  unsigned reps = config.reps_override;
+  if (reps == 0) {
+    reps = std::max(2u, static_cast<unsigned>(config.scale * logn));
+    if (config.full_support) reps *= (config.f + 1);
+  }
+  const unsigned levels = 2 * logn + 2;
+
+  AgmFtc scheme;
+  scheme.coord_bits_ = logn;
+  scheme.vertex_anc_.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    scheme.vertex_anc_.push_back(anc2.label(v));
+  }
+
+  // Per-T'-vertex sketch of incident non-tree edges, then subtree XOR.
+  std::vector<AgmSketch> acc(n2, AgmSketch(levels, reps, config.seed));
+  for (EdgeId e2 = 0; e2 < aux.g2.num_edges(); ++e2) {
+    if (aux.t2.is_tree_edge[e2]) continue;
+    const auto& ed = aux.g2.edge(e2);
+    const PackedId id = pack_id(anc2.label(ed.u), anc2.label(ed.v));
+    acc[ed.u].toggle(id);
+    acc[ed.v].toggle(id);
+  }
+  std::vector<EdgeId> sigma_inv(aux.g2.num_edges(), graph::kNoEdge);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) sigma_inv[aux.sigma[e]] = e;
+
+  std::vector<VertexId> order;
+  {
+    std::vector<VertexId> stack{aux.t2.root};
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (const VertexId c : aux.t2.children[u]) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+  }
+  scheme.edge_labels_.resize(g.num_edges());
+  for (const VertexId v : order) {
+    if (v == aux.t2.root) continue;
+    const EdgeId eo = sigma_inv[aux.t2.parent_edge[v]];
+    FTC_CHECK(eo != graph::kNoEdge, "T' tree edge without sigma preimage");
+    AgmEdgeLabel& label = scheme.edge_labels_[eo];
+    label.lower = anc2.label(v);
+    label.upper = anc2.label(aux.t2.parent[v]);
+    label.sketch = acc[v];  // subtree sum is final when v is reached
+    acc[aux.t2.parent[v]].merge(acc[v]);
+  }
+  scheme.sketch_bits_ = scheme.edge_labels_.empty()
+                            ? 0
+                            : scheme.edge_labels_[0].sketch.size_bits();
+  return scheme;
+}
+
+AgmVertexLabel AgmFtc::vertex_label(VertexId v) const {
+  FTC_REQUIRE(v < vertex_anc_.size(), "vertex out of range");
+  return AgmVertexLabel{vertex_anc_[v]};
+}
+
+AgmEdgeLabel AgmFtc::edge_label(EdgeId e) const {
+  FTC_REQUIRE(e < edge_labels_.size(), "edge out of range");
+  return edge_labels_[e];
+}
+
+bool AgmFtc::connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
+                       std::span<const AgmEdgeLabel> faults) {
+  if (s.anc == t.anc) return true;
+  if (faults.empty()) return true;
+
+  std::vector<const AgmEdgeLabel*> uniq;
+  for (const AgmEdgeLabel& f : faults) uniq.push_back(&f);
+  std::sort(uniq.begin(), uniq.end(),
+            [](const AgmEdgeLabel* a, const AgmEdgeLabel* b) {
+              return a->lower.tin < b->lower.tin;
+            });
+  uniq.erase(std::unique(uniq.begin(), uniq.end(),
+                         [](const AgmEdgeLabel* a, const AgmEdgeLabel* b) {
+                           return a->lower.tin == b->lower.tin;
+                         }),
+             uniq.end());
+  const std::size_t nf = uniq.size();
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  for (const auto* f : uniq) intervals.push_back({f->lower.tin, f->lower.tout});
+  const graph::FragmentLocator loc(std::move(intervals));
+  const int num_frag = loc.fragment_count();
+
+  const int fs = loc.locate(s.anc.tin);
+  const int ft = loc.locate(t.anc.tin);
+  if (fs == ft) return true;
+
+  // Per-fragment sketches (Proposition 4).
+  std::vector<AgmSketch> frag(num_frag, AgmSketch(uniq[0]->sketch.levels(),
+                                                  uniq[0]->sketch.reps(),
+                                                  uniq[0]->sketch.seed()));
+  for (std::size_t j = 0; j < nf; ++j) {
+    const int below = loc.fragment_of_fault(j);
+    const int above = loc.parent_fragment(below);
+    frag[below].merge(uniq[j]->sketch);
+    frag[above].merge(uniq[j]->sketch);
+  }
+
+  graph::UnionFind uf(static_cast<std::size_t>(num_frag));
+  std::vector<char> closed(num_frag, 0);
+  // Source-first growth, as in DP21: grow the set containing s.
+  while (true) {
+    const std::size_t cur = uf.find(static_cast<std::size_t>(fs));
+    if (closed[cur]) return false;
+    const auto sample = frag[cur].sample();
+    if (!sample.has_value()) {
+      // Empty (whp) -> the component of s is complete without t.
+      closed[cur] = 1;
+      return false;
+    }
+    const auto [a, b] = unpack_id(*sample);
+    const std::size_t fa = uf.find(loc.locate(a.tin));
+    const std::size_t fb = uf.find(loc.locate(b.tin));
+    if (fa == fb) {
+      // A stale or colliding sample that no longer crosses: whp this means
+      // the sketch is misleading; declare failure conservatively.
+      return false;
+    }
+    uf.unite(fa, fb);
+    const std::size_t root = uf.find(fa);
+    const std::size_t other = root == fa ? fb : fa;
+    frag[root].merge(frag[other]);
+    if (uf.find(static_cast<std::size_t>(fs)) ==
+        uf.find(static_cast<std::size_t>(ft))) {
+      return true;
+    }
+  }
+}
+
+}  // namespace ftc::dp21

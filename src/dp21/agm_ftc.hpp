@@ -1,0 +1,62 @@
+// Baseline: the second Dory-Parter scheme (PODC'21) — the sketch-based
+// construction the paper de-randomizes. Identical framework to the
+// deterministic scheme (auxiliary graph, ancestry labels, subtree
+// aggregation, fragment merging) but the outdetect engine is the
+// randomized AGM l0-sampler: no sparsification hierarchy is needed since
+// the sampler's internal geometric levels handle any boundary size, and
+// correctness is "with high probability" (label O(log^3 n) whp; the
+// full-support variant multiplies repetitions by f, giving O(f log^3 n)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ancestry.hpp"
+#include "graph/graph.hpp"
+#include "sketch/agm_sketch.hpp"
+
+namespace ftc::dp21 {
+
+struct AgmFtcConfig {
+  unsigned f = 2;
+  bool full_support = false;  // multiply repetitions by (f + 1)
+  double scale = 1.0;         // multiplier on the log n repetition count
+  unsigned reps_override = 0;
+  std::uint64_t seed = 1;
+};
+
+struct AgmVertexLabel {
+  graph::AncestryLabel anc;
+};
+
+struct AgmEdgeLabel {
+  graph::AncestryLabel upper;  // endpoint nearer the root in T'
+  graph::AncestryLabel lower;  // subtree side
+  sketch::AgmSketch sketch;    // subtree XOR of vertex sketches
+};
+
+class AgmFtc {
+ public:
+  static AgmFtc build(const graph::Graph& g, const AgmFtcConfig& config);
+
+  AgmVertexLabel vertex_label(graph::VertexId v) const;
+  AgmEdgeLabel edge_label(graph::EdgeId e) const;
+
+  // Universal decoder; correct whp over the sketch hash seeds.
+  static bool connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
+                        std::span<const AgmEdgeLabel> faults);
+
+  std::size_t vertex_label_bits() const { return 2 * coord_bits_; }
+  std::size_t edge_label_bits() const {
+    return 4 * coord_bits_ + sketch_bits_;
+  }
+
+ private:
+  unsigned coord_bits_ = 0;
+  std::size_t sketch_bits_ = 0;
+  std::vector<graph::AncestryLabel> vertex_anc_;
+  std::vector<AgmEdgeLabel> edge_labels_;
+};
+
+}  // namespace ftc::dp21

@@ -1,0 +1,251 @@
+#include "dp21/cycle_space_ftc.hpp"
+
+#include <algorithm>
+
+#include "graph/euler_tour.hpp"
+#include "graph/fragments.hpp"
+#include "graph/spanning_tree.hpp"
+#include "util/common.hpp"
+
+namespace ftc::dp21 {
+
+using graph::AncestryLabel;
+using graph::EdgeId;
+using graph::VertexId;
+
+namespace {
+
+void xor_into(std::vector<std::uint64_t>& dst,
+              const std::vector<std::uint64_t>& src) {
+  FTC_REQUIRE(dst.size() == src.size(), "vector width mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+bool is_zero(const std::vector<std::uint64_t>& v) {
+  for (const auto w : v) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CycleSpaceFtc CycleSpaceFtc::build(const graph::Graph& g,
+                                   const CycleSpaceConfig& config) {
+  FTC_REQUIRE(graph::is_connected(g), "input graph must be connected");
+  const VertexId n = g.num_vertices();
+  const unsigned logn = std::max(1u, ceil_log2(std::max<VertexId>(n, 2)));
+
+  CycleSpaceFtc scheme;
+  scheme.bits_ =
+      config.bits_override != 0
+          ? config.bits_override
+          : std::max<unsigned>(
+                8, static_cast<unsigned>(
+                       config.scale *
+                       (config.full_support
+                            ? static_cast<double>(config.f) * logn
+                            : static_cast<double>(config.f) + logn)));
+  scheme.coord_bits_ = logn;
+  const std::size_t words = (scheme.bits_ + 63) / 64;
+  const std::uint64_t top_mask =
+      (scheme.bits_ % 64 == 0) ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << (scheme.bits_ % 64)) - 1);
+
+  const graph::SpanningTree t = graph::bfs_spanning_tree(g, 0);
+  const graph::EulerTour et = graph::euler_tour(t);
+  const graph::AncestryLabeling anc(t, et);
+  scheme.vertex_anc_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) scheme.vertex_anc_.push_back(anc.label(v));
+
+  SplitMix64 rng(config.seed);
+  // lambda per non-tree edge; accumulate at endpoints for the subtree-XOR.
+  std::vector<std::vector<std::uint64_t>> acc(
+      n, std::vector<std::uint64_t>(words, 0));
+  scheme.edge_labels_.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    CsEdgeLabel& label = scheme.edge_labels_[e];
+    label.is_tree = t.is_tree_edge[e] != 0;
+    if (label.is_tree) continue;
+    label.a = anc.label(g.edge(e).u);
+    label.b = anc.label(g.edge(e).v);
+    label.vec.resize(words);
+    for (auto& w : label.vec) w = rng.next();
+    label.vec.back() &= top_mask;
+    xor_into(acc[g.edge(e).u], label.vec);
+    xor_into(acc[g.edge(e).v], label.vec);
+  }
+  // Subtree XOR bottom-up: a tree edge (p, v) is crossed by exactly the
+  // non-tree edges with an odd number of endpoints below v.
+  std::vector<VertexId> order;  // reverse pre-order = children before parents
+  {
+    std::vector<VertexId> stack{t.root};
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (const VertexId c : t.children[u]) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+  }
+  for (const VertexId v : order) {
+    if (v == t.root) continue;
+    CsEdgeLabel& label = scheme.edge_labels_[t.parent_edge[v]];
+    if (label.vec.empty()) {
+      // First (and only) time this tree edge is finalized.
+      label.a = anc.label(t.parent[v]);
+      label.b = anc.label(v);
+      label.vec = acc[v];
+    }
+    xor_into(acc[t.parent[v]], acc[v]);
+  }
+  return scheme;
+}
+
+CsVertexLabel CycleSpaceFtc::vertex_label(VertexId v) const {
+  FTC_REQUIRE(v < vertex_anc_.size(), "vertex out of range");
+  return CsVertexLabel{vertex_anc_[v]};
+}
+
+CsEdgeLabel CycleSpaceFtc::edge_label(EdgeId e) const {
+  FTC_REQUIRE(e < edge_labels_.size(), "edge out of range");
+  return edge_labels_[e];
+}
+
+std::size_t CycleSpaceFtc::vertex_label_bits() const {
+  return 2 * coord_bits_;
+}
+
+std::size_t CycleSpaceFtc::edge_label_bits() const {
+  return 4 * coord_bits_ + bits_ + 1;
+}
+
+bool CycleSpaceFtc::connected(const CsVertexLabel& s, const CsVertexLabel& t,
+                              std::span<const CsEdgeLabel> faults) {
+  if (s.anc == t.anc) return true;
+  if (faults.empty()) return true;
+
+  // Distinct tree faults, identified by the lower endpoint's tin.
+  std::vector<const CsEdgeLabel*> tree_faults;
+  for (const CsEdgeLabel& f : faults) {
+    if (f.is_tree) tree_faults.push_back(&f);
+  }
+  std::sort(tree_faults.begin(), tree_faults.end(),
+            [](const CsEdgeLabel* x, const CsEdgeLabel* y) {
+              return x->b.tin < y->b.tin;
+            });
+  tree_faults.erase(std::unique(tree_faults.begin(), tree_faults.end(),
+                                [](const CsEdgeLabel* x,
+                                   const CsEdgeLabel* y) {
+                                  return x->b.tin == y->b.tin;
+                                }),
+                    tree_faults.end());
+  if (tree_faults.empty()) return true;  // the spanning tree survives
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  intervals.reserve(tree_faults.size());
+  for (const auto* f : tree_faults) intervals.push_back({f->b.tin, f->b.tout});
+  const graph::FragmentLocator loc(std::move(intervals));
+  const int num_frag = loc.fragment_count();
+
+  const int fs = loc.locate(s.anc.tin);
+  const int ft = loc.locate(t.anc.tin);
+  if (fs == ft) return true;
+
+  const std::size_t words = tree_faults[0]->vec.size();
+  std::vector<std::vector<std::uint64_t>> vec(
+      num_frag, std::vector<std::uint64_t>(words, 0));
+  // Sigma over the fragment's tree cut: XOR of lambda over the non-tree
+  // edges leaving the fragment.
+  for (std::size_t j = 0; j < tree_faults.size(); ++j) {
+    const int below = loc.fragment_of_fault(j);
+    const int above = loc.parent_fragment(below);
+    xor_into(vec[below], tree_faults[j]->vec);
+    xor_into(vec[above], tree_faults[j]->vec);
+  }
+  // Remove the faulty non-tree edges themselves (dedup by endpoint pair).
+  std::vector<const CsEdgeLabel*> nontree;
+  for (const CsEdgeLabel& f : faults) {
+    if (!f.is_tree) nontree.push_back(&f);
+  }
+  std::sort(nontree.begin(), nontree.end(),
+            [](const CsEdgeLabel* x, const CsEdgeLabel* y) {
+              return std::make_pair(x->a.tin, x->b.tin) <
+                     std::make_pair(y->a.tin, y->b.tin);
+            });
+  nontree.erase(std::unique(nontree.begin(), nontree.end(),
+                            [](const CsEdgeLabel* x, const CsEdgeLabel* y) {
+                              return x->a.tin == y->a.tin &&
+                                     x->b.tin == y->b.tin;
+                            }),
+                nontree.end());
+  for (const auto* f : nontree) {
+    FTC_REQUIRE(f->vec.size() == words, "label width mismatch");
+    const int fu = loc.locate(f->a.tin);
+    const int fv = loc.locate(f->b.tin);
+    if (fu == fv) continue;  // does not cross any fragment boundary
+    xor_into(vec[fu], f->vec);
+    xor_into(vec[fv], f->vec);
+  }
+
+  // Kernel of the fragment-vector matrix over GF(2): whp it is spanned by
+  // the component indicator vectors. Gaussian elimination over columns;
+  // combos track which fragments participate.
+  std::vector<std::vector<std::uint64_t>> basis;      // reduced vectors
+  std::vector<std::vector<std::uint64_t>> combos;     // their fragment sets
+  std::vector<std::vector<std::uint64_t>> kernel;     // kernel combos
+  const std::size_t combo_words = (num_frag + 63) / 64;
+  for (int i = 0; i < num_frag; ++i) {
+    std::vector<std::uint64_t> v = vec[i];
+    std::vector<std::uint64_t> combo(combo_words, 0);
+    combo[i / 64] |= std::uint64_t{1} << (i % 64);
+    for (std::size_t b = 0; b < basis.size(); ++b) {
+      // Reduce on the leading bit of basis[b].
+      const auto lead = [](const std::vector<std::uint64_t>& x) -> int {
+        for (int w = static_cast<int>(x.size()) - 1; w >= 0; --w) {
+          if (x[w] != 0) return w * 64 + 63 - __builtin_clzll(x[w]);
+        }
+        return -1;
+      };
+      const int lb = lead(basis[b]);
+      const int lv = lead(v);
+      if (lv == lb && lv >= 0) {
+        xor_into(v, basis[b]);
+        xor_into(combo, combos[b]);
+      }
+    }
+    if (is_zero(v)) {
+      kernel.push_back(combo);
+    } else {
+      basis.push_back(std::move(v));
+      combos.push_back(std::move(combo));
+      // Keep basis sorted by leading bit descending for stable reduction.
+      for (std::size_t b = basis.size(); b-- > 1;) {
+        const auto lead_of = [](const std::vector<std::uint64_t>& x) -> int {
+          for (int w = static_cast<int>(x.size()) - 1; w >= 0; --w) {
+            if (x[w] != 0) return w * 64 + 63 - __builtin_clzll(x[w]);
+          }
+          return -1;
+        };
+        if (lead_of(basis[b]) > lead_of(basis[b - 1])) {
+          std::swap(basis[b], basis[b - 1]);
+          std::swap(combos[b], combos[b - 1]);
+        } else {
+          break;
+        }
+      }
+    }
+  }
+
+  // Fragments are in the same component of G - F iff they agree on every
+  // kernel basis vector.
+  const auto bit = [](const std::vector<std::uint64_t>& m, int i) -> bool {
+    return (m[i / 64] >> (i % 64)) & 1;
+  };
+  for (const auto& kv : kernel) {
+    if (bit(kv, fs) != bit(kv, ft)) return false;
+  }
+  return true;
+}
+
+}  // namespace ftc::dp21

@@ -1,0 +1,74 @@
+// Baseline: the first Dory-Parter scheme (PODC'21), built on cycle-space
+// sampling in the style of Pritchard-Thurimella — the randomized scheme
+// whose label size O(f + log n) (whp) / O(f log n) (full support) the
+// paper's Table 1 compares against.
+//
+// Every non-tree edge draws a random bit-vector lambda(e). A tree edge's
+// label aggregates the lambdas of all non-tree edges whose fundamental
+// cycle crosses it, so for any fragment union S the XOR of cut-edge labels
+// equals the XOR of lambda over the non-tree edges leaving S. A fragment
+// union is closed in G - F iff its vector is zero (whp), and the
+// connected components of the fragment graph are recovered as the
+// co-occurrence classes of the GF(2) kernel of the fragment-vector matrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ancestry.hpp"
+#include "graph/graph.hpp"
+
+namespace ftc::dp21 {
+
+struct CycleSpaceConfig {
+  unsigned f = 2;
+  // full_support = false: b = scale * (f + log2 n) bits (whp variant);
+  // true: b = scale * f * log2 n bits (full-support variant).
+  bool full_support = false;
+  double scale = 2.0;
+  unsigned bits_override = 0;
+  std::uint64_t seed = 1;
+};
+
+struct CsVertexLabel {
+  graph::AncestryLabel anc;
+};
+
+struct CsEdgeLabel {
+  bool is_tree = false;
+  // Tree edges: a = upper endpoint, b = lower endpoint (in T).
+  // Non-tree edges: the two endpoints in arbitrary order.
+  graph::AncestryLabel a;
+  graph::AncestryLabel b;
+  // Tree edges: XOR of lambda over non-tree edges crossing it.
+  // Non-tree edges: the edge's own lambda.
+  std::vector<std::uint64_t> vec;
+};
+
+class CycleSpaceFtc {
+ public:
+  static CycleSpaceFtc build(const graph::Graph& g,
+                             const CycleSpaceConfig& config);
+
+  CsVertexLabel vertex_label(graph::VertexId v) const;
+  CsEdgeLabel edge_label(graph::EdgeId e) const;
+
+  // Universal decoder; correct with high probability over the sampled
+  // lambdas (one-sided: "connected" answers are always correct, a
+  // "disconnected" answer is wrong only on a lambda collision).
+  static bool connected(const CsVertexLabel& s, const CsVertexLabel& t,
+                        std::span<const CsEdgeLabel> faults);
+
+  unsigned vector_bits() const { return bits_; }
+  std::size_t vertex_label_bits() const;
+  std::size_t edge_label_bits() const;
+
+ private:
+  unsigned bits_ = 0;
+  unsigned coord_bits_ = 0;
+  std::vector<graph::AncestryLabel> vertex_anc_;
+  std::vector<CsEdgeLabel> edge_labels_;
+};
+
+}  // namespace ftc::dp21

@@ -1,0 +1,96 @@
+#include "geometry/greedy_net.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/common.hpp"
+
+namespace ftc::geometry {
+
+namespace {
+
+// Subset of points as a bitmask over point indices.
+using Mask = std::vector<std::uint64_t>;
+
+Mask make_mask(std::size_t n) { return Mask((n + 63) / 64, 0); }
+
+void mask_set(Mask& m, std::size_t i) { m[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+bool mask_get(const Mask& m, std::size_t i) {
+  return (m[i / 64] >> (i % 64)) & 1;
+}
+
+}  // namespace
+
+std::vector<Point2> greedy_rect_net(std::span<const Point2> points,
+                                    unsigned threshold) {
+  const std::size_t n = points.size();
+  FTC_REQUIRE(n <= 256, "greedy_rect_net is for small instances (N <= 256)");
+  FTC_REQUIRE(threshold >= 1, "threshold must be positive");
+  if (n == 0) return {};
+
+  std::vector<std::uint32_t> xs, ys;
+  for (const auto& p : points) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Collect the DISTINCT heavy rectangle point-subsets (canonical corners).
+  std::set<Mask> heavy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = i; j < xs.size(); ++j) {
+      for (std::size_t k = 0; k < ys.size(); ++k) {
+        for (std::size_t l = k; l < ys.size(); ++l) {
+          Mask m = make_mask(n);
+          std::size_t count = 0;
+          for (std::size_t p = 0; p < n; ++p) {
+            if (points[p].x >= xs[i] && points[p].x <= xs[j] &&
+                points[p].y >= ys[k] && points[p].y <= ys[l]) {
+              mask_set(m, p);
+              ++count;
+            }
+          }
+          if (count >= threshold) heavy.insert(std::move(m));
+        }
+      }
+    }
+  }
+
+  std::vector<Mask> todo(heavy.begin(), heavy.end());
+  std::vector<char> alive(todo.size(), 1);
+  std::size_t remaining = todo.size();
+  std::vector<Point2> net;
+  std::vector<char> chosen(n, 0);
+  while (remaining > 0) {
+    // Greedy: the point hitting the most not-yet-hit heavy rectangles.
+    std::size_t best_point = n;
+    std::size_t best_gain = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (chosen[p]) continue;
+      std::size_t gain = 0;
+      for (std::size_t r = 0; r < todo.size(); ++r) {
+        if (alive[r] && mask_get(todo[r], p)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_point = p;
+      }
+    }
+    FTC_CHECK(best_point < n, "heavy rectangle with no points");
+    chosen[best_point] = 1;
+    net.push_back(points[best_point]);
+    for (std::size_t r = 0; r < todo.size(); ++r) {
+      if (alive[r] && mask_get(todo[r], best_point)) {
+        alive[r] = 0;
+        --remaining;
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace ftc::geometry

@@ -1,0 +1,25 @@
+// Deterministic poly(N) epsilon-net for axis-aligned rectangles via greedy
+// hitting set over the distinct heavy canonical rectangles.
+//
+// This is the library's stand-in for the Mustafa-Dutta-Ghosh construction
+// cited in Lemma 10 (see DESIGN.md, Substitutions): same role in the
+// pipeline — a deterministic polynomial-time net that the hierarchy
+// builder can plug in instead of NetFind — with the classic greedy
+// O(log)-approximation guarantee instead of MDG's O(log log) net size.
+// Intended for small instances (tests, examples, ablation benches).
+#pragma once
+
+#include <vector>
+
+#include "geometry/point_map.hpp"
+
+namespace ftc::geometry {
+
+// Returns a subset hitting every axis-aligned rectangle that contains at
+// least `threshold` of the input points. Complexity is a high-degree
+// polynomial (distinct canonical rectangles are enumerated), so the input
+// size is capped.
+std::vector<Point2> greedy_rect_net(std::span<const Point2> points,
+                                    unsigned threshold);
+
+}  // namespace ftc::geometry

@@ -1,0 +1,188 @@
+#include "geometry/netfind.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "util/common.hpp"
+
+namespace ftc::geometry {
+
+namespace {
+
+// Total orders with deterministic tie-breaking by edge id. The x-order is
+// used for split lines (ties broken by id keep both sides nonempty); the
+// y-order defines the Lemma 11 groups.
+struct XLess {
+  bool operator()(const Point2& a, const Point2& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    return a.edge < b.edge;
+  }
+};
+struct YLess {
+  bool operator()(const Point2& a, const Point2& b) const {
+    if (a.y != b.y) return a.y < b.y;
+    return a.edge < b.edge;
+  }
+};
+
+// Lemma 11 gadget: from each y-group, the x-maximal point on/left of the
+// pivot and the x-minimal point right of it (in the tie-broken x-order).
+void emit_crossing_net(const std::vector<Point2>& y_sorted,
+                       const Point2& pivot, unsigned group_len,
+                       std::vector<Point2>* out) {
+  const XLess xless;
+  for (std::size_t base = 0; base < y_sorted.size(); base += group_len) {
+    const std::size_t end = std::min(base + group_len, y_sorted.size());
+    const Point2* best_left = nullptr;
+    const Point2* best_right = nullptr;
+    for (std::size_t i = base; i < end; ++i) {
+      const Point2& p = y_sorted[i];
+      if (!xless(pivot, p)) {  // p <= pivot in x-order
+        if (best_left == nullptr || xless(*best_left, p)) best_left = &p;
+      } else {
+        if (best_right == nullptr || xless(p, *best_right)) best_right = &p;
+      }
+    }
+    if (best_left != nullptr) out->push_back(*best_left);
+    if (best_right != nullptr) out->push_back(*best_right);
+  }
+}
+
+void netfind_rec(std::vector<Point2> y_sorted, unsigned group_len,
+                 std::vector<Point2>* out) {
+  const std::size_t n = y_sorted.size();
+  if (n < static_cast<std::size_t>(netfind_threshold(group_len))) {
+    return;  // no rectangle inside can be heavy
+  }
+  // Split line: the x-median under the tie-broken order.
+  std::vector<Point2> scratch(y_sorted);
+  const std::size_t mid = n / 2;
+  std::nth_element(scratch.begin(), scratch.begin() + (mid - 1),
+                   scratch.end(), XLess{});
+  const Point2 pivot = scratch[mid - 1];
+
+  emit_crossing_net(y_sorted, pivot, group_len, out);
+
+  // Stable partition preserves the y-order inside each half.
+  std::vector<Point2> left, right;
+  left.reserve(mid);
+  right.reserve(n - mid);
+  const XLess xless;
+  for (const Point2& p : y_sorted) {
+    if (!xless(pivot, p)) {
+      left.push_back(p);
+    } else {
+      right.push_back(p);
+    }
+  }
+  FTC_CHECK(left.size() == mid && right.size() == n - mid,
+            "median partition sizes mismatch");
+  y_sorted.clear();
+  y_sorted.shrink_to_fit();
+  netfind_rec(std::move(left), group_len, out);
+  netfind_rec(std::move(right), group_len, out);
+}
+
+}  // namespace
+
+unsigned provable_group_len(std::size_t n) {
+  return 4 * std::max(1u, ceil_log2(std::max<std::size_t>(n, 2)));
+}
+
+std::vector<Point2> netfind(std::vector<Point2> points, unsigned group_len) {
+  FTC_REQUIRE(group_len >= 2, "group length must be >= 2");
+  std::sort(points.begin(), points.end(), YLess{});
+  std::vector<Point2> out;
+  netfind_rec(std::move(points), group_len, &out);
+  // Canonical order + dedup (a point may be emitted at several levels).
+  std::sort(out.begin(), out.end(), [](const Point2& a, const Point2& b) {
+    return std::tie(a.x, a.y, a.edge) < std::tie(b.x, b.y, b.edge);
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t points_in_rect(std::span<const Point2> pts, std::uint32_t x1,
+                           std::uint32_t x2, std::uint32_t y1,
+                           std::uint32_t y2) {
+  std::size_t count = 0;
+  for (const Point2& p : pts) {
+    if (p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+// 2D prefix-sum grid over coordinate-compressed points: O(1) counting per
+// canonical rectangle.
+class RectCounter {
+ public:
+  RectCounter(std::span<const Point2> pts, const std::vector<std::uint32_t>& xv,
+              const std::vector<std::uint32_t>& yv)
+      : cols_(xv.size()), rows_(yv.size()), sum_((cols_ + 1) * (rows_ + 1), 0) {
+    const auto xi = [&](std::uint32_t x) {
+      return static_cast<std::size_t>(
+          std::lower_bound(xv.begin(), xv.end(), x) - xv.begin());
+    };
+    const auto yi = [&](std::uint32_t y) {
+      return static_cast<std::size_t>(
+          std::lower_bound(yv.begin(), yv.end(), y) - yv.begin());
+    };
+    for (const Point2& p : pts) {
+      sum_[(xi(p.x) + 1) * (rows_ + 1) + yi(p.y) + 1] += 1;
+    }
+    for (std::size_t i = 1; i <= cols_; ++i) {
+      for (std::size_t j = 1; j <= rows_; ++j) {
+        sum_[i * (rows_ + 1) + j] += sum_[(i - 1) * (rows_ + 1) + j] +
+                                     sum_[i * (rows_ + 1) + j - 1] -
+                                     sum_[(i - 1) * (rows_ + 1) + j - 1];
+      }
+    }
+  }
+
+  // Count of points with compressed coordinates in [i1, i2] x [j1, j2].
+  std::size_t count(std::size_t i1, std::size_t i2, std::size_t j1,
+                    std::size_t j2) const {
+    return sum_[(i2 + 1) * (rows_ + 1) + j2 + 1] -
+           sum_[i1 * (rows_ + 1) + j2 + 1] -
+           sum_[(i2 + 1) * (rows_ + 1) + j1] + sum_[i1 * (rows_ + 1) + j1];
+  }
+
+ private:
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<std::size_t> sum_;
+};
+
+}  // namespace
+
+bool net_hits_all_heavy_rects(std::span<const Point2> pts,
+                              std::span<const Point2> net,
+                              unsigned threshold) {
+  std::set<std::uint32_t> xs, ys;
+  for (const Point2& p : pts) {
+    xs.insert(p.x);
+    ys.insert(p.y);
+  }
+  const std::vector<std::uint32_t> xv(xs.begin(), xs.end());
+  const std::vector<std::uint32_t> yv(ys.begin(), ys.end());
+  const RectCounter all(pts, xv, yv);
+  const RectCounter hit(net, xv, yv);
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    for (std::size_t j = i; j < xv.size(); ++j) {
+      for (std::size_t k = 0; k < yv.size(); ++k) {
+        for (std::size_t l = k; l < yv.size(); ++l) {
+          if (all.count(i, j, k, l) >= threshold &&
+              hit.count(i, j, k, l) == 0) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ftc::geometry

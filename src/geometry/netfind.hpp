@@ -1,0 +1,44 @@
+// NetFind (Lemma 11 + Lemma 12): a deterministic near-linear-time epsilon
+// net for points and axis-aligned rectangles.
+//
+// Divide and conquer on the x-median: at each node, the Lemma 11 gadget
+// picks, from every group of `group_len` consecutive points in y-order,
+// the x-maximal point left of the split line and the x-minimal point right
+// of it. Guarantee: every axis-aligned rectangle containing at least
+// 3 * group_len input points contains a net point. Output size is at most
+// 2 * |P| * ceil(log2 |P|) / group_len, so group_len >= 4 ceil(log2 |P|)
+// yields a constant-fraction (<= 1/2) net — the paper's provable setting
+// group_len = 4 log N, threshold 12 log N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point_map.hpp"
+
+namespace ftc::geometry {
+
+// The provable group length for universe size N (Lemma 12's epsilon =
+// 1 / (2 log N), i.e. groups of 2/eps = 4 log N points).
+unsigned provable_group_len(std::size_t n);
+
+// The rectangle-weight threshold guaranteed to be hit: 3 * group_len.
+inline unsigned netfind_threshold(unsigned group_len) { return 3 * group_len; }
+
+// Computes the net. Deterministic; output order is canonical (sorted by
+// (x, y, edge)). group_len must be >= 2.
+std::vector<Point2> netfind(std::vector<Point2> points, unsigned group_len);
+
+// Test/bench helper: count input points inside the closed rectangle.
+std::size_t points_in_rect(std::span<const Point2> pts, std::uint32_t x1,
+                           std::uint32_t x2, std::uint32_t y1,
+                           std::uint32_t y2);
+
+// Test/bench helper: verifies the net property exhaustively over all
+// canonical rectangles (corners at point coordinates) containing at least
+// `threshold` points. O(N^4 * N) — small inputs only.
+bool net_hits_all_heavy_rects(std::span<const Point2> pts,
+                              std::span<const Point2> net,
+                              unsigned threshold);
+
+}  // namespace ftc::geometry

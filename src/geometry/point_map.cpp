@@ -1,0 +1,53 @@
+#include "geometry/point_map.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace ftc::geometry {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+std::vector<Point2> map_nontree_edges(const graph::Graph& g,
+                                      const graph::SpanningTree& t,
+                                      const graph::EulerTour& et) {
+  std::vector<Point2> pts;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (t.is_tree_edge[e]) continue;
+    const auto& ed = g.edge(e);
+    const std::uint32_t cu = et.coord[ed.u];
+    const std::uint32_t cv = et.coord[ed.v];
+    FTC_CHECK(cu != cv, "distinct vertices share an Euler coordinate");
+    pts.push_back(Point2{std::min(cu, cv), std::max(cu, cv), e});
+  }
+  return pts;
+}
+
+std::vector<std::uint32_t> directed_cut_positions(
+    const graph::SpanningTree& t, const graph::EulerTour& et,
+    std::span<const char> in_set) {
+  FTC_REQUIRE(in_set.size() == t.num_vertices(),
+              "membership mask must cover every vertex");
+  std::vector<std::uint32_t> positions;
+  for (VertexId v = 0; v < t.num_vertices(); ++v) {
+    if (v == t.root) continue;
+    if (in_set[v] != in_set[t.parent[v]]) {
+      positions.push_back(et.coord[v]);     // downward copy
+      positions.push_back(et.exit_pos[v]);  // upward copy
+    }
+  }
+  return positions;
+}
+
+bool in_cut_region(const Point2& p,
+                   std::span<const std::uint32_t> cut_positions) {
+  unsigned covered = 0;
+  for (const std::uint32_t a : cut_positions) {
+    if (p.x >= a) ++covered;  // halfspace hs(x, a)
+    if (p.y >= a) ++covered;  // halfspace hs(y, a)
+  }
+  return covered % 2 == 1;
+}
+
+}  // namespace ftc::geometry

@@ -1,0 +1,45 @@
+// Geometric embedding of non-tree edges (Section 4.3, Figure 2): with the
+// Euler-tour coordinate c(v) per vertex, a non-tree edge (u, v) becomes
+// the 2D point (c(u), c(v)) with x < y. Lemma 3 identifies the outgoing
+// edge set of any vertex set S with the intersection of the point set and
+// a "checkered" region — the symmetric difference of axis-aligned
+// halfspaces anchored at the directed tree edges cut by S.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/euler_tour.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace ftc::geometry {
+
+struct Point2 {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  graph::EdgeId edge = graph::kNoEdge;  // payload: the edge this point encodes
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+// Maps every non-tree edge of g (w.r.t. tree t) to its 2D point.
+std::vector<Point2> map_nontree_edges(const graph::Graph& g,
+                                      const graph::SpanningTree& t,
+                                      const graph::EulerTour& et);
+
+// Directed cut positions of a vertex set S (mask over vertices): for every
+// tree edge with endpoints on both sides, the tour positions of its
+// downward and upward copies. These are the halfspace anchors of Lemma 3.
+std::vector<std::uint32_t> directed_cut_positions(
+    const graph::SpanningTree& t, const graph::EulerTour& et,
+    std::span<const char> in_set);
+
+// Membership of p in the symmetric difference of the halfspaces
+// {z >= a : a in cut_positions, z in {x, y}} — true iff p is covered by an
+// odd number of them. By Lemma 3 this holds iff p's edge crosses S.
+bool in_cut_region(const Point2& p,
+                   std::span<const std::uint32_t> cut_positions);
+
+}  // namespace ftc::geometry

@@ -1,0 +1,124 @@
+#include "gf/modulus_check.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ftc::gf {
+namespace {
+
+// Bit-packed polynomial over GF(2), little-endian 64-bit words.
+using BitPoly = std::vector<std::uint64_t>;
+
+int bp_degree(const BitPoly& p) {
+  for (int w = static_cast<int>(p.size()) - 1; w >= 0; --w) {
+    if (p[w] != 0) return w * 64 + 63 - __builtin_clzll(p[w]);
+  }
+  return -1;
+}
+
+bool bp_get(const BitPoly& p, int i) {
+  const int w = i / 64;
+  if (w >= static_cast<int>(p.size())) return false;
+  return (p[w] >> (i % 64)) & 1;
+}
+
+void bp_flip(BitPoly& p, int i) {
+  const int w = i / 64;
+  if (w >= static_cast<int>(p.size())) p.resize(w + 1, 0);
+  p[w] ^= std::uint64_t{1} << (i % 64);
+}
+
+// p ^= q << shift
+void bp_xor_shifted(BitPoly& p, const BitPoly& q, int shift) {
+  const int dq = bp_degree(q);
+  if (dq < 0) return;
+  const int need = (dq + shift) / 64 + 1;
+  if (static_cast<int>(p.size()) < need) p.resize(need, 0);
+  const int ws = shift / 64;
+  const int bs = shift % 64;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i] == 0) continue;
+    p[i + ws] ^= q[i] << bs;
+    if (bs != 0 && i + ws + 1 < p.size()) p[i + ws + 1] ^= q[i] >> (64 - bs);
+  }
+}
+
+BitPoly bp_mod(BitPoly a, const BitPoly& m) {
+  const int dm = bp_degree(m);
+  FTC_CHECK(dm >= 0, "mod by zero bit-polynomial");
+  for (int da = bp_degree(a); da >= dm; da = bp_degree(a)) {
+    bp_xor_shifted(a, m, da - dm);
+  }
+  return a;
+}
+
+BitPoly bp_mul(const BitPoly& a, const BitPoly& b) {
+  BitPoly r;
+  const int da = bp_degree(a);
+  for (int i = 0; i <= da; ++i) {
+    if (bp_get(a, i)) bp_xor_shifted(r, b, i);
+  }
+  return r;
+}
+
+BitPoly bp_gcd(BitPoly a, BitPoly b) {
+  while (bp_degree(b) >= 0) {
+    BitPoly r = bp_mod(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BitPoly modulus_for(unsigned bits) {
+  BitPoly p;
+  bp_flip(p, static_cast<int>(bits));
+  switch (bits) {
+    case 16:  // x^16 + x^5 + x^3 + x + 1
+      bp_flip(p, 5), bp_flip(p, 3), bp_flip(p, 1), bp_flip(p, 0);
+      break;
+    case 32:  // x^32 + x^7 + x^3 + x^2 + 1
+      bp_flip(p, 7), bp_flip(p, 3), bp_flip(p, 2), bp_flip(p, 0);
+      break;
+    case 64:  // x^64 + x^4 + x^3 + x + 1
+      bp_flip(p, 4), bp_flip(p, 3), bp_flip(p, 1), bp_flip(p, 0);
+      break;
+    case 128:  // x^128 + x^7 + x^2 + x + 1
+      bp_flip(p, 7), bp_flip(p, 2), bp_flip(p, 1), bp_flip(p, 0);
+      break;
+    default:
+      FTC_REQUIRE(false, "unsupported field width");
+  }
+  return p;
+}
+
+// x^(2^e) mod m, by e repeated squarings.
+BitPoly frobenius_power(unsigned e, const BitPoly& m) {
+  BitPoly x;
+  bp_flip(x, 1);
+  BitPoly cur = bp_mod(x, m);
+  for (unsigned i = 0; i < e; ++i) cur = bp_mod(bp_mul(cur, cur), m);
+  return cur;
+}
+
+}  // namespace
+
+bool standard_modulus_is_irreducible(unsigned bits) {
+  // Rabin: P (deg m) irreducible over GF(2) iff x^(2^m) == x (mod P) and
+  // gcd(x^(2^(m/q)) - x, P) = 1 for every prime q | m. Here m is a power
+  // of two, so q = 2 is the only prime divisor.
+  const BitPoly p = modulus_for(bits);
+  BitPoly diff = frobenius_power(bits, p);
+  bp_flip(diff, 1);  // x^(2^m) + x, already reduced mod p
+  if (bp_degree(diff) >= 0) return false;
+
+  BitPoly half = frobenius_power(bits / 2, p);
+  BitPoly hdiff = half;
+  bp_flip(hdiff, 1);  // x^(2^(m/2)) + x
+  const BitPoly g = bp_gcd(p, bp_mod(hdiff, p));
+  return bp_degree(g) == 0;
+}
+
+}  // namespace ftc::gf

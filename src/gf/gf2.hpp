@@ -1,0 +1,335 @@
+// Binary extension fields GF(2^m) for m in {16, 32, 64, 128}.
+//
+// These fields are the algebraic substrate of the paper's deterministic
+// graph sketch (Section 4.2 / 7.4): edge IDs are embedded as nonzero field
+// elements and the k-threshold outdetect label is a vector of Reed-Solomon
+// power-sum syndromes over the field.
+//
+// Moduli are standard low-weight irreducible polynomials (verified
+// irreducible by tests/test_gf2.cpp via Rabin's criterion):
+//   m = 16 : x^16 + x^5 + x^3 + x + 1
+//   m = 32 : x^32 + x^7 + x^3 + x^2 + 1
+//   m = 64 : x^64 + x^4 + x^3 + x + 1
+//   m = 128: x^128 + x^7 + x^2 + x + 1   (the GCM polynomial)
+//
+// All types are trivially-copyable value types; addition is XOR;
+// multiplication uses carry-less multiply with reduction folds.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gf/clmul.hpp"
+#include "util/common.hpp"
+
+namespace ftc::gf {
+
+// --------------------------------------------------------------------------
+// GF(2^Bits) for Bits <= 32, single machine word storage.
+// ReducerPoly encodes the modulus minus its leading term, i.e. the
+// congruence x^Bits == ReducerPoly(x).
+// --------------------------------------------------------------------------
+template <unsigned Bits, std::uint64_t ReducerPoly>
+class GF2Small {
+  static_assert(Bits >= 8 && Bits <= 32);
+
+ public:
+  static constexpr unsigned kBits = Bits;
+  static constexpr unsigned kWords = 1;
+  static constexpr std::uint64_t kMask =
+      (Bits == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << Bits) - 1);
+
+  constexpr GF2Small() = default;
+  explicit constexpr GF2Small(std::uint64_t v) : v_(v & kMask) {}
+
+  static constexpr GF2Small zero() { return GF2Small(0); }
+  static constexpr GF2Small one() { return GF2Small(1); }
+  // i-th standard-basis element (the monomial x^i viewed as a GF(2)-basis
+  // vector of the field). Used by the Berlekamp trace algorithm.
+  static constexpr GF2Small basis_element(unsigned i) {
+    return GF2Small(std::uint64_t{1} << i);
+  }
+
+  constexpr bool is_zero() const { return v_ == 0; }
+  constexpr std::uint64_t value() const { return v_; }
+  constexpr std::uint64_t word(unsigned) const { return v_; }
+
+  friend constexpr GF2Small operator+(GF2Small a, GF2Small b) {
+    return GF2Small(a.v_ ^ b.v_);
+  }
+  friend constexpr GF2Small operator-(GF2Small a, GF2Small b) {
+    return a + b;  // characteristic 2
+  }
+  GF2Small& operator+=(GF2Small o) {
+    v_ ^= o.v_;
+    return *this;
+  }
+
+  friend GF2Small operator*(GF2Small a, GF2Small b) {
+    std::uint64_t p = clmul(a.v_, b.v_).lo;
+    for (int rep = 0; rep < 2; ++rep) {
+      const std::uint64_t hi = p >> Bits;
+      p = (p & kMask) ^ clmul(hi, ReducerPoly).lo;
+    }
+    return GF2Small(p);
+  }
+  GF2Small& operator*=(GF2Small o) {
+    *this = *this * o;
+    return *this;
+  }
+
+  GF2Small square() const { return *this * *this; }
+
+  friend constexpr bool operator==(GF2Small a, GF2Small b) = default;
+  friend constexpr auto operator<=>(GF2Small a, GF2Small b) = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+using GF2_16 = GF2Small<16, 0x2B>;   // x^5 + x^3 + x + 1
+using GF2_32 = GF2Small<32, 0x8D>;   // x^7 + x^3 + x^2 + 1
+
+// --------------------------------------------------------------------------
+// GF(2^64)
+// --------------------------------------------------------------------------
+class GF2_64 {
+ public:
+  static constexpr unsigned kBits = 64;
+  static constexpr unsigned kWords = 1;
+  static constexpr std::uint64_t kReducer = 0x1B;  // x^4 + x^3 + x + 1
+
+  constexpr GF2_64() = default;
+  explicit constexpr GF2_64(std::uint64_t v) : v_(v) {}
+
+  static constexpr GF2_64 zero() { return GF2_64(0); }
+  static constexpr GF2_64 one() { return GF2_64(1); }
+  static constexpr GF2_64 basis_element(unsigned i) {
+    return GF2_64(std::uint64_t{1} << i);
+  }
+
+  constexpr bool is_zero() const { return v_ == 0; }
+  constexpr std::uint64_t value() const { return v_; }
+  constexpr std::uint64_t word(unsigned) const { return v_; }
+
+  friend constexpr GF2_64 operator+(GF2_64 a, GF2_64 b) {
+    return GF2_64(a.v_ ^ b.v_);
+  }
+  friend constexpr GF2_64 operator-(GF2_64 a, GF2_64 b) { return a + b; }
+  GF2_64& operator+=(GF2_64 o) {
+    v_ ^= o.v_;
+    return *this;
+  }
+
+  friend GF2_64 operator*(GF2_64 a, GF2_64 b) {
+    const U128 p = clmul(a.v_, b.v_);
+    // Fold the high word: x^64 == kReducer (degree 4), two folds suffice.
+    const U128 t = clmul(p.hi, kReducer);
+    std::uint64_t lo = p.lo ^ t.lo;
+    lo ^= clmul(t.hi, kReducer).lo;
+    return GF2_64(lo);
+  }
+  GF2_64& operator*=(GF2_64 o) {
+    *this = *this * o;
+    return *this;
+  }
+
+  GF2_64 square() const { return *this * *this; }
+
+  friend constexpr bool operator==(GF2_64 a, GF2_64 b) = default;
+  friend constexpr auto operator<=>(GF2_64 a, GF2_64 b) = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// GF(2^128), two-word storage, Karatsuba carry-less multiply with GCM-style
+// reduction by x^128 + x^7 + x^2 + x + 1.
+// --------------------------------------------------------------------------
+class GF2_128 {
+ public:
+  static constexpr unsigned kBits = 128;
+  static constexpr unsigned kWords = 2;
+  static constexpr std::uint64_t kReducer = 0x87;  // x^7 + x^2 + x + 1
+
+  constexpr GF2_128() = default;
+  explicit constexpr GF2_128(std::uint64_t lo, std::uint64_t hi = 0)
+      : lo_(lo), hi_(hi) {}
+
+  static constexpr GF2_128 zero() { return GF2_128(0, 0); }
+  static constexpr GF2_128 one() { return GF2_128(1, 0); }
+  static constexpr GF2_128 basis_element(unsigned i) {
+    return i < 64 ? GF2_128(std::uint64_t{1} << i, 0)
+                  : GF2_128(0, std::uint64_t{1} << (i - 64));
+  }
+
+  constexpr bool is_zero() const { return lo_ == 0 && hi_ == 0; }
+  constexpr std::uint64_t lo() const { return lo_; }
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t word(unsigned i) const { return i == 0 ? lo_ : hi_; }
+
+  friend constexpr GF2_128 operator+(GF2_128 a, GF2_128 b) {
+    return GF2_128(a.lo_ ^ b.lo_, a.hi_ ^ b.hi_);
+  }
+  friend constexpr GF2_128 operator-(GF2_128 a, GF2_128 b) { return a + b; }
+  GF2_128& operator+=(GF2_128 o) {
+    lo_ ^= o.lo_;
+    hi_ ^= o.hi_;
+    return *this;
+  }
+
+  friend GF2_128 operator*(GF2_128 a, GF2_128 b) {
+    // Karatsuba: 3 carry-less multiplies for the 128x128 -> 256 product.
+    const U128 p0 = clmul(a.lo_, b.lo_);
+    const U128 p2 = clmul(a.hi_, b.hi_);
+    const U128 pm = clmul(a.lo_ ^ a.hi_, b.lo_ ^ b.hi_);
+    std::uint64_t w0 = p0.lo;
+    std::uint64_t w1 = p0.hi ^ pm.lo ^ p0.lo ^ p2.lo;
+    std::uint64_t w2 = p2.lo ^ pm.hi ^ p0.hi ^ p2.hi;
+    std::uint64_t w3 = p2.hi;
+    // Reduce 256 -> 128 bits. x^192 == kReducer * x^64, x^128 == kReducer.
+    const U128 d = clmul(w3, kReducer);
+    w1 ^= d.lo;
+    w0 ^= clmul(d.hi, kReducer).lo;
+    const U128 e = clmul(w2, kReducer);
+    w0 ^= e.lo;
+    w1 ^= e.hi;
+    return GF2_128(w0, w1);
+  }
+  GF2_128& operator*=(GF2_128 o) {
+    *this = *this * o;
+    return *this;
+  }
+
+  GF2_128 square() const { return *this * *this; }
+
+  friend constexpr bool operator==(GF2_128 a, GF2_128 b) = default;
+  friend constexpr auto operator<=>(GF2_128 a, GF2_128 b) = default;
+
+ private:
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Generic field helpers (work for any of the field types above).
+// --------------------------------------------------------------------------
+
+// a^e by square-and-multiply.
+template <typename F>
+F pow(F a, std::uint64_t e) {
+  F r = F::one();
+  while (e != 0) {
+    if (e & 1) r *= a;
+    a = a.square();
+    e >>= 1;
+  }
+  return r;
+}
+
+// Multiplicative inverse: a^(2^m - 2) = prod_{i=1}^{m-1} a^(2^i).
+template <typename F>
+F inverse(F a) {
+  FTC_REQUIRE(!a.is_zero(), "inverse of zero");
+  F r = F::one();
+  F s = a;
+  for (unsigned i = 1; i < F::kBits; ++i) {
+    s = s.square();
+    r *= s;
+  }
+  return r;
+}
+
+// Absolute trace Tr: F -> GF(2) (returned as the field's 0 or 1 element).
+template <typename F>
+F trace(F x) {
+  F acc = x;
+  F cur = x;
+  for (unsigned i = 1; i < F::kBits; ++i) {
+    cur = cur.square();
+    acc += cur;
+  }
+  return acc;
+}
+
+// Square root (unique in characteristic 2): x^(2^(m-1)).
+template <typename F>
+F sqrt(F x) {
+  for (unsigned i = 0; i + 1 < F::kBits; ++i) x = x.square();
+  return x;
+}
+
+namespace detail {
+// An element theta with Tr(theta) = 1, found by scanning basis elements.
+template <typename F>
+F trace_one_element() {
+  for (unsigned i = 0; i < F::kBits; ++i) {
+    const F b = F::basis_element(i);
+    if (trace(b) == F::one()) return b;
+  }
+  FTC_CHECK(false, "no trace-one element found (modulus not irreducible?)");
+}
+}  // namespace detail
+
+// Solves y^2 + y = c. Returns true and writes a solution to *out iff
+// Tr(c) = 0 (the solvability criterion); the other solution is *out + 1.
+template <typename F>
+bool solve_artin_schreier(F c, F* out) {
+  if (trace(c) != F::zero()) return false;
+  static const F theta = detail::trace_one_element<F>();
+  // y = sum_{i=0}^{m-2} c^(2^i) * s_i with s_i = sum_{j=i+1}^{m-1} theta^(2^j).
+  const unsigned m = F::kBits;
+  std::vector<F> theta_pow(m);  // theta^(2^j)
+  theta_pow[0] = theta;
+  for (unsigned j = 1; j < m; ++j) theta_pow[j] = theta_pow[j - 1].square();
+  std::vector<F> suffix(m + 1, F::zero());  // suffix[i] = sum_{j>=i} theta^(2^j)
+  for (int j = static_cast<int>(m) - 1; j >= 0; --j)
+    suffix[j] = suffix[j + 1] + theta_pow[j];
+  F y = F::zero();
+  F cpow = c;  // c^(2^i)
+  for (unsigned i = 0; i + 1 < m; ++i) {
+    y += cpow * suffix[i + 1];
+    cpow = cpow.square();
+  }
+  FTC_CHECK(y.square() + y == c, "Artin-Schreier solver self-check failed");
+  *out = y;
+  return true;
+}
+
+// Roots of x^2 + b*x + c over F. Returns 0, 1 (double root), or 2 roots.
+template <typename F>
+std::vector<F> solve_quadratic(F b, F c) {
+  if (b.is_zero()) {
+    return {sqrt(c)};  // (x + sqrt(c))^2: a double root, reported once
+  }
+  const F binv2 = inverse(b * b);
+  F y;
+  if (!solve_artin_schreier(c * binv2, &y)) return {};
+  return {b * y, b * y + b};
+}
+
+}  // namespace ftc::gf
+
+namespace std {
+template <unsigned Bits, uint64_t R>
+struct hash<ftc::gf::GF2Small<Bits, R>> {
+  size_t operator()(const ftc::gf::GF2Small<Bits, R>& x) const noexcept {
+    return std::hash<uint64_t>{}(x.value());
+  }
+};
+template <>
+struct hash<ftc::gf::GF2_64> {
+  size_t operator()(const ftc::gf::GF2_64& x) const noexcept {
+    return std::hash<uint64_t>{}(x.value());
+  }
+};
+template <>
+struct hash<ftc::gf::GF2_128> {
+  size_t operator()(const ftc::gf::GF2_128& x) const noexcept {
+    return std::hash<uint64_t>{}(x.lo() * 0x9e3779b97f4a7c15ULL ^ x.hi());
+  }
+};
+}  // namespace std

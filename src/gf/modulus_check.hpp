@@ -1,0 +1,12 @@
+// Irreducibility verification of the field moduli (Rabin's criterion),
+// over GF(2) bit-polynomials. Used by tests to certify the modulus tables
+// in gf2.hpp; exposed in the library so downstream users can self-check.
+#pragma once
+
+namespace ftc::gf {
+
+// Returns true iff the modulus used for GF(2^bits) in gf2.hpp is
+// irreducible. bits must be one of {16, 32, 64, 128}.
+bool standard_modulus_is_irreducible(unsigned bits);
+
+}  // namespace ftc::gf

@@ -1,0 +1,144 @@
+// Deterministic root finding over GF(2^m): the Berlekamp Trace Algorithm.
+//
+// This is the second half of the k-threshold outdetect decoder
+// (Proposition 2): the error-locator polynomial produced by
+// Berlekamp-Massey splits completely over F with distinct roots (the
+// outgoing-edge IDs), and in characteristic 2 the trace maps
+// x -> Tr(beta_i x) for a GF(2)-basis {beta_i} deterministically separate
+// any two distinct roots. Degrees 1 and 2 take closed-form fast paths
+// (linear solve / Artin-Schreier), which dominate in real queries where
+// the number of outgoing edges is small.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "gf/gf2.hpp"
+#include "gf/gf2_poly.hpp"
+
+namespace ftc::gf {
+
+namespace detail {
+
+// (sum a_i x^i)^2 mod f, using the characteristic-2 identity
+// (sum a_i x^i)^2 = sum a_i^2 x^(2i).
+template <typename F>
+Poly<F> square_mod(const Poly<F>& a, const Poly<F>& f) {
+  if (a.is_zero()) return Poly<F>::zero();
+  std::vector<F> r(2 * a.degree() + 1, F::zero());
+  for (int i = 0; i <= a.degree(); ++i) r[2 * i] = a.coeff(i).square();
+  return Poly<F>(std::move(r)) % f;
+}
+
+// Appends the (distinct) roots of monic f, assuming all roots lie in F.
+// frob[j] = x^(2^j) mod f for j = 0..m-1; reduced copies are pushed down
+// the recursion so each node works modulo its own factor.
+template <typename F>
+void bta_recurse(const Poly<F>& f, const std::vector<Poly<F>>& frob,
+                 unsigned basis_start, std::vector<F>* out) {
+  const int deg = f.degree();
+  if (deg <= 0) return;
+  if (deg == 1) {
+    out->push_back(f.coeff(0));  // monic x + c -> root c (char 2)
+    return;
+  }
+  if (deg == 2) {
+    std::vector<F> roots = solve_quadratic(f.coeff(1), f.coeff(0));
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+    for (const F& r : roots) {
+      if (f.eval(r).is_zero()) out->push_back(r);
+    }
+    return;
+  }
+  for (unsigned i = basis_start; i < F::kBits; ++i) {
+    // T(x) = Tr(beta_i x) mod f = sum_j beta_i^(2^j) * (x^(2^j) mod f).
+    // Assembled coefficient-wise into one buffer to avoid per-term
+    // allocations (this loop dominates decode latency).
+    const F beta = F::basis_element(i);
+    std::vector<F> tc(static_cast<std::size_t>(deg), F::zero());
+    F bp = beta;  // beta^(2^j)
+    for (unsigned j = 0; j < F::kBits; ++j) {
+      const Poly<F>& fj = frob[j];
+      for (int c = 0; c <= fj.degree(); ++c) tc[c] += fj.coeff(c) * bp;
+      bp = bp.square();
+    }
+    const Poly<F> t(std::move(tc));
+    const Poly<F> g = gcd(f, t);
+    if (g.degree() <= 0 || g.degree() >= deg) continue;  // no split; next beta
+    const Poly<F> h = (f / g).monic();
+    std::vector<Poly<F>> frob_g(F::kBits), frob_h(F::kBits);
+    for (unsigned j = 0; j < F::kBits; ++j) {
+      frob_g[j] = frob[j] % g;
+      frob_h[j] = frob[j] % h;
+    }
+    bta_recurse(g, frob_g, i + 1, out);
+    bta_recurse(h, frob_h, i + 1, out);
+    return;
+  }
+  // No basis element separates the roots: f has repeated roots or roots
+  // outside F. Report nothing; callers verify root counts.
+}
+
+// Square root of a polynomial that is a perfect square (all exponents
+// even): sqrt(sum a_{2i} x^{2i}) = sum sqrt(a_{2i}) x^i.
+template <typename F>
+Poly<F> poly_sqrt(const Poly<F>& f) {
+  if (f.is_zero()) return f;
+  std::vector<F> r(f.degree() / 2 + 1, F::zero());
+  for (int i = 0; i <= f.degree(); i += 2) r[i / 2] = sqrt(f.coeff(i));
+  return Poly<F>(std::move(r));
+}
+
+// Radical (squarefree part) of f in characteristic 2. The naive
+// f / gcd(f, f') loses roots of even multiplicity because their factor
+// vanishes from f'; this recursion handles them via polynomial square
+// roots.
+template <typename F>
+Poly<F> radical(const Poly<F>& fin) {
+  Poly<F> f = fin.monic();
+  if (f.degree() <= 0) return Poly<F>::constant(F::one());
+  const Poly<F> fp = f.derivative();
+  if (fp.is_zero()) return radical(poly_sqrt(f));  // all exponents even
+  const Poly<F> g = gcd(f, fp);
+  const Poly<F> w = (f / g).monic();  // odd-multiplicity roots, once each
+  if (g.degree() <= 0) return w;
+  const Poly<F> rg = radical(g);
+  // Roots of f = roots of w  U  roots of g; merge without duplicates.
+  return (w * (rg / gcd(rg, w))).monic();
+}
+
+}  // namespace detail
+
+// Returns the distinct roots of f that lie in F. If f splits completely
+// over F with distinct roots, returns exactly deg(f) roots; otherwise the
+// returned set may be incomplete (callers detect this by comparing sizes).
+template <typename F>
+std::vector<F> find_roots(const Poly<F>& fin) {
+  std::vector<F> out;
+  if (fin.degree() <= 0) return out;
+  const Poly<F> f = fin.monic();
+  if (f.degree() <= 2) {
+    detail::bta_recurse(f, {}, 0, &out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  // Squarefree part with the same distinct roots.
+  const Poly<F> sf = detail::radical(f);
+  if (sf.degree() <= 0) return out;
+  if (sf.degree() <= 2) {
+    detail::bta_recurse(sf, {}, 0, &out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<Poly<F>> frob(F::kBits);
+  frob[0] = Poly<F>::x() % sf;
+  for (unsigned j = 1; j < F::kBits; ++j)
+    frob[j] = detail::square_mod(frob[j - 1], sf);
+  detail::bta_recurse(sf, frob, 0, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ftc::gf

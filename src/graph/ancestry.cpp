@@ -1,0 +1,22 @@
+#include "graph/ancestry.hpp"
+
+#include "util/common.hpp"
+
+namespace ftc::graph {
+
+AncestryLabeling::AncestryLabeling(const SpanningTree& t, const EulerTour& et) {
+  const VertexId n = t.num_vertices();
+  FTC_REQUIRE(et.tin.size() == n, "Euler tour does not match tree");
+  labels_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels_[v] = AncestryLabel{et.tin[v], et.tout[v]};
+  }
+}
+
+unsigned AncestryLabeling::label_bits() const {
+  const auto n = static_cast<std::uint64_t>(labels_.size());
+  const unsigned per_coord = n <= 1 ? 1 : ceil_log2(n);
+  return 2 * per_coord;
+}
+
+}  // namespace ftc::graph

@@ -1,0 +1,57 @@
+// Ancestry labeling scheme (Kannan-Naor-Rudich, Lemma 7): each vertex of a
+// rooted tree gets an O(log n)-bit label from which ancestor/descendant
+// relations are decided in O(1) without access to the tree.
+//
+// The label is the pre-order interval (tin, tout): u is a (weak) ancestor
+// of v iff [tin_v, tout_v] is nested in [tin_u, tout_u]. The labeling is
+// injective (tin is a bijection onto [0, n)), which the framework relies
+// on for unique edge IDs (Section 7.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/euler_tour.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace ftc::graph {
+
+struct AncestryLabel {
+  std::uint32_t tin = 0;
+  std::uint32_t tout = 0;
+
+  friend bool operator==(const AncestryLabel&, const AncestryLabel&) = default;
+  friend auto operator<=>(const AncestryLabel&, const AncestryLabel&) = default;
+};
+
+// Universal decoder (no access to the tree): +1 if a is a proper ancestor
+// of b, -1 if a proper descendant, 0 otherwise (including a == b).
+inline int ancestry_relation(const AncestryLabel& a, const AncestryLabel& b) {
+  if (a == b) return 0;
+  if (a.tin <= b.tin && b.tout <= a.tout) return 1;
+  if (b.tin <= a.tin && a.tout <= b.tout) return -1;
+  return 0;
+}
+
+inline bool is_ancestor_or_self(const AncestryLabel& a, const AncestryLabel& b) {
+  return a.tin <= b.tin && b.tout <= a.tout;
+}
+
+class AncestryLabeling {
+ public:
+  AncestryLabeling() = default;
+  AncestryLabeling(const SpanningTree& t, const EulerTour& et);
+
+  const AncestryLabel& label(VertexId v) const { return labels_[v]; }
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(labels_.size());
+  }
+
+  // Bits per label when serialized: two coordinates of ceil(log2 n) bits.
+  unsigned label_bits() const;
+
+ private:
+  std::vector<AncestryLabel> labels_;
+};
+
+}  // namespace ftc::graph

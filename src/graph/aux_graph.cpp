@@ -1,0 +1,62 @@
+#include "graph/aux_graph.hpp"
+
+namespace ftc::graph {
+
+AuxGraph build_aux_graph(const Graph& g, const SpanningTree& t) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  FTC_REQUIRE(t.num_vertices() == n, "tree does not match graph");
+
+  AuxGraph a;
+  a.orig_n = n;
+  a.orig_m = m;
+  a.sigma.assign(m, kNoEdge);
+  a.second_half.assign(m, kNoEdge);
+  a.sub_vertex.assign(m, kNoVertex);
+
+  a.g2 = Graph(n);
+  std::vector<VertexId> parent(n);
+  std::vector<EdgeId> parent_edge(n, kNoEdge);
+
+  // Original tree edges keep their role in T'.
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!t.is_tree_edge[e]) continue;
+    const Edge& ed = g.edge(e);
+    const EdgeId id2 = a.g2.add_edge(ed.u, ed.v);
+    a.sigma[e] = id2;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    parent[v] = t.parent[v];
+    if (v != t.root) {
+      // Tree edges were added in increasing original-EdgeId order, so the
+      // g2 id of v's parent edge is sigma[original parent edge].
+      parent_edge[v] = a.sigma[t.parent_edge[v]];
+    }
+  }
+
+  // Subdivide every non-tree edge: w_e hangs off ed.u via the tree edge
+  // sigma(e); the remaining half (w_e, ed.v) is the sole non-tree edge.
+  for (EdgeId e = 0; e < m; ++e) {
+    if (t.is_tree_edge[e]) continue;
+    const Edge& ed = g.edge(e);
+    const VertexId w = a.g2.add_vertex();
+    parent.push_back(ed.u);
+    const EdgeId tree_half = a.g2.add_edge(ed.u, w);
+    parent_edge.push_back(tree_half);
+    const EdgeId nontree_half = a.g2.add_edge(w, ed.v);
+    a.sigma[e] = tree_half;
+    a.second_half[e] = nontree_half;
+    a.sub_vertex[e] = w;
+  }
+
+  a.t2 = tree_from_parents(a.g2, t.root, std::move(parent),
+                           std::move(parent_edge));
+
+  a.orig_of.assign(a.g2.num_edges(), kNoEdge);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (a.second_half[e] != kNoEdge) a.orig_of[a.second_half[e]] = e;
+  }
+  return a;
+}
+
+}  // namespace ftc::graph

@@ -1,0 +1,39 @@
+// The auxiliary graph transformation of Section 3.2 (Figure 1): every
+// non-tree edge e = (u, v) of G is subdivided by a fresh vertex w_e into a
+// tree edge (u, w_e) — which joins the spanning tree T' — and a non-tree
+// edge e' = (w_e, v). This reduces general f-FTC labeling to the
+// tree-edge-faults-only case (Proposition 1): the injective map sigma
+// sends each original edge to a T'-tree edge, and s-t connectivity in
+// G - F equals connectivity in G' - sigma(F).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace ftc::graph {
+
+struct AuxGraph {
+  Graph g2;           // G'
+  SpanningTree t2;    // T' rooted at the same root as T
+
+  VertexId orig_n = 0;
+  EdgeId orig_m = 0;
+
+  // sigma: original EdgeId -> tree EdgeId of T' in g2 (Proposition 1).
+  std::vector<EdgeId> sigma;
+  // For original non-tree edges: the g2-EdgeId of the half e' = (w_e, v);
+  // kNoEdge for original tree edges.
+  std::vector<EdgeId> second_half;
+  // For original non-tree edges: the subdivision vertex w_e; kNoVertex
+  // for original tree edges.
+  std::vector<VertexId> sub_vertex;
+  // Inverse map: g2 non-tree EdgeId -> original EdgeId (kNoEdge for g2
+  // tree edges).
+  std::vector<EdgeId> orig_of;
+};
+
+AuxGraph build_aux_graph(const Graph& g, const SpanningTree& t);
+
+}  // namespace ftc::graph

@@ -1,0 +1,82 @@
+#include "graph/connectivity.hpp"
+
+#include "util/common.hpp"
+
+namespace ftc::graph {
+
+namespace {
+std::vector<char> fault_mask(const Graph& g, std::span<const EdgeId> faults) {
+  std::vector<char> faulty(g.num_edges(), 0);
+  for (const EdgeId e : faults) {
+    FTC_REQUIRE(e < g.num_edges(), "fault edge out of range");
+    faulty[e] = 1;
+  }
+  return faulty;
+}
+}  // namespace
+
+bool connected_avoiding(const Graph& g, VertexId s, VertexId t,
+                        std::span<const EdgeId> faults) {
+  FTC_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
+              "vertex out of range");
+  if (s == t) return true;
+  const std::vector<char> faulty = fault_mask(g, faults);
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::vector<VertexId> stack{s};
+  seen[s] = 1;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.incident_edges(u)) {
+      if (faulty[e]) continue;
+      const VertexId w = g.other_endpoint(e, u);
+      if (w == t) return true;
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> components_avoiding(const Graph& g,
+                                     std::span<const EdgeId> faults) {
+  const std::vector<char> faulty = fault_mask(g, faults);
+  std::vector<int> comp(g.num_vertices(), -1);
+  int next = 0;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (comp[start] != -1) continue;
+    const int c = next++;
+    std::vector<VertexId> stack{start};
+    comp[start] = c;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const EdgeId e : g.incident_edges(u)) {
+        if (faulty[e]) continue;
+        const VertexId w = g.other_endpoint(e, u);
+        if (comp[w] == -1) {
+          comp[w] = c;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+std::vector<EdgeId> boundary_edges(const Graph& g,
+                                   std::span<const char> in_set,
+                                   std::span<const EdgeId> allowed) {
+  FTC_REQUIRE(in_set.size() == g.num_vertices(),
+              "membership mask must cover every vertex");
+  std::vector<EdgeId> out;
+  for (const EdgeId e : allowed) {
+    const Edge& ed = g.edge(e);
+    if (in_set[ed.u] != in_set[ed.v]) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ftc::graph

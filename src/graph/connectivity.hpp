@@ -1,0 +1,27 @@
+// Ground-truth connectivity under edge faults (plain BFS). Every labeling
+// scheme in this library is validated against these oracles in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftc::graph {
+
+// Is s connected to t in g - faults?
+bool connected_avoiding(const Graph& g, VertexId s, VertexId t,
+                        std::span<const EdgeId> faults);
+
+// Component id per vertex in g - faults (ids are 0-based, arbitrary).
+std::vector<int> components_avoiding(const Graph& g,
+                                     std::span<const EdgeId> faults);
+
+// Outgoing edges of vertex set S restricted to the edge set allowed
+// (the literal definition of the cut operator used throughout the paper;
+// O(m) reference implementation for tests).
+std::vector<EdgeId> boundary_edges(const Graph& g,
+                                   std::span<const char> in_set,
+                                   std::span<const EdgeId> allowed);
+
+}  // namespace ftc::graph

@@ -1,0 +1,41 @@
+#include "graph/euler_tour.hpp"
+
+namespace ftc::graph {
+
+EulerTour euler_tour(const SpanningTree& t) {
+  const VertexId n = t.num_vertices();
+  EulerTour et;
+  et.coord.assign(n, 0);
+  et.exit_pos.assign(n, 0);
+  et.tin.assign(n, 0);
+  et.tout.assign(n, 0);
+  if (n == 0) return et;
+
+  // Iterative DFS. Each frame tracks the next child index to visit.
+  std::vector<std::pair<VertexId, std::size_t>> stack;
+  stack.reserve(n);
+  stack.emplace_back(t.root, 0);
+  std::uint32_t step = 0;      // directed-edge steps taken so far
+  std::uint32_t pre = 0;       // pre-order counter
+  et.tin[t.root] = pre++;
+  while (!stack.empty()) {
+    auto& [u, idx] = stack.back();
+    if (idx < t.children[u].size()) {
+      const VertexId c = t.children[u][idx++];
+      et.coord[c] = ++step;  // downward edge u -> c
+      et.tin[c] = pre++;
+      stack.emplace_back(c, 0);
+    } else {
+      et.tout[u] = pre - 1;
+      if (u != t.root) {
+        et.exit_pos[u] = ++step;  // upward edge u -> parent
+      }
+      stack.pop_back();
+    }
+  }
+  et.exit_pos[t.root] = 2 * n - 1;
+  FTC_CHECK(step == (n >= 1 ? 2 * (n - 1) : 0), "Euler tour length mismatch");
+  return et;
+}
+
+}  // namespace ftc::graph

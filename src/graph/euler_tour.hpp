@@ -1,0 +1,37 @@
+// Euler tour of a rooted tree, following Duan-Pettie as used in
+// Section 4.3: every undirected tree edge is replaced by a downward and an
+// upward directed edge; the tour orders all 2(n-1) directed edges, and
+// each non-root vertex inherits the position of its entering (downward)
+// edge as its one-dimensional coordinate c(v).
+//
+// Also computes the pre-order intervals (tin, tout) that realize the
+// Kannan-Naor-Rudich ancestry labeling (Lemma 7).
+#pragma once
+
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+
+namespace ftc::graph {
+
+struct EulerTour {
+  // c(v): position in [1, 2n-2] of v's entering edge; c(root) = 0 (the
+  // root precedes the whole tour, matching Lemma 9's parity convention).
+  std::vector<std::uint32_t> coord;
+  // Position in [1, 2n-2] of v's leaving (upward) edge; 2n-1 for the root
+  // (conceptually after the whole tour).
+  std::vector<std::uint32_t> exit_pos;
+  // Pre-order DFS intervals over vertex counts: tin in [0, n); tout is the
+  // largest tin in v's subtree. u is an ancestor-or-self of v iff
+  // tin[u] <= tin[v] <= tout[u].
+  std::vector<std::uint32_t> tin;
+  std::vector<std::uint32_t> tout;
+
+  bool is_ancestor_or_self(VertexId u, VertexId v) const {
+    return tin[u] <= tin[v] && tin[v] <= tout[u];
+  }
+};
+
+EulerTour euler_tour(const SpanningTree& t);
+
+}  // namespace ftc::graph

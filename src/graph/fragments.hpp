@@ -1,0 +1,57 @@
+// Fragment structure of T - F (Section 7.2, Proposition 3 / DP21 Claim
+// 3.14): removing |F| tree edges splits the spanning tree into |F| + 1
+// fragments. Each fault edge is represented by the pre-order interval of
+// its lower endpoint; the intervals form a laminar family, and locating
+// the fragment of a vertex from its ancestry label takes O(log |F|) plus
+// a walk up the laminar forest.
+//
+// The locator works purely on labels (intervals) — it never touches the
+// tree — which is what makes the universal decoder possible.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/ancestry.hpp"
+
+namespace ftc::graph {
+
+class FragmentLocator {
+ public:
+  // intervals[i] = (tin, tout) of the lower endpoint of fault tree-edge i.
+  // Duplicates are allowed (they map to the same fragment). Fragment 0 is
+  // the root fragment; fragment j >= 1 corresponds to the j-th distinct
+  // interval in increasing tin order.
+  explicit FragmentLocator(
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals);
+
+  int fragment_count() const {
+    return static_cast<int>(sorted_.size()) + 1;
+  }
+
+  // Fragment containing a vertex with pre-order time tin.
+  int locate(std::uint32_t tin) const;
+  int locate(const AncestryLabel& label) const { return locate(label.tin); }
+
+  // Laminar parent fragment (the fragment reached by crossing the fault
+  // edge upward); -1 for the root fragment.
+  int parent_fragment(int frag) const;
+
+  // The distinct interval defining fragment frag (frag >= 1).
+  std::pair<std::uint32_t, std::uint32_t> interval(int frag) const;
+
+  // Maps each input interval index to its fragment id (handles dups).
+  int fragment_of_fault(std::size_t input_index) const {
+    return fault_fragment_[input_index];
+  }
+
+ private:
+  // Distinct intervals sorted by tin; laminarity makes (tin sorted) imply
+  // a stack-decomposable nesting structure.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sorted_;
+  std::vector<int> parent_;          // laminar parent fragment of frag j+1
+  std::vector<int> fault_fragment_;  // per input interval
+};
+
+}  // namespace ftc::graph

@@ -1,0 +1,159 @@
+#include "graph/generators.hpp"
+
+#include <set>
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace ftc::graph {
+
+namespace {
+std::pair<VertexId, VertexId> ordered(VertexId a, VertexId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+Graph random_connected(VertexId n, EdgeId m, std::uint64_t seed) {
+  FTC_REQUIRE(n >= 1, "need at least one vertex");
+  const std::uint64_t max_m =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  FTC_REQUIRE(m + 1 >= n && m <= max_m, "edge count out of range");
+  SplitMix64 rng(seed);
+  Graph g(n);
+  std::set<std::pair<VertexId, VertexId>> used;
+  // Random recursive tree: vertex i attaches to a uniform earlier vertex.
+  for (VertexId i = 1; i < n; ++i) {
+    const VertexId p = static_cast<VertexId>(rng.next_below(i));
+    g.add_edge(p, i);
+    used.insert(ordered(p, i));
+  }
+  while (g.num_edges() < m) {
+    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (!used.insert(ordered(u, v)).second) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph gnp(VertexId n, double p, std::uint64_t seed) {
+  FTC_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  SplitMix64 rng(seed);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.next_double() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph grid(VertexId rows, VertexId cols) {
+  FTC_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  Graph g(rows * cols);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph cycle(VertexId n) {
+  FTC_REQUIRE(n >= 3, "cycle needs >= 3 vertices");
+  Graph g(n);
+  for (VertexId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph complete(VertexId n) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph hypercube(unsigned dim) {
+  FTC_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension out of range");
+  const VertexId n = VertexId{1} << dim;
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dim; ++b) {
+      const VertexId v = u ^ (VertexId{1} << b);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph barbell(VertexId k, VertexId path_len) {
+  FTC_REQUIRE(k >= 2, "cliques need >= 2 vertices");
+  Graph g(2 * k + path_len);
+  const auto add_clique = [&g](VertexId base, VertexId size) {
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = i + 1; j < size; ++j) g.add_edge(base + i, base + j);
+    }
+  };
+  add_clique(0, k);
+  add_clique(k, k);
+  // Path from vertex k-1 (first clique) to vertex k (second clique)
+  // through path_len intermediate vertices.
+  VertexId prev = k - 1;
+  for (VertexId i = 0; i < path_len; ++i) {
+    const VertexId mid = 2 * k + i;
+    g.add_edge(prev, mid);
+    prev = mid;
+  }
+  g.add_edge(prev, k);
+  return g;
+}
+
+Graph path_of_cliques(VertexId num_cliques, VertexId k) {
+  FTC_REQUIRE(num_cliques >= 1 && k >= 2, "need cliques of size >= 2");
+  Graph g(num_cliques * k);
+  for (VertexId c = 0; c < num_cliques; ++c) {
+    const VertexId base = c * k;
+    for (VertexId i = 0; i < k; ++i) {
+      for (VertexId j = i + 1; j < k; ++j) g.add_edge(base + i, base + j);
+    }
+    if (c + 1 < num_cliques) g.add_edge(base + k - 1, base + k);
+  }
+  return g;
+}
+
+Graph preferential_attachment(VertexId n, unsigned out_deg,
+                              std::uint64_t seed) {
+  FTC_REQUIRE(out_deg >= 1, "out degree must be >= 1");
+  FTC_REQUIRE(n >= out_deg + 1, "too few vertices for the out degree");
+  SplitMix64 rng(seed);
+  Graph g(n);
+  std::vector<VertexId> endpoint_pool;  // one entry per edge endpoint
+  // Seed clique over the first out_deg + 1 vertices.
+  for (VertexId u = 0; u <= out_deg; ++u) {
+    for (VertexId v = u + 1; v <= out_deg; ++v) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (VertexId u = out_deg + 1; u < n; ++u) {
+    std::set<VertexId> targets;
+    while (targets.size() < out_deg) {
+      const VertexId v =
+          endpoint_pool[rng.next_below(endpoint_pool.size())];
+      if (v != u) targets.insert(v);
+    }
+    for (const VertexId v : targets) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  return g;
+}
+
+}  // namespace ftc::graph

@@ -1,0 +1,39 @@
+// Deterministic (seeded) workload generators used by tests, examples and
+// the benchmark harness. All generators produce simple connected graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ftc::graph {
+
+// Uniform random spanning tree skeleton plus (m - n + 1) distinct random
+// non-tree edges. Requires n >= 1 and n - 1 <= m <= n(n-1)/2.
+Graph random_connected(VertexId n, EdgeId m, std::uint64_t seed);
+
+// Erdos-Renyi G(n, p). May be disconnected; callers must check.
+Graph gnp(VertexId n, double p, std::uint64_t seed);
+
+// rows x cols grid (large diameter; stresses the CONGEST experiments).
+Graph grid(VertexId rows, VertexId cols);
+
+// Cycle, complete graph, hypercube of dimension dim.
+Graph cycle(VertexId n);
+Graph complete(VertexId n);
+Graph hypercube(unsigned dim);
+
+// Two cliques of size k joined by a path of length path_len: fault sets
+// on the path disconnect the halves, exercising the negative branch.
+Graph barbell(VertexId k, VertexId path_len);
+
+// num_cliques cliques of size k chained by single bridge edges: maximizes
+// fragment-size imbalance for the Lemma 6 query-strategy ablation.
+Graph path_of_cliques(VertexId num_cliques, VertexId k);
+
+// Preferential attachment: each new vertex attaches to `out_deg` distinct
+// earlier vertices, biased by degree (scale-free-ish degree profile).
+Graph preferential_attachment(VertexId n, unsigned out_deg,
+                              std::uint64_t seed);
+
+}  // namespace ftc::graph

@@ -1,0 +1,5 @@
+#include "graph/graph.hpp"
+
+// Graph is header-only; this translation unit anchors the module in the
+// static library.
+namespace ftc::graph {}

@@ -1,0 +1,76 @@
+// Undirected graph with stable integer edge IDs and incidence lists.
+//
+// This is the common substrate of the whole library: the labeling schemes
+// index labels by EdgeId, the auxiliary-graph transformation (Fig. 1)
+// remaps IDs, and the ground-truth connectivity checker works on the same
+// representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ftc::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kNoVertex = UINT32_MAX;
+inline constexpr EdgeId kNoEdge = UINT32_MAX;
+
+struct Edge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(VertexId n) : adj_(n) {}
+
+  VertexId add_vertex() {
+    adj_.emplace_back();
+    return static_cast<VertexId>(adj_.size() - 1);
+  }
+
+  // Adds an undirected edge and returns its ID. Self-loops are rejected
+  // (they are irrelevant to connectivity and break the subdivision step).
+  EdgeId add_edge(VertexId u, VertexId v) {
+    FTC_REQUIRE(u < num_vertices() && v < num_vertices(), "vertex out of range");
+    FTC_REQUIRE(u != v, "self-loops are not supported");
+    const EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{u, v});
+    adj_[u].push_back(id);
+    adj_[v].push_back(id);
+    return id;
+  }
+
+  VertexId num_vertices() const { return static_cast<VertexId>(adj_.size()); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const {
+    FTC_REQUIRE(e < num_edges(), "edge out of range");
+    return edges_[e];
+  }
+
+  VertexId other_endpoint(EdgeId e, VertexId w) const {
+    const Edge& ed = edge(e);
+    FTC_REQUIRE(ed.u == w || ed.v == w, "vertex not an endpoint of edge");
+    return ed.u == w ? ed.v : ed.u;
+  }
+
+  std::span<const EdgeId> incident_edges(VertexId v) const {
+    FTC_REQUIRE(v < num_vertices(), "vertex out of range");
+    return adj_[v];
+  }
+
+  std::size_t degree(VertexId v) const { return incident_edges(v).size(); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adj_;
+};
+
+}  // namespace ftc::graph

@@ -1,0 +1,109 @@
+#include "graph/spanning_tree.hpp"
+
+#include <queue>
+
+namespace ftc::graph {
+
+VertexId SpanningTree::lower_endpoint(const Graph& g, EdgeId e) const {
+  FTC_REQUIRE(e < g.num_edges() && is_tree_edge[e], "not a tree edge");
+  const Edge& ed = g.edge(e);
+  // The lower endpoint is the one whose parent edge is e.
+  if (parent_edge[ed.u] == e) return ed.u;
+  FTC_CHECK(parent_edge[ed.v] == e, "tree edge inconsistent with parents");
+  return ed.v;
+}
+
+SpanningTree bfs_spanning_tree(const Graph& g, VertexId root) {
+  FTC_REQUIRE(root < g.num_vertices(), "root out of range");
+  const VertexId n = g.num_vertices();
+  SpanningTree t;
+  t.root = root;
+  t.parent.assign(n, kNoVertex);
+  t.parent_edge.assign(n, kNoEdge);
+  t.depth.assign(n, 0);
+  t.children.assign(n, {});
+  t.is_tree_edge.assign(g.num_edges(), 0);
+
+  std::queue<VertexId> q;
+  t.parent[root] = root;
+  q.push(root);
+  VertexId visited = 0;
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    ++visited;
+    for (const EdgeId e : g.incident_edges(u)) {
+      const VertexId w = g.other_endpoint(e, u);
+      if (t.parent[w] != kNoVertex) continue;
+      t.parent[w] = u;
+      t.parent_edge[w] = e;
+      t.depth[w] = t.depth[u] + 1;
+      t.children[u].push_back(w);
+      t.is_tree_edge[e] = 1;
+      q.push(w);
+    }
+  }
+  FTC_REQUIRE(visited == n, "graph must be connected to build a spanning tree");
+  return t;
+}
+
+SpanningTree tree_from_parents(const Graph& g, VertexId root,
+                               std::vector<VertexId> parent,
+                               std::vector<EdgeId> parent_edge) {
+  const VertexId n = g.num_vertices();
+  FTC_REQUIRE(parent.size() == n && parent_edge.size() == n,
+              "parent arrays must cover every vertex");
+  FTC_REQUIRE(parent[root] == root, "parent of root must be root");
+  SpanningTree t;
+  t.root = root;
+  t.parent = std::move(parent);
+  t.parent_edge = std::move(parent_edge);
+  t.depth.assign(n, 0);
+  t.children.assign(n, {});
+  t.is_tree_edge.assign(g.num_edges(), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    FTC_REQUIRE(t.parent[v] < n, "missing parent");
+    t.children[t.parent[v]].push_back(v);
+    FTC_REQUIRE(t.parent_edge[v] < g.num_edges(), "missing parent edge");
+    t.is_tree_edge[t.parent_edge[v]] = 1;
+  }
+  // Compute depths in top-down order; also validates acyclicity.
+  std::vector<VertexId> stack{root};
+  VertexId seen = 0;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (const VertexId c : t.children[u]) {
+      t.depth[c] = t.depth[u] + 1;
+      stack.push_back(c);
+    }
+  }
+  FTC_REQUIRE(seen == n, "parent arrays do not form a tree rooted at root");
+  return t;
+}
+
+bool is_connected(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<VertexId> stack{0};
+  seen[0] = 1;
+  VertexId count = 0;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const EdgeId e : g.incident_edges(u)) {
+      const VertexId w = g.other_endpoint(e, u);
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == n;
+}
+
+}  // namespace ftc::graph

@@ -1,0 +1,42 @@
+// Rooted spanning trees. The whole labeling framework is parameterized by
+// an arbitrary rooted spanning tree T of the input graph (Section 3); we
+// provide BFS construction (also the choice of the distributed algorithm
+// in Section 8) and a constructor from explicit parent arrays (used for
+// the auxiliary graph T', Section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftc::graph {
+
+struct SpanningTree {
+  VertexId root = kNoVertex;
+  std::vector<VertexId> parent;      // parent[root] == root
+  std::vector<EdgeId> parent_edge;   // kNoEdge for the root
+  std::vector<std::uint32_t> depth;  // depth[root] == 0
+  std::vector<std::vector<VertexId>> children;
+  std::vector<char> is_tree_edge;    // indexed by EdgeId of the host graph
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(parent.size());
+  }
+
+  // The endpoint of tree edge e farther from the root ("lower vertex").
+  VertexId lower_endpoint(const Graph& g, EdgeId e) const;
+};
+
+// Builds the BFS spanning tree rooted at root. Requires g connected.
+SpanningTree bfs_spanning_tree(const Graph& g, VertexId root);
+
+// Builds the tree structure from explicit parent/parent-edge arrays
+// (children lists, depths, is_tree_edge derived). parent[root] must be
+// root; every other vertex must reach the root by parent pointers.
+SpanningTree tree_from_parents(const Graph& g, VertexId root,
+                               std::vector<VertexId> parent,
+                               std::vector<EdgeId> parent_edge);
+
+bool is_connected(const Graph& g);
+
+}  // namespace ftc::graph

@@ -1,0 +1,63 @@
+#include "sketch/agm_sketch.hpp"
+
+#include "util/common.hpp"
+
+namespace ftc::sketch {
+
+AgmSketch::AgmSketch(unsigned levels, unsigned reps, std::uint64_t seed)
+    : levels_(levels), reps_(reps), seed_(seed) {
+  FTC_REQUIRE(levels >= 1 && reps >= 1, "AgmSketch needs levels, reps >= 1");
+  cells_.assign(static_cast<std::size_t>(levels_) * reps_, Cell{});
+}
+
+std::uint64_t AgmSketch::item_hash(const PackedId& id, unsigned rep) const {
+  return mix_hash(id.lo ^ (id.hi * 0x9e3779b97f4a7c15ULL),
+                  seed_ + 0x1000003 * (rep + 1));
+}
+
+std::uint64_t AgmSketch::fingerprint(std::uint64_t lo, std::uint64_t hi) const {
+  return mix_hash(lo + 0x6a09e667f3bcc909ULL * hi, seed_ ^ 0xdeadbeefULL);
+}
+
+void AgmSketch::toggle(const PackedId& id) {
+  FTC_REQUIRE(!id.is_zero(), "sketch items must be nonzero");
+  const std::uint64_t f = fingerprint(id.lo, id.hi);
+  for (unsigned r = 0; r < reps_; ++r) {
+    const std::uint64_t h = item_hash(id, r);
+    unsigned level = h == 0 ? 63u : static_cast<unsigned>(__builtin_ctzll(h));
+    if (level >= levels_) level = levels_ - 1;
+    Cell& c = cells_[static_cast<std::size_t>(r) * levels_ + level];
+    c.id_lo ^= id.lo;
+    c.id_hi ^= id.hi;
+    c.fp ^= f;
+  }
+}
+
+void AgmSketch::merge(const AgmSketch& o) {
+  FTC_REQUIRE(levels_ == o.levels_ && reps_ == o.reps_ && seed_ == o.seed_,
+              "merging incompatible AGM sketches");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].id_lo ^= o.cells_[i].id_lo;
+    cells_[i].id_hi ^= o.cells_[i].id_hi;
+    cells_[i].fp ^= o.cells_[i].fp;
+  }
+}
+
+std::optional<PackedId> AgmSketch::sample() const {
+  for (const Cell& c : cells_) {
+    if (c.id_lo == 0 && c.id_hi == 0 && c.fp == 0) continue;
+    if (c.fp == fingerprint(c.id_lo, c.id_hi)) {
+      return PackedId{c.id_lo, c.id_hi};
+    }
+  }
+  return std::nullopt;
+}
+
+bool AgmSketch::looks_empty() const {
+  for (const Cell& c : cells_) {
+    if (c.id_lo != 0 || c.id_hi != 0 || c.fp != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace ftc::sketch

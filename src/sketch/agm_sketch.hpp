@@ -1,0 +1,68 @@
+// Randomized l0-sampler sketch in the style of Ahn-Guha-McGregor (AGM'12),
+// the randomized technique the paper de-randomizes (Section 4.1).
+//
+// Serves as the engine of the Dory-Parter second scheme baseline
+// (src/dp21/agm_ftc.*): each cell of the sketch is a 1-sparse recovery
+// unit (XOR of IDs + XOR of fingerprints); items are subsampled
+// geometrically per level, and independent repetitions drive the failure
+// probability down. Guarantees are "with high probability", in contrast
+// to the deterministic RsSketch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ftc::sketch {
+
+// 128-bit opaque item identifier (edge IDs packed from ancestry labels).
+struct PackedId {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool is_zero() const { return lo == 0 && hi == 0; }
+  friend bool operator==(const PackedId&, const PackedId&) = default;
+  friend auto operator<=>(const PackedId&, const PackedId&) = default;
+};
+
+class AgmSketch {
+ public:
+  AgmSketch() = default;
+  // levels: geometric subsampling depth (>= log2 of universe size in use);
+  // reps: independent repetitions; seed: shared across all sketches that
+  // are to be merged with one another.
+  AgmSketch(unsigned levels, unsigned reps, std::uint64_t seed);
+
+  void toggle(const PackedId& id);
+  void merge(const AgmSketch& o);
+
+  // Attempts to return some element of the sketched set. Fails (whp only
+  // if the set is empty; with small probability also on nonempty sets or
+  // returns a bogus ID on adversarial collisions — callers may verify).
+  std::optional<PackedId> sample() const;
+
+  // True iff every cell is zero; whp equivalent to the set being empty.
+  bool looks_empty() const;
+
+  std::size_t size_bits() const { return cells_.size() * 3 * 64; }
+  unsigned levels() const { return levels_; }
+  unsigned reps() const { return reps_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Cell {
+    std::uint64_t id_lo = 0;
+    std::uint64_t id_hi = 0;
+    std::uint64_t fp = 0;
+  };
+
+  std::uint64_t item_hash(const PackedId& id, unsigned rep) const;
+  std::uint64_t fingerprint(std::uint64_t lo, std::uint64_t hi) const;
+
+  unsigned levels_ = 0;
+  unsigned reps_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<Cell> cells_;  // reps_ x levels_, row-major by rep
+};
+
+}  // namespace ftc::sketch

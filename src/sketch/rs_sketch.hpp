@@ -1,0 +1,165 @@
+// Deterministic k-threshold set sketch (the paper's first key technique,
+// Sections 4.2 and 7.4).
+//
+// A sketch of a set X of nonzero field elements stores the k odd power
+// sums S_1, S_3, ..., S_{2k-1} with S_j = sum_{x in X} x^j — exactly the
+// syndrome of X's characteristic vector under the parity-check matrix of a
+// Reed-Solomon/BCH code with designed distance 2k+1. Because the
+// characteristic vector is binary and char(F) = 2, the even power sums are
+// squares of earlier ones (S_{2j} = S_j^2), so k field elements suffice:
+// this is the O(k log n)-bit label of Proposition 2.
+//
+// Properties (all verified by tests):
+//  * XOR-homomorphic: merge(a, b) sketches the symmetric difference.
+//  * Decodable: if |X| <= k, decode() recovers X exactly in O(k^2) field
+//    operations (Berlekamp-Massey + Berlekamp trace root finding).
+//  * Prefix-adaptive (Proposition 6 / Appendix B): the first k' syndromes
+//    are precisely the k'-threshold sketch of the same set, so a decoder
+//    may start small and grow.
+//  * Fail-stop: decode() re-verifies every stored syndrome against the
+//    recovered support; if |X| > k it returns nullopt or falls through —
+//    by the minimum-distance argument it never mis-reports a set of size
+//    <= k.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/berlekamp_massey.hpp"
+#include "gf/gf2.hpp"
+#include "gf/gf2_poly.hpp"
+#include "gf/trace_roots.hpp"
+#include "util/common.hpp"
+
+namespace ftc::sketch {
+
+// Odd power sums S_1, S_3, ..., S_{2k-1} of xs.
+template <typename F>
+std::vector<F> odd_power_sums(std::span<const F> xs, unsigned k) {
+  std::vector<F> syn(k, F::zero());
+  for (const F& x : xs) {
+    const F x2 = x.square();
+    F p = x;
+    for (unsigned j = 0; j < k; ++j) {
+      syn[j] += p;
+      p *= x2;
+    }
+  }
+  return syn;
+}
+
+template <typename F>
+class RsSketch {
+ public:
+  using Field = F;
+
+  RsSketch() = default;
+  explicit RsSketch(unsigned k) : syn_(k, F::zero()) {}
+  explicit RsSketch(std::vector<F> syndromes) : syn_(std::move(syndromes)) {}
+
+  unsigned k() const { return static_cast<unsigned>(syn_.size()); }
+  std::span<const F> syndromes() const { return syn_; }
+
+  // Toggles membership of x (insert if absent, erase if present).
+  void toggle(F x) {
+    FTC_REQUIRE(!x.is_zero(), "sketch elements must be nonzero");
+    const F x2 = x.square();
+    F p = x;
+    for (F& s : syn_) {
+      s += p;
+      p *= x2;
+    }
+  }
+
+  // After merging, this sketches the symmetric difference of the two sets.
+  void merge(const RsSketch& o) {
+    FTC_REQUIRE(o.k() == k(), "merging sketches of different capacity");
+    for (unsigned j = 0; j < k(); ++j) syn_[j] += o.syn_[j];
+  }
+
+  bool is_zero() const {
+    for (const F& s : syn_) {
+      if (!s.is_zero()) return false;
+    }
+    return true;
+  }
+
+  // The k'-threshold sketch of the same set (Proposition 6).
+  RsSketch prefix(unsigned k2) const {
+    FTC_REQUIRE(k2 <= k(), "prefix larger than sketch");
+    return RsSketch(std::vector<F>(syn_.begin(), syn_.begin() + k2));
+  }
+
+  // Attempts to recover the sketched set assuming |X| <= t (t <= k). Uses
+  // only the first t stored syndromes for locator synthesis but verifies
+  // the candidate support against all k stored syndromes. Returns the
+  // sorted support on success.
+  std::optional<std::vector<F>> decode(unsigned t) const {
+    FTC_REQUIRE(t <= k(), "decode threshold exceeds sketch capacity");
+    if (t == 0) {
+      if (is_zero()) return std::vector<F>{};
+      return std::nullopt;
+    }
+    // Reconstruct S_1..S_2k: odd entries stored, even entries are squares.
+    const unsigned kk = k();
+    std::vector<F> s(2 * kk + 1, F::zero());  // s[i] = S_i, index 1-based
+    for (unsigned i = 1; i <= 2 * kk; ++i) {
+      s[i] = (i % 2 == 1) ? syn_[(i - 1) / 2] : s[i / 2].square();
+    }
+    const gf::Poly<F> sigma =
+        gf::berlekamp_massey(std::span<const F>(s.data() + 1, 2 * t));
+    const int deg = sigma.degree();
+    if (deg < 0 || static_cast<unsigned>(deg) > t) return std::nullopt;
+    if (deg == 0) {
+      if (is_zero()) return std::vector<F>{};
+      return std::nullopt;
+    }
+    // Cheap consistency filter before the (expensive) root finding: a
+    // correct locator annihilates the whole syndrome sequence, so check
+    // the LFSR recurrence on the syndromes beyond the 2t used by BM.
+    // Wrong-threshold attempts (t < |X|) are rejected here in O(k deg)
+    // instead of surviving to the trace algorithm.
+    for (unsigned i = 2 * t + 1; i <= 2 * kk; ++i) {
+      F acc = s[i];
+      for (int j = 1; j <= deg; ++j) acc += sigma.coeff(j) * s[i - j];
+      if (!acc.is_zero()) return std::nullopt;
+    }
+    // sigma(z) = prod (1 - x z): its roots are the inverses of the support.
+    std::vector<F> roots = gf::find_roots(sigma);
+    if (static_cast<int>(roots.size()) != deg) return std::nullopt;
+    std::vector<F> support;
+    support.reserve(roots.size());
+    for (const F& r : roots) {
+      if (r.is_zero()) return std::nullopt;
+      support.push_back(gf::inverse(r));
+    }
+    // Full verification against every stored syndrome (fail-stop).
+    const std::vector<F> check = odd_power_sums<F>(support, k());
+    for (unsigned j = 0; j < k(); ++j) {
+      if (check[j] != syn_[j]) return std::nullopt;
+    }
+    std::sort(support.begin(), support.end());
+    return support;
+  }
+
+  // Doubling search over thresholds (the adaptive decoding of Section 6 /
+  // Appendix B): total cost is dominated by the final successful attempt,
+  // so a set of size d decodes in ~O(d^2) instead of O(k^2).
+  std::optional<std::vector<F>> decode_adaptive(unsigned start = 1) const {
+    if (is_zero()) return std::vector<F>{};
+    unsigned t = std::max(1u, std::min(start, k()));
+    while (true) {
+      if (auto r = decode(t)) return r;
+      if (t == k()) return std::nullopt;
+      t = std::min(2 * t, k());
+    }
+  }
+
+  std::size_t size_bits() const { return syn_.size() * F::kBits; }
+
+ private:
+  std::vector<F> syn_;
+};
+
+}  // namespace ftc::sketch

@@ -1,0 +1,103 @@
+// Common utility macros and small helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftc {
+
+namespace detail {
+[[noreturn]] inline void throw_requirement(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FTC_REQUIRE failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FTC_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+// Precondition check on public API arguments. Throws std::invalid_argument.
+#define FTC_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ftc::detail::throw_requirement(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+// Internal invariant check. Throws std::logic_error (a bug if it fires).
+#define FTC_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ftc::detail::throw_internal(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+// Deterministic splittable PRNG (splitmix64). Used wherever the library
+// needs reproducible pseudo-randomness (randomized baselines, generators).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    FTC_REQUIRE(bound > 0, "bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t v;
+    do {
+      v = next();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  bool next_bool() { return (next() & 1) != 0; }
+
+  double next_double() {  // in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Stateless 64-bit mix hash (for seeded hashing in randomized sketches).
+inline std::uint64_t mix_hash(std::uint64_t x, std::uint64_t seed) {
+  x += seed + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Number of bits needed to represent v (0 -> 0).
+inline unsigned bit_width_u64(std::uint64_t v) {
+  unsigned w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+// ceil(log2(v)) for v >= 1.
+inline unsigned ceil_log2(std::uint64_t v) {
+  FTC_REQUIRE(v >= 1, "ceil_log2 of zero");
+  unsigned w = bit_width_u64(v);
+  return ((std::uint64_t{1} << (w - 1)) == v) ? w - 1 : w;
+}
+
+}  // namespace ftc

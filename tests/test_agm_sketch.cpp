@@ -1,0 +1,87 @@
+// Tests for the randomized AGM l0-sampler sketch (baseline engine).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sketch/agm_sketch.hpp"
+#include "util/common.hpp"
+
+namespace ftc::sketch {
+namespace {
+
+PackedId random_id(SplitMix64& rng) {
+  PackedId id{rng.next(), rng.next()};
+  if (id.is_zero()) id.lo = 1;
+  return id;
+}
+
+TEST(AgmSketch, SingletonSamplesExactly) {
+  SplitMix64 rng(41);
+  for (int it = 0; it < 50; ++it) {
+    AgmSketch sk(20, 4, /*seed=*/it);
+    const PackedId id = random_id(rng);
+    sk.toggle(id);
+    auto s = sk.sample();
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(*s, id);
+    EXPECT_FALSE(sk.looks_empty());
+  }
+}
+
+TEST(AgmSketch, ToggleTwiceErases) {
+  AgmSketch sk(16, 3, 7);
+  const PackedId id{123, 456};
+  sk.toggle(id);
+  sk.toggle(id);
+  EXPECT_TRUE(sk.looks_empty());
+  EXPECT_EQ(sk.sample(), std::nullopt);
+  EXPECT_THROW(sk.toggle(PackedId{}), std::invalid_argument);
+}
+
+TEST(AgmSketch, SampleReturnsMemberWhp) {
+  SplitMix64 rng(42);
+  int success = 0;
+  const int kTrials = 200;
+  for (int it = 0; it < kTrials; ++it) {
+    const unsigned size = 1 + rng.next_below(64);
+    std::set<PackedId> set;
+    AgmSketch sk(24, 4, /*seed=*/1000 + it);
+    while (set.size() < size) {
+      const PackedId id = random_id(rng);
+      if (set.insert(id).second) sk.toggle(id);
+    }
+    auto s = sk.sample();
+    if (s.has_value() && set.count(*s)) ++success;
+  }
+  // Failure probability per trial is ~(3/4)^reps-ish; expect near-perfect.
+  EXPECT_GE(success, kTrials * 95 / 100);
+}
+
+TEST(AgmSketch, MergeIsSymmetricDifference) {
+  SplitMix64 rng(43);
+  AgmSketch a(20, 4, 99), b(20, 4, 99);
+  const PackedId shared = random_id(rng);
+  const PackedId only_a = random_id(rng);
+  a.toggle(shared);
+  a.toggle(only_a);
+  b.toggle(shared);
+  a.merge(b);
+  // A xor B = {only_a}.
+  auto s = a.sample();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, only_a);
+}
+
+TEST(AgmSketch, MergeRequiresCompatibleParams) {
+  AgmSketch a(20, 4, 1), b(20, 4, 2), c(10, 4, 1);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(AgmSketch, SizeAccounting) {
+  AgmSketch sk(20, 4, 0);
+  EXPECT_EQ(sk.size_bits(), 20u * 4u * 3u * 64u);
+}
+
+}  // namespace
+}  // namespace ftc::sketch

@@ -1,0 +1,199 @@
+// Tests for the auxiliary graph transformation (Section 3.2 / Figure 1 /
+// Proposition 1) and the laminar fragment locator (Proposition 3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/aux_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/fragments.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::graph {
+namespace {
+
+TEST(AuxGraph, StructuralProperties) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = random_connected(40, 100, seed);
+    const SpanningTree t = bfs_spanning_tree(g, 0);
+    const AuxGraph a = build_aux_graph(g, t);
+
+    const EdgeId nontree = g.num_edges() - (g.num_vertices() - 1);
+    EXPECT_EQ(a.g2.num_vertices(), g.num_vertices() + nontree);
+    EXPECT_EQ(a.g2.num_edges(), g.num_edges() + nontree);
+    EXPECT_TRUE(is_connected(a.g2));
+    EXPECT_EQ(a.t2.root, t.root);
+
+    // sigma maps every original edge to a T'-tree edge, injectively.
+    std::set<EdgeId> images;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      ASSERT_NE(a.sigma[e], kNoEdge);
+      EXPECT_TRUE(a.t2.is_tree_edge[a.sigma[e]]);
+      EXPECT_TRUE(images.insert(a.sigma[e]).second);
+    }
+    // Every subdivision vertex has degree exactly 2.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (a.sub_vertex[e] == kNoVertex) continue;
+      EXPECT_EQ(a.g2.degree(a.sub_vertex[e]), 2u);
+      // Non-tree half is not a T' tree edge and maps back to e.
+      EXPECT_FALSE(a.t2.is_tree_edge[a.second_half[e]]);
+      EXPECT_EQ(a.orig_of[a.second_half[e]], e);
+    }
+    // T' has exactly |V'| - 1 tree edges.
+    unsigned tree_edges = 0;
+    for (EdgeId e = 0; e < a.g2.num_edges(); ++e) {
+      tree_edges += a.t2.is_tree_edge[e];
+    }
+    EXPECT_EQ(tree_edges, a.g2.num_vertices() - 1);
+  }
+}
+
+TEST(AuxGraph, ConnectivityEquivalence) {
+  // Proposition 1: s-t connectivity in G - F equals connectivity in
+  // G' - sigma(F), for arbitrary fault sets.
+  SplitMix64 rng(7);
+  for (int it = 0; it < 25; ++it) {
+    const Graph g = random_connected(25, 60, 500 + it);
+    const SpanningTree t = bfs_spanning_tree(g, 0);
+    const AuxGraph a = build_aux_graph(g, t);
+    std::vector<EdgeId> faults, mapped;
+    const unsigned nf = 1 + rng.next_below(6);
+    for (unsigned i = 0; i < nf; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+      faults.push_back(e);
+      mapped.push_back(a.sigma[e]);
+    }
+    for (int q = 0; q < 20; ++q) {
+      const VertexId s = static_cast<VertexId>(rng.next_below(25));
+      const VertexId u = static_cast<VertexId>(rng.next_below(25));
+      EXPECT_EQ(connected_avoiding(g, s, u, faults),
+                connected_avoiding(a.g2, s, u, mapped));
+    }
+  }
+}
+
+TEST(AuxGraph, PaperFigure1Instance) {
+  // The 12-edge example of Figure 1: tree edges e1..e4, e6..e8, e10, e11
+  // and non-tree edges e5, e9, e12 (up to our index naming: we build a
+  // tree of 10 vertices plus 5 extra edges and check the transformation
+  // counts match the figure: 5 subdivision vertices, 5 new edges).
+  Graph g(10);
+  // A fixed tree.
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  g.add_edge(2, 5);
+  g.add_edge(2, 6);
+  g.add_edge(4, 7);
+  g.add_edge(5, 8);
+  g.add_edge(6, 9);
+  // Five non-tree chords, as in the figure's e'-edges.
+  g.add_edge(3, 4);
+  g.add_edge(7, 8);
+  g.add_edge(8, 9);
+  g.add_edge(3, 7);
+  g.add_edge(5, 9);
+  const SpanningTree t = bfs_spanning_tree(g, 0);
+  const AuxGraph a = build_aux_graph(g, t);
+  EXPECT_EQ(a.g2.num_vertices(), 15u);
+  EXPECT_EQ(a.g2.num_edges(), 19u);
+  unsigned subdivided = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    subdivided += (a.sub_vertex[e] != kNoVertex);
+  }
+  EXPECT_EQ(subdivided, 5u);
+}
+
+TEST(FragmentLocator, MatchesComponentsOfTreeMinusFaults) {
+  SplitMix64 rng(9);
+  for (int it = 0; it < 30; ++it) {
+    const Graph g = random_connected(40, 39 + rng.next_below(50), 700 + it);
+    const SpanningTree t = bfs_spanning_tree(g, 0);
+    const EulerTour et = euler_tour(t);
+
+    // Pick random tree edges as faults (with possible duplicates).
+    std::vector<EdgeId> tree_edges;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (t.is_tree_edge[e]) tree_edges.push_back(e);
+    }
+    const unsigned nf = 1 + rng.next_below(8);
+    std::vector<EdgeId> faults;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+    for (unsigned i = 0; i < nf; ++i) {
+      const EdgeId e = tree_edges[rng.next_below(tree_edges.size())];
+      faults.push_back(e);
+      const VertexId lo = t.lower_endpoint(g, e);
+      intervals.push_back({et.tin[lo], et.tout[lo]});
+    }
+    const FragmentLocator loc(intervals);
+
+    // Ground truth: components of the tree with fault edges removed.
+    Graph tree_only(g.num_vertices());
+    std::vector<EdgeId> tree_fault_ids;
+    std::set<EdgeId> fault_set(faults.begin(), faults.end());
+    std::vector<EdgeId> remap(g.num_edges(), kNoEdge);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!t.is_tree_edge[e]) continue;
+      remap[e] = tree_only.add_edge(g.edge(e).u, g.edge(e).v);
+    }
+    for (const EdgeId e : fault_set) tree_fault_ids.push_back(remap[e]);
+    const auto comp = components_avoiding(tree_only, tree_fault_ids);
+
+    // locate() must induce exactly the same partition.
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(loc.locate(et.tin[u]) == loc.locate(et.tin[v]),
+                  comp[u] == comp[v])
+            << "vertices " << u << "," << v;
+      }
+    }
+    // Fragment count: number of distinct fault edges + 1.
+    EXPECT_EQ(loc.fragment_count(), static_cast<int>(fault_set.size()) + 1);
+    // Root fragment contains the root.
+    EXPECT_EQ(loc.locate(et.tin[t.root]), 0);
+  }
+}
+
+TEST(FragmentLocator, ParentFragmentCrossesFaultEdgeUpward) {
+  // Path 0-1-2-3-4 rooted at 0; faults at edges (1,2) and (3,4):
+  // fragments {0,1}, {2,3}, {4}.
+  Graph g(5);
+  std::vector<EdgeId> edges;
+  for (VertexId i = 0; i + 1 < 5; ++i) edges.push_back(g.add_edge(i, i + 1));
+  const SpanningTree t = bfs_spanning_tree(g, 0);
+  const EulerTour et = euler_tour(t);
+  const auto iv = [&](VertexId lower) {
+    return std::make_pair(et.tin[lower], et.tout[lower]);
+  };
+  const FragmentLocator loc({iv(2), iv(4)});
+  EXPECT_EQ(loc.fragment_count(), 3);
+  const int f0 = loc.locate(et.tin[0]);
+  const int f2 = loc.locate(et.tin[2]);
+  const int f4 = loc.locate(et.tin[4]);
+  EXPECT_EQ(f0, 0);
+  EXPECT_EQ(loc.locate(et.tin[1]), f0);
+  EXPECT_EQ(loc.locate(et.tin[3]), f2);
+  EXPECT_NE(f2, f0);
+  EXPECT_NE(f4, f2);
+  EXPECT_EQ(loc.parent_fragment(f2), f0);
+  EXPECT_EQ(loc.parent_fragment(f4), f2);
+  EXPECT_EQ(loc.parent_fragment(0), -1);
+}
+
+TEST(FragmentLocator, RejectsNonLaminar) {
+  EXPECT_THROW(FragmentLocator({{0, 5}, {3, 8}}), std::invalid_argument);
+  EXPECT_THROW(FragmentLocator({{2, 1}}), std::invalid_argument);
+}
+
+TEST(FragmentLocator, DuplicateFaultsShareFragment) {
+  const FragmentLocator loc({{2, 5}, {2, 5}, {7, 9}});
+  EXPECT_EQ(loc.fragment_count(), 3);
+  EXPECT_EQ(loc.fragment_of_fault(0), loc.fragment_of_fault(1));
+  EXPECT_NE(loc.fragment_of_fault(0), loc.fragment_of_fault(2));
+}
+
+}  // namespace
+}  // namespace ftc::graph

@@ -1,0 +1,214 @@
+// Tests for the CONGEST simulator and the distributed label construction
+// (Section 8 / Theorem 3): real message passing with enforced O(log n)
+// message budgets, compared field-by-field against the centralized
+// algorithms.
+#include <gtest/gtest.h>
+
+#include "congest/dist_labeling.hpp"
+#include "congest/simulator.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sketch/rs_sketch.hpp"
+#include "util/common.hpp"
+
+namespace ftc::congest {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+// A node that floods a token once: checks plumbing and accounting.
+class FloodNode : public Node {
+ public:
+  FloodNode(const graph::Graph& g, VertexId self, bool start)
+      : g_(g), self_(self), start_(start) {}
+
+  bool reached = false;
+
+  void on_round(unsigned round, std::span<const Message> inbox,
+                std::vector<Message>* outbox) override {
+    const bool trigger = (round == 0 && start_) || (!reached && !inbox.empty());
+    if ((round == 0 && start_) || !inbox.empty()) reached = true;
+    if (trigger) {
+      for (const EdgeId e : g_.incident_edges(self_)) {
+        Message msg;
+        msg.edge = e;
+        msg.payload = {1};
+        msg.bits = 8;
+        outbox->push_back(msg);
+      }
+    }
+  }
+
+ private:
+  const graph::Graph& g_;
+  VertexId self_;
+  bool start_;
+};
+
+TEST(Simulator, FloodReachesEveryoneInDiameterRounds) {
+  const graph::Graph g = graph::grid(5, 9);
+  Simulator sim(g, 16);
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<FloodNode*> raw;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto node = std::make_unique<FloodNode>(g, v, v == 0);
+    raw.push_back(node.get());
+    nodes.push_back(std::move(node));
+  }
+  sim.attach(std::move(nodes));
+  const auto stats = sim.run(1000);
+  for (const auto* node : raw) EXPECT_TRUE(node->reached);
+  // Grid diameter = 4 + 8 = 12; flood quiesces within diameter + O(1).
+  EXPECT_LE(stats.rounds, 16u);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_LE(stats.max_message_bits, 16u);
+}
+
+TEST(Simulator, EnforcesMessageBudget) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  class Oversize : public Node {
+   public:
+    void on_round(unsigned round, std::span<const Message>,
+                  std::vector<Message>* outbox) override {
+      if (round == 0) {
+        Message msg;
+        msg.edge = 0;
+        msg.payload = {1, 2, 3, 4};
+        msg.bits = 999;
+        outbox->push_back(msg);
+      }
+    }
+  };
+  class Quiet : public Node {
+   public:
+    void on_round(unsigned, std::span<const Message>,
+                  std::vector<Message>*) override {}
+  };
+  Simulator sim(g, 64);
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.push_back(std::make_unique<Oversize>());
+  nodes.push_back(std::make_unique<Quiet>());
+  sim.attach(std::move(nodes));
+  EXPECT_THROW(sim.run(10), std::invalid_argument);
+}
+
+TEST(DistLabeling, MatchesCentralizedOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const graph::Graph g = graph::random_connected(40, 100, 9000 + seed);
+    const unsigned k = 6;
+    const auto dist = run_distributed_labeling(g, 0, k);
+
+    // Rebuild the distributed tree centrally (children in vertex-id
+    // order, as the distributed interval assignment uses).
+    std::vector<EdgeId> parent_edge(g.num_vertices(), graph::kNoEdge);
+    for (VertexId v = 1; v < g.num_vertices(); ++v) {
+      for (const EdgeId e : g.incident_edges(v)) {
+        if (g.other_endpoint(e, v) == dist.parent[v]) parent_edge[v] = e;
+      }
+      ASSERT_NE(parent_edge[v], graph::kNoEdge);
+    }
+    const auto t = graph::tree_from_parents(g, 0, dist.parent, parent_edge);
+    const auto et = graph::euler_tour(t);
+
+    // BFS optimality of the distributed tree.
+    const auto tref = graph::bfs_spanning_tree(g, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(dist.depth[v], tref.depth[v]) << "v=" << v;
+    }
+    // Ancestry intervals match the centralized pre-order exactly.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(dist.tin[v], et.tin[v]) << "v=" << v;
+      EXPECT_EQ(dist.tout[v], et.tout[v]) << "v=" << v;
+    }
+    // Subtree syndromes match a direct centralized computation.
+    std::vector<std::vector<gf::GF2_64>> expect(
+        g.num_vertices(), std::vector<gf::GF2_64>(k, gf::GF2_64::zero()));
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (t.is_tree_edge[e]) continue;
+      const auto& ed = g.edge(e);
+      std::uint32_t ta = et.tin[ed.u], oa = et.tout[ed.u];
+      std::uint32_t tb = et.tin[ed.v], ob = et.tout[ed.v];
+      if (ta > tb) {
+        std::swap(ta, tb);
+        std::swap(oa, ob);
+      }
+      const gf::GF2_64 id((std::uint64_t{ta}) | (std::uint64_t{oa} << 16) |
+                          (std::uint64_t{tb} << 32) |
+                          (std::uint64_t{ob} << 48));
+      const gf::GF2_64 id2 = id.square();
+      for (const VertexId end : {ed.u, ed.v}) {
+        gf::GF2_64 p = id;
+        for (unsigned j = 0; j < k; ++j) {
+          expect[end][j] += p;
+          p *= id2;
+        }
+      }
+    }
+    // Aggregate bottom-up over the tree.
+    std::vector<VertexId> order;
+    {
+      std::vector<VertexId> stack{0};
+      while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        order.push_back(u);
+        for (const VertexId c : t.children[u]) stack.push_back(c);
+      }
+      std::reverse(order.begin(), order.end());
+    }
+    for (const VertexId v : order) {
+      if (v == 0) continue;
+      for (unsigned j = 0; j < k; ++j) {
+        expect[t.parent[v]][j] += expect[v][j];
+      }
+    }
+    // expect[v] now holds subtree sums (accumulated child-to-parent in
+    // post-order, matching the distributed convergecast semantics)...
+    // recompute properly: the loop above already turned expect[v] into
+    // subtree sums when v is reached before its parent.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(dist.subtree_syndromes[v].size(), k) << "v=" << v;
+      for (unsigned j = 0; j < k; ++j) {
+        EXPECT_EQ(dist.subtree_syndromes[v][j], expect[v][j])
+            << "v=" << v << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(DistLabeling, PipelinedRoundsScaleAsDepthPlusK) {
+  // Path graph: depth n-1 dominates; complete-ish graph: k dominates.
+  graph::Graph path(60);
+  for (VertexId i = 0; i + 1 < 60; ++i) path.add_edge(i, i + 1);
+  const auto r1 = run_distributed_labeling(path, 0, 4);
+  EXPECT_GT(r1.stats.rounds, 50u);  // ~depth-bound
+
+  const graph::Graph dense = graph::random_connected(30, 200, 2);
+  const auto r2 = run_distributed_labeling(dense, 0, 40);
+  // Depth ~2-3; rounds dominated by the k-slot pipeline + setup.
+  EXPECT_LT(r2.stats.rounds, 40u + 30u);
+  EXPECT_GE(r2.stats.rounds, 40u);
+}
+
+TEST(DistLabeling, MessageBudgetRespected) {
+  const graph::Graph g = graph::random_connected(50, 130, 3);
+  const auto r = run_distributed_labeling(g, 0, 8);
+  // Budget in run_distributed_labeling: 8 + 2*max(2 ceil(lg n), 64).
+  EXPECT_LE(r.stats.max_message_bits, 8u + 2 * 64u);
+  EXPECT_GT(r.stats.total_bits, 0u);
+}
+
+TEST(NetfindRoundModel, ShapeChecks) {
+  // Model grows with both m and D and is sub-linear in m.
+  const auto base = netfind_round_model(10000, 10);
+  EXPECT_GT(netfind_round_model(40000, 10), base);
+  EXPECT_GT(netfind_round_model(10000, 40), base);
+  EXPECT_LT(netfind_round_model(40000, 10), 4 * base);
+  EXPECT_EQ(netfind_round_model(0, 10), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::congest

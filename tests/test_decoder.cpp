@@ -1,0 +1,175 @@
+// Tests for the syndrome-decoding pipeline: Berlekamp-Massey error-locator
+// synthesis and deterministic root finding (Berlekamp trace algorithm).
+// Together these realize the O(k^2) decoder of Proposition 2.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gf/berlekamp_massey.hpp"
+#include "gf/gf2.hpp"
+#include "gf/gf2_poly.hpp"
+#include "gf/trace_roots.hpp"
+#include "util/common.hpp"
+
+namespace ftc::gf {
+namespace {
+
+template <typename F>
+std::vector<F> random_distinct_nonzero(SplitMix64& rng, unsigned count) {
+  std::set<F> s;
+  while (s.size() < count) {
+    F v;
+    if constexpr (F::kWords == 2) {
+      v = F(rng.next(), rng.next());
+    } else {
+      v = F(rng.next());
+    }
+    if (!v.is_zero()) s.insert(v);
+  }
+  return {s.begin(), s.end()};
+}
+
+// Power sums S_1..S_N of the set.
+template <typename F>
+std::vector<F> power_sums(const std::vector<F>& xs, unsigned n) {
+  std::vector<F> s(n, F::zero());
+  for (const F& x : xs) {
+    F p = F::one();
+    for (unsigned i = 0; i < n; ++i) {
+      p *= x;
+      s[i] += p;
+    }
+  }
+  return s;
+}
+
+template <typename F>
+class DecoderTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<GF2_16, GF2_32, GF2_64, GF2_128>;
+TYPED_TEST_SUITE(DecoderTest, FieldTypes);
+
+TYPED_TEST(DecoderTest, BerlekampMasseyRecoversLocator) {
+  using F = TypeParam;
+  SplitMix64 rng(21);
+  for (unsigned t : {1u, 2u, 3u, 5u, 8u}) {
+    for (int it = 0; it < 20; ++it) {
+      const auto xs = random_distinct_nonzero<F>(rng, t);
+      const auto s = power_sums(xs, 2 * t);
+      const Poly<F> sigma = berlekamp_massey(std::span<const F>(s));
+      ASSERT_EQ(sigma.degree(), static_cast<int>(t));
+      EXPECT_EQ(sigma.coeff(0), F::one());
+      // sigma(z) = prod (1 - x z) vanishes at every inverse locator.
+      for (const F& x : xs) {
+        EXPECT_TRUE(sigma.eval(inverse(x)).is_zero());
+      }
+    }
+  }
+}
+
+TYPED_TEST(DecoderTest, BerlekampMasseyZeroSequence) {
+  using F = TypeParam;
+  const std::vector<F> s(10, F::zero());
+  const Poly<F> sigma = berlekamp_massey(std::span<const F>(s));
+  EXPECT_EQ(sigma.degree(), 0);
+}
+
+TYPED_TEST(DecoderTest, FindRootsSmallDegrees) {
+  using F = TypeParam;
+  SplitMix64 rng(22);
+  for (unsigned deg = 1; deg <= 12; ++deg) {
+    for (int it = 0; it < 10; ++it) {
+      auto roots = random_distinct_nonzero<F>(rng, deg);
+      const auto p = poly_from_roots<F>(roots);
+      auto found = find_roots(p);
+      std::sort(roots.begin(), roots.end());
+      EXPECT_EQ(found, roots) << "degree " << deg;
+    }
+  }
+}
+
+TEST(FindRootsLarge, Degree40OverGF64) {
+  using F = GF2_64;
+  SplitMix64 rng(23);
+  auto roots = random_distinct_nonzero<F>(rng, 40);
+  const auto p = poly_from_roots<F>(roots);
+  auto found = find_roots(p);
+  std::sort(roots.begin(), roots.end());
+  EXPECT_EQ(found, roots);
+}
+
+TEST(FindRootsLarge, Degree24OverGF128) {
+  using F = GF2_128;
+  SplitMix64 rng(24);
+  auto roots = random_distinct_nonzero<F>(rng, 24);
+  const auto p = poly_from_roots<F>(roots);
+  auto found = find_roots(p);
+  std::sort(roots.begin(), roots.end());
+  EXPECT_EQ(found, roots);
+}
+
+TYPED_TEST(DecoderTest, RepeatedRootsReportedOnce) {
+  using F = TypeParam;
+  SplitMix64 rng(25);
+  const auto xs = random_distinct_nonzero<F>(rng, 3);
+  // (x+a)^2 (x+b)(x+c): distinct roots are {a, b, c}.
+  std::vector<F> with_dup{xs[0], xs[0], xs[1], xs[2]};
+  const auto p = poly_from_roots<F>(with_dup);
+  auto found = find_roots(p);
+  std::vector<F> expect(xs);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(found, expect);
+}
+
+TYPED_TEST(DecoderTest, IrreducibleQuadraticHasNoRoots) {
+  using F = TypeParam;
+  SplitMix64 rng(26);
+  int tested = 0;
+  while (tested < 20) {
+    F c;
+    if constexpr (F::kWords == 2) {
+      c = F(rng.next(), rng.next());
+    } else {
+      c = F(rng.next());
+    }
+    // x^2 + x + c is irreducible iff Tr(c) = 1.
+    if (trace(c) != F::one()) continue;
+    ++tested;
+    const Poly<F> p(std::vector<F>{c, F::one(), F::one()});
+    EXPECT_TRUE(find_roots(p).empty());
+  }
+}
+
+TYPED_TEST(DecoderTest, ConstantAndLinearPolys) {
+  using F = TypeParam;
+  EXPECT_TRUE(find_roots(Poly<F>::constant(F::one())).empty());
+  EXPECT_TRUE(find_roots(Poly<F>::zero()).empty());
+  const F r(42);
+  const auto p = Poly<F>::linear(F::one(), r);  // x + r
+  const auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], r);
+}
+
+// End-to-end: syndromes -> BM -> roots == original support.
+TYPED_TEST(DecoderTest, FullPipelineRecoversSupport) {
+  using F = TypeParam;
+  SplitMix64 rng(27);
+  for (unsigned t : {1u, 2u, 4u, 7u}) {
+    for (int it = 0; it < 10; ++it) {
+      auto xs = random_distinct_nonzero<F>(rng, t);
+      const auto s = power_sums(xs, 2 * t);
+      const Poly<F> sigma = berlekamp_massey(std::span<const F>(s));
+      auto inv_roots = find_roots(sigma);
+      ASSERT_EQ(inv_roots.size(), t);
+      std::vector<F> rec;
+      for (const F& r : inv_roots) rec.push_back(inverse(r));
+      std::sort(rec.begin(), rec.end());
+      std::sort(xs.begin(), xs.end());
+      EXPECT_EQ(rec, xs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftc::gf

@@ -1,0 +1,200 @@
+// Tests for the Corollary 1 / Corollary 2 applications: weighted shortest
+// paths, sparse covers, fault-tolerant approximate distance labels
+// (estimate is an upper bound within the O(|F|k) stretch) and the routing
+// simulation.
+#include <gtest/gtest.h>
+
+#include "distance/ft_distance.hpp"
+#include "distance/ft_routing.hpp"
+#include "distance/sparse_cover.hpp"
+#include "distance/weighted_graph.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::distance {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+WeightedGraph random_weighted(VertexId n, EdgeId m, Weight max_w,
+                              std::uint64_t seed) {
+  const graph::Graph g = graph::random_connected(n, m, seed);
+  SplitMix64 rng(seed * 7 + 1);
+  WeightedGraph wg(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    wg.add_edge(g.edge(e).u, g.edge(e).v, 1 + rng.next_below(max_w));
+  }
+  return wg;
+}
+
+TEST(WeightedGraph, DijkstraMatchesBellmanFordStyleCheck) {
+  const WeightedGraph g = random_weighted(40, 100, 10, 3);
+  const auto dist = dijkstra(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  // Triangle inequality over every edge (certifies optimality together
+  // with reachability).
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.topology().edge(e);
+    EXPECT_LE(dist[ed.u], dist[ed.v] + g.weight(e));
+    EXPECT_LE(dist[ed.v], dist[ed.u] + g.weight(e));
+  }
+}
+
+TEST(WeightedGraph, FaultsAndRadius) {
+  // Path 0-1-2 with weights 1, 10 and a direct edge 0-2 of weight 100.
+  WeightedGraph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 10);
+  g.add_edge(0, 2, 100);
+  EXPECT_EQ(exact_distance(g, 0, 2), 11u);
+  std::vector<EdgeId> faults{e01};
+  EXPECT_EQ(exact_distance(g, 0, 2, faults), 100u);
+  const auto bounded = dijkstra(g, 0, {}, /*radius=*/5);
+  EXPECT_EQ(bounded[1], 1u);
+  EXPECT_EQ(bounded[2], kInfinity);  // both routes exceed the radius
+}
+
+TEST(SparseCover, CoversEveryBall) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const WeightedGraph g = random_weighted(50, 120, 8, 10 + seed);
+    for (const Weight r : {2u, 8u, 32u}) {
+      const SparseCover cover = build_sparse_cover(g, r, /*k=*/2);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_GE(cover.home_cluster[v], 0);
+        const auto& cl = cover.clusters[cover.home_cluster[v]];
+        // ball(v, r) must be inside the home cluster.
+        const auto dist = dijkstra(g, v);
+        std::vector<char> in_cluster(g.num_vertices(), 0);
+        for (const VertexId u : cl.vertices) in_cluster[u] = 1;
+        for (VertexId u = 0; u < g.num_vertices(); ++u) {
+          if (dist[u] <= r) EXPECT_TRUE(in_cluster[u]) << "v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseCover, RadiusBound) {
+  const WeightedGraph g = random_weighted(60, 150, 6, 5);
+  const unsigned k = 3;
+  const Weight r = 4;
+  const SparseCover cover = build_sparse_cover(g, r, k);
+  for (const Cluster& cl : cover.clusters) {
+    // Achieved radius stays below (k + 2) * r by the growth cutoff.
+    EXPECT_LE(cl.radius, (k + 2) * r);
+    const auto dist = dijkstra(g, cl.center);
+    for (const VertexId u : cl.vertices) {
+      EXPECT_LE(dist[u], cl.radius);
+    }
+  }
+}
+
+TEST(FtDistance, EstimateIsUpperBoundWithBoundedStretch) {
+  SplitMix64 rng(21);
+  const WeightedGraph g = random_weighted(36, 90, 4, 77);
+  FtDistanceConfig cfg;
+  cfg.f = 2;
+  cfg.k = 2;
+  const auto scheme = FtDistanceScheme::build(g, cfg);
+  int finite_cases = 0;
+  for (int it = 0; it < 120; ++it) {
+    std::vector<EdgeId> faults;
+    std::vector<DistEdgeLabel> fault_labels;
+    const unsigned nf = rng.next_below(3);
+    for (unsigned i = 0; i < nf; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+      faults.push_back(e);
+      fault_labels.push_back(scheme.edge_label(e));
+    }
+    const VertexId s = static_cast<VertexId>(rng.next_below(36));
+    const VertexId t = static_cast<VertexId>(rng.next_below(36));
+    const Weight exact = exact_distance(g, s, t, faults);
+    const Weight est = FtDistanceScheme::approx_distance(
+        scheme.vertex_label(s), scheme.vertex_label(t), fault_labels);
+    if (exact == kInfinity) {
+      EXPECT_EQ(est, kInfinity);
+      continue;
+    }
+    ++finite_cases;
+    if (s == t) {
+      continue;  // estimate may be a positive cluster bound; skip
+    }
+    ASSERT_NE(est, kInfinity) << "connected pair must get an estimate";
+    EXPECT_GE(est, exact);  // estimates are true upper bounds
+    // Stretch bound: (2|F|+1) * 2(k+1) * 2 (the scale can overshoot the
+    // distance by at most 2x).
+    const Weight stretch_cap =
+        (2 * static_cast<Weight>(nf) + 1) * 2 * (cfg.k + 1) * 2;
+    EXPECT_LE(est, std::max<Weight>(stretch_cap * exact, stretch_cap))
+        << "s=" << s << " t=" << t;
+  }
+  EXPECT_GT(finite_cases, 60);
+}
+
+TEST(FtDistance, DisconnectionIsExact) {
+  // Barbell with unit weights: cutting the bridge separates exactly.
+  const graph::Graph base = graph::barbell(4, 0);
+  WeightedGraph g(base.num_vertices());
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    g.add_edge(base.edge(e).u, base.edge(e).v, 1);
+  }
+  FtDistanceConfig cfg;
+  cfg.f = 1;
+  const auto scheme = FtDistanceScheme::build(g, cfg);
+  // The bridge is the unique edge between the cliques {0..3} and {4..7}.
+  EdgeId bridge = graph::kNoEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if ((g.topology().edge(e).u < 4) != (g.topology().edge(e).v < 4)) {
+      bridge = e;
+    }
+  }
+  ASSERT_NE(bridge, graph::kNoEdge);
+  std::vector<DistEdgeLabel> fl{scheme.edge_label(bridge)};
+  EXPECT_EQ(FtDistanceScheme::approx_distance(scheme.vertex_label(0),
+                                              scheme.vertex_label(5), fl),
+            kInfinity);
+  EXPECT_NE(FtDistanceScheme::approx_distance(scheme.vertex_label(0),
+                                              scheme.vertex_label(3), fl),
+            kInfinity);
+}
+
+TEST(FtRouter, DeliversWithBoundedStretch) {
+  SplitMix64 rng(31);
+  const WeightedGraph g = random_weighted(32, 96, 3, 55);
+  FtDistanceConfig cfg;
+  cfg.f = 2;
+  cfg.k = 2;
+  const auto scheme = FtDistanceScheme::build(g, cfg);
+  const FtRouter router(g, scheme);
+  int delivered = 0, attempts = 0;
+  for (int it = 0; it < 60; ++it) {
+    std::vector<EdgeId> faults;
+    std::vector<DistEdgeLabel> fault_labels;
+    for (unsigned i = 0; i < 2; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+      faults.push_back(e);
+      fault_labels.push_back(scheme.edge_label(e));
+    }
+    const VertexId s = static_cast<VertexId>(rng.next_below(32));
+    const VertexId t = static_cast<VertexId>(rng.next_below(32));
+    const Weight exact = exact_distance(g, s, t, faults);
+    if (exact == kInfinity || s == t) continue;
+    ++attempts;
+    const auto res = router.route(s, t, faults, fault_labels);
+    if (res.delivered) {
+      ++delivered;
+      EXPECT_GE(res.path_weight, exact);
+      // Greedy forwarding with loop avoidance: generous stretch cap.
+      EXPECT_LE(res.path_weight, exact * 64 + 64);
+    }
+  }
+  ASSERT_GT(attempts, 20);
+  // Greedy label routing is not guaranteed to always deliver, but should
+  // succeed on the vast majority of connected pairs.
+  EXPECT_GE(delivered * 10, attempts * 8);
+  EXPECT_GT(router.table_bits(0), 0u);
+}
+
+}  // namespace
+}  // namespace ftc::distance

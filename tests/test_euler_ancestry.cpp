@@ -1,0 +1,178 @@
+// Tests for the Euler tour coordinates (Section 4.3) and the KNR ancestry
+// labeling scheme (Lemma 7), including the Lemma 9 parity property that
+// underpins the geometric cut representation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/ancestry.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "util/common.hpp"
+
+namespace ftc::graph {
+namespace {
+
+struct Fixture {
+  Graph g;
+  SpanningTree t;
+  EulerTour et;
+
+  explicit Fixture(const Graph& graph) : g(graph) {
+    t = bfs_spanning_tree(g, 0);
+    et = euler_tour(t);
+  }
+};
+
+// Brute-force ancestor check by walking parent pointers.
+bool brute_ancestor_or_self(const SpanningTree& t, VertexId a, VertexId b) {
+  VertexId x = b;
+  while (true) {
+    if (x == a) return true;
+    if (x == t.root) return false;
+    x = t.parent[x];
+  }
+}
+
+TEST(EulerTour, CoordinateStructure) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Fixture f(random_connected(50, 120, seed));
+    const VertexId n = f.g.num_vertices();
+    // Root coordinate 0; all others distinct in [1, 2n-2].
+    EXPECT_EQ(f.et.coord[f.t.root], 0u);
+    std::set<std::uint32_t> positions;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == f.t.root) continue;
+      EXPECT_GE(f.et.coord[v], 1u);
+      EXPECT_LE(f.et.coord[v], 2 * n - 2);
+      EXPECT_GE(f.et.exit_pos[v], 1u);
+      EXPECT_LE(f.et.exit_pos[v], 2 * n - 2);
+      EXPECT_LT(f.et.coord[v], f.et.exit_pos[v]);  // enter before leave
+      positions.insert(f.et.coord[v]);
+      positions.insert(f.et.exit_pos[v]);
+    }
+    // All 2(n-1) directed-edge positions are distinct.
+    EXPECT_EQ(positions.size(), 2 * (static_cast<std::size_t>(n) - 1));
+  }
+}
+
+TEST(EulerTour, IntervalNesting) {
+  Fixture f(random_connected(60, 140, 9));
+  const VertexId n = f.g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == f.t.root) continue;
+    const VertexId p = f.t.parent[v];
+    // Child tour interval nests inside the parent's.
+    EXPECT_GT(f.et.coord[v], f.et.coord[p]);
+    EXPECT_LT(f.et.exit_pos[v], f.et.exit_pos[p]);
+    // Same for pre-order intervals.
+    EXPECT_GT(f.et.tin[v], f.et.tin[p]);
+    EXPECT_LE(f.et.tout[v], f.et.tout[p]);
+  }
+}
+
+TEST(EulerTour, PreorderIntervalsMatchBruteForceAncestry) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Fixture f(random_connected(40, 80, 100 + seed));
+    const VertexId n = f.g.num_vertices();
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId b = 0; b < n; ++b) {
+        EXPECT_EQ(f.et.is_ancestor_or_self(a, b),
+                  brute_ancestor_or_self(f.t, a, b))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(EulerTour, Lemma9ParityProperty) {
+  // Lemma 9: for S containing the root, the number of directed cut edges
+  // of S in the tour prefix up to c(v) is even iff v is in S.
+  SplitMix64 rng(17);
+  for (int it = 0; it < 20; ++it) {
+    Fixture f(random_connected(30, 60, 200 + it));
+    const VertexId n = f.g.num_vertices();
+    // Random S containing the root.
+    std::vector<char> in_set(n, 0);
+    in_set[f.t.root] = 1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != f.t.root && rng.next_bool()) in_set[v] = 1;
+    }
+    // Directed cut edge positions: for every tree edge (p, v) with
+    // membership differing, both coord[v] (down) and exit_pos[v] (up).
+    std::vector<std::uint32_t> cut_positions;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == f.t.root) continue;
+      if (in_set[v] != in_set[f.t.parent[v]]) {
+        cut_positions.push_back(f.et.coord[v]);
+        cut_positions.push_back(f.et.exit_pos[v]);
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      unsigned count = 0;
+      for (const auto pos : cut_positions) {
+        if (pos <= f.et.coord[v]) ++count;
+      }
+      EXPECT_EQ(count % 2 == 0, in_set[v] == 1) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Ancestry, DecoderMatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Fixture f(random_connected(35, 70, 300 + seed));
+    const AncestryLabeling anc(f.t, f.et);
+    const VertexId n = f.g.num_vertices();
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId b = 0; b < n; ++b) {
+        const int rel = ancestry_relation(anc.label(a), anc.label(b));
+        if (a == b) {
+          EXPECT_EQ(rel, 0);
+          continue;
+        }
+        const bool a_anc = brute_ancestor_or_self(f.t, a, b);
+        const bool b_anc = brute_ancestor_or_self(f.t, b, a);
+        EXPECT_EQ(rel, a_anc ? 1 : (b_anc ? -1 : 0));
+        EXPECT_EQ(is_ancestor_or_self(anc.label(a), anc.label(b)), a_anc);
+      }
+    }
+  }
+}
+
+TEST(Ancestry, LabelsAreUnique) {
+  Fixture f(random_connected(64, 128, 11));
+  const AncestryLabeling anc(f.t, f.et);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (VertexId v = 0; v < f.g.num_vertices(); ++v) {
+    EXPECT_TRUE(
+        seen.insert({anc.label(v).tin, anc.label(v).tout}).second);
+  }
+  EXPECT_EQ(anc.label_bits(), 2 * 6u);  // ceil(log2 64) = 6 per coordinate
+}
+
+TEST(Ancestry, PathAndStarShapes) {
+  // Path: every earlier vertex is an ancestor of later ones.
+  Graph path(5);
+  for (VertexId i = 0; i + 1 < 5; ++i) path.add_edge(i, i + 1);
+  Fixture fp(path);
+  const AncestryLabeling ap(fp.t, fp.et);
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = a + 1; b < 5; ++b) {
+      EXPECT_EQ(ancestry_relation(ap.label(a), ap.label(b)), 1);
+    }
+  }
+  // Star: leaves are mutually unrelated.
+  Graph star(5);
+  for (VertexId i = 1; i < 5; ++i) star.add_edge(0, i);
+  Fixture fs(star);
+  const AncestryLabeling as(fs.t, fs.et);
+  for (VertexId a = 1; a < 5; ++a) {
+    for (VertexId b = a + 1; b < 5; ++b) {
+      EXPECT_EQ(ancestry_relation(as.label(a), as.label(b)), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftc::graph

@@ -1,0 +1,200 @@
+// Tests for the graph substrate: Graph container, generators, spanning
+// trees, union-find and the ground-truth connectivity oracles.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/union_find.hpp"
+#include "util/common.hpp"
+
+namespace ftc::graph {
+namespace {
+
+TEST(Graph, BasicOperations) {
+  Graph g(3);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.other_endpoint(e01, 0), 1u);
+  EXPECT_EQ(g.other_endpoint(e01, 1), 0u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.incident_edges(1)[0], e01);
+  EXPECT_EQ(g.incident_edges(1)[1], e12);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 7), std::invalid_argument);
+  EXPECT_THROW(g.other_endpoint(e01, 2), std::invalid_argument);
+  const VertexId v = g.add_vertex();
+  EXPECT_EQ(v, 3u);
+}
+
+bool is_simple(const Graph& g) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto [u, v] = g.edge(e);
+    if (u > v) std::swap(u, v);
+    if (u == v) return false;
+    if (!seen.insert({u, v}).second) return false;
+  }
+  return true;
+}
+
+TEST(Generators, RandomConnectedIsSimpleAndConnected) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = random_connected(60, 150, seed);
+    EXPECT_EQ(g.num_vertices(), 60u);
+    EXPECT_EQ(g.num_edges(), 150u);
+    EXPECT_TRUE(is_simple(g));
+    EXPECT_TRUE(is_connected(g));
+  }
+  // Tree case (m = n - 1) and near-complete case.
+  EXPECT_TRUE(is_connected(random_connected(40, 39, 7)));
+  EXPECT_TRUE(is_connected(random_connected(12, 66, 7)));
+  EXPECT_THROW(random_connected(10, 5, 0), std::invalid_argument);
+  EXPECT_THROW(random_connected(10, 46, 0), std::invalid_argument);
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  const Graph a = random_connected(30, 80, 123);
+  const Graph b = random_connected(30, 80, 123);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(Generators, StructuredFamilies) {
+  const Graph gr = grid(4, 5);
+  EXPECT_EQ(gr.num_vertices(), 20u);
+  EXPECT_EQ(gr.num_edges(), 4u * 4 + 5u * 3);  // 31
+  EXPECT_TRUE(is_connected(gr));
+  EXPECT_TRUE(is_simple(gr));
+
+  const Graph cy = cycle(9);
+  EXPECT_EQ(cy.num_edges(), 9u);
+  EXPECT_TRUE(is_connected(cy));
+
+  const Graph km = complete(7);
+  EXPECT_EQ(km.num_edges(), 21u);
+
+  const Graph hc = hypercube(4);
+  EXPECT_EQ(hc.num_vertices(), 16u);
+  EXPECT_EQ(hc.num_edges(), 32u);
+  EXPECT_TRUE(is_connected(hc));
+
+  const Graph bb = barbell(5, 3);
+  EXPECT_EQ(bb.num_vertices(), 13u);
+  EXPECT_TRUE(is_connected(bb));
+  EXPECT_TRUE(is_simple(bb));
+
+  const Graph pc = path_of_cliques(4, 5);
+  EXPECT_EQ(pc.num_vertices(), 20u);
+  EXPECT_TRUE(is_connected(pc));
+
+  const Graph pa = preferential_attachment(50, 3, 5);
+  EXPECT_EQ(pa.num_vertices(), 50u);
+  EXPECT_TRUE(is_connected(pa));
+  EXPECT_TRUE(is_simple(pa));
+}
+
+TEST(SpanningTree, BfsTreeProperties) {
+  const Graph g = random_connected(80, 200, 3);
+  const SpanningTree t = bfs_spanning_tree(g, 0);
+  EXPECT_EQ(t.root, 0u);
+  EXPECT_EQ(t.parent[0], 0u);
+  EXPECT_EQ(t.depth[0], 0u);
+  unsigned tree_edges = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tree_edges += t.is_tree_edge[e];
+  EXPECT_EQ(tree_edges, g.num_vertices() - 1);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(t.depth[v], t.depth[t.parent[v]] + 1);
+    // parent edge connects v and parent[v]
+    const Edge& e = g.edge(t.parent_edge[v]);
+    EXPECT_TRUE((e.u == v && e.v == t.parent[v]) ||
+                (e.v == v && e.u == t.parent[v]));
+    EXPECT_EQ(t.lower_endpoint(g, t.parent_edge[v]), v);
+  }
+  // BFS tree gives shortest unweighted distances: depth is minimal over
+  // parents' depths + 1 for every non-tree neighbor relation.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    EXPECT_LE(static_cast<int>(t.depth[ed.u]) -
+                  static_cast<int>(t.depth[ed.v]),
+              1);
+    EXPECT_LE(static_cast<int>(t.depth[ed.v]) -
+                  static_cast<int>(t.depth[ed.u]),
+              1);
+  }
+}
+
+TEST(SpanningTree, RejectsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_THROW(bfs_spanning_tree(g, 0), std::invalid_argument);
+}
+
+TEST(SpanningTree, TreeFromParentsValidates) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const auto t = tree_from_parents(g, 0, {0, 0, 1}, {kNoEdge, e01, e12});
+  EXPECT_EQ(t.depth[2], 2u);
+  EXPECT_EQ(t.children[0].size(), 1u);
+  // Cycle in parents must be rejected.
+  EXPECT_THROW(tree_from_parents(g, 0, {0, 2, 1}, {kNoEdge, e01, e12}),
+               std::invalid_argument);
+}
+
+TEST(Connectivity, MatchesComponentsOracle) {
+  SplitMix64 rng(5);
+  for (int it = 0; it < 20; ++it) {
+    const Graph g = random_connected(40, 90, 1000 + it);
+    std::vector<EdgeId> faults;
+    for (int i = 0; i < 12; ++i) {
+      faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+    }
+    const auto comp = components_avoiding(g, faults);
+    for (int q = 0; q < 30; ++q) {
+      const VertexId s = static_cast<VertexId>(rng.next_below(40));
+      const VertexId t = static_cast<VertexId>(rng.next_below(40));
+      EXPECT_EQ(connected_avoiding(g, s, t, faults), comp[s] == comp[t]);
+    }
+  }
+}
+
+TEST(Connectivity, BoundaryEdges) {
+  // Square 0-1-2-3 with a diagonal.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e23 = g.add_edge(2, 3);
+  const EdgeId e30 = g.add_edge(3, 0);
+  const EdgeId e02 = g.add_edge(0, 2);
+  const std::vector<char> in_set{1, 1, 0, 0};  // S = {0, 1}
+  std::vector<EdgeId> all{e01, e12, e23, e30, e02};
+  const auto bd = boundary_edges(g, in_set, all);
+  EXPECT_EQ(bd, (std::vector<EdgeId>{e12, e30, e02}));
+}
+
+TEST(UnionFind, Basics) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.component_size(3), 4u);
+  EXPECT_EQ(uf.component_size(5), 1u);
+}
+
+}  // namespace
+}  // namespace ftc::graph

@@ -1,0 +1,150 @@
+// Tests for the centralized oracle facade: edge-fault queries, the
+// vertex-fault reduction of Section 1.4, batch queries, and robustness of
+// the serialization layer against corrupt inputs.
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+// Ground truth for vertex deletions: components of the graph without the
+// faulty vertices' incident edges; deleted vertices isolated.
+bool brute_vertex_fault_connected(const Graph& g, VertexId s, VertexId t,
+                                  std::span<const VertexId> faults) {
+  if (s == t) return true;
+  for (const VertexId v : faults) {
+    if (v == s || v == t) return false;
+  }
+  std::vector<EdgeId> dead;
+  for (const VertexId v : faults) {
+    for (const EdgeId e : g.incident_edges(v)) dead.push_back(e);
+  }
+  return graph::connected_avoiding(g, s, t, dead);
+}
+
+TEST(ConnectivityOracle, EdgeFaultsMatchGroundTruth) {
+  const Graph g = graph::random_connected(40, 100, 17);
+  FtcConfig cfg;
+  cfg.f = 4;
+  const ConnectivityOracle oracle(g, cfg);
+  SplitMix64 rng(5);
+  for (int it = 0; it < 80; ++it) {
+    std::vector<EdgeId> faults;
+    for (unsigned i = 0; i < rng.next_below(5); ++i) {
+      faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+    }
+    const VertexId s = static_cast<VertexId>(rng.next_below(40));
+    const VertexId t = static_cast<VertexId>(rng.next_below(40));
+    EXPECT_EQ(oracle.connected(s, t, faults),
+              graph::connected_avoiding(g, s, t, faults));
+  }
+  EXPECT_GT(oracle.space_bits(), 0u);
+}
+
+TEST(ConnectivityOracle, VertexFaultReduction) {
+  const Graph g = graph::random_connected(30, 75, 19);
+  // Capacity must cover Delta * f_v incident edges; be generous.
+  FtcConfig cfg;
+  cfg.f = 12;
+  cfg.k_scale = 2.0;
+  const ConnectivityOracle oracle(g, cfg);
+  SplitMix64 rng(6);
+  for (int it = 0; it < 60; ++it) {
+    std::vector<VertexId> faults;
+    for (unsigned i = 0; i < 1 + rng.next_below(2); ++i) {
+      faults.push_back(static_cast<VertexId>(rng.next_below(30)));
+    }
+    const VertexId s = static_cast<VertexId>(rng.next_below(30));
+    const VertexId t = static_cast<VertexId>(rng.next_below(30));
+    EXPECT_EQ(oracle.connected_vertex_faults(s, t, faults),
+              brute_vertex_fault_connected(g, s, t, faults))
+        << "it=" << it;
+  }
+}
+
+TEST(ConnectivityOracle, VertexFaultEndpointRules) {
+  const Graph g = graph::cycle(8);
+  FtcConfig cfg;
+  cfg.f = 4;
+  const ConnectivityOracle oracle(g, cfg);
+  const std::vector<VertexId> fault{3};
+  EXPECT_FALSE(oracle.connected_vertex_faults(3, 5, fault));
+  EXPECT_FALSE(oracle.connected_vertex_faults(5, 3, fault));
+  EXPECT_TRUE(oracle.connected_vertex_faults(3, 3, fault));
+  // Cutting one cycle vertex leaves the rest connected.
+  EXPECT_TRUE(oracle.connected_vertex_faults(2, 4, fault));
+  EXPECT_THROW(oracle.connected_vertex_faults(0, 1, std::vector<VertexId>{99}),
+               std::invalid_argument);
+}
+
+TEST(ConnectivityOracle, ArticulationVertexDisconnects) {
+  // Two triangles sharing vertex 2: deleting it separates them.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  FtcConfig cfg;
+  cfg.f = 6;
+  const ConnectivityOracle oracle(g, cfg);
+  const std::vector<VertexId> cut{2};
+  EXPECT_FALSE(oracle.connected_vertex_faults(0, 3, cut));
+  EXPECT_TRUE(oracle.connected_vertex_faults(0, 1, cut));
+  EXPECT_TRUE(oracle.connected_vertex_faults(3, 4, cut));
+}
+
+TEST(ConnectivityOracle, BatchMatchesSingleQueries) {
+  const Graph g = graph::random_connected(32, 80, 23);
+  FtcConfig cfg;
+  cfg.f = 3;
+  const ConnectivityOracle oracle(g, cfg);
+  std::vector<EdgeId> faults{1, 17, 42};
+  std::vector<ConnectivityOracle::Query> queries;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 25; ++i) {
+    queries.push_back({static_cast<VertexId>(rng.next_below(32)),
+                       static_cast<VertexId>(rng.next_below(32))});
+  }
+  const auto results = oracle.batch_connected(queries, faults);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i],
+              oracle.connected(queries[i].s, queries[i].t, faults));
+  }
+}
+
+TEST(Serialization, TruncatedInputsThrow) {
+  const Graph g = graph::random_connected(20, 50, 29);
+  FtcConfig cfg;
+  cfg.f = 2;
+  const FtcScheme scheme = FtcScheme::build(g, cfg);
+  const auto vbytes = serialize(scheme.vertex_label(3));
+  const auto ebytes = serialize(scheme.edge_label(5));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                vbytes.size() / 2}) {
+    std::vector<std::uint8_t> trunc(vbytes.begin(), vbytes.begin() + cut);
+    EXPECT_THROW(deserialize_vertex_label(trunc), std::invalid_argument);
+  }
+  for (const std::size_t cut : {std::size_t{4}, ebytes.size() / 2,
+                                ebytes.size() - 1}) {
+    std::vector<std::uint8_t> trunc(ebytes.begin(), ebytes.begin() + cut);
+    EXPECT_THROW(deserialize_edge_label(trunc), std::invalid_argument);
+  }
+  // Corrupt field width in the header is rejected.
+  auto bad = vbytes;
+  bad[0] = 77;
+  EXPECT_THROW(deserialize_vertex_label(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftc::core

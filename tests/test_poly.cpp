@@ -1,0 +1,138 @@
+// Tests for polynomial arithmetic over GF(2^m).
+#include <gtest/gtest.h>
+
+#include "gf/gf2.hpp"
+#include "gf/gf2_poly.hpp"
+#include "util/common.hpp"
+
+namespace ftc::gf {
+namespace {
+
+using F = GF2_64;
+
+F rnd(SplitMix64& rng) { return F(rng.next()); }
+
+Poly<F> random_poly(SplitMix64& rng, int deg) {
+  if (deg < 0) return Poly<F>::zero();
+  std::vector<F> c(deg + 1);
+  for (auto& v : c) v = rnd(rng);
+  if (c.back().is_zero()) c.back() = F::one();
+  return Poly<F>(std::move(c));
+}
+
+TEST(Poly, DegreeAndNormalization) {
+  EXPECT_EQ(Poly<F>::zero().degree(), -1);
+  EXPECT_TRUE(Poly<F>::zero().is_zero());
+  EXPECT_EQ(Poly<F>::constant(F::one()).degree(), 0);
+  EXPECT_EQ(Poly<F>::x().degree(), 1);
+  // Trailing zeros are stripped.
+  Poly<F> p(std::vector<F>{F::one(), F::zero(), F::zero()});
+  EXPECT_EQ(p.degree(), 0);
+}
+
+TEST(Poly, RingAxioms) {
+  SplitMix64 rng(11);
+  for (int it = 0; it < 100; ++it) {
+    const auto a = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    const auto b = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    const auto c = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_TRUE((a + a).is_zero());
+  }
+}
+
+TEST(Poly, MulDegree) {
+  SplitMix64 rng(12);
+  for (int it = 0; it < 50; ++it) {
+    const int da = static_cast<int>(rng.next_below(10));
+    const int db = static_cast<int>(rng.next_below(10));
+    const auto a = random_poly(rng, da);
+    const auto b = random_poly(rng, db);
+    EXPECT_EQ((a * b).degree(), da + db);
+  }
+}
+
+TEST(Poly, DivMod) {
+  SplitMix64 rng(13);
+  for (int it = 0; it < 200; ++it) {
+    const auto a = random_poly(rng, static_cast<int>(rng.next_below(16)) - 1);
+    const auto b = random_poly(rng, static_cast<int>(rng.next_below(8)));
+    const auto [q, r] = divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.degree(), b.degree());
+  }
+  EXPECT_THROW(divmod(Poly<F>::x(), Poly<F>::zero()), std::invalid_argument);
+}
+
+TEST(Poly, GcdDividesBoth) {
+  SplitMix64 rng(14);
+  for (int it = 0; it < 100; ++it) {
+    const auto f = random_poly(rng, static_cast<int>(rng.next_below(5)));
+    const auto g = random_poly(rng, static_cast<int>(rng.next_below(5)));
+    const auto h = random_poly(rng, static_cast<int>(rng.next_below(5)));
+    const auto d = gcd(f * g, f * h);
+    // f divides gcd(f*g, f*h).
+    EXPECT_TRUE((d % f.monic()).is_zero());
+    EXPECT_TRUE(((f * g) % d).is_zero());
+    EXPECT_TRUE(((f * h) % d).is_zero());
+  }
+}
+
+TEST(Poly, EvalIsRingHomomorphism) {
+  SplitMix64 rng(15);
+  for (int it = 0; it < 100; ++it) {
+    const auto a = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    const auto b = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    const F x = rnd(rng);
+    EXPECT_EQ((a + b).eval(x), a.eval(x) + b.eval(x));
+    EXPECT_EQ((a * b).eval(x), a.eval(x) * b.eval(x));
+  }
+}
+
+TEST(Poly, DerivativeProductRule) {
+  SplitMix64 rng(16);
+  for (int it = 0; it < 100; ++it) {
+    const auto a = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    const auto b = random_poly(rng, static_cast<int>(rng.next_below(8)) - 1);
+    EXPECT_EQ((a * b).derivative(),
+              a.derivative() * b + a * b.derivative());
+  }
+  // In characteristic 2, (x^2)' = 0 and (x^3)' = x^2.
+  const auto x = Poly<F>::x();
+  EXPECT_TRUE((x * x).derivative().is_zero());
+  EXPECT_EQ((x * x * x).derivative(), x * x);
+}
+
+TEST(Poly, FromRootsEvaluatesToZero) {
+  SplitMix64 rng(17);
+  for (int it = 0; it < 50; ++it) {
+    std::vector<F> roots;
+    for (int i = 0; i < 6; ++i) roots.push_back(rnd(rng));
+    const auto p = poly_from_roots<F>(roots);
+    EXPECT_EQ(p.degree(), 6);
+    for (const F& r : roots) EXPECT_TRUE(p.eval(r).is_zero());
+  }
+}
+
+TEST(Poly, MonicAndScaled) {
+  SplitMix64 rng(18);
+  const auto p = random_poly(rng, 5);
+  const auto m = p.monic();
+  EXPECT_EQ(m.leading(), F::one());
+  EXPECT_EQ(m.degree(), p.degree());
+  const F s(12345);
+  EXPECT_EQ(p.scaled(s).coeff(3), p.coeff(3) * s);
+}
+
+TEST(Poly, Shifted) {
+  const auto x = Poly<F>::x();
+  EXPECT_EQ(Poly<F>::constant(F::one()).shifted(3), x * x * x);
+  EXPECT_TRUE(Poly<F>::zero().shifted(5).is_zero());
+}
+
+}  // namespace
+}  // namespace ftc::gf
