@@ -1,0 +1,143 @@
+// Batch query throughput: queries/sec of the three query paths every
+// ConnectivityScheme backend exposes —
+//   single    — one-shot ConnectivityScheme::connected per query: the
+//               fault labels are re-materialized and re-prepared and the
+//               decode scratch re-allocated for every single query;
+//   batch-1   — BatchQueryEngine sequential session: faults prepared
+//               once, one reused workspace;
+//   batch-T   — the same session fanned across T worker threads.
+// The gap between `single` and `batch-1` is the amortization win of the
+// session design; the gap between batch-1 and batch-T is thread scaling
+// (bounded by the machine's core count).
+//
+// Usage: bench_batch_throughput [backend] [num_queries]
+//   backend: core-ftc | dp21-cycle | dp21-agm | all (default all)
+// Emits a human table plus one `JSON [...]` line for scripts.
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "core/batch_engine.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+struct PathResult {
+  std::string path;
+  double seconds = 0;
+  double qps = 0;
+};
+
+void run_backend(core::BackendKind backend, const Graph& g, unsigned f,
+                 std::size_t num_queries, Table& table, JsonRecords& json) {
+  core::SchemeConfig cfg;
+  cfg.backend = backend;
+  cfg.set_f(f);
+  cfg.ftc.k_scale = 2.0;
+  cfg.cycle.scale = 3.0;
+  cfg.agm.scale = 1.5;
+
+  Timer build_timer;
+  const auto scheme = core::make_scheme(g, cfg);
+  const double build_ms = build_timer.millis();
+
+  SplitMix64 rng(99);
+  std::vector<EdgeId> faults;
+  for (unsigned i = 0; i < f; ++i) {
+    faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+  }
+  std::vector<core::BatchQueryEngine::Query> queries;
+  queries.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(
+        {static_cast<VertexId>(rng.next_below(g.num_vertices())),
+         static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+  }
+
+  core::BatchQueryEngine engine(*scheme, faults);
+  const auto reference = engine.run_sequential(queries);
+
+  std::vector<PathResult> results;
+  const auto record = [&](const std::string& path, double seconds,
+                          const std::vector<bool>& answers) {
+    FTC_REQUIRE(answers == reference, "query paths disagree: " + path);
+    results.push_back(
+        {path, seconds, static_cast<double>(num_queries) / seconds});
+  };
+
+  {
+    Timer t;
+    std::vector<bool> answers;
+    answers.reserve(num_queries);
+    for (const auto& q : queries) {
+      answers.push_back(scheme->connected(q.s, q.t, faults));
+    }
+    record("single", t.seconds(), answers);
+  }
+  {
+    Timer t;
+    const auto answers = engine.run_sequential(queries);
+    record("batch-1", t.seconds(), answers);
+  }
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    Timer t;
+    const auto answers = engine.run_parallel(queries, threads);
+    record("batch-" + std::to_string(threads), t.seconds(), answers);
+  }
+
+  const double single_qps = results[0].qps;
+  for (const auto& r : results) {
+    table.add_row({backend_name(backend), r.path, fmt(r.qps, "%.0f"),
+                   fmt(r.qps / single_qps, "%.2fx"),
+                   fmt(build_ms, "%.0f ms")});
+    json.add();
+    json.field("backend", backend_name(backend));
+    json.field("path", r.path);
+    json.field("n", g.num_vertices());
+    json.field("m", g.num_edges());
+    json.field("f", f);
+    json.field("num_queries", num_queries);
+    json.field("seconds", r.seconds);
+    json.field("qps", r.qps);
+    json.field("speedup_vs_single", r.qps / single_qps);
+    json.field("build_ms", build_ms);
+  }
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main(int argc, char** argv) {
+  using namespace ftc;
+
+  const std::string backend_arg = argc > 1 ? argv[1] : "all";
+  const std::size_t num_queries =
+      argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 4000;
+
+  const graph::VertexId n = 2048;
+  const graph::EdgeId m = 3 * n;
+  const unsigned f = 4;
+  const graph::Graph g = graph::random_connected(n, m, 17);
+
+  std::printf("bench_batch_throughput: n=%u m=%u f=%u, %zu queries/path "
+              "(hardware threads: %u)\n",
+              n, m, f, num_queries, std::thread::hardware_concurrency());
+
+  bench::Table table({"backend", "path", "queries/s", "vs single", "build"});
+  bench::JsonRecords json;
+  if (backend_arg == "all") {
+    for (const core::BackendKind b : core::kAllBackends) {
+      bench::run_backend(b, g, f, num_queries, table, json);
+    }
+  } else {
+    bench::run_backend(core::parse_backend(backend_arg), g, f, num_queries,
+                       table, json);
+  }
+  table.print();
+  json.print("JSON");
+  return 0;
+}

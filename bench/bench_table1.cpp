@@ -1,15 +1,17 @@
 // Experiment T1 (DESIGN.md): empirical reproduction of the paper's
 // Table 1 — all implementable scheme variants side by side, with measured
 // (not asymptotic) label sizes, construction time, query time and
-// correctness.
+// correctness. Every row now runs through the same ConnectivityScheme
+// factory, so this bench is also the smoke test that the polymorphic
+// interface covers all backends and variants.
 //
-// Paper rows -> implementations:
-//   1st (whp)  [DP21]  -> CycleSpaceFtc (full_support = false)
-//   2nd (whp)  [DP21]  -> AgmFtc        (full_support = false)
-//   1st (full) [DP21]  -> CycleSpaceFtc (full_support = true)
-//   2nd (full) [DP21]  -> AgmFtc        (full_support = true)
-//   This paper Det     -> FtcScheme     (SchemeKind::kDeterministic)
-//   This paper Rand    -> FtcScheme     (SchemeKind::kRandomized)
+// Paper rows -> factory configs:
+//   1st (whp)  [DP21]  -> kDp21CycleSpace (full_support = false)
+//   2nd (whp)  [DP21]  -> kDp21Agm        (full_support = false)
+//   1st (full) [DP21]  -> kDp21CycleSpace (full_support = true)
+//   2nd (full) [DP21]  -> kDp21Agm        (full_support = true)
+//   This paper Det     -> kCoreFtc        (SchemeKind::kDeterministic)
+//   This paper Rand    -> kCoreFtc        (SchemeKind::kRandomized)
 // (The O(f^2 log^2 n loglog n) poly(n)-time deterministic row shares the
 // pipeline with Det via the greedy-net hierarchy; see bench_hierarchy.)
 //
@@ -17,10 +19,7 @@
 // the smallest; deterministic queries cost more than randomized;
 // correctness is 1.000 for deterministic and full-support rows.
 #include "bench_util.hpp"
-#include "core/ftc_query.hpp"
-#include "core/ftc_scheme.hpp"
-#include "dp21/agm_ftc.hpp"
-#include "dp21/cycle_space_ftc.hpp"
+#include "core/connectivity_scheme.hpp"
 
 namespace ftc::bench {
 namespace {
@@ -28,106 +27,66 @@ namespace {
 using graph::EdgeId;
 using graph::Graph;
 
-struct RowResult {
+struct TableRow {
   std::string name;
-  std::size_t vertex_bits = 0;
-  std::size_t edge_bits = 0;
-  double build_ms = 0;
-  double query_us = 0;
-  double correct = 0;
+  core::SchemeConfig config;
 };
 
-template <typename BuildFn, typename QueryFn, typename BitsFn>
-RowResult run_scheme(const std::string& name,
-                     const std::vector<QueryCase>& cases, BuildFn build,
-                     QueryFn query, BitsFn bits) {
-  RowResult r;
-  r.name = name;
-  Timer tb;
-  const auto scheme = build();
-  r.build_ms = tb.millis();
-  std::tie(r.vertex_bits, r.edge_bits) = bits(scheme);
-  int correct = 0;
-  Timer tq;
-  for (const auto& qc : cases) {
-    if (query(scheme, qc) == qc.expected) ++correct;
+std::vector<TableRow> table1_rows(unsigned f) {
+  std::vector<TableRow> rows;
+  for (const bool full : {false, true}) {
+    core::SchemeConfig cfg;
+    cfg.backend = core::BackendKind::kDp21CycleSpace;
+    cfg.set_f(f);
+    cfg.cycle.full_support = full;
+    rows.push_back({full ? "DP21-1st (full)" : "DP21-1st (whp)", cfg});
   }
-  r.query_us = tq.micros() / static_cast<double>(cases.size());
-  r.correct = static_cast<double>(correct) / static_cast<double>(cases.size());
-  return r;
+  for (const bool full : {false, true}) {
+    core::SchemeConfig cfg;
+    cfg.backend = core::BackendKind::kDp21Agm;
+    cfg.set_f(f);
+    cfg.agm.full_support = full;
+    rows.push_back({full ? "DP21-2nd (full)" : "DP21-2nd (whp)", cfg});
+  }
+  for (const auto kind :
+       {core::SchemeKind::kDeterministic, core::SchemeKind::kRandomized}) {
+    core::SchemeConfig cfg;
+    cfg.backend = core::BackendKind::kCoreFtc;
+    cfg.set_f(f);
+    cfg.ftc.kind = kind;
+    cfg.ftc.k_scale = 2.0;
+    rows.push_back({kind == core::SchemeKind::kDeterministic
+                        ? "This paper (Det)"
+                        : "This paper (Rand full)",
+                    cfg});
+  }
+  return rows;
 }
 
 void run_config(graph::VertexId n, EdgeId m, unsigned f) {
   const Graph g = graph::random_connected(n, m, /*seed=*/n * 31 + f);
   const auto cases = make_query_cases(g, f, 60, /*seed=*/12345);
 
-  const auto cs_query = [](const dp21::CycleSpaceFtc& s, const QueryCase& qc) {
-    std::vector<dp21::CsEdgeLabel> labels;
-    for (const EdgeId e : qc.faults) labels.push_back(s.edge_label(e));
-    return dp21::CycleSpaceFtc::connected(s.vertex_label(qc.s),
-                                          s.vertex_label(qc.t), labels);
-  };
-  const auto cs_bits = [](const dp21::CycleSpaceFtc& s) {
-    return std::make_pair(s.vertex_label_bits(), s.edge_label_bits());
-  };
-  const auto agm_query = [](const dp21::AgmFtc& s, const QueryCase& qc) {
-    std::vector<dp21::AgmEdgeLabel> labels;
-    for (const EdgeId e : qc.faults) labels.push_back(s.edge_label(e));
-    return dp21::AgmFtc::connected(s.vertex_label(qc.s), s.vertex_label(qc.t),
-                                   labels);
-  };
-  const auto agm_bits = [](const dp21::AgmFtc& s) {
-    return std::make_pair(s.vertex_label_bits(), s.edge_label_bits());
-  };
-  const auto ftc_query = [](const core::FtcScheme& s, const QueryCase& qc) {
-    std::vector<core::EdgeLabel> labels;
-    for (const EdgeId e : qc.faults) labels.push_back(s.edge_label(e));
-    return core::FtcDecoder::connected(s.vertex_label(qc.s),
-                                       s.vertex_label(qc.t), labels);
-  };
-  const auto ftc_bits = [](const core::FtcScheme& s) {
-    return std::make_pair(s.vertex_label_bits(), s.edge_label_bits());
-  };
-
-  std::vector<RowResult> rows;
-  for (const bool full : {false, true}) {
-    dp21::CycleSpaceConfig cfg;
-    cfg.f = f;
-    cfg.full_support = full;
-    rows.push_back(run_scheme(
-        full ? "DP21-1st (full)" : "DP21-1st (whp)", cases,
-        [&] { return dp21::CycleSpaceFtc::build(g, cfg); }, cs_query,
-        cs_bits));
-  }
-  for (const bool full : {false, true}) {
-    dp21::AgmFtcConfig cfg;
-    cfg.f = f;
-    cfg.full_support = full;
-    rows.push_back(run_scheme(
-        full ? "DP21-2nd (full)" : "DP21-2nd (whp)", cases,
-        [&] { return dp21::AgmFtc::build(g, cfg); }, agm_query, agm_bits));
-  }
-  for (const auto kind :
-       {core::SchemeKind::kDeterministic, core::SchemeKind::kRandomized}) {
-    core::FtcConfig cfg;
-    cfg.f = f;
-    cfg.kind = kind;
-    cfg.k_scale = 2.0;
-    rows.push_back(run_scheme(
-        kind == core::SchemeKind::kDeterministic ? "This paper (Det)"
-                                                 : "This paper (Rand full)",
-        cases, [&] { return core::FtcScheme::build(g, cfg); }, ftc_query,
-        ftc_bits));
-  }
-
   std::printf("\n== Table 1 (empirical): n=%u m=%u f=%u (%zu queries) ==\n",
               n, m, f, cases.size());
   Table table({"scheme", "vertex label", "edge label", "construction",
                "query", "correct"});
-  for (const auto& r : rows) {
-    table.add_row({r.name, fmt_bits(r.vertex_bits), fmt_bits(r.edge_bits),
-                   fmt(r.build_ms, "%.1f ms"), fmt(r.query_us, "%.1f us"),
-                   fmt(r.correct, "%.3f")});
+  for (const auto& row : table1_rows(f)) {
+    Timer tb;
+    const auto scheme = core::make_scheme(g, row.config);
+    const double build_ms = tb.millis();
+    int correct = 0;
+    Timer tq;
+    for (const auto& qc : cases) {
+      if (scheme->connected(qc.s, qc.t, qc.faults) == qc.expected) ++correct;
+    }
+    const double query_us = tq.micros() / static_cast<double>(cases.size());
+    table.add_row({row.name, fmt_bits(scheme->vertex_label_bits()),
+                   fmt_bits(scheme->edge_label_bits()),
+                   fmt(build_ms, "%.1f ms"), fmt(query_us, "%.1f us"),
+                   fmt(static_cast<double>(correct) /
+                           static_cast<double>(cases.size()),
+                       "%.3f")});
   }
   table.print();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "graph/connectivity.hpp"
@@ -83,6 +84,78 @@ inline std::string fmt_bits(std::size_t bits) {
   std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bits) / 8192);
   return buf;
 }
+
+// Machine-readable bench output: a flat array of records, each a JSON
+// object of scalar fields. Benches print tables for humans and call
+// print("tag") to emit one `tag [{...},...]` line for scripts.
+class JsonRecords {
+ public:
+  void add() { records_.emplace_back(); }
+
+  void field(const std::string& key, const std::string& value) {
+    record().push_back(quote(key) + ":" + quote(value));
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    record().push_back(quote(key) + ":" + fmt(value, "%.6g"));
+  }
+  void field(const std::string& key, bool value) {
+    record().push_back(quote(key) + (value ? ":true" : ":false"));
+  }
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  void field(const std::string& key, Int value) {
+    record().push_back(quote(key) + ":" + std::to_string(value));
+  }
+
+  std::string dump() const {
+    std::string out = "[";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      if (r != 0) out += ",";
+      out += "{";
+      for (std::size_t i = 0; i < records_[r].size(); ++i) {
+        if (i != 0) out += ",";
+        out += records_[r][i];
+      }
+      out += "}";
+    }
+    return out + "]";
+  }
+
+  void print(const char* tag) const {
+    std::printf("%s %s\n", tag, dump().c_str());
+  }
+
+ private:
+  std::vector<std::string>& record() {
+    FTC_REQUIRE(!records_.empty(), "JsonRecords::field before add()");
+    return records_.back();
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::vector<std::string>> records_;
+};
 
 // A fault set plus a query endpoint pair with its ground-truth answer.
 struct QueryCase {

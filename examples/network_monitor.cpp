@@ -2,84 +2,109 @@
 // datacenter-style fabric — the forbidden-set setting the paper's
 // introduction motivates.
 //
-// A fat-tree-ish two-tier topology is labeled once, offline. At runtime a
-// monitoring endpoint receives failure advertisements (edge labels of the
-// currently dead links — at most f of them) and answers "can rack A still
-// reach rack B?" queries instantly from labels alone, with zero access to
-// the topology database. Every answer is checked against a BFS oracle.
+// A fat-tree-ish two-tier topology is labeled once, offline, by any of
+// the three ConnectivityScheme backends (pick one with argv[1]:
+// core-ftc | dp21-cycle | dp21-agm | all). At runtime a monitoring
+// endpoint receives failure advertisements (the edge IDs of the
+// currently dead links — at most f of them), opens a BatchQueryEngine
+// session per failure epoch (fault labels materialized once), and
+// answers "can rack A still reach rack B?" queries instantly with zero
+// access to the topology database. Every answer is checked against a
+// BFS oracle.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "core/ftc_query.hpp"
-#include "core/ftc_scheme.hpp"
+#include "core/batch_engine.hpp"
 #include "graph/connectivity.hpp"
 #include "util/common.hpp"
 
-int main() {
-  using namespace ftc;
-  using graph::EdgeId;
-  using graph::VertexId;
+namespace {
 
+using namespace ftc;
+using graph::EdgeId;
+using graph::VertexId;
+
+struct Fabric {
+  graph::Graph g;
+  std::vector<VertexId> host;
+  std::vector<EdgeId> uplinks;
+};
+
+Fabric build_fabric() {
   // Two-tier Clos-like fabric: 4 spines, 12 leaves, 2 uplinks per leaf,
   // 24 hosts (2 per leaf).
-  graph::Graph g;
+  Fabric fabric;
+  graph::Graph& g = fabric.g;
   const unsigned kSpines = 4, kLeaves = 12, kHostsPerLeaf = 2;
-  std::vector<VertexId> spine, leaf, host;
+  std::vector<VertexId> spine, leaf;
   for (unsigned i = 0; i < kSpines; ++i) spine.push_back(g.add_vertex());
   for (unsigned i = 0; i < kLeaves; ++i) leaf.push_back(g.add_vertex());
   for (unsigned i = 0; i < kLeaves * kHostsPerLeaf; ++i) {
-    host.push_back(g.add_vertex());
+    fabric.host.push_back(g.add_vertex());
   }
   SplitMix64 rng(2026);
-  std::vector<EdgeId> uplinks;
   for (unsigned l = 0; l < kLeaves; ++l) {
     // Two uplinks to distinct spines.
     const unsigned s1 = static_cast<unsigned>(rng.next_below(kSpines));
     const unsigned s2 = (s1 + 1 + rng.next_below(kSpines - 1)) % kSpines;
-    uplinks.push_back(g.add_edge(leaf[l], spine[s1]));
-    uplinks.push_back(g.add_edge(leaf[l], spine[s2]));
+    fabric.uplinks.push_back(g.add_edge(leaf[l], spine[s1]));
+    fabric.uplinks.push_back(g.add_edge(leaf[l], spine[s2]));
     for (unsigned h = 0; h < kHostsPerLeaf; ++h) {
-      g.add_edge(leaf[l], host[l * kHostsPerLeaf + h]);
+      g.add_edge(leaf[l], fabric.host[l * kHostsPerLeaf + h]);
     }
   }
   // Spine ring for resilience.
   for (unsigned s = 0; s < kSpines; ++s) {
     g.add_edge(spine[s], spine[(s + 1) % kSpines]);
   }
+  return fabric;
+}
 
+int monitor(const Fabric& fabric, core::BackendKind backend) {
+  const graph::Graph& g = fabric.g;
   const unsigned f = 4;
-  core::FtcConfig cfg;
-  cfg.f = f;
-  const auto scheme = core::FtcScheme::build(g, cfg);
-  std::printf("fabric: %u nodes, %u links; labels: %zu b/vertex, %zu b/link\n",
-              g.num_vertices(), g.num_edges(), scheme.vertex_label_bits(),
-              scheme.edge_label_bits());
+  core::SchemeConfig cfg;
+  cfg.backend = backend;
+  cfg.set_f(f);
+  const auto scheme = core::make_scheme(g, cfg);
+  std::printf("\n[%s] fabric: %u nodes, %u links; labels: %zu b/vertex, "
+              "%zu b/link\n",
+              std::string(scheme->name()).c_str(), g.num_vertices(),
+              g.num_edges(), scheme->vertex_label_bits(),
+              scheme->edge_label_bits());
 
   // Simulate 200 failure epochs. Each epoch kills up to f random links
-  // (biased toward uplinks, the interesting failures) and runs host-pair
-  // reachability queries.
+  // (biased toward uplinks, the interesting failures), opens a query
+  // session on the advertised fault set and runs host-pair reachability
+  // queries through it.
+  SplitMix64 rng(7);
+  core::BatchQueryEngine engine(*scheme, {});
   int epochs = 0, queries = 0, disconnections = 0, mismatches = 0;
   for (int epoch = 0; epoch < 200; ++epoch) {
     ++epochs;
     std::vector<EdgeId> dead;
-    std::vector<core::EdgeLabel> advert;
     const unsigned kills = 1 + rng.next_below(f);
     for (unsigned i = 0; i < kills; ++i) {
-      const EdgeId e = rng.next_bool()
-                           ? uplinks[rng.next_below(uplinks.size())]
-                           : static_cast<EdgeId>(rng.next_below(g.num_edges()));
-      dead.push_back(e);
-      advert.push_back(scheme.edge_label(e));
+      dead.push_back(rng.next_bool()
+                         ? fabric.uplinks[rng.next_below(
+                               fabric.uplinks.size())]
+                         : static_cast<EdgeId>(
+                               rng.next_below(g.num_edges())));
     }
+    engine.reset_faults(dead);
+    std::vector<core::BatchQueryEngine::Query> batch;
     for (int q = 0; q < 10; ++q) {
-      const VertexId a = host[rng.next_below(host.size())];
-      const VertexId b = host[rng.next_below(host.size())];
-      const bool got = core::FtcDecoder::connected(
-          scheme.vertex_label(a), scheme.vertex_label(b), advert);
-      const bool expect = graph::connected_avoiding(g, a, b, dead);
+      batch.push_back({fabric.host[rng.next_below(fabric.host.size())],
+                       fabric.host[rng.next_below(fabric.host.size())]});
+    }
+    const auto answers = engine.run_sequential(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool expect = graph::connected_avoiding(g, batch[i].s,
+                                                    batch[i].t, dead);
       ++queries;
-      if (!got) ++disconnections;
-      if (got != expect) ++mismatches;
+      if (!answers[i]) ++disconnections;
+      if (answers[i] != expect) ++mismatches;
     }
   }
   std::printf("%d epochs, %d reachability queries: %d reported partitions, "
@@ -87,5 +112,21 @@ int main() {
               epochs, queries, disconnections, mismatches);
   std::printf(mismatches == 0 ? "all answers exact.\n"
                               : "ERROR: decoder disagreed with oracle!\n");
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Fabric fabric = build_fabric();
+  const std::string backend_arg = argc > 1 ? argv[1] : "all";
+  int mismatches = 0;
+  if (backend_arg == "all") {
+    for (const core::BackendKind b : core::kAllBackends) {
+      mismatches += monitor(fabric, b);
+    }
+  } else {
+    mismatches += monitor(fabric, core::parse_backend(backend_arg));
+  }
   return mismatches == 0 ? 0 : 1;
 }

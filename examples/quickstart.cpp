@@ -5,7 +5,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/ftc_query.hpp"
+#include "core/batch_engine.hpp"
 #include "core/ftc_scheme.hpp"
 #include "graph/generators.hpp"
 
@@ -48,5 +48,23 @@ int main() {
   // 5. Labels serialize byte-exactly for storage or transmission.
   const auto bytes = core::serialize(faults[0]);
   std::printf("serialized edge label: %zu bytes\n", bytes.size());
+
+  // 6. The same query can run against any of the three labeling
+  //    backends through the polymorphic ConnectivityScheme factory —
+  //    and a BatchQueryEngine session amortizes the fault-set setup
+  //    across many queries.
+  for (const core::BackendKind backend : core::kAllBackends) {
+    core::SchemeConfig sc;
+    sc.backend = backend;
+    sc.set_f(3);
+    const auto backend_scheme = core::make_scheme(g, sc);
+    core::BatchQueryEngine session(*backend_scheme,
+                                   std::vector<graph::EdgeId>{10, 57, 98});
+    std::printf("[%-10s] 3 %s 42 | vertex label %zu b, edge label %zu b\n",
+                core::backend_name(backend),
+                session.connected(3, 42) ? "<-> " : "-/->",
+                backend_scheme->vertex_label_bits(),
+                backend_scheme->edge_label_bits());
+  }
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: release build + tests, then Debug+ASan/UBSan build +
+# tests. Run from anywhere; builds land in <repo>/build and
+# <repo>/build-asan.
+#
+#   scripts/ci.sh            # both presets
+#   scripts/ci.sh release    # just the release leg
+#   scripts/ci.sh asan       # just the sanitizer leg
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+presets=("${@:-release}")
+if [ "$#" -eq 0 ]; then
+  presets=(release asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== preset: $preset ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "ci: all presets green"

@@ -1,0 +1,104 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ftc::core {
+
+namespace {
+
+// Workers claim queries in chunks to keep contention on the shared work
+// index negligible while still load-balancing uneven query costs.
+constexpr std::size_t kChunk = 16;
+
+}  // namespace
+
+BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
+                                   std::span<const graph::EdgeId> edge_faults,
+                                   const QueryOptions& options)
+    : scheme_(scheme),
+      options_(options),
+      faults_(scheme.prepare_faults(edge_faults)) {}
+
+void BatchQueryEngine::reset_faults(
+    std::span<const graph::EdgeId> edge_faults) {
+  faults_ = scheme_.prepare_faults(edge_faults);
+}
+
+ConnectivityScheme::Workspace& BatchQueryEngine::workspace(std::size_t i) {
+  while (workspaces_.size() <= i) {
+    workspaces_.push_back(scheme_.make_workspace());
+  }
+  return *workspaces_[i];
+}
+
+bool BatchQueryEngine::connected(graph::VertexId s, graph::VertexId t) {
+  return scheme_.query(s, t, *faults_, workspace(0), options_);
+}
+
+std::vector<bool> BatchQueryEngine::run_sequential(
+    std::span<const Query> queries) {
+  std::vector<bool> out;
+  out.reserve(queries.size());
+  ConnectivityScheme::Workspace& ws = workspace(0);
+  for (const Query& q : queries) {
+    out.push_back(scheme_.query(q.s, q.t, *faults_, ws, options_));
+  }
+  return out;
+}
+
+std::vector<bool> BatchQueryEngine::run_parallel(
+    std::span<const Query> queries, unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t max_useful = (queries.size() + kChunk - 1) / kChunk;
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, std::max<std::size_t>(max_useful, 1)));
+  if (num_threads <= 1) return run_sequential(queries);
+
+  // vector<bool> is not safe for concurrent writes; use one byte per
+  // result and convert at the end.
+  std::vector<std::uint8_t> results(queries.size(), 0);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Pre-create every workspace on this thread: workspace() grows the
+  // arena and must not race.
+  for (unsigned i = 0; i < num_threads; ++i) workspace(i);
+
+  const auto worker = [&](unsigned id) {
+    ConnectivityScheme::Workspace& ws = workspace(id);
+    try {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(kChunk);
+        if (begin >= queries.size()) break;
+        const std::size_t end = std::min(begin + kChunk, queries.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = scheme_.query(queries[i].s, queries[i].t, *faults_,
+                                     ws, options_)
+                           ? 1
+                           : 0;
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (unsigned i = 1; i < num_threads; ++i) threads.emplace_back(worker, i);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+
+  return std::vector<bool>(results.begin(), results.end());
+}
+
+}  // namespace ftc::core

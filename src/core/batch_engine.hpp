@@ -1,0 +1,68 @@
+// BatchQueryEngine: a query session over any ConnectivityScheme backend.
+//
+// The engine is the serving-path counterpart of the labeling theory: a
+// fault set changes rarely (a failure epoch), while (s, t) queries arrive
+// in bulk. One session therefore
+//   1. materializes and deduplicates the fault-edge labels ONCE
+//      (ConnectivityScheme::prepare_faults) instead of per query;
+//   2. keeps an arena of per-thread decoder workspaces (fragment state,
+//      cut bitsets, sketch sums) that are reused across queries instead
+//      of reallocated inside every decode; and
+//   3. fans batches across a small pool of std::thread workers that pull
+//      chunks off a shared std::atomic work index.
+//
+// connected() / run_sequential() answer on the calling thread (workspace
+// 0); run_parallel() uses num_threads workers. Results are bit-for-bit
+// identical across the three paths: workers share the immutable fault
+// set and only write disjoint result slots.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/connectivity_scheme.hpp"
+
+namespace ftc::core {
+
+class BatchQueryEngine {
+ public:
+  struct Query {
+    graph::VertexId s = 0;
+    graph::VertexId t = 0;
+  };
+
+  // Opens a session for one fault set. The scheme must outlive the
+  // engine. `options` applies to every query of the session.
+  BatchQueryEngine(const ConnectivityScheme& scheme,
+                   std::span<const graph::EdgeId> edge_faults,
+                   const QueryOptions& options = {});
+
+  // Replaces the session's fault set; cached workspaces are kept.
+  void reset_faults(std::span<const graph::EdgeId> edge_faults);
+
+  // Single query on the calling thread, reusing the session workspace.
+  bool connected(graph::VertexId s, graph::VertexId t);
+
+  // Batch on the calling thread (one workspace, zero thread overhead).
+  std::vector<bool> run_sequential(std::span<const Query> queries);
+
+  // Batch fanned across num_threads workers (0 = hardware concurrency).
+  // Falls back to the sequential path for tiny batches or one thread.
+  std::vector<bool> run_parallel(std::span<const Query> queries,
+                                 unsigned num_threads = 0);
+
+  std::size_t num_faults() const { return faults_->num_faults(); }
+  const ConnectivityScheme& scheme() const { return scheme_; }
+
+ private:
+  ConnectivityScheme::Workspace& workspace(std::size_t i);
+
+  const ConnectivityScheme& scheme_;
+  QueryOptions options_;
+  std::unique_ptr<ConnectivityScheme::FaultSet> faults_;
+  // Workspace arena: slot i belongs to worker i (slot 0 = caller).
+  std::vector<std::unique_ptr<ConnectivityScheme::Workspace>> workspaces_;
+};
+
+}  // namespace ftc::core

@@ -38,6 +38,39 @@ enum class FieldKind : std::uint8_t {
   kGF128 = 2,  // auxiliary graphs up to 2^32 - 1 vertices
 };
 
+// Which labeling construction backs the ConnectivityScheme interface
+// (connectivity_scheme.hpp). All three share the auxiliary-graph /
+// fragment-merging framework but differ in the outdetect engine:
+//  kCoreFtc        — this paper's FtcScheme (ftc_scheme.*): deterministic
+//                    RS-sketch hierarchy, variant selected by SchemeKind.
+//  kDp21CycleSpace — Dory-Parter first scheme (dp21/cycle_space_ftc.*):
+//                    cycle-space sampling, smallest labels, whp.
+//  kDp21Agm        — Dory-Parter second scheme (dp21/agm_ftc.*): AGM
+//                    l0-sampler sketches, whp.
+enum class BackendKind : std::uint8_t {
+  kCoreFtc = 0,
+  kDp21CycleSpace = 1,
+  kDp21Agm = 2,
+};
+
+inline constexpr BackendKind kAllBackends[] = {
+    BackendKind::kCoreFtc,
+    BackendKind::kDp21CycleSpace,
+    BackendKind::kDp21Agm,
+};
+
+constexpr const char* backend_name(BackendKind b) {
+  switch (b) {
+    case BackendKind::kCoreFtc:
+      return "core-ftc";
+    case BackendKind::kDp21CycleSpace:
+      return "dp21-cycle";
+    case BackendKind::kDp21Agm:
+      return "dp21-agm";
+  }
+  return "unknown";
+}
+
 struct FtcConfig {
   unsigned f = 2;  // maximum number of faulty edges supported
   SchemeKind kind = SchemeKind::kDeterministic;

@@ -1,0 +1,272 @@
+#include "core/connectivity_scheme.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ftc_scheme.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+// Shared by all adapters: validate fault edge IDs against the graph size
+// and deduplicate them, so every backend sees a canonical fault set.
+std::vector<graph::EdgeId> canonical_faults(
+    std::span<const graph::EdgeId> edge_faults, graph::EdgeId num_edges) {
+  std::vector<graph::EdgeId> faults(edge_faults.begin(), edge_faults.end());
+  for (const graph::EdgeId e : faults) {
+    FTC_REQUIRE(e < num_edges, "fault edge out of range");
+  }
+  std::sort(faults.begin(), faults.end());
+  faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
+  return faults;
+}
+
+// Canonicalize the fault set, then fetch each edge's label from the
+// wrapped scheme — the materialization step every adapter shares.
+template <typename Scheme>
+auto materialize_labels(const Scheme& scheme,
+                        std::span<const graph::EdgeId> edge_faults,
+                        graph::EdgeId num_edges) {
+  const auto faults = canonical_faults(edge_faults, num_edges);
+  std::vector<decltype(scheme.edge_label(graph::EdgeId{}))> labels;
+  labels.reserve(faults.size());
+  for (const graph::EdgeId e : faults) labels.push_back(scheme.edge_label(e));
+  return labels;
+}
+
+class EmptyWorkspace final : public ConnectivityScheme::Workspace {};
+
+// query() is the hot path: the fault-set/workspace types are fixed when
+// prepare_faults()/make_workspace() hand them out, so downcast statically
+// and keep the RTTI check as a debug-only guard against mixing backends.
+template <typename T, typename U>
+T& checked_cast(U& obj, const char* what) {
+#ifndef NDEBUG
+  FTC_REQUIRE(dynamic_cast<std::remove_reference_t<T>*>(&obj) != nullptr,
+              what);
+#else
+  (void)what;
+#endif
+  return static_cast<T&>(obj);
+}
+
+// ---------------------------------------------------------------- core
+
+class CoreFaultSet final : public ConnectivityScheme::FaultSet {
+ public:
+  explicit CoreFaultSet(PreparedFaults prepared)
+      : prepared_(std::move(prepared)) {}
+
+  std::size_t num_faults() const override { return prepared_.num_faults(); }
+  const PreparedFaults& prepared() const { return prepared_; }
+
+ private:
+  PreparedFaults prepared_;
+};
+
+class CoreWorkspace final : public ConnectivityScheme::Workspace {
+ public:
+  DecoderWorkspace& decoder() { return decoder_; }
+
+ private:
+  DecoderWorkspace decoder_;
+};
+
+class CoreFtcBackend final : public ConnectivityScheme {
+ public:
+  CoreFtcBackend(const graph::Graph& g, const FtcConfig& config)
+      : scheme_(FtcScheme::build(g, config)) {}
+
+  BackendKind backend() const override { return BackendKind::kCoreFtc; }
+  graph::VertexId num_vertices() const override {
+    return scheme_.num_vertices();
+  }
+  graph::EdgeId num_edges() const override { return scheme_.num_edges(); }
+  std::size_t vertex_label_bits() const override {
+    return scheme_.vertex_label_bits();
+  }
+  std::size_t edge_label_bits() const override {
+    return scheme_.edge_label_bits();
+  }
+  std::size_t total_label_bits() const override {
+    return scheme_.total_label_bits();
+  }
+
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const graph::EdgeId> edge_faults) const override {
+    const auto labels = materialize_labels(scheme_, edge_faults, num_edges());
+    return std::make_unique<CoreFaultSet>(PreparedFaults::prepare(labels));
+  }
+
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<CoreWorkspace>();
+  }
+
+  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
+             Workspace& workspace,
+             const QueryOptions& options) const override {
+    const auto& fs = checked_cast<const CoreFaultSet&>(
+        faults, "fault set from a different backend");
+    auto& ws = checked_cast<CoreWorkspace&>(
+        workspace, "workspace from a different backend");
+    return FtcDecoder::connected(scheme_.vertex_label(s),
+                                 scheme_.vertex_label(t), fs.prepared(),
+                                 ws.decoder(), options);
+  }
+
+ private:
+  FtcScheme scheme_;
+};
+
+// ----------------------------------------------------- dp21 cycle-space
+
+class CycleFaultSet final : public ConnectivityScheme::FaultSet {
+ public:
+  explicit CycleFaultSet(std::vector<dp21::CsEdgeLabel> labels)
+      : labels_(std::move(labels)) {}
+  std::size_t num_faults() const override { return labels_.size(); }
+  std::span<const dp21::CsEdgeLabel> labels() const { return labels_; }
+
+ private:
+  std::vector<dp21::CsEdgeLabel> labels_;
+};
+
+class CycleSpaceBackend final : public ConnectivityScheme {
+ public:
+  CycleSpaceBackend(const graph::Graph& g,
+                    const dp21::CycleSpaceConfig& config)
+      : scheme_(dp21::CycleSpaceFtc::build(g, config)),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()) {}
+
+  BackendKind backend() const override {
+    return BackendKind::kDp21CycleSpace;
+  }
+  graph::VertexId num_vertices() const override { return num_vertices_; }
+  graph::EdgeId num_edges() const override { return num_edges_; }
+  std::size_t vertex_label_bits() const override {
+    return scheme_.vertex_label_bits();
+  }
+  std::size_t edge_label_bits() const override {
+    return scheme_.edge_label_bits();
+  }
+
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const graph::EdgeId> edge_faults) const override {
+    return std::make_unique<CycleFaultSet>(
+        materialize_labels(scheme_, edge_faults, num_edges_));
+  }
+
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<EmptyWorkspace>();
+  }
+
+  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
+             Workspace& /*workspace*/,
+             const QueryOptions& /*options*/) const override {
+    const auto& fs = checked_cast<const CycleFaultSet&>(
+        faults, "fault set from a different backend");
+    return dp21::CycleSpaceFtc::connected(scheme_.vertex_label(s),
+                                          scheme_.vertex_label(t),
+                                          fs.labels());
+  }
+
+ private:
+  dp21::CycleSpaceFtc scheme_;
+  graph::VertexId num_vertices_;
+  graph::EdgeId num_edges_;
+};
+
+// ------------------------------------------------------------ dp21 AGM
+
+class AgmFaultSet final : public ConnectivityScheme::FaultSet {
+ public:
+  explicit AgmFaultSet(std::vector<dp21::AgmEdgeLabel> labels)
+      : labels_(std::move(labels)) {}
+  std::size_t num_faults() const override { return labels_.size(); }
+  std::span<const dp21::AgmEdgeLabel> labels() const { return labels_; }
+
+ private:
+  std::vector<dp21::AgmEdgeLabel> labels_;
+};
+
+class AgmBackend final : public ConnectivityScheme {
+ public:
+  AgmBackend(const graph::Graph& g, const dp21::AgmFtcConfig& config)
+      : scheme_(dp21::AgmFtc::build(g, config)),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()) {}
+
+  BackendKind backend() const override { return BackendKind::kDp21Agm; }
+  graph::VertexId num_vertices() const override { return num_vertices_; }
+  graph::EdgeId num_edges() const override { return num_edges_; }
+  std::size_t vertex_label_bits() const override {
+    return scheme_.vertex_label_bits();
+  }
+  std::size_t edge_label_bits() const override {
+    return scheme_.edge_label_bits();
+  }
+
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const graph::EdgeId> edge_faults) const override {
+    return std::make_unique<AgmFaultSet>(
+        materialize_labels(scheme_, edge_faults, num_edges_));
+  }
+
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<EmptyWorkspace>();
+  }
+
+  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
+             Workspace& /*workspace*/,
+             const QueryOptions& /*options*/) const override {
+    const auto& fs = checked_cast<const AgmFaultSet&>(
+        faults, "fault set from a different backend");
+    return dp21::AgmFtc::connected(scheme_.vertex_label(s),
+                                   scheme_.vertex_label(t), fs.labels());
+  }
+
+ private:
+  dp21::AgmFtc scheme_;
+  graph::VertexId num_vertices_;
+  graph::EdgeId num_edges_;
+};
+
+}  // namespace
+
+bool ConnectivityScheme::connected(graph::VertexId s, graph::VertexId t,
+                                   std::span<const graph::EdgeId> edge_faults,
+                                   const QueryOptions& options) const {
+  const auto faults = prepare_faults(edge_faults);
+  const auto workspace = make_workspace();
+  return query(s, t, *faults, *workspace, options);
+}
+
+std::unique_ptr<ConnectivityScheme> make_scheme(const graph::Graph& g,
+                                                const SchemeConfig& config) {
+  switch (config.backend) {
+    case BackendKind::kCoreFtc:
+      return std::make_unique<CoreFtcBackend>(g, config.ftc);
+    case BackendKind::kDp21CycleSpace:
+      return std::make_unique<CycleSpaceBackend>(g, config.cycle);
+    case BackendKind::kDp21Agm:
+      return std::make_unique<AgmBackend>(g, config.agm);
+  }
+  FTC_REQUIRE(false, "unknown BackendKind");
+  return nullptr;  // unreachable
+}
+
+BackendKind parse_backend(std::string_view name) {
+  for (const BackendKind b : kAllBackends) {
+    if (name == backend_name(b)) return b;
+  }
+  if (name == "ftc" || name == "core") return BackendKind::kCoreFtc;
+  if (name == "cycle" || name == "cs") return BackendKind::kDp21CycleSpace;
+  if (name == "agm") return BackendKind::kDp21Agm;
+  FTC_REQUIRE(false, "unknown backend name: " + std::string(name) +
+                         " (expected core-ftc | dp21-cycle | dp21-agm)");
+  return BackendKind::kCoreFtc;  // unreachable
+}
+
+}  // namespace ftc::core

@@ -1,0 +1,126 @@
+// ConnectivityScheme: one polymorphic interface over the repo's three
+// f-FTC label constructions — this paper's deterministic/randomized
+// FtcScheme (core/ftc_scheme.*), the Dory-Parter cycle-space scheme and
+// the Dory-Parter AGM-sketch scheme (dp21/*). Section 1.4: any f-FTC
+// labeling scheme doubles as a centralized oracle; this interface is the
+// shape of that oracle, so every backend can sit behind the same facade,
+// be benchmarked head-to-head, and feed the batch query engine
+// (batch_engine.hpp).
+//
+// The query path is split into the three stages every backend shares:
+//   1. prepare_faults — materialize and deduplicate the fault-edge
+//      labels once per fault set (immutable; concurrent reads are safe);
+//   2. make_workspace — per-thread decode scratch, reused across queries;
+//   3. query — answer one (s, t) pair against a prepared fault set.
+// connected() bundles the three for one-shot use.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "core/ftc_query.hpp"
+#include "dp21/agm_ftc.hpp"
+#include "dp21/cycle_space_ftc.hpp"
+#include "graph/graph.hpp"
+
+namespace ftc::core {
+
+class ConnectivityScheme {
+ public:
+  // A materialized, deduplicated fault set. Immutable after creation:
+  // any number of threads may query against the same FaultSet.
+  class FaultSet {
+   public:
+    virtual ~FaultSet() = default;
+    virtual std::size_t num_faults() const = 0;  // after dedup
+  };
+
+  // Per-thread decode scratch. Not thread-safe; reuse across queries on
+  // the owning thread to amortize allocation.
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+
+  virtual ~ConnectivityScheme() = default;
+
+  virtual BackendKind backend() const = 0;
+  std::string_view name() const { return backend_name(backend()); }
+
+  virtual graph::VertexId num_vertices() const = 0;
+  virtual graph::EdgeId num_edges() const = 0;
+
+  // Label-size accounting in bits, per label and for the whole scheme
+  // (the centralized-oracle space bound of Section 1.4).
+  virtual std::size_t vertex_label_bits() const = 0;
+  virtual std::size_t edge_label_bits() const = 0;
+  virtual std::size_t total_label_bits() const {
+    return static_cast<std::size_t>(num_vertices()) * vertex_label_bits() +
+           static_cast<std::size_t>(num_edges()) * edge_label_bits();
+  }
+
+  // Validates edge IDs and deduplicates them before materializing labels.
+  virtual std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const graph::EdgeId> edge_faults) const = 0;
+  virtual std::unique_ptr<Workspace> make_workspace() const = 0;
+
+  // s-t connectivity in G - F. `faults` must come from this scheme's
+  // prepare_faults and `workspace` from its make_workspace. QueryOptions
+  // drives the core-FTC ablation switches; the dp21 backends have no
+  // such switches and ignore it.
+  virtual bool query(graph::VertexId s, graph::VertexId t,
+                     const FaultSet& faults, Workspace& workspace,
+                     const QueryOptions& options = {}) const = 0;
+
+  // One-shot convenience: prepare + query with a throwaway workspace.
+  bool connected(graph::VertexId s, graph::VertexId t,
+                 std::span<const graph::EdgeId> edge_faults,
+                 const QueryOptions& options = {}) const;
+};
+
+// Per-backend build knobs, bundled so one config object can drive any
+// backend. set_f() is the common knob: the fault budget every backend
+// must support.
+struct SchemeConfig {
+  BackendKind backend = BackendKind::kCoreFtc;
+  FtcConfig ftc;                // BackendKind::kCoreFtc
+  dp21::CycleSpaceConfig cycle;  // BackendKind::kDp21CycleSpace
+  dp21::AgmFtcConfig agm;       // BackendKind::kDp21Agm
+
+  SchemeConfig() {
+    // Cross-backend default: full-support variants, so all backends are
+    // correct on every fault set of size <= f (the whp variants only
+    // promise correctness per fixed fault set).
+    cycle.full_support = true;
+    agm.full_support = true;
+  }
+
+  unsigned f() const { return ftc.f; }
+  SchemeConfig& set_f(unsigned f) {
+    ftc.f = f;
+    cycle.f = f;
+    agm.f = f;
+    return *this;
+  }
+  SchemeConfig& set_seed(std::uint64_t seed) {
+    ftc.seed = seed;
+    cycle.seed = seed;
+    agm.seed = seed;
+    return *this;
+  }
+};
+
+// Factory: build the labeling selected by config.backend for g. Throws
+// std::invalid_argument on disconnected inputs (all backends require a
+// connected graph).
+std::unique_ptr<ConnectivityScheme> make_scheme(const graph::Graph& g,
+                                                const SchemeConfig& config);
+
+// CLI helper: "core-ftc" / "dp21-cycle" / "dp21-agm" (plus the short
+// aliases "ftc", "cycle", "agm") -> BackendKind. Throws on anything else.
+BackendKind parse_backend(std::string_view name);
+
+}  // namespace ftc::core

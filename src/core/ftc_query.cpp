@@ -1,7 +1,8 @@
 #include "core/ftc_query.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <tuple>
+#include <vector>
 
 #include "core/edge_code.hpp"
 #include "graph/fragments.hpp"
@@ -23,24 +24,118 @@ F f_from_words(const std::uint64_t* w) {
   }
 }
 
-template <typename F>
-struct FragState {
-  std::vector<std::uint64_t> cut;  // bitset over deduplicated fault indices
-  std::vector<F> sums;             // num_levels * k field elements
+}  // namespace
 
-  unsigned cut_size() const {
-    unsigned c = 0;
-    for (const auto word : cut) {
-      c += static_cast<unsigned>(__builtin_popcountll(word));
-    }
-    return c;
-  }
+// Fault-set context shared by all queries: parameters, the fragment
+// locator, and flattened per-fragment initial state. Fragment fr owns
+// cut[fr * cut_words ..] and sums[fr * num_levels * k ..].
+struct PreparedFaults::Impl {
+  virtual ~Impl() = default;
 
-  void merge_from(const FragState& o) {
-    for (std::size_t i = 0; i < cut.size(); ++i) cut[i] ^= o.cut[i];
-    for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += o.sums[i];
-  }
+  LabelParams params;
+  graph::FragmentLocator loc{std::vector<std::pair<std::uint32_t, std::uint32_t>>{}};
+  std::size_t nf = 0;         // deduplicated fault count
+  std::size_t cut_words = 0;  // bitset words per fragment
+  int num_frag = 0;
 };
+
+// Scratch reused across queries on one thread: working copies of the
+// fragment states plus the merge bookkeeping. Both field widths keep
+// their own sum buffer so one workspace serves any scheme.
+struct DecoderWorkspace::Impl {
+  std::vector<std::uint64_t> cut;
+  std::vector<gf::GF2_64> sums64;
+  std::vector<gf::GF2_128> sums128;
+  graph::UnionFind uf{0};
+  std::vector<char> closed;
+  std::vector<std::uint32_t> version;
+  // (cut size, fragment, version) min-heap with lazy invalidation.
+  std::vector<std::tuple<unsigned, int, std::uint32_t>> heap;
+};
+
+namespace {
+
+template <typename F>
+struct PreparedImpl final : PreparedFaults::Impl {
+  std::vector<std::uint64_t> cut;
+  std::vector<F> sums;
+};
+
+template <typename F>
+std::vector<F>& workspace_sums(DecoderWorkspace::Impl& ws) {
+  if constexpr (F::kWords == 1) {
+    return ws.sums64;
+  } else {
+    return ws.sums128;
+  }
+}
+
+template <typename F>
+std::unique_ptr<PreparedFaults::Impl> prepare_impl(
+    std::span<const EdgeLabel> faults) {
+  const LabelParams& params = faults[0].params;
+  for (const EdgeLabel& f : faults) {
+    FTC_REQUIRE(f.params == params, "fault labels from different schemes");
+  }
+  const unsigned k = params.k;
+  const unsigned num_levels = params.num_levels;
+
+  // Deduplicate faults: the lower endpoint identifies a tree edge.
+  std::vector<const EdgeLabel*> uniq;
+  uniq.reserve(faults.size());
+  for (const EdgeLabel& f : faults) uniq.push_back(&f);
+  std::sort(uniq.begin(), uniq.end(),
+            [](const EdgeLabel* a, const EdgeLabel* b) {
+              return a->lower.tin < b->lower.tin;
+            });
+  uniq.erase(std::unique(uniq.begin(), uniq.end(),
+                         [](const EdgeLabel* a, const EdgeLabel* b) {
+                           return a->lower.tin == b->lower.tin;
+                         }),
+             uniq.end());
+  const std::size_t nf = uniq.size();
+
+  // Fragment structure of T' - sigma(F) from the labels alone.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  intervals.reserve(nf);
+  for (const EdgeLabel* f : uniq) {
+    intervals.push_back({f->lower.tin, f->lower.tout});
+  }
+  graph::FragmentLocator loc(std::move(intervals));
+  const int num_frag = loc.fragment_count();
+
+  auto impl = std::make_unique<PreparedImpl<F>>();
+  impl->params = params;
+  impl->nf = nf;
+  impl->cut_words = (nf + 63) / 64;
+  impl->num_frag = num_frag;
+
+  // Per-fragment cut bitsets and sketch sums (Proposition 4): each fault
+  // edge contributes its subtree sketch to the fragment below it and the
+  // fragment above it.
+  const std::size_t sums_per_frag = static_cast<std::size_t>(num_levels) * k;
+  impl->cut.assign(static_cast<std::size_t>(num_frag) * impl->cut_words, 0);
+  impl->sums.assign(static_cast<std::size_t>(num_frag) * sums_per_frag,
+                    F::zero());
+  for (std::size_t j = 0; j < nf; ++j) {
+    const int below = loc.fragment_of_fault(j);
+    const int above = loc.parent_fragment(below);
+    FTC_CHECK(above >= 0, "fault fragment without parent");
+    const std::uint64_t* w = uniq[j]->sketch_words.data();
+    FTC_REQUIRE(uniq[j]->sketch_words.size() == sums_per_frag * F::kWords,
+                "edge label sketch payload has wrong size");
+    for (const int fr : {below, above}) {
+      impl->cut[fr * impl->cut_words + j / 64] ^= std::uint64_t{1}
+                                                  << (j % 64);
+      F* sums = impl->sums.data() + fr * sums_per_frag;
+      for (std::size_t i = 0; i < sums_per_frag; ++i) {
+        sums[i] += f_from_words<F>(w + i * F::kWords);
+      }
+    }
+  }
+  impl->loc = std::move(loc);
+  return impl;
+}
 
 // Decodes the outgoing edges of a fragment set from its per-level sketch
 // sums: scan from the sparsest level down; the first level with a nonzero
@@ -49,12 +144,12 @@ struct FragState {
 // means no outgoing edge (the component is complete).
 template <typename F>
 std::vector<std::pair<AncestryLabel, AncestryLabel>> decode_outgoing(
-    const FragState<F>& st, const LabelParams& params,
-    const QueryOptions& options, QueryStats* stats) {
+    const F* sums, const LabelParams& params, const QueryOptions& options,
+    QueryStats* stats) {
   const unsigned k = params.k;
   for (unsigned lev = params.num_levels; lev-- > 0;) {
     if (stats != nullptr) ++stats->levels_scanned;
-    const F* s = &st.sums[static_cast<std::size_t>(lev) * k];
+    const F* s = sums + static_cast<std::size_t>(lev) * k;
     bool nonzero = false;
     for (unsigned j = 0; j < k; ++j) {
       if (!s[j].is_zero()) {
@@ -90,96 +185,72 @@ std::vector<std::pair<AncestryLabel, AncestryLabel>> decode_outgoing(
 }
 
 template <typename F>
-bool connected_impl(const VertexLabel& s, const VertexLabel& t,
-                    std::span<const EdgeLabel> faults,
-                    const QueryOptions& options, QueryStats* stats) {
-  const LabelParams& params = faults[0].params;
-  for (const EdgeLabel& f : faults) {
-    FTC_REQUIRE(f.params == params, "fault labels from different schemes");
-  }
-  FTC_REQUIRE(s.params == params && t.params == params,
-              "vertex and edge labels from different schemes");
+bool query_impl(const VertexLabel& s, const VertexLabel& t,
+                const PreparedImpl<F>& prep, DecoderWorkspace::Impl& ws,
+                const QueryOptions& options, QueryStats* stats) {
+  const LabelParams& params = prep.params;
   const unsigned k = params.k;
-  const unsigned num_levels = params.num_levels;
-
-  // Deduplicate faults: the lower endpoint identifies a tree edge.
-  std::vector<const EdgeLabel*> uniq;
-  uniq.reserve(faults.size());
-  for (const EdgeLabel& f : faults) uniq.push_back(&f);
-  std::sort(uniq.begin(), uniq.end(), [](const EdgeLabel* a, const EdgeLabel* b) {
-    return a->lower.tin < b->lower.tin;
-  });
-  uniq.erase(std::unique(uniq.begin(), uniq.end(),
-                         [](const EdgeLabel* a, const EdgeLabel* b) {
-                           return a->lower.tin == b->lower.tin;
-                         }),
-             uniq.end());
-  const std::size_t nf = uniq.size();
-
-  // Fragment structure of T' - sigma(F) from the labels alone.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
-  intervals.reserve(nf);
-  for (const EdgeLabel* f : uniq) {
-    intervals.push_back({f->lower.tin, f->lower.tout});
-  }
-  const graph::FragmentLocator loc(std::move(intervals));
-  const int num_frag = loc.fragment_count();
+  const std::size_t sums_per_frag =
+      static_cast<std::size_t>(params.num_levels) * k;
+  const std::size_t cut_words = prep.cut_words;
+  const int num_frag = prep.num_frag;
   if (stats != nullptr) stats->fragments = static_cast<unsigned>(num_frag);
 
-  const int fs = loc.locate(s.anc.tin);
-  const int ft = loc.locate(t.anc.tin);
+  const int fs = prep.loc.locate(s.anc.tin);
+  const int ft = prep.loc.locate(t.anc.tin);
   if (fs == ft) return true;  // connected within T' - sigma(F) already
 
-  // Per-fragment cut bitsets and sketch sums (Proposition 4): each fault
-  // edge contributes its subtree sketch to the fragment below it and the
-  // fragment above it.
-  const std::size_t cut_words = (nf + 63) / 64;
-  std::vector<FragState<F>> state(num_frag);
-  for (auto& st : state) {
-    st.cut.assign(cut_words, 0);
-    st.sums.assign(static_cast<std::size_t>(num_levels) * k, F::zero());
-  }
-  for (std::size_t j = 0; j < nf; ++j) {
-    const int below = loc.fragment_of_fault(j);
-    const int above = loc.parent_fragment(below);
-    FTC_CHECK(above >= 0, "fault fragment without parent");
-    for (const int fr : {below, above}) {
-      state[fr].cut[j / 64] ^= std::uint64_t{1} << (j % 64);
-      const std::uint64_t* w = uniq[j]->sketch_words.data();
-      FTC_REQUIRE(uniq[j]->sketch_words.size() ==
-                      static_cast<std::size_t>(num_levels) * k * F::kWords,
-                  "edge label sketch payload has wrong size");
-      for (std::size_t i = 0; i < state[fr].sums.size(); ++i) {
-        state[fr].sums[i] += f_from_words<F>(w + i * F::kWords);
-      }
+  // Working copies of the immutable initial state, into reused buffers.
+  ws.cut.assign(prep.cut.begin(), prep.cut.end());
+  std::vector<F>& sums = workspace_sums<F>(ws);
+  sums.assign(prep.sums.begin(), prep.sums.end());
+  ws.uf.reset(static_cast<std::size_t>(num_frag));
+  ws.closed.assign(num_frag, 0);
+  ws.version.assign(num_frag, 0);
+  ws.heap.clear();
+
+  const auto cut_size = [&](int fr) {
+    const std::uint64_t* w = ws.cut.data() + fr * cut_words;
+    unsigned c = 0;
+    for (std::size_t i = 0; i < cut_words; ++i) {
+      c += static_cast<unsigned>(__builtin_popcountll(w[i]));
     }
-  }
+    return c;
+  };
+  const auto merge_state = [&](std::size_t root, std::size_t other) {
+    std::uint64_t* rc = ws.cut.data() + root * cut_words;
+    const std::uint64_t* oc = ws.cut.data() + other * cut_words;
+    for (std::size_t i = 0; i < cut_words; ++i) rc[i] ^= oc[i];
+    F* rs = sums.data() + root * sums_per_frag;
+    const F* os = sums.data() + other * sums_per_frag;
+    for (std::size_t i = 0; i < sums_per_frag; ++i) rs[i] += os[i];
+  };
 
-  graph::UnionFind uf(static_cast<std::size_t>(num_frag));
-  std::vector<char> closed(num_frag, 0);
-  std::vector<std::uint32_t> version(num_frag, 0);
-
-  // (cut size, fragment, version) min-heap with lazy invalidation.
   using HeapEntry = std::tuple<unsigned, int, std::uint32_t>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap;
-  for (int fr = 0; fr < num_frag; ++fr) {
-    heap.emplace(state[fr].cut_size(), fr, 0u);
-  }
+  const auto heap_push = [&](HeapEntry e) {
+    ws.heap.push_back(e);
+    std::push_heap(ws.heap.begin(), ws.heap.end(), std::greater<>{});
+  };
+  const auto heap_pop = [&]() {
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), std::greater<>{});
+    const HeapEntry e = ws.heap.back();
+    ws.heap.pop_back();
+    return e;
+  };
+  for (int fr = 0; fr < num_frag; ++fr) heap_push({cut_size(fr), fr, 0u});
 
+  graph::UnionFind& uf = ws.uf;
   const auto pick_source_first = [&]() -> int {
     const int root = static_cast<int>(uf.find(fs));
-    return closed[root] ? -1 : root;
+    return ws.closed[root] ? -1 : root;
   };
 
   while (true) {
     int fr = -1;
     if (options.smallest_cut_first) {
-      while (!heap.empty()) {
-        const auto [sz, cand, ver] = heap.top();
-        heap.pop();
-        if (closed[cand] || version[cand] != ver ||
+      while (!ws.heap.empty()) {
+        const auto [sz, cand, ver] = heap_pop();
+        if (ws.closed[cand] || ws.version[cand] != ver ||
             uf.find(cand) != static_cast<std::size_t>(cand)) {
           continue;
         }
@@ -193,9 +264,10 @@ bool connected_impl(const VertexLabel& s, const VertexLabel& t,
       if (fr < 0) return false;
     }
 
-    const auto edges = decode_outgoing(state[fr], params, options, stats);
+    const auto edges = decode_outgoing(sums.data() + fr * sums_per_frag,
+                                       params, options, stats);
     if (edges.empty()) {
-      closed[fr] = 1;
+      ws.closed[fr] = 1;
       // A closed set is a complete component of G - F. If it holds s or
       // t, the two can no longer meet.
       if (static_cast<std::size_t>(fr) == uf.find(fs) ||
@@ -205,34 +277,83 @@ bool connected_impl(const VertexLabel& s, const VertexLabel& t,
       continue;
     }
     for (const auto& [a, b] : edges) {
-      const std::size_t fa = uf.find(loc.locate(a.tin));
-      const std::size_t fb = uf.find(loc.locate(b.tin));
+      const std::size_t fa = uf.find(prep.loc.locate(a.tin));
+      const std::size_t fb = uf.find(prep.loc.locate(b.tin));
       if (fa == fb) continue;  // joined by an earlier edge this round
       uf.unite(fa, fb);
       const std::size_t root = uf.find(fa);
       const std::size_t other = root == fa ? fb : fa;
-      state[root].merge_from(state[other]);
+      merge_state(root, other);
       if (stats != nullptr) ++stats->merges;
       if (uf.find(fs) == uf.find(ft)) return true;
     }
     const std::size_t root = uf.find(fr);
-    ++version[root];
-    heap.emplace(state[root].cut_size(), static_cast<int>(root),
-                 version[root]);
+    ++ws.version[root];
+    heap_push({cut_size(static_cast<int>(root)), static_cast<int>(root),
+               ws.version[root]});
   }
 }
 
 }  // namespace
+
+PreparedFaults::PreparedFaults(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+PreparedFaults::PreparedFaults(PreparedFaults&&) noexcept = default;
+PreparedFaults& PreparedFaults::operator=(PreparedFaults&&) noexcept = default;
+PreparedFaults::~PreparedFaults() = default;
+
+PreparedFaults PreparedFaults::prepare(std::span<const EdgeLabel> faults) {
+  if (faults.empty()) return PreparedFaults(nullptr);
+  if (faults[0].params.field_bits == 64) {
+    return PreparedFaults(prepare_impl<gf::GF2_64>(faults));
+  }
+  return PreparedFaults(prepare_impl<gf::GF2_128>(faults));
+}
+
+bool PreparedFaults::empty() const { return impl_ == nullptr; }
+
+std::size_t PreparedFaults::num_faults() const {
+  return impl_ == nullptr ? 0 : impl_->nf;
+}
+
+const LabelParams& PreparedFaults::params() const {
+  FTC_REQUIRE(impl_ != nullptr, "empty fault set has no parameters");
+  return impl_->params;
+}
+
+DecoderWorkspace::DecoderWorkspace() : impl_(std::make_unique<Impl>()) {}
+DecoderWorkspace::DecoderWorkspace(DecoderWorkspace&&) noexcept = default;
+DecoderWorkspace& DecoderWorkspace::operator=(DecoderWorkspace&&) noexcept =
+    default;
+DecoderWorkspace::~DecoderWorkspace() = default;
 
 bool FtcDecoder::connected(const VertexLabel& s, const VertexLabel& t,
                            std::span<const EdgeLabel> faults,
                            const QueryOptions& options, QueryStats* stats) {
   if (s.anc == t.anc) return true;  // labels are injective: same vertex
   if (faults.empty()) return true;  // the input graph is connected
-  if (faults[0].params.field_bits == 64) {
-    return connected_impl<gf::GF2_64>(s, t, faults, options, stats);
+  const PreparedFaults prepared = PreparedFaults::prepare(faults);
+  DecoderWorkspace workspace;
+  return connected(s, t, prepared, workspace, options, stats);
+}
+
+bool FtcDecoder::connected(const VertexLabel& s, const VertexLabel& t,
+                           const PreparedFaults& faults,
+                           DecoderWorkspace& workspace,
+                           const QueryOptions& options, QueryStats* stats) {
+  if (s.anc == t.anc) return true;  // labels are injective: same vertex
+  if (faults.empty()) return true;  // the input graph is connected
+  const PreparedFaults::Impl& impl = *faults.impl_;
+  FTC_REQUIRE(s.params == impl.params && t.params == impl.params,
+              "vertex and edge labels from different schemes");
+  if (impl.params.field_bits == 64) {
+    return query_impl<gf::GF2_64>(
+        s, t, static_cast<const PreparedImpl<gf::GF2_64>&>(impl),
+        *workspace.impl_, options, stats);
   }
-  return connected_impl<gf::GF2_128>(s, t, faults, options, stats);
+  return query_impl<gf::GF2_128>(
+      s, t, static_cast<const PreparedImpl<gf::GF2_128>&>(impl),
+      *workspace.impl_, options, stats);
 }
 
 }  // namespace ftc::core

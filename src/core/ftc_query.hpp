@@ -11,8 +11,17 @@
 //  * smallest_cut_first — the refined Lemma 6 merge order (min-heap over
 //    |cut| with bit-vector cut sets); disabled = the basic Section 3.1
 //    source-first order.
+//
+// Query sessions: everything the decoder derives from the fault labels
+// alone (dedup, fragment intervals, initial per-fragment cut bitsets and
+// sketch sums) is independent of (s, t). PreparedFaults materializes it
+// once so a batch of queries against the same fault set skips that work,
+// and DecoderWorkspace keeps the per-query scratch (fragment state
+// copies, union-find, merge heap) alive across calls instead of
+// reallocating it inside every connected() invocation.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "core/ftc_labels.hpp"
@@ -31,6 +40,53 @@ struct QueryStats {
   unsigned levels_scanned = 0;   // hierarchy levels inspected
 };
 
+// Immutable fault-set context: deduplicated fault edges, the fragment
+// locator of T' - sigma(F), and every fragment's initial cut bitset and
+// per-level sketch sums. Built once per fault set; any number of threads
+// may query against the same PreparedFaults concurrently (it is only
+// read after prepare()).
+class PreparedFaults {
+ public:
+  // Validates that all fault labels come from the same scheme. An empty
+  // fault set is valid (every query answers "connected").
+  static PreparedFaults prepare(std::span<const EdgeLabel> faults);
+
+  PreparedFaults(PreparedFaults&&) noexcept;
+  PreparedFaults& operator=(PreparedFaults&&) noexcept;
+  ~PreparedFaults();
+
+  bool empty() const;
+  std::size_t num_faults() const;  // after tree-edge dedup
+  const LabelParams& params() const;
+
+  struct Impl;
+
+ private:
+  explicit PreparedFaults(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+
+  friend class FtcDecoder;
+};
+
+// Reusable per-query scratch: working copies of the fragment states, the
+// union-find forest, closed/version flags and the merge heap. NOT
+// thread-safe — give each worker thread its own workspace and reuse it
+// across that thread's queries to amortize allocation.
+class DecoderWorkspace {
+ public:
+  DecoderWorkspace();
+  DecoderWorkspace(DecoderWorkspace&&) noexcept;
+  DecoderWorkspace& operator=(DecoderWorkspace&&) noexcept;
+  ~DecoderWorkspace();
+
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+
+  friend class FtcDecoder;
+};
+
 class FtcDecoder {
  public:
   // Returns s-t connectivity in G - F. Throws FtcCapacityError if a
@@ -38,6 +94,15 @@ class FtcDecoder {
   // provable parameters), std::invalid_argument on inconsistent labels.
   static bool connected(const VertexLabel& s, const VertexLabel& t,
                         std::span<const EdgeLabel> faults,
+                        const QueryOptions& options = {},
+                        QueryStats* stats = nullptr);
+
+  // Session form: same answer as above, but the fault-set work is read
+  // from `faults` and the scratch lives in `workspace`. This is the hot
+  // path of the batch engine.
+  static bool connected(const VertexLabel& s, const VertexLabel& t,
+                        const PreparedFaults& faults,
+                        DecoderWorkspace& workspace,
                         const QueryOptions& options = {},
                         QueryStats* stats = nullptr);
 };

@@ -2,14 +2,31 @@
 
 #include <algorithm>
 
+#include "core/batch_engine.hpp"
+
 namespace ftc::core {
 
 using graph::EdgeId;
 using graph::VertexId;
 
+namespace {
+
+SchemeConfig core_config(const FtcConfig& config) {
+  SchemeConfig sc;
+  sc.backend = BackendKind::kCoreFtc;
+  sc.ftc = config;
+  return sc;
+}
+
+}  // namespace
+
 ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
                                        const FtcConfig& config)
-    : scheme_(FtcScheme::build(g, config)) {
+    : ConnectivityOracle(g, core_config(config)) {}
+
+ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
+                                       const SchemeConfig& config)
+    : scheme_(make_scheme(g, config)) {
   incident_.resize(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const auto edges = g.incident_edges(v);
@@ -17,19 +34,9 @@ ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
   }
 }
 
-std::vector<EdgeLabel> ConnectivityOracle::fault_labels(
-    std::span<const EdgeId> edge_faults) const {
-  std::vector<EdgeLabel> labels;
-  labels.reserve(edge_faults.size());
-  for (const EdgeId e : edge_faults) labels.push_back(scheme_.edge_label(e));
-  return labels;
-}
-
 bool ConnectivityOracle::connected(
     VertexId s, VertexId t, std::span<const EdgeId> edge_faults) const {
-  return FtcDecoder::connected(scheme_.vertex_label(s),
-                               scheme_.vertex_label(t),
-                               fault_labels(edge_faults));
+  return scheme_->connected(s, t, edge_faults);
 }
 
 bool ConnectivityOracle::connected_vertex_faults(
@@ -50,14 +57,11 @@ bool ConnectivityOracle::connected_vertex_faults(
 std::vector<bool> ConnectivityOracle::batch_connected(
     std::span<const Query> queries,
     std::span<const EdgeId> edge_faults) const {
-  const auto labels = fault_labels(edge_faults);
-  std::vector<bool> out;
-  out.reserve(queries.size());
-  for (const Query& q : queries) {
-    out.push_back(FtcDecoder::connected(scheme_.vertex_label(q.s),
-                                        scheme_.vertex_label(q.t), labels));
-  }
-  return out;
+  BatchQueryEngine engine(*scheme_, edge_faults);
+  std::vector<BatchQueryEngine::Query> batch;
+  batch.reserve(queries.size());
+  for (const Query& q : queries) batch.push_back({q.s, q.t});
+  return engine.run_sequential(batch);
 }
 
 }  // namespace ftc::core

@@ -2,23 +2,29 @@
 //
 // Section 1.4: "any f-FTC labeling scheme is also usable as a centralized
 // oracle with the space complexity of m times the label size". This
-// wrapper owns the labels, answers (s, t, F) queries directly, and adds
-// the vertex-fault reduction the paper sketches: a faulty vertex becomes
-// the set of its incident edges (label size Delta * f in the worst case —
-// the reduction the open-problems section wants to beat).
+// wrapper owns a ConnectivityScheme backend (any of the three label
+// constructions, selected by SchemeConfig::backend), answers (s, t, F)
+// queries directly, and adds the vertex-fault reduction the paper
+// sketches: a faulty vertex becomes the set of its incident edges (label
+// size Delta * f in the worst case — the reduction the open-problems
+// section wants to beat).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "core/ftc_query.hpp"
-#include "core/ftc_scheme.hpp"
+#include "core/connectivity_scheme.hpp"
 
 namespace ftc::core {
 
 class ConnectivityOracle {
  public:
+  // Back-compat: the paper's own scheme (BackendKind::kCoreFtc).
   ConnectivityOracle(const graph::Graph& g, const FtcConfig& config);
+
+  // Backend-agnostic: any labeling construction behind the factory.
+  ConnectivityOracle(const graph::Graph& g, const SchemeConfig& config);
 
   // s-t connectivity in G - faults.
   bool connected(graph::VertexId s, graph::VertexId t,
@@ -35,20 +41,19 @@ class ConnectivityOracle {
     graph::VertexId s = 0;
     graph::VertexId t = 0;
   };
-  // Shared fault set across a batch: fault labels are materialized once.
+  // Shared fault set across a batch: fault labels are materialized once
+  // and the decode workspace is reused (see batch_engine.hpp for the
+  // multi-threaded version).
   std::vector<bool> batch_connected(
       std::span<const Query> queries,
       std::span<const graph::EdgeId> edge_faults) const;
 
-  const FtcScheme& scheme() const { return scheme_; }
-  std::size_t space_bits() const { return scheme_.total_label_bits(); }
+  const ConnectivityScheme& scheme() const { return *scheme_; }
+  std::size_t space_bits() const { return scheme_->total_label_bits(); }
 
  private:
-  std::vector<EdgeLabel> fault_labels(
-      std::span<const graph::EdgeId> edge_faults) const;
-
   std::vector<std::vector<graph::EdgeId>> incident_;  // adjacency copy
-  FtcScheme scheme_;
+  std::unique_ptr<ConnectivityScheme> scheme_;
 };
 
 }  // namespace ftc::core

@@ -15,6 +15,13 @@ class UnionFind {
     std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   }
 
+  // Re-initializes to n singleton sets, reusing the existing storage.
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    size_.assign(n, 1);
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
   std::size_t find(std::size_t x) {
     while (parent_[x] != x) {
       parent_[x] = parent_[parent_[x]];  // path halving

@@ -3,6 +3,7 @@
 // the serialization layer against corrupt inputs.
 #include <gtest/gtest.h>
 
+#include "core/ftc_scheme.hpp"
 #include "core/oracle.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
