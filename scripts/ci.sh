@@ -1,17 +1,34 @@
 #!/usr/bin/env bash
 # CI entry point: release build + tests, then Debug+ASan/UBSan build +
-# tests. Run from anywhere; builds land in <repo>/build and
-# <repo>/build-asan.
+# tests. Any ctest failure in any leg fails the script (set -e), so a
+# regression in either preset is a CI regression. Run from anywhere;
+# builds land in <repo>/build and <repo>/build-asan.
 #
-#   scripts/ci.sh            # both presets
+#   scripts/ci.sh            # both presets, full suite
 #   scripts/ci.sh release    # just the release leg
 #   scripts/ci.sh asan       # just the sanitizer leg
+#   scripts/ci.sh store      # fast loop: asan build + run of the label
+#                            # store / differential stress suites only
+#                            # (adversarial container inputs are the
+#                            # tests that most need the sanitizers)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [ "${1:-}" = "store" ]; then
+  echo "=== store/stress focused leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_label_store test_stress_differential ftc_store
+  ctest --preset asan -R 'test_label_store|test_stress_differential' \
+    -j "$jobs"
+  echo "ci: store/stress suites green under asan"
+  exit 0
+fi
+
 presets=("${@:-release}")
 if [ "$#" -eq 0 ]; then
   presets=(release asan)

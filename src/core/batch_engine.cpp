@@ -14,6 +14,12 @@ namespace {
 // index negligible while still load-balancing uneven query costs.
 constexpr std::size_t kChunk = 16;
 
+std::unique_ptr<ConnectivityScheme> require_scheme(
+    std::unique_ptr<ConnectivityScheme> scheme) {
+  FTC_REQUIRE(scheme != nullptr, "null scheme");
+  return scheme;
+}
+
 }  // namespace
 
 BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
@@ -22,6 +28,14 @@ BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
     : scheme_(scheme),
       options_(options),
       faults_(scheme.prepare_faults(edge_faults)) {}
+
+BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
+                                   std::span<const graph::EdgeId> edge_faults,
+                                   const QueryOptions& options)
+    : owned_(require_scheme(std::move(scheme))),
+      scheme_(*owned_),
+      options_(options),
+      faults_(scheme_.prepare_faults(edge_faults)) {}
 
 void BatchQueryEngine::reset_faults(
     std::span<const graph::EdgeId> edge_faults) {

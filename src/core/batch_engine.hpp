@@ -38,6 +38,14 @@ class BatchQueryEngine {
                    std::span<const graph::EdgeId> edge_faults,
                    const QueryOptions& options = {});
 
+  // Owning variant: the engine takes the scheme (typically one loaded
+  // from a label store, see label_store.hpp) and keeps it alive for the
+  // session — a serving session spun up directly from a store file:
+  //   BatchQueryEngine session(load_scheme("labels.ftcs"), faults);
+  BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
+                   std::span<const graph::EdgeId> edge_faults,
+                   const QueryOptions& options = {});
+
   // Replaces the session's fault set; cached workspaces are kept.
   void reset_faults(std::span<const graph::EdgeId> edge_faults);
 
@@ -58,6 +66,8 @@ class BatchQueryEngine {
  private:
   ConnectivityScheme::Workspace& workspace(std::size_t i);
 
+  // Set only by the owning constructor; scheme_ refers to *owned_ then.
+  std::unique_ptr<ConnectivityScheme> owned_;
   const ConnectivityScheme& scheme_;
   QueryOptions options_;
   std::unique_ptr<ConnectivityScheme::FaultSet> faults_;

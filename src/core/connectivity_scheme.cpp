@@ -4,14 +4,11 @@
 #include <vector>
 
 #include "core/ftc_scheme.hpp"
+#include "core/label_store.hpp"
 
 namespace ftc::core {
 
-namespace {
-
-// Shared by all adapters: validate fault edge IDs against the graph size
-// and deduplicate them, so every backend sees a canonical fault set.
-std::vector<graph::EdgeId> canonical_faults(
+std::vector<graph::EdgeId> canonicalize_faults(
     std::span<const graph::EdgeId> edge_faults, graph::EdgeId num_edges) {
   std::vector<graph::EdgeId> faults(edge_faults.begin(), edge_faults.end());
   for (const graph::EdgeId e : faults) {
@@ -22,13 +19,15 @@ std::vector<graph::EdgeId> canonical_faults(
   return faults;
 }
 
+namespace {
+
 // Canonicalize the fault set, then fetch each edge's label from the
 // wrapped scheme — the materialization step every adapter shares.
 template <typename Scheme>
 auto materialize_labels(const Scheme& scheme,
                         std::span<const graph::EdgeId> edge_faults,
                         graph::EdgeId num_edges) {
-  const auto faults = canonical_faults(edge_faults, num_edges);
+  const auto faults = canonicalize_faults(edge_faults, num_edges);
   std::vector<decltype(scheme.edge_label(graph::EdgeId{}))> labels;
   labels.reserve(faults.size());
   for (const graph::EdgeId e : faults) labels.push_back(scheme.edge_label(e));
@@ -115,6 +114,18 @@ class CoreFtcBackend final : public ConnectivityScheme {
                                  ws.decoder(), options);
   }
 
+  void serialize_params(store::ByteWriter& out) const override {
+    store::encode_core_params(scheme_.params(), out);
+  }
+  void serialize_vertex_label(graph::VertexId v,
+                              store::ByteWriter& out) const override {
+    store::encode_vertex_record(scheme_.vertex_label(v).anc, out);
+  }
+  void serialize_edge_label(graph::EdgeId e,
+                            store::ByteWriter& out) const override {
+    store::encode_core_edge(scheme_.edge_label(e), out);
+  }
+
  private:
   FtcScheme scheme_;
 };
@@ -172,6 +183,19 @@ class CycleSpaceBackend final : public ConnectivityScheme {
                                           fs.labels());
   }
 
+  void serialize_params(store::ByteWriter& out) const override {
+    store::encode_cycle_params(
+        {scheme_.coord_bits(), scheme_.vector_bits()}, out);
+  }
+  void serialize_vertex_label(graph::VertexId v,
+                              store::ByteWriter& out) const override {
+    store::encode_vertex_record(scheme_.vertex_label(v).anc, out);
+  }
+  void serialize_edge_label(graph::EdgeId e,
+                            store::ByteWriter& out) const override {
+    store::encode_cycle_edge(scheme_.edge_label(e), out);
+  }
+
  private:
   dp21::CycleSpaceFtc scheme_;
   graph::VertexId num_vertices_;
@@ -225,6 +249,23 @@ class AgmBackend final : public ConnectivityScheme {
         faults, "fault set from a different backend");
     return dp21::AgmFtc::connected(scheme_.vertex_label(s),
                                    scheme_.vertex_label(t), fs.labels());
+  }
+
+  void serialize_params(store::ByteWriter& out) const override {
+    store::AgmParams p;
+    p.coord_bits = scheme_.coord_bits();
+    p.levels = scheme_.sketch_levels();
+    p.reps = scheme_.sketch_reps();
+    p.seed = scheme_.sketch_seed();
+    store::encode_agm_params(p, out);
+  }
+  void serialize_vertex_label(graph::VertexId v,
+                              store::ByteWriter& out) const override {
+    store::encode_vertex_record(scheme_.vertex_label(v).anc, out);
+  }
+  void serialize_edge_label(graph::EdgeId e,
+                            store::ByteWriter& out) const override {
+    store::encode_agm_edge(scheme_.edge_label(e), out);
   }
 
  private:

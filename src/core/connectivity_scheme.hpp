@@ -19,6 +19,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/ftc_query.hpp"
@@ -27,6 +28,10 @@
 #include "graph/graph.hpp"
 
 namespace ftc::core {
+
+namespace store {
+class ByteWriter;
+}  // namespace store
 
 class ConnectivityScheme {
  public:
@@ -79,7 +84,28 @@ class ConnectivityScheme {
   bool connected(graph::VertexId s, graph::VertexId t,
                  std::span<const graph::EdgeId> edge_faults,
                  const QueryOptions& options = {}) const;
+
+  // ----------------------------------------------------------- persistence
+  // Label export for the LabelStore container (label_store.hpp): the
+  // backend-specific parameter blob plus fixed-layout per-vertex /
+  // per-edge label blobs. Every backend — including schemes loaded back
+  // from a store — implements these, so any scheme can be persisted.
+  virtual void serialize_params(store::ByteWriter& out) const = 0;
+  virtual void serialize_vertex_label(graph::VertexId v,
+                                      store::ByteWriter& out) const = 0;
+  virtual void serialize_edge_label(graph::EdgeId e,
+                                    store::ByteWriter& out) const = 0;
+
+  // Writes the whole scheme as one versioned container file (atomically:
+  // a temp file is renamed into place). Implemented in label_store.cpp;
+  // load it back with load_scheme(). Throws StoreError on I/O failure.
+  void save(const std::string& path) const;
 };
+
+// Validates fault edge IDs against num_edges and deduplicates them —
+// the canonicalization step shared by every backend's prepare_faults.
+std::vector<graph::EdgeId> canonicalize_faults(
+    std::span<const graph::EdgeId> edge_faults, graph::EdgeId num_edges);
 
 // Per-backend build knobs, bundled so one config object can drive any
 // backend. set_f() is the common knob: the fault budget every backend

@@ -1,0 +1,643 @@
+// LabelStore implementation: container writer (ConnectivityScheme::save),
+// validating mmap reader (LabelStoreView), and the loaded label-served
+// backends behind load_scheme().
+//
+// A loaded scheme is the labeling-scheme model made literal: it holds no
+// graph and no construction state, only the label blobs, and answers
+// queries through the same universal decoders as the in-memory backends.
+// In kMmap mode the per-query cost is two 8-byte vertex-record reads from
+// the mapping — no std::vector is materialized on the query path; only
+// the <= f fault-edge labels of a session are decoded, once, inside
+// prepare_faults().
+#include "core/label_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/ftc_query.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
+
+std::uint64_t read_u64_at(const std::uint8_t* base, std::size_t offset) {
+  // Little-endian on disk, independent of host byte order.
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{base[offset + i]} << (8 * i);
+  return v;
+}
+
+// Fixed per-edge blob size implied by the params blob, used to
+// cross-check the offset index at open.
+std::size_t expected_edge_blob_bytes(BackendKind backend,
+                                     std::span<const std::uint8_t> params) {
+  store::ByteReader r(params);
+  std::size_t expect = 0;
+  switch (backend) {
+    case BackendKind::kCoreFtc:
+      expect = store::core_edge_blob_bytes(store::decode_core_params(r));
+      break;
+    case BackendKind::kDp21CycleSpace:
+      expect = store::cycle_edge_blob_bytes(store::decode_cycle_params(r));
+      break;
+    case BackendKind::kDp21Agm:
+      expect = store::agm_edge_blob_bytes(store::decode_agm_params(r));
+      break;
+  }
+  if (r.remaining() != 0) {
+    throw StoreError("params blob size inconsistent with backend");
+  }
+  return expect;
+}
+
+void derive_label_bits(BackendKind backend,
+                       std::span<const std::uint8_t> params, StoreInfo& info) {
+  store::ByteReader r(params);
+  switch (backend) {
+    case BackendKind::kCoreFtc: {
+      const LabelParams p = store::decode_core_params(r);
+      info.vertex_label_bits = 2 * p.coord_bits();
+      info.edge_label_bits = 4 * p.coord_bits() +
+                             static_cast<std::size_t>(p.num_levels) * p.k *
+                                 p.field_bits;
+      break;
+    }
+    case BackendKind::kDp21CycleSpace: {
+      const store::CycleParams p = store::decode_cycle_params(r);
+      info.vertex_label_bits = 2 * p.coord_bits;
+      info.edge_label_bits = 4 * p.coord_bits + p.vector_bits + 1;
+      break;
+    }
+    case BackendKind::kDp21Agm: {
+      const store::AgmParams p = store::decode_agm_params(r);
+      info.vertex_label_bits = 2 * p.coord_bits;
+      info.edge_label_bits = 4 * p.coord_bits + p.sketch_words() * 64;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------
+// Writer.
+
+void ConnectivityScheme::save(const std::string& path) const {
+  const VertexId n = num_vertices();
+  const EdgeId m = num_edges();
+
+  store::ByteWriter params;
+  serialize_params(params);
+
+  // Edge blobs first (the offset index precedes them in the file).
+  store::ByteWriter blobs;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(m) + 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    offsets.push_back(blobs.size());
+    serialize_edge_label(e, blobs);
+  }
+  offsets.push_back(blobs.size());
+
+  store::ByteWriter w;
+  w.u64(store::kMagic);
+  w.u32(static_cast<std::uint32_t>(store::kFormatVersion));
+  w.u8(static_cast<std::uint8_t>(backend()));
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u64(n);
+  w.u64(m);
+  w.u64(params.size());
+  const std::size_t payload_checksum_off = w.size();
+  w.u64(0);  // payload checksum, patched below
+  w.u64(0);  // reserved
+  const std::size_t header_checksum_off = w.size();
+  w.u64(0);  // header checksum, patched below
+  FTC_CHECK(w.size() == store::kHeaderBytes, "store header layout drifted");
+
+  w.bytes(params.view());
+  w.pad_to(8);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t before = w.size();
+    serialize_vertex_label(v, w);
+    FTC_CHECK(w.size() - before == store::kVertexRecordBytes,
+              "vertex record must be fixed-size");
+  }
+  w.pad_to(8);
+  for (const std::uint64_t off : offsets) w.u64(off);
+  w.bytes(blobs.view());
+
+  const auto file = w.view();
+  w.patch_u64(payload_checksum_off,
+              store::fnv1a(file.subspan(store::kHeaderBytes)));
+  w.patch_u64(header_checksum_off,
+              store::fnv1a(file.first(header_checksum_off)));
+
+  // Write to a unique temp file (per process AND per call, for
+  // concurrent saves from one process), fsync it, rename into place and
+  // fsync the directory — so a crashed, failed or racing save never
+  // leaves a half-written store under the target name, even across
+  // power loss on writeback filesystems.
+  static std::atomic<unsigned> save_counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(save_counter.fetch_add(1));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) throw StoreError("cannot open for writing: " + tmp);
+  const auto fail_write = [&](const std::string& what) -> StoreError {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return StoreError(what + ": " + tmp);
+  };
+  std::size_t written = 0;
+  while (written < file.size()) {
+    const ::ssize_t n =
+        ::write(fd, file.data() + written, file.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw fail_write("write failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) throw fail_write("fsync failed");
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw StoreError("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StoreError("cannot rename " + tmp + " -> " + path);
+  }
+  // Persist the rename itself (best-effort: the data is already synced,
+  // and some filesystems reject directory fsync).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+// ------------------------------------------------------------------
+// Mmap view.
+
+LabelStoreView::~LabelStoreView() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+  }
+}
+
+std::shared_ptr<const LabelStoreView> LabelStoreView::open(
+    const std::string& path, bool verify_checksum) {
+  // O_NONBLOCK so opening a FIFO with no writer fails fast instead of
+  // blocking; harmless for regular files (the only kind accepted below).
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
+  if (fd < 0) {
+    throw StoreError("cannot open label store: " + path + " (" +
+                     std::strerror(errno) + ")");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw StoreError("not a regular file: " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < store::kHeaderBytes) {
+    ::close(fd);
+    throw StoreError("label store truncated (no header): " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    throw StoreError("mmap failed: " + path + " (" + std::strerror(errno) +
+                     ")");
+  }
+
+  std::shared_ptr<LabelStoreView> view(new LabelStoreView());
+  view->map_ = static_cast<const std::uint8_t*>(map);
+  view->map_bytes_ = size;
+
+  const std::span<const std::uint8_t> bytes(view->map_, size);
+  store::ByteReader h(bytes.first(store::kHeaderBytes));
+  if (h.u64() != store::kMagic) {
+    throw StoreError("bad magic (not a label store file): " + path);
+  }
+  StoreInfo& info = view->info_;
+  info.file_bytes = size;
+  info.format_version = h.u32();
+  const std::uint8_t backend_byte = h.u8();
+  h.u8();
+  h.u8();
+  h.u8();
+  const std::uint64_t n64 = h.u64();
+  const std::uint64_t m64 = h.u64();
+  const std::uint64_t params_size = h.u64();
+  info.payload_checksum = h.u64();
+  h.u64();  // reserved
+  const std::size_t header_checksum_off = h.pos();
+  const std::uint64_t header_checksum = h.u64();
+  if (store::fnv1a(bytes.first(header_checksum_off)) != header_checksum) {
+    throw StoreError("corrupt header (checksum mismatch): " + path);
+  }
+  if (info.format_version != store::kFormatVersion) {
+    throw StoreError("unsupported label store format version " +
+                     std::to_string(info.format_version) + ": " + path);
+  }
+  if (backend_byte > static_cast<std::uint8_t>(BackendKind::kDp21Agm)) {
+    throw StoreError("unknown backend kind in label store: " + path);
+  }
+  info.backend = static_cast<BackendKind>(backend_byte);
+  if (n64 >= graph::kNoVertex || m64 >= graph::kNoEdge) {
+    throw StoreError("label store dimensions out of range: " + path);
+  }
+  info.num_vertices = static_cast<VertexId>(n64);
+  info.num_edges = static_cast<EdgeId>(m64);
+
+  // Section layout, with every bound checked against the mapped size.
+  const auto fail_bounds = [&]() -> StoreError {
+    return StoreError("label store truncated (sections exceed file): " +
+                      path);
+  };
+  if (params_size > size - store::kHeaderBytes) throw fail_bounds();
+  view->params_off_ = store::kHeaderBytes;
+  info.params_bytes = static_cast<std::size_t>(params_size);
+  view->vertex_off_ = align8(view->params_off_ + info.params_bytes);
+  if (view->vertex_off_ > size) throw fail_bounds();
+  info.vertex_section_bytes =
+      static_cast<std::size_t>(info.num_vertices) * store::kVertexRecordBytes;
+  if (info.vertex_section_bytes > size - view->vertex_off_) {
+    throw fail_bounds();
+  }
+  view->index_off_ = view->vertex_off_ + info.vertex_section_bytes;
+  info.edge_index_bytes = (static_cast<std::size_t>(info.num_edges) + 1) * 8;
+  if (info.edge_index_bytes > size - view->index_off_) throw fail_bounds();
+  view->blob_off_ = view->index_off_ + info.edge_index_bytes;
+  info.edge_blob_bytes = size - view->blob_off_;
+
+  // Offset index: starts at 0, non-decreasing, ends exactly at the blob
+  // section end, and (the blobs being fixed-size per scheme) every
+  // spacing must match the width implied by the params blob.
+  const std::size_t expected_blob =
+      expected_edge_blob_bytes(info.backend, view->params_blob());
+  std::uint64_t prev = read_u64_at(view->map_, view->index_off_);
+  if (prev != 0) {
+    throw StoreError("corrupt edge index (must start at 0): " + path);
+  }
+  for (EdgeId e = 0; e < info.num_edges; ++e) {
+    const std::uint64_t next = read_u64_at(
+        view->map_,
+        view->index_off_ + 8 * (static_cast<std::size_t>(e) + 1));
+    if (next < prev || next > info.edge_blob_bytes) {
+      throw StoreError("corrupt edge index (offsets not monotone): " + path);
+    }
+    if (next - prev != expected_blob) {
+      throw StoreError("corrupt edge index (blob size mismatch): " + path);
+    }
+    prev = next;
+  }
+  if (prev != info.edge_blob_bytes) {
+    throw StoreError("corrupt edge index (trailing bytes): " + path);
+  }
+
+  derive_label_bits(info.backend, view->params_blob(), info);
+
+  if (verify_checksum &&
+      store::fnv1a(bytes.subspan(store::kHeaderBytes)) !=
+          info.payload_checksum) {
+    throw StoreError("payload checksum mismatch (corrupt label store): " +
+                     path);
+  }
+  return view;
+}
+
+std::span<const std::uint8_t> LabelStoreView::params_blob() const {
+  return {map_ + params_off_, info_.params_bytes};
+}
+
+std::span<const std::uint8_t> LabelStoreView::vertex_blob(VertexId v) const {
+  FTC_REQUIRE(v < info_.num_vertices, "vertex out of range");
+  return {map_ + vertex_off_ +
+              static_cast<std::size_t>(v) * store::kVertexRecordBytes,
+          store::kVertexRecordBytes};
+}
+
+std::span<const std::uint8_t> LabelStoreView::edge_blob(EdgeId e) const {
+  FTC_REQUIRE(e < info_.num_edges, "edge out of range");
+  const std::uint64_t begin =
+      read_u64_at(map_, index_off_ + 8 * static_cast<std::size_t>(e));
+  const std::uint64_t end =
+      read_u64_at(map_, index_off_ + 8 * (static_cast<std::size_t>(e) + 1));
+  return {map_ + blob_off_ + begin, static_cast<std::size_t>(end - begin)};
+}
+
+// ------------------------------------------------------------------
+// Loaded (label-served) backends.
+
+namespace {
+
+// Downcast guard for fault sets / workspaces, mirroring the in-memory
+// adapters: static in release, RTTI-checked in debug.
+template <typename T, typename U>
+T& stored_cast(U& obj, const char* what) {
+#ifndef NDEBUG
+  FTC_REQUIRE(dynamic_cast<std::remove_reference_t<T>*>(&obj) != nullptr,
+              what);
+#else
+  (void)what;
+#endif
+  return static_cast<T&>(obj);
+}
+
+class CoreStoredFaults final : public ConnectivityScheme::FaultSet {
+ public:
+  explicit CoreStoredFaults(PreparedFaults prepared)
+      : prepared_(std::move(prepared)) {}
+  std::size_t num_faults() const override { return prepared_.num_faults(); }
+  const PreparedFaults& prepared() const { return prepared_; }
+
+ private:
+  PreparedFaults prepared_;
+};
+
+class CoreStoredWorkspace final : public ConnectivityScheme::Workspace {
+ public:
+  DecoderWorkspace& decoder() { return decoder_; }
+
+ private:
+  DecoderWorkspace decoder_;
+};
+
+template <typename Label>
+class LabelVecFaults final : public ConnectivityScheme::FaultSet {
+ public:
+  explicit LabelVecFaults(std::vector<Label> labels)
+      : labels_(std::move(labels)) {}
+  std::size_t num_faults() const override { return labels_.size(); }
+  std::span<const Label> labels() const { return labels_; }
+
+ private:
+  std::vector<Label> labels_;
+};
+
+class EmptyStoredWorkspace final : public ConnectivityScheme::Workspace {};
+
+// Shared plumbing: the mapping, header-derived sizes, and save() support
+// by re-emitting the raw blobs (a loaded store round-trips bit-exactly).
+class StoredSchemeBase : public ConnectivityScheme {
+ public:
+  explicit StoredSchemeBase(std::shared_ptr<const LabelStoreView> view)
+      : view_(std::move(view)) {}
+
+  VertexId num_vertices() const override {
+    return view_->info().num_vertices;
+  }
+  EdgeId num_edges() const override { return view_->info().num_edges; }
+  std::size_t vertex_label_bits() const override {
+    return view_->info().vertex_label_bits;
+  }
+  std::size_t edge_label_bits() const override {
+    return view_->info().edge_label_bits;
+  }
+
+  void serialize_params(store::ByteWriter& out) const override {
+    out.bytes(view_->params_blob());
+  }
+  void serialize_vertex_label(VertexId v,
+                              store::ByteWriter& out) const override {
+    out.bytes(view_->vertex_blob(v));
+  }
+  void serialize_edge_label(EdgeId e, store::ByteWriter& out) const override {
+    out.bytes(view_->edge_blob(e));
+  }
+
+ protected:
+  // Zero-copy vertex-label read: one bounds-checked 8-byte record
+  // straight from the mapping.
+  graph::AncestryLabel mapped_anc(VertexId v) const {
+    store::ByteReader r(view_->vertex_blob(v));
+    return store::decode_vertex_record(r);
+  }
+
+  // kMaterialize: pre-decode every vertex record (the record layout is
+  // backend-universal, so the cache lives here for all three schemes).
+  void materialize_vertices() {
+    vertex_cache_.reserve(num_vertices());
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+      vertex_cache_.push_back(mapped_anc(v));
+    }
+  }
+
+  graph::AncestryLabel anc(VertexId v) const {
+    if (vertex_cache_.empty()) return mapped_anc(v);
+    FTC_REQUIRE(v < vertex_cache_.size(), "vertex out of range");
+    return vertex_cache_[v];
+  }
+
+  std::shared_ptr<const LabelStoreView> view_;
+  std::vector<graph::AncestryLabel> vertex_cache_;  // kMaterialize only
+};
+
+class StoredCoreScheme final : public StoredSchemeBase {
+ public:
+  StoredCoreScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+      : StoredSchemeBase(std::move(view)) {
+    store::ByteReader pr(view_->params_blob());
+    params_ = store::decode_core_params(pr);
+    if (mode == LoadMode::kMaterialize) {
+      materialize_vertices();
+      edge_cache_.reserve(num_edges());
+      for (EdgeId e = 0; e < num_edges(); ++e) {
+        edge_cache_.push_back(decode_edge(e));
+      }
+    }
+  }
+
+  BackendKind backend() const override { return BackendKind::kCoreFtc; }
+
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const EdgeId> edge_faults) const override {
+    const auto ids = canonicalize_faults(edge_faults, num_edges());
+    std::vector<EdgeLabel> labels;
+    labels.reserve(ids.size());
+    for (const EdgeId e : ids) {
+      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
+    }
+    return std::make_unique<CoreStoredFaults>(PreparedFaults::prepare(labels));
+  }
+
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<CoreStoredWorkspace>();
+  }
+
+  bool query(VertexId s, VertexId t, const FaultSet& faults,
+             Workspace& workspace,
+             const QueryOptions& options) const override {
+    const auto& fs = stored_cast<const CoreStoredFaults&>(
+        faults, "fault set from a different backend");
+    auto& ws = stored_cast<CoreStoredWorkspace&>(
+        workspace, "workspace from a different backend");
+    return FtcDecoder::connected(VertexLabel{params_, anc(s)},
+                                 VertexLabel{params_, anc(t)}, fs.prepared(),
+                                 ws.decoder(), options);
+  }
+
+ private:
+  EdgeLabel decode_edge(EdgeId e) const {
+    store::ByteReader r(view_->edge_blob(e));
+    return store::decode_core_edge(r, params_);
+  }
+
+  LabelParams params_;
+  std::vector<EdgeLabel> edge_cache_;  // kMaterialize only
+};
+
+class StoredCycleScheme final : public StoredSchemeBase {
+ public:
+  StoredCycleScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+      : StoredSchemeBase(std::move(view)) {
+    store::ByteReader pr(view_->params_blob());
+    params_ = store::decode_cycle_params(pr);
+    if (mode == LoadMode::kMaterialize) {
+      materialize_vertices();
+      edge_cache_.reserve(num_edges());
+      for (EdgeId e = 0; e < num_edges(); ++e) {
+        edge_cache_.push_back(decode_edge(e));
+      }
+    }
+  }
+
+  BackendKind backend() const override {
+    return BackendKind::kDp21CycleSpace;
+  }
+
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const EdgeId> edge_faults) const override {
+    const auto ids = canonicalize_faults(edge_faults, num_edges());
+    std::vector<dp21::CsEdgeLabel> labels;
+    labels.reserve(ids.size());
+    for (const EdgeId e : ids) {
+      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
+    }
+    return std::make_unique<LabelVecFaults<dp21::CsEdgeLabel>>(
+        std::move(labels));
+  }
+
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<EmptyStoredWorkspace>();
+  }
+
+  bool query(VertexId s, VertexId t, const FaultSet& faults,
+             Workspace& /*workspace*/,
+             const QueryOptions& /*options*/) const override {
+    const auto& fs = stored_cast<const LabelVecFaults<dp21::CsEdgeLabel>&>(
+        faults, "fault set from a different backend");
+    return dp21::CycleSpaceFtc::connected(dp21::CsVertexLabel{anc(s)},
+                                          dp21::CsVertexLabel{anc(t)},
+                                          fs.labels());
+  }
+
+ private:
+  dp21::CsEdgeLabel decode_edge(EdgeId e) const {
+    store::ByteReader r(view_->edge_blob(e));
+    return store::decode_cycle_edge(r, params_);
+  }
+
+  store::CycleParams params_;
+  std::vector<dp21::CsEdgeLabel> edge_cache_;  // kMaterialize only
+};
+
+class StoredAgmScheme final : public StoredSchemeBase {
+ public:
+  StoredAgmScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+      : StoredSchemeBase(std::move(view)) {
+    store::ByteReader pr(view_->params_blob());
+    params_ = store::decode_agm_params(pr);
+    if (mode == LoadMode::kMaterialize) {
+      materialize_vertices();
+      edge_cache_.reserve(num_edges());
+      for (EdgeId e = 0; e < num_edges(); ++e) {
+        edge_cache_.push_back(decode_edge(e));
+      }
+    }
+  }
+
+  BackendKind backend() const override { return BackendKind::kDp21Agm; }
+
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const EdgeId> edge_faults) const override {
+    const auto ids = canonicalize_faults(edge_faults, num_edges());
+    std::vector<dp21::AgmEdgeLabel> labels;
+    labels.reserve(ids.size());
+    for (const EdgeId e : ids) {
+      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
+    }
+    return std::make_unique<LabelVecFaults<dp21::AgmEdgeLabel>>(
+        std::move(labels));
+  }
+
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<EmptyStoredWorkspace>();
+  }
+
+  bool query(VertexId s, VertexId t, const FaultSet& faults,
+             Workspace& /*workspace*/,
+             const QueryOptions& /*options*/) const override {
+    const auto& fs = stored_cast<const LabelVecFaults<dp21::AgmEdgeLabel>&>(
+        faults, "fault set from a different backend");
+    return dp21::AgmFtc::connected(dp21::AgmVertexLabel{anc(s)},
+                                   dp21::AgmVertexLabel{anc(t)},
+                                   fs.labels());
+  }
+
+ private:
+  dp21::AgmEdgeLabel decode_edge(EdgeId e) const {
+    store::ByteReader r(view_->edge_blob(e));
+    return store::decode_agm_edge(r, params_);
+  }
+
+  store::AgmParams params_;
+  std::vector<dp21::AgmEdgeLabel> edge_cache_;  // kMaterialize only
+};
+
+}  // namespace
+
+std::unique_ptr<ConnectivityScheme> load_scheme(
+    std::shared_ptr<const LabelStoreView> view, LoadMode mode) {
+  FTC_REQUIRE(view != nullptr, "null label store view");
+  switch (view->info().backend) {
+    case BackendKind::kCoreFtc:
+      return std::make_unique<StoredCoreScheme>(std::move(view), mode);
+    case BackendKind::kDp21CycleSpace:
+      return std::make_unique<StoredCycleScheme>(std::move(view), mode);
+    case BackendKind::kDp21Agm:
+      return std::make_unique<StoredAgmScheme>(std::move(view), mode);
+  }
+  FTC_CHECK(false, "unknown BackendKind in validated store");
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<ConnectivityScheme> load_scheme(const std::string& path,
+                                                const LoadOptions& options) {
+  return load_scheme(LabelStoreView::open(path, options.verify_checksum),
+                     options.mode);
+}
+
+}  // namespace ftc::core

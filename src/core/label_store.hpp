@@ -1,0 +1,280 @@
+// LabelStore: a durable, versioned on-disk container for a whole
+// labeling scheme, and the zero-copy read path that serves queries
+// straight from the file.
+//
+// The labeling-scheme model (Section 1.1) makes labels *artifacts*: they
+// are computed once from the graph, after which every query is answered
+// from the labels alone. This subsystem takes that seriously as a
+// deployment story — labels are built offline, written as one
+// self-describing binary file, and served by mmap without ever
+// materializing per-label std::vector copies on the query path (only the
+// <= f fault-edge labels of a session are decoded, once per fault set).
+//
+// Container format, version 1 (all integers little-endian):
+//
+//   header (64 bytes)
+//     0   u64  magic "FTCSTORE"
+//     8   u32  format version (1)
+//     12  u8   BackendKind, u8[3] reserved (zero)
+//     16  u64  num_vertices
+//     24  u64  num_edges
+//     32  u64  params blob size in bytes
+//     40  u64  payload checksum: FNV-1a over bytes [64, file end)
+//     48  u64  reserved (zero)
+//     56  u64  header checksum: FNV-1a over bytes [0, 56)
+//   params blob          backend-specific scheme parameters
+//   (pad to 8)
+//   vertex section       num_vertices fixed 8-byte records (tin, tout)
+//   (pad to 8)
+//   edge offset index    (num_edges + 1) u64, byte offsets into the blob
+//                        section; blob e spans [index[e], index[e+1])
+//   edge blob section    concatenated per-edge label blobs
+//
+// Versioning policy: the format version is bumped on any layout change;
+// readers reject versions they do not understand (no silent best-effort
+// parsing). Every structural property — magic, both checksums, section
+// bounds, index monotonicity, blob sizes implied by the params — is
+// validated at open, and every read is bounds-checked, so corrupt or
+// adversarial files throw StoreError and never invoke UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/connectivity_scheme.hpp"
+
+namespace ftc::core {
+
+// Typed error for every container failure mode: I/O errors, truncated
+// files, bad magic, unsupported versions, checksum mismatches, malformed
+// indices. Distinct from std::invalid_argument (API misuse) so servers
+// can map "bad artifact" separately from "bad request".
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace store {
+
+inline constexpr std::uint64_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+// "FTCSTORE" read as a little-endian u64.
+inline constexpr std::uint64_t kMagic = 0x45524F5453435446ULL;
+
+// FNV-1a over a byte range (seedable so checksums can be streamed).
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                           std::uint64_t h = kFnvBasis) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Little-endian byte sink used by the container writer and the
+// per-backend label blob encoders.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+  void pad_to(std::size_t alignment) {
+    while (bytes_.size() % alignment != 0) bytes_.push_back(0);
+  }
+  // Overwrite a previously written u64 (header checksum back-patching).
+  void patch_u64(std::size_t offset, std::uint64_t v) {
+    FTC_CHECK(offset + 8 <= bytes_.size(), "patch out of range");
+    for (int i = 0; i < 8; ++i) bytes_[offset + i] = (v >> (8 * i)) & 0xff;
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+  std::span<const std::uint8_t> view() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Bounds-checked little-endian reader over a mapped (or in-memory) byte
+// range. Out-of-range reads throw StoreError — this is the only way the
+// decoders touch file bytes, so truncation can never read past the map.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    // Explicit little-endian assembly, mirroring ByteWriter: the
+    // container format is LE regardless of host byte order.
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+    return v;
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (n > bytes_.size() - pos_) {
+      throw StoreError("label store blob truncated");
+    }
+    const auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Per-backend blob codecs (implemented next to the per-label bit codec
+// in serialize.cpp). Each backend has a params blob stored once per
+// container plus fixed-size vertex/edge blobs; decode validates against
+// the params and throws StoreError on any inconsistency.
+
+struct CycleParams {
+  std::uint32_t coord_bits = 0;
+  std::uint32_t vector_bits = 0;
+  std::size_t vector_words() const { return (vector_bits + 63) / 64; }
+};
+
+struct AgmParams {
+  std::uint32_t coord_bits = 0;
+  std::uint32_t levels = 0;
+  std::uint32_t reps = 0;
+  std::uint64_t seed = 0;
+  std::size_t sketch_words() const {
+    return static_cast<std::size_t>(levels) * reps * 3;
+  }
+};
+
+void encode_core_params(const LabelParams& p, ByteWriter& w);
+LabelParams decode_core_params(ByteReader& r);
+void encode_cycle_params(const CycleParams& p, ByteWriter& w);
+CycleParams decode_cycle_params(ByteReader& r);
+void encode_agm_params(const AgmParams& p, ByteWriter& w);
+AgmParams decode_agm_params(ByteReader& r);
+
+// Vertex records are the same for all backends: one ancestry label.
+inline constexpr std::size_t kVertexRecordBytes = 8;
+void encode_vertex_record(const graph::AncestryLabel& anc, ByteWriter& w);
+graph::AncestryLabel decode_vertex_record(ByteReader& r);
+
+void encode_core_edge(const EdgeLabel& label, ByteWriter& w);
+EdgeLabel decode_core_edge(ByteReader& r, const LabelParams& params);
+void encode_cycle_edge(const dp21::CsEdgeLabel& label, ByteWriter& w);
+dp21::CsEdgeLabel decode_cycle_edge(ByteReader& r, const CycleParams& params);
+void encode_agm_edge(const dp21::AgmEdgeLabel& label, ByteWriter& w);
+dp21::AgmEdgeLabel decode_agm_edge(ByteReader& r, const AgmParams& params);
+
+// Fixed per-edge blob size implied by a backend's params (every edge
+// label of one scheme serializes to the same number of bytes).
+std::size_t core_edge_blob_bytes(const LabelParams& params);
+std::size_t cycle_edge_blob_bytes(const CycleParams& params);
+std::size_t agm_edge_blob_bytes(const AgmParams& params);
+
+}  // namespace store
+
+// Parsed header + section accounting of an open store, for inspection
+// tooling and sanity assertions.
+struct StoreInfo {
+  std::uint32_t format_version = 0;
+  BackendKind backend = BackendKind::kCoreFtc;
+  graph::VertexId num_vertices = 0;
+  graph::EdgeId num_edges = 0;
+  std::uint64_t payload_checksum = 0;
+  std::size_t file_bytes = 0;
+  std::size_t params_bytes = 0;
+  std::size_t vertex_section_bytes = 0;
+  std::size_t edge_index_bytes = 0;
+  std::size_t edge_blob_bytes = 0;
+  // Derived from the params blob; match the builder scheme's accounting.
+  std::size_t vertex_label_bits = 0;
+  std::size_t edge_label_bits = 0;
+};
+
+// Read-only mmap view of a store file. open() validates the complete
+// structure up front (see the format comment); accessors after a
+// successful open are zero-copy spans into the mapping and cannot go out
+// of bounds. Immutable and safe to share across threads.
+class LabelStoreView {
+ public:
+  // Maps the file and validates it. verify_checksum=false skips only the
+  // full-payload FNV pass (an O(file) read) — every structural check and
+  // all per-read bounds checks stay on unconditionally.
+  static std::shared_ptr<const LabelStoreView> open(
+      const std::string& path, bool verify_checksum = true);
+
+  ~LabelStoreView();
+  LabelStoreView(const LabelStoreView&) = delete;
+  LabelStoreView& operator=(const LabelStoreView&) = delete;
+
+  const StoreInfo& info() const { return info_; }
+  std::span<const std::uint8_t> params_blob() const;
+  std::span<const std::uint8_t> vertex_blob(graph::VertexId v) const;
+  std::span<const std::uint8_t> edge_blob(graph::EdgeId e) const;
+
+ private:
+  LabelStoreView() = default;
+
+  const std::uint8_t* map_ = nullptr;  // whole file
+  std::size_t map_bytes_ = 0;
+  std::size_t params_off_ = 0;
+  std::size_t vertex_off_ = 0;
+  std::size_t index_off_ = 0;
+  std::size_t blob_off_ = 0;
+  StoreInfo info_;
+};
+
+// How load_scheme materializes a store:
+//  kMmap        — zero-copy: vertex labels are decoded on the fly from
+//                 the mapping (8-byte reads, no allocation) and only the
+//                 fault-edge labels of a session are ever materialized.
+//  kMaterialize — eager full deserialize of every label into in-memory
+//                 vectors (the classical load path; bench baseline).
+enum class LoadMode {
+  kMmap = 0,
+  kMaterialize = 1,
+};
+
+struct LoadOptions {
+  LoadMode mode = LoadMode::kMmap;
+  bool verify_checksum = true;
+};
+
+// Reconstructs a ConnectivityScheme from a container file. The returned
+// scheme answers queries through the backend's universal decoder —
+// identical results to the scheme that wrote the store — and supports
+// save() (re-emitting the container) but, by design, never needs the
+// graph. Throws StoreError on any malformed input.
+std::unique_ptr<ConnectivityScheme> load_scheme(const std::string& path,
+                                                const LoadOptions& options = {});
+
+// Same, over an already-open view (shares the mapping; several schemes
+// and threads may serve from one view).
+std::unique_ptr<ConnectivityScheme> load_scheme(
+    std::shared_ptr<const LabelStoreView> view,
+    LoadMode mode = LoadMode::kMmap);
+
+}  // namespace ftc::core

@@ -26,12 +26,23 @@ ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
 
 ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
                                        const SchemeConfig& config)
-    : scheme_(make_scheme(g, config)) {
+    : has_adjacency_(true), scheme_(make_scheme(g, config)) {
   incident_.resize(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const auto edges = g.incident_edges(v);
     incident_[v].assign(edges.begin(), edges.end());
   }
+}
+
+ConnectivityOracle::ConnectivityOracle(
+    std::unique_ptr<ConnectivityScheme> scheme)
+    : scheme_(std::move(scheme)) {
+  FTC_REQUIRE(scheme_ != nullptr, "null scheme");
+}
+
+ConnectivityOracle ConnectivityOracle::from_store(const std::string& path,
+                                                  const LoadOptions& options) {
+  return ConnectivityOracle(load_scheme(path, options));
 }
 
 bool ConnectivityOracle::connected(
@@ -42,6 +53,9 @@ bool ConnectivityOracle::connected(
 bool ConnectivityOracle::connected_vertex_faults(
     VertexId s, VertexId t,
     std::span<const VertexId> vertex_faults) const {
+  FTC_REQUIRE(has_adjacency_,
+              "vertex-fault queries need adjacency; this oracle was loaded "
+              "from a label store (edge-fault queries only)");
   if (s == t) return true;
   std::vector<EdgeId> edges;
   for (const VertexId v : vertex_faults) {

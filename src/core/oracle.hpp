@@ -12,9 +12,11 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/connectivity_scheme.hpp"
+#include "core/label_store.hpp"
 
 namespace ftc::core {
 
@@ -25,6 +27,15 @@ class ConnectivityOracle {
 
   // Backend-agnostic: any labeling construction behind the factory.
   ConnectivityOracle(const graph::Graph& g, const SchemeConfig& config);
+
+  // Serve straight from a persisted label store, without the graph.
+  // Edge-fault queries behave identically to the oracle that wrote the
+  // store; connected_vertex_faults throws std::invalid_argument (the
+  // vertex->incident-edges reduction needs adjacency, which a label
+  // store deliberately does not carry — Section 1.4's oracle is
+  // labels-only).
+  static ConnectivityOracle from_store(const std::string& path,
+                                       const LoadOptions& options = {});
 
   // s-t connectivity in G - faults.
   bool connected(graph::VertexId s, graph::VertexId t,
@@ -52,6 +63,9 @@ class ConnectivityOracle {
   std::size_t space_bits() const { return scheme_->total_label_bits(); }
 
  private:
+  explicit ConnectivityOracle(std::unique_ptr<ConnectivityScheme> scheme);
+
+  bool has_adjacency_ = false;  // false for store-loaded oracles
   std::vector<std::vector<graph::EdgeId>> incident_;  // adjacency copy
   std::unique_ptr<ConnectivityScheme> scheme_;
 };

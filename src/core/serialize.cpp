@@ -1,13 +1,22 @@
-// Bit-exact label serialization. The byte format is:
-//   header: field_bits(u8) kind(u8) n_aux(u32) k(u32) num_levels(u32)
-//   vertex labels: tin, tout at coord_bits each (bit-packed)
-//   edge labels:   upper.tin, upper.tout, lower.tin, lower.tout at
-//                  coord_bits each, then num_levels*k field elements as
-//                  full 64-bit words.
-// Round-trips exactly; benches serialize labels to measure real sizes.
+// Label codecs, two layers:
+//
+// 1. Bit-exact single-label serialization (the honest-size codec used by
+//    the benches). The byte format is:
+//      header: field_bits(u8) kind(u8) n_aux(u32) k(u32) num_levels(u32)
+//      vertex labels: tin, tout at coord_bits each (bit-packed)
+//      edge labels:   upper.tin, upper.tout, lower.tin, lower.tout at
+//                     coord_bits each, then num_levels*k field elements as
+//                     full 64-bit words.
+//    Round-trips exactly; benches serialize labels to measure real sizes.
+//
+// 2. The LabelStore container blob codecs (label_store.hpp): byte-aligned
+//    fixed-layout records for all three backends, where the scheme
+//    parameters are stored once per container and every decode is
+//    validated against them (mismatch -> StoreError, never UB).
 #include <cstring>
 
 #include "core/ftc_labels.hpp"
+#include "core/label_store.hpp"
 
 namespace ftc::core {
 
@@ -124,5 +133,194 @@ EdgeLabel deserialize_edge_label(std::span<const std::uint8_t> bytes) {
   for (std::uint64_t& word : label.sketch_words) word = r.read(64);
   return label;
 }
+
+// ------------------------------------------------------------------
+// LabelStore container blob codecs.
+
+namespace store {
+
+namespace {
+
+// Caps on decoded parameters, so a corrupt params blob (with checksum
+// verification disabled) cannot demand absurd allocations. Generous:
+// far above anything the builders produce.
+constexpr std::uint32_t kMaxCoordBits = 32;
+constexpr std::uint32_t kMaxSketchDim = 1u << 24;
+
+void check(bool ok, const char* what) {
+  if (!ok) throw StoreError(what);
+}
+
+}  // namespace
+
+void encode_core_params(const LabelParams& p, ByteWriter& w) {
+  w.u8(p.field_bits);
+  w.u8(p.kind);
+  w.u8(0);
+  w.u8(0);
+  w.u32(p.n_aux);
+  w.u32(p.k);
+  w.u32(p.num_levels);
+}
+
+LabelParams decode_core_params(ByteReader& r) {
+  LabelParams p;
+  p.field_bits = r.u8();
+  p.kind = r.u8();
+  r.u8();
+  r.u8();
+  p.n_aux = r.u32();
+  p.k = r.u32();
+  p.num_levels = r.u32();
+  check(p.field_bits == 64 || p.field_bits == 128,
+        "corrupt core-ftc params: bad field width");
+  check(p.k <= kMaxSketchDim && p.num_levels <= kMaxSketchDim,
+        "corrupt core-ftc params: implausible sketch dimensions");
+  return p;
+}
+
+void encode_cycle_params(const CycleParams& p, ByteWriter& w) {
+  w.u32(p.coord_bits);
+  w.u32(p.vector_bits);
+}
+
+CycleParams decode_cycle_params(ByteReader& r) {
+  CycleParams p;
+  p.coord_bits = r.u32();
+  p.vector_bits = r.u32();
+  check(p.coord_bits >= 1 && p.coord_bits <= kMaxCoordBits,
+        "corrupt dp21-cycle params: bad coordinate width");
+  check(p.vector_bits >= 1 && p.vector_bits <= kMaxSketchDim,
+        "corrupt dp21-cycle params: bad vector width");
+  return p;
+}
+
+void encode_agm_params(const AgmParams& p, ByteWriter& w) {
+  w.u32(p.coord_bits);
+  w.u32(p.levels);
+  w.u32(p.reps);
+  w.u32(0);
+  w.u64(p.seed);
+}
+
+AgmParams decode_agm_params(ByteReader& r) {
+  AgmParams p;
+  p.coord_bits = r.u32();
+  p.levels = r.u32();
+  p.reps = r.u32();
+  r.u32();
+  p.seed = r.u64();
+  check(p.coord_bits >= 1 && p.coord_bits <= kMaxCoordBits,
+        "corrupt dp21-agm params: bad coordinate width");
+  check(p.levels >= 1 && p.levels <= kMaxSketchDim && p.reps >= 1 &&
+            p.reps <= kMaxSketchDim,
+        "corrupt dp21-agm params: bad sketch dimensions");
+  return p;
+}
+
+void encode_vertex_record(const graph::AncestryLabel& anc, ByteWriter& w) {
+  w.u32(anc.tin);
+  w.u32(anc.tout);
+}
+
+graph::AncestryLabel decode_vertex_record(ByteReader& r) {
+  graph::AncestryLabel anc;
+  anc.tin = r.u32();
+  anc.tout = r.u32();
+  return anc;
+}
+
+void encode_core_edge(const EdgeLabel& label, ByteWriter& w) {
+  const std::size_t expect = static_cast<std::size_t>(label.params.num_levels) *
+                             label.params.k * label.params.words_per_elem();
+  FTC_REQUIRE(label.sketch_words.size() == expect,
+              "edge label payload inconsistent with parameters");
+  w.u32(label.upper.tin);
+  w.u32(label.upper.tout);
+  w.u32(label.lower.tin);
+  w.u32(label.lower.tout);
+  for (const std::uint64_t word : label.sketch_words) w.u64(word);
+}
+
+EdgeLabel decode_core_edge(ByteReader& r, const LabelParams& params) {
+  EdgeLabel label;
+  label.params = params;
+  label.upper.tin = r.u32();
+  label.upper.tout = r.u32();
+  label.lower.tin = r.u32();
+  label.lower.tout = r.u32();
+  const std::size_t expect = static_cast<std::size_t>(params.num_levels) *
+                             params.k * params.words_per_elem();
+  label.sketch_words.resize(expect);
+  for (std::uint64_t& word : label.sketch_words) word = r.u64();
+  return label;
+}
+
+std::size_t core_edge_blob_bytes(const LabelParams& params) {
+  return 16 + 8 * static_cast<std::size_t>(params.num_levels) * params.k *
+                  params.words_per_elem();
+}
+
+void encode_cycle_edge(const dp21::CsEdgeLabel& label, ByteWriter& w) {
+  w.u8(label.is_tree ? 1 : 0);
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(label.a.tin);
+  w.u32(label.a.tout);
+  w.u32(label.b.tin);
+  w.u32(label.b.tout);
+  for (const std::uint64_t word : label.vec) w.u64(word);
+}
+
+dp21::CsEdgeLabel decode_cycle_edge(ByteReader& r, const CycleParams& params) {
+  dp21::CsEdgeLabel label;
+  const std::uint8_t flags = r.u8();
+  check(flags <= 1, "corrupt dp21-cycle edge blob: bad flags");
+  label.is_tree = flags != 0;
+  r.u8();
+  r.u8();
+  r.u8();
+  label.a.tin = r.u32();
+  label.a.tout = r.u32();
+  label.b.tin = r.u32();
+  label.b.tout = r.u32();
+  label.vec.resize(params.vector_words());
+  for (std::uint64_t& word : label.vec) word = r.u64();
+  return label;
+}
+
+std::size_t cycle_edge_blob_bytes(const CycleParams& params) {
+  return 20 + 8 * params.vector_words();
+}
+
+void encode_agm_edge(const dp21::AgmEdgeLabel& label, ByteWriter& w) {
+  w.u32(label.upper.tin);
+  w.u32(label.upper.tout);
+  w.u32(label.lower.tin);
+  w.u32(label.lower.tout);
+  std::vector<std::uint64_t> words;
+  label.sketch.append_words(words);
+  for (const std::uint64_t word : words) w.u64(word);
+}
+
+dp21::AgmEdgeLabel decode_agm_edge(ByteReader& r, const AgmParams& params) {
+  dp21::AgmEdgeLabel label;
+  label.upper.tin = r.u32();
+  label.upper.tout = r.u32();
+  label.lower.tin = r.u32();
+  label.lower.tout = r.u32();
+  std::vector<std::uint64_t> words(params.sketch_words());
+  for (std::uint64_t& word : words) word = r.u64();
+  label.sketch = sketch::AgmSketch::from_words(params.levels, params.reps,
+                                               params.seed, words);
+  return label;
+}
+
+std::size_t agm_edge_blob_bytes(const AgmParams& params) {
+  return 16 + 8 * params.sketch_words();
+}
+
+}  // namespace store
 
 }  // namespace ftc::core

@@ -56,6 +56,9 @@ AgmFtc AgmFtc::build(const graph::Graph& g, const AgmFtcConfig& config) {
 
   AgmFtc scheme;
   scheme.coord_bits_ = logn;
+  scheme.levels_ = levels;
+  scheme.reps_ = reps;
+  scheme.seed_ = config.seed;
   scheme.vertex_anc_.reserve(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     scheme.vertex_anc_.push_back(anc2.label(v));

@@ -52,8 +52,18 @@ class AgmFtc {
     return 4 * coord_bits_ + sketch_bits_;
   }
 
+  // Sketch geometry, shared by every edge label (serialization stores it
+  // once per scheme instead of once per sketch).
+  unsigned coord_bits() const { return coord_bits_; }
+  unsigned sketch_levels() const { return levels_; }
+  unsigned sketch_reps() const { return reps_; }
+  std::uint64_t sketch_seed() const { return seed_; }
+
  private:
   unsigned coord_bits_ = 0;
+  unsigned levels_ = 0;
+  unsigned reps_ = 0;
+  std::uint64_t seed_ = 0;
   std::size_t sketch_bits_ = 0;
   std::vector<graph::AncestryLabel> vertex_anc_;
   std::vector<AgmEdgeLabel> edge_labels_;

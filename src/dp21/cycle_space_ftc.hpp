@@ -61,6 +61,7 @@ class CycleSpaceFtc {
                         std::span<const CsEdgeLabel> faults);
 
   unsigned vector_bits() const { return bits_; }
+  unsigned coord_bits() const { return coord_bits_; }
   std::size_t vertex_label_bits() const;
   std::size_t edge_label_bits() const;
 

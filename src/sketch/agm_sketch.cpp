@@ -53,6 +53,29 @@ std::optional<PackedId> AgmSketch::sample() const {
   return std::nullopt;
 }
 
+void AgmSketch::append_words(std::vector<std::uint64_t>& out) const {
+  out.reserve(out.size() + num_words());
+  for (const Cell& c : cells_) {
+    out.push_back(c.id_lo);
+    out.push_back(c.id_hi);
+    out.push_back(c.fp);
+  }
+}
+
+AgmSketch AgmSketch::from_words(unsigned levels, unsigned reps,
+                                std::uint64_t seed,
+                                std::span<const std::uint64_t> words) {
+  AgmSketch s(levels, reps, seed);
+  FTC_REQUIRE(words.size() == s.num_words(),
+              "AGM sketch word count inconsistent with (levels, reps)");
+  for (std::size_t i = 0; i < s.cells_.size(); ++i) {
+    s.cells_[i].id_lo = words[3 * i];
+    s.cells_[i].id_hi = words[3 * i + 1];
+    s.cells_[i].fp = words[3 * i + 2];
+  }
+  return s;
+}
+
 bool AgmSketch::looks_empty() const {
   for (const Cell& c : cells_) {
     if (c.id_lo != 0 || c.id_hi != 0 || c.fp != 0) return false;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace ftc::sketch {
@@ -48,6 +49,15 @@ class AgmSketch {
   unsigned levels() const { return levels_; }
   unsigned reps() const { return reps_; }
   std::uint64_t seed() const { return seed_; }
+
+  // Serialization: the raw cell payload as 3 u64 words per cell
+  // (id_lo, id_hi, fp), rep-major — num_words() of them. Round-trips
+  // exactly through from_words with the same (levels, reps, seed).
+  std::size_t num_words() const { return cells_.size() * 3; }
+  void append_words(std::vector<std::uint64_t>& out) const;
+  static AgmSketch from_words(unsigned levels, unsigned reps,
+                              std::uint64_t seed,
+                              std::span<const std::uint64_t> words);
 
  private:
   struct Cell {

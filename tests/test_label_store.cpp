@@ -1,0 +1,378 @@
+// LabelStore round-trip and adversarial-input coverage.
+//
+// Round-trip: every backend's labels, written through save() and loaded
+// back via the mmap view or the eager deserializer, must answer exactly
+// like the in-memory scheme that wrote them (cross-checked against the
+// BFS ground truth), including through BatchQueryEngine sessions spun up
+// straight from the file and the store-backed oracle facade.
+//
+// Adversarial: truncations, bad magic, unsupported versions, flipped
+// checksum/payload bytes and corrupt offset indices must throw the typed
+// StoreError — never UB (the suite also runs under the asan preset).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/connectivity_scheme.hpp"
+#include "core/label_store.hpp"
+#include "core/oracle.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+SchemeConfig test_config(BackendKind backend, unsigned f) {
+  SchemeConfig cfg;
+  cfg.backend = backend;
+  cfg.set_f(f);
+  // Headroom so practical-k / whp parameters never run out of capacity
+  // on the adversarial random workloads below.
+  cfg.ftc.k_scale = 2.0;
+  cfg.cycle.scale = 3.0;
+  cfg.agm.scale = 1.5;
+  return cfg;
+}
+
+// Unique file path per test under gtest's temp dir; removed on teardown.
+class StoreFile {
+ public:
+  explicit StoreFile(const std::string& name)
+      : path_(::testing::TempDir() + "ftc_store_" + name + "_" +
+              std::to_string(::getpid()) + ".ftcs") {
+    std::remove(path_.c_str());
+  }
+  ~StoreFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// After editing header fields, restore the header checksum so the edit
+// (not the checksum guard) is what open() trips over.
+void fix_header_checksum(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), store::kHeaderBytes);
+  const std::uint64_t sum =
+      store::fnv1a(std::span<const std::uint8_t>(bytes.data(), 56));
+  for (int i = 0; i < 8; ++i) bytes[56 + i] = (sum >> (8 * i)) & 0xff;
+}
+
+std::vector<EdgeId> random_faults(SplitMix64& rng, const Graph& g,
+                                  unsigned max_faults) {
+  std::vector<EdgeId> faults;
+  for (unsigned i = 0; i < rng.next_below(max_faults + 1); ++i) {
+    faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+  }
+  return faults;
+}
+
+class LabelStoreParity : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(LabelStoreParity, SaveLoadRoundTripMatchesInMemoryAndBfs) {
+  const unsigned f = 3;
+  struct Family {
+    const char* name;
+    Graph g;
+  };
+  const Family families[] = {
+      {"random", graph::random_connected(40, 96, 7)},
+      {"grid", graph::grid(6, 7)},
+      {"cliques", graph::path_of_cliques(5, 5)},
+  };
+  for (const Family& fam : families) {
+    const Graph& g = fam.g;
+    const auto scheme = make_scheme(g, test_config(GetParam(), f));
+    StoreFile file(std::string("parity_") + fam.name + "_" +
+                   std::to_string(static_cast<int>(GetParam())));
+    scheme->save(file.path());
+
+    for (const LoadMode mode : {LoadMode::kMmap, LoadMode::kMaterialize}) {
+      const auto loaded = load_scheme(file.path(), {mode, true});
+      EXPECT_EQ(loaded->backend(), GetParam());
+      EXPECT_EQ(loaded->num_vertices(), scheme->num_vertices());
+      EXPECT_EQ(loaded->num_edges(), scheme->num_edges());
+      EXPECT_EQ(loaded->vertex_label_bits(), scheme->vertex_label_bits());
+      EXPECT_EQ(loaded->edge_label_bits(), scheme->edge_label_bits());
+
+      SplitMix64 rng(900 + static_cast<int>(GetParam()));
+      for (int it = 0; it < 25; ++it) {
+        const auto faults = random_faults(rng, g, f);
+        const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        const bool expected = graph::connected_avoiding(g, s, t, faults);
+        EXPECT_EQ(scheme->connected(s, t, faults), expected)
+            << fam.name << " it=" << it;
+        EXPECT_EQ(loaded->connected(s, t, faults), expected)
+            << fam.name << " mode=" << static_cast<int>(mode) << " it=" << it;
+      }
+    }
+  }
+}
+
+TEST_P(LabelStoreParity, SaveFromLoadedViewIsByteIdentical) {
+  const Graph g = graph::random_connected(24, 50, 3);
+  const auto scheme = make_scheme(g, test_config(GetParam(), 2));
+  StoreFile first("first_" + std::to_string(static_cast<int>(GetParam())));
+  StoreFile second("second_" + std::to_string(static_cast<int>(GetParam())));
+  scheme->save(first.path());
+  const auto loaded = load_scheme(first.path());
+  loaded->save(second.path());
+  EXPECT_EQ(read_file(first.path()), read_file(second.path()));
+}
+
+// The acceptance-criterion workload: a 10k-query batch served through the
+// mmap view must be bit-identical to the in-memory scheme, per backend,
+// across >= 3 generator families.
+TEST_P(LabelStoreParity, TenThousandQueryBatchMatchesInMemory) {
+  const unsigned f = 3;
+  struct Family {
+    const char* name;
+    Graph g;
+  };
+  const Family families[] = {
+      {"grid", graph::grid(8, 8)},
+      {"barbell", graph::barbell(10, 4)},
+      {"random", graph::random_connected(64, 150, 11)},
+  };
+  for (const Family& fam : families) {
+    const Graph& g = fam.g;
+    const auto scheme = make_scheme(g, test_config(GetParam(), f));
+    StoreFile file(std::string("batch_") + fam.name + "_" +
+                   std::to_string(static_cast<int>(GetParam())));
+    scheme->save(file.path());
+
+    SplitMix64 rng(42);
+    const auto faults = random_faults(rng, g, f);
+    std::vector<BatchQueryEngine::Query> queries;
+    queries.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      queries.push_back(
+          {static_cast<VertexId>(rng.next_below(g.num_vertices())),
+           static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+    }
+
+    BatchQueryEngine in_memory(*scheme, faults);
+    // The store session owns its loaded scheme (mmap zero-copy path) and
+    // fans out across threads; answers must be bit-identical.
+    BatchQueryEngine from_store(
+        load_scheme(file.path(), {LoadMode::kMmap, true}), faults);
+    const auto expected = in_memory.run_sequential(queries);
+    const auto actual = from_store.run_parallel(queries, 4);
+    EXPECT_EQ(actual, expected) << fam.name;
+  }
+}
+
+TEST_P(LabelStoreParity, OracleFromStoreServesEdgeFaultsOnly) {
+  const Graph g = graph::barbell(8, 3);
+  const auto scheme = make_scheme(g, test_config(GetParam(), 2));
+  StoreFile file("oracle_" + std::to_string(static_cast<int>(GetParam())));
+  scheme->save(file.path());
+
+  const ConnectivityOracle oracle = ConnectivityOracle::from_store(file.path());
+  EXPECT_EQ(oracle.scheme().backend(), GetParam());
+  SplitMix64 rng(5);
+  for (int it = 0; it < 20; ++it) {
+    const auto faults = random_faults(rng, g, 2);
+    const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    EXPECT_EQ(oracle.connected(s, t, faults),
+              graph::connected_avoiding(g, s, t, faults));
+  }
+  const std::vector<VertexId> vf{0};
+  EXPECT_THROW((void)oracle.connected_vertex_faults(1, 2, vf),
+               std::invalid_argument);
+}
+
+TEST_P(LabelStoreParity, LoadedSchemeValidatesQueryArguments) {
+  const Graph g = graph::cycle(10);
+  const auto scheme = make_scheme(g, test_config(GetParam(), 2));
+  StoreFile file("args_" + std::to_string(static_cast<int>(GetParam())));
+  scheme->save(file.path());
+  const auto loaded = load_scheme(file.path());
+  const std::vector<EdgeId> bad{g.num_edges()};
+  EXPECT_THROW((void)loaded->prepare_faults(bad), std::invalid_argument);
+  EXPECT_THROW((void)loaded->connected(g.num_vertices(), 0, {}),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, LabelStoreParity,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           std::string name = backend_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ------------------------------------------------------------------
+// Adversarial container inputs. All failure modes must surface as the
+// typed StoreError, regardless of backend.
+
+class LabelStoreAdversarial : public ::testing::Test {
+ protected:
+  // One small store per backend, written once per test.
+  std::vector<std::uint8_t> make_store_bytes(BackendKind backend,
+                                             StoreFile& file) {
+    const Graph g = graph::random_connected(16, 30, 9);
+    const auto scheme = make_scheme(g, test_config(backend, 2));
+    scheme->save(file.path());
+    return read_file(file.path());
+  }
+};
+
+TEST_F(LabelStoreAdversarial, MissingAndNonRegularFilesThrow) {
+  EXPECT_THROW((void)LabelStoreView::open("/nonexistent/no/such.ftcs"),
+               StoreError);
+  EXPECT_THROW((void)LabelStoreView::open(::testing::TempDir()), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, TruncatedFilesThrow) {
+  for (const BackendKind backend : kAllBackends) {
+    StoreFile file("trunc_" + std::to_string(static_cast<int>(backend)));
+    const auto bytes = make_store_bytes(backend, file);
+    ASSERT_GT(bytes.size(), store::kHeaderBytes);
+    const std::size_t cuts[] = {0,
+                                1,
+                                16,
+                                store::kHeaderBytes - 1,
+                                store::kHeaderBytes,
+                                store::kHeaderBytes + 3,
+                                bytes.size() / 2,
+                                bytes.size() - 1};
+    for (const std::size_t cut : cuts) {
+      write_file(file.path(),
+                 std::span<const std::uint8_t>(bytes.data(), cut));
+      EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError)
+          << backend_name(backend) << " truncated to " << cut;
+      // Skipping the payload-checksum pass must not weaken structural
+      // validation: still a typed error, still no UB.
+      EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError)
+          << backend_name(backend) << " truncated to " << cut << " (no verify)";
+    }
+  }
+}
+
+TEST_F(LabelStoreAdversarial, BadMagicThrows) {
+  StoreFile file("magic");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[0] ^= 0xff;
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, WrongFormatVersionThrows) {
+  StoreFile file("version");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[8] = 99;  // format version field
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, UnknownBackendKindThrows) {
+  StoreFile file("backend");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[12] = 7;  // backend byte
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, CorruptHeaderChecksumThrows) {
+  StoreFile file("hdrsum");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[57] ^= 0x01;  // header checksum field itself
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, FlippedPayloadBytesFailChecksum) {
+  for (const BackendKind backend : kAllBackends) {
+    StoreFile file("payload_" + std::to_string(static_cast<int>(backend)));
+    const auto bytes = make_store_bytes(backend, file);
+    // Flip one byte in each region of the payload: params, vertex
+    // section, edge index, edge blobs (approximately — any position past
+    // the header must be caught by the checksum).
+    const std::size_t positions[] = {
+        store::kHeaderBytes, store::kHeaderBytes + 8,
+        (store::kHeaderBytes + bytes.size()) / 2, bytes.size() - 1};
+    for (const std::size_t pos : positions) {
+      auto corrupt = bytes;
+      corrupt[pos] ^= 0x10;
+      write_file(file.path(), corrupt);
+      EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError)
+          << backend_name(backend) << " flipped byte " << pos;
+    }
+  }
+}
+
+TEST_F(LabelStoreAdversarial, FlippedStoredChecksumThrows) {
+  StoreFile file("paysum");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[40] ^= 0xff;  // stored payload checksum field
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, CorruptIndexThrowsEvenWithoutChecksum) {
+  for (const BackendKind backend : kAllBackends) {
+    StoreFile file("index_" + std::to_string(static_cast<int>(backend)));
+    const auto bytes = make_store_bytes(backend, file);
+    const auto view = LabelStoreView::open(file.path());
+    const StoreInfo info = view->info();
+    // Recompute the index offset from the public layout contract.
+    const std::size_t params_end = store::kHeaderBytes + info.params_bytes;
+    const std::size_t vertex_off = (params_end + 7) & ~std::size_t{7};
+    const std::size_t index_off = vertex_off + info.vertex_section_bytes;
+    ASSERT_LT(index_off + 8, bytes.size());
+
+    // Entry 1 of the index becomes garbage: monotonicity/blob-size
+    // validation must reject it even with the checksum pass disabled.
+    auto corrupt = bytes;
+    corrupt[index_off + 8] ^= 0xff;
+    write_file(file.path(), corrupt);
+    EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError)
+        << backend_name(backend);
+  }
+}
+
+TEST_F(LabelStoreAdversarial, OversizedDimensionsThrow) {
+  StoreFile file("dims");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  // num_vertices field (offset 16): pretend there are 2^40 vertices.
+  bytes[16 + 4] = 0xff;
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
+}
+
+}  // namespace
+}  // namespace ftc::core

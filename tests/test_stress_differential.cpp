@@ -1,0 +1,196 @@
+// Randomized differential stress net: every generator family in
+// graph/generators.hpp x random fault sets x all three backends, checked
+// query-by-query against the BFS ground truth (connected_avoiding).
+//
+// Everything is seeded and the failing instance is printed as a
+// (family, n, seed) triple plus the exact fault set and endpoints, so
+// any mismatch reported by CI is replayable by pasting the triple into
+// make_instance below. The sweep sizes are chosen to keep the suite
+// fast enough for the asan preset while still covering qualitatively
+// different fragment structures (expanders, large diameter, bridges,
+// clique chains, heavy-tailed degrees, product graphs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/connectivity_scheme.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+struct Instance {
+  std::string family;
+  unsigned n = 0;          // family-specific size knob
+  std::uint64_t seed = 0;  // generator seed (0 for deterministic families)
+  Graph g;
+};
+
+// The replayable instance constructor: (family, n, seed) -> graph.
+// gnp is the one family that may come out disconnected; those instances
+// are skipped (the schemes require connected inputs) and nulled here.
+std::optional<Instance> make_instance(const std::string& family, unsigned n,
+                                      std::uint64_t seed) {
+  Instance inst;
+  inst.family = family;
+  inst.n = n;
+  inst.seed = seed;
+  if (family == "gnp") {
+    // Above the connectivity threshold most seeds come out connected.
+    const double p = 3.5 * std::log(static_cast<double>(n)) /
+                     static_cast<double>(n);
+    inst.g = graph::gnp(n, p, seed);
+    if (!graph::is_connected(inst.g)) return std::nullopt;
+  } else if (family == "grid") {
+    inst.g = graph::grid(n, n + 1);
+  } else if (family == "barbell") {
+    inst.g = graph::barbell(n, 3);
+  } else if (family == "path_of_cliques") {
+    inst.g = graph::path_of_cliques(n, 4);
+  } else if (family == "preferential_attachment") {
+    inst.g = graph::preferential_attachment(n, 3, seed);
+  } else if (family == "hypercube") {
+    inst.g = graph::hypercube(n);
+  } else {
+    ADD_FAILURE() << "unknown family " << family;
+    return std::nullopt;
+  }
+  return inst;
+}
+
+std::string fault_list(const std::vector<EdgeId>& faults) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i != 0) os << ",";
+    os << faults[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+SchemeConfig stress_config(BackendKind backend, unsigned f) {
+  SchemeConfig cfg;
+  cfg.backend = backend;
+  cfg.set_f(f);
+  cfg.ftc.k_scale = 2.0;
+  cfg.cycle.scale = 3.0;
+  cfg.agm.scale = 1.5;
+  return cfg;
+}
+
+class StressDifferential : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(StressDifferential, AllFamiliesAgreeWithBfsGroundTruth) {
+  const unsigned f = 4;
+  struct Sweep {
+    const char* family;
+    std::vector<unsigned> sizes;  // family-specific knob, see make_instance
+    std::vector<std::uint64_t> seeds;
+  };
+  const Sweep sweeps[] = {
+      {"gnp", {24, 40}, {1, 2, 3}},
+      {"grid", {5, 7}, {0}},
+      {"barbell", {8, 12}, {0}},
+      {"path_of_cliques", {4, 7}, {0}},
+      {"preferential_attachment", {30, 48}, {1, 2}},
+      {"hypercube", {4, 5}, {0}},
+  };
+
+  unsigned instances_built = 0;
+  for (const Sweep& sweep : sweeps) {
+    for (const unsigned n : sweep.sizes) {
+      for (const std::uint64_t seed : sweep.seeds) {
+        const auto inst = make_instance(sweep.family, n, seed);
+        if (!inst.has_value()) continue;  // disconnected gnp draw
+        const Graph& g = inst->g;
+        const auto scheme = make_scheme(g, stress_config(GetParam(), f));
+        ++instances_built;
+
+        SplitMix64 rng(mix_hash(n * 1000 + seed, 0xabcdef));
+        for (int it = 0; it < 30; ++it) {
+          std::vector<EdgeId> faults;
+          for (unsigned i = 0; i < rng.next_below(f + 1); ++i) {
+            faults.push_back(
+                static_cast<EdgeId>(rng.next_below(g.num_edges())));
+          }
+          const auto s =
+              static_cast<VertexId>(rng.next_below(g.num_vertices()));
+          const auto t =
+              static_cast<VertexId>(rng.next_below(g.num_vertices()));
+          const bool expected = graph::connected_avoiding(g, s, t, faults);
+          EXPECT_EQ(scheme->connected(s, t, faults), expected)
+              << "REPLAY (family=" << inst->family << ", n=" << inst->n
+              << ", seed=" << inst->seed << ") backend="
+              << backend_name(GetParam()) << " faults=" << fault_list(faults)
+              << " s=" << s << " t=" << t;
+        }
+      }
+    }
+  }
+  // The sweep must not silently degenerate: 12 deterministic instances
+  // plus at least a couple of connected gnp draws.
+  EXPECT_GE(instances_built, 14u);
+}
+
+// Same differential, but through prepared fault-set sessions with both
+// ablation switches — the serving path the batch engine exercises.
+TEST_P(StressDifferential, SessionsAgreeWithOneShotAcrossAblations) {
+  const unsigned f = 3;
+  for (const char* family : {"grid", "path_of_cliques", "hypercube"}) {
+    const auto inst = make_instance(family, family[0] == 'g' ? 5 : 4, 0);
+    ASSERT_TRUE(inst.has_value());
+    const Graph& g = inst->g;
+    const auto scheme = make_scheme(g, stress_config(GetParam(), f));
+
+    SplitMix64 rng(1234);
+    for (int round = 0; round < 6; ++round) {
+      std::vector<EdgeId> faults;
+      for (unsigned i = 0; i < 1 + rng.next_below(f); ++i) {
+        faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+      }
+      const auto fault_set = scheme->prepare_faults(faults);
+      const auto workspace = scheme->make_workspace();
+      for (int it = 0; it < 15; ++it) {
+        const auto s =
+            static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        const auto t =
+            static_cast<VertexId>(rng.next_below(g.num_vertices()));
+        const bool expected = graph::connected_avoiding(g, s, t, faults);
+        for (const bool adaptive : {false, true}) {
+          QueryOptions options;
+          options.adaptive = adaptive;
+          options.smallest_cut_first = !adaptive;
+          EXPECT_EQ(scheme->query(s, t, *fault_set, *workspace, options),
+                    expected)
+              << "REPLAY (family=" << family << ") backend="
+              << backend_name(GetParam()) << " faults=" << fault_list(faults)
+              << " s=" << s << " t=" << t << " adaptive=" << adaptive;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StressDifferential,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           std::string name = backend_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ftc::core

@@ -1,0 +1,307 @@
+// ftc_store: build, inspect and query persistent label stores.
+//
+//   ftc_store build   --out labels.ftcs [--backend core-ftc] [--f 3]
+//                     [--family random|gnp|grid|barbell|cliques|pa|
+//                      hypercube|cycle|complete] [--n N] [--m M] [--p P]
+//                     [--rows R] [--cols C] [--k K] [--len L] [--deg D]
+//                     [--dim D] [--seed S]
+//       generates the graph, builds the selected backend's labels and
+//       writes them as one container file.
+//
+//   ftc_store inspect labels.ftcs
+//       prints the parsed header: backend, dimensions, per-section and
+//       per-label sizes, checksum.
+//
+//   ftc_store query   labels.ftcs --faults 3,17,40 --pairs 0:9,4:7
+//                     [--mode mmap|materialize] [--threads T]
+//       spins up a BatchQueryEngine session directly from the store file
+//       (no graph, no rebuild) and answers the queries.
+//
+// Exit codes: 0 ok, 1 usage error, 2 store/build error.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/batch_engine.hpp"
+#include "core/connectivity_scheme.hpp"
+#include "core/label_store.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace ftc;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s build --out FILE [--backend B] [--f K] [--family F] "
+               "[generator flags] [--seed S]\n"
+               "       %s inspect FILE\n"
+               "       %s query FILE --faults a,b,c --pairs s:t,s:t "
+               "[--mode mmap|materialize] [--threads T]\n",
+               argv0, argv0, argv0);
+  std::exit(1);
+}
+
+// Flat --key value argument list -> map (flags must all take a value).
+// Unknown keys are a usage error — a typo'd flag must not silently fall
+// back to the default.
+std::map<std::string, std::string> parse_flags(
+    int argc, char** argv, int begin, std::string* positional,
+    std::initializer_list<const char*> allowed) {
+  std::map<std::string, std::string> flags;
+  for (int i = begin; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      bool known = false;
+      for (const char* a : allowed) known = known || key == a;
+      if (!known) {
+        std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+        std::exit(1);
+      }
+      // A following "--flag" token is a missing value, not a value.
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      flags[key] = argv[++i];
+    } else if (positional != nullptr && positional->empty()) {
+      *positional = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  return flags;
+}
+
+// Strict numeric parsing with usage-error (exit 1) semantics: malformed
+// or out-of-range values must not surface as exit-2 "store errors".
+std::uint64_t parse_u64_or_die(const std::string& s) {
+  try {
+    if (s.empty() || s[0] == '-') throw std::invalid_argument(s);
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad numeric value: %s\n", s.c_str());
+    std::exit(1);
+  }
+}
+
+double parse_double_or_die(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad numeric value: %s\n", s.c_str());
+    std::exit(1);
+  }
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : parse_u64_or_die(it->second);
+}
+
+graph::Graph make_graph(const std::map<std::string, std::string>& flags) {
+  const std::string family = flag_or(flags, "family", "random");
+  const auto n = static_cast<graph::VertexId>(flag_u64(flags, "n", 256));
+  const std::uint64_t seed = flag_u64(flags, "seed", 1);
+  if (family == "random") {
+    const auto m = static_cast<graph::EdgeId>(flag_u64(flags, "m", 3 * n));
+    return graph::random_connected(n, m, seed);
+  }
+  if (family == "gnp") {
+    const double p = parse_double_or_die(flag_or(flags, "p", "0.1"));
+    return graph::gnp(n, p, seed);
+  }
+  if (family == "grid") {
+    return graph::grid(static_cast<graph::VertexId>(flag_u64(flags, "rows", 16)),
+                       static_cast<graph::VertexId>(flag_u64(flags, "cols", 16)));
+  }
+  if (family == "barbell") {
+    return graph::barbell(static_cast<graph::VertexId>(flag_u64(flags, "k", 12)),
+                          static_cast<graph::VertexId>(flag_u64(flags, "len", 4)));
+  }
+  if (family == "cliques") {
+    return graph::path_of_cliques(
+        static_cast<graph::VertexId>(flag_u64(flags, "n", 8)),
+        static_cast<graph::VertexId>(flag_u64(flags, "k", 8)));
+  }
+  if (family == "pa") {
+    return graph::preferential_attachment(
+        n, static_cast<unsigned>(flag_u64(flags, "deg", 3)), seed);
+  }
+  if (family == "hypercube") {
+    return graph::hypercube(static_cast<unsigned>(flag_u64(flags, "dim", 8)));
+  }
+  if (family == "cycle") return graph::cycle(n);
+  if (family == "complete") return graph::complete(n);
+  std::fprintf(stderr, "unknown --family %s\n", family.c_str());
+  std::exit(1);
+}
+
+// 32-bit range check on top of the strict parse, so oversized CLI IDs
+// error out instead of silently wrapping to a different (valid) ID.
+std::uint32_t parse_id32(const std::string& s) {
+  const std::uint64_t v = parse_u64_or_die(s);
+  if (v > UINT32_MAX) {
+    std::fprintf(stderr, "ID out of range: %s\n", s.c_str());
+    std::exit(1);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+// "3,17,40" -> {3, 17, 40}; empty string -> {}.
+std::vector<graph::EdgeId> parse_id_list(const std::string& s) {
+  std::vector<graph::EdgeId> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(parse_id32(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+// "0:9,4:7" -> {(0,9), (4,7)}.
+std::vector<core::BatchQueryEngine::Query> parse_pairs(const std::string& s) {
+  std::vector<core::BatchQueryEngine::Query> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    const std::string pair = s.substr(pos, next - pos);
+    const std::size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad pair (want s:t): %s\n", pair.c_str());
+      std::exit(1);
+    }
+    out.push_back({parse_id32(pair.substr(0, colon)),
+                   parse_id32(pair.substr(colon + 1))});
+    pos = next + 1;
+  }
+  return out;
+}
+
+int cmd_build(int argc, char** argv) {
+  const auto flags = parse_flags(
+      argc, argv, 2, nullptr,
+      {"out", "backend", "f", "scheme-seed", "family", "n", "m", "p", "rows",
+       "cols", "k", "len", "deg", "dim", "seed"});
+  const auto out_it = flags.find("out");
+  if (out_it == flags.end()) {
+    std::fprintf(stderr, "build: --out FILE is required\n");
+    return 1;
+  }
+  core::SchemeConfig config;
+  config.backend = core::parse_backend(flag_or(flags, "backend", "core-ftc"));
+  config.set_f(static_cast<unsigned>(flag_u64(flags, "f", 3)));
+  config.set_seed(flag_u64(flags, "scheme-seed", 1));
+
+  const graph::Graph g = make_graph(flags);
+  std::printf("graph: n=%u m=%u; building %s labels (f=%u)...\n",
+              g.num_vertices(), g.num_edges(),
+              core::backend_name(config.backend), config.f());
+  const auto scheme = core::make_scheme(g, config);
+  scheme->save(out_it->second);
+  const auto view = core::LabelStoreView::open(out_it->second);
+  std::printf("wrote %s: %zu bytes (%.2f bits/edge label, checksum %016llx)\n",
+              out_it->second.c_str(), view->info().file_bytes,
+              static_cast<double>(view->info().edge_label_bits),
+              static_cast<unsigned long long>(view->info().payload_checksum));
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  std::string path;
+  parse_flags(argc, argv, 2, &path, {});
+  if (path.empty()) {
+    std::fprintf(stderr, "inspect: FILE is required\n");
+    return 1;
+  }
+  const auto view = core::LabelStoreView::open(path);
+  const core::StoreInfo& info = view->info();
+  std::printf("label store        %s\n", path.c_str());
+  std::printf("format version     %u\n", info.format_version);
+  std::printf("backend            %s\n", core::backend_name(info.backend));
+  std::printf("vertices           %u\n", info.num_vertices);
+  std::printf("edges              %u\n", info.num_edges);
+  std::printf("file bytes         %zu\n", info.file_bytes);
+  std::printf("  params blob      %zu\n", info.params_bytes);
+  std::printf("  vertex section   %zu\n", info.vertex_section_bytes);
+  std::printf("  edge index       %zu\n", info.edge_index_bytes);
+  std::printf("  edge blobs       %zu\n", info.edge_blob_bytes);
+  std::printf("vertex label bits  %zu\n", info.vertex_label_bits);
+  std::printf("edge label bits    %zu\n", info.edge_label_bits);
+  std::printf("payload checksum   %016llx\n",
+              static_cast<unsigned long long>(info.payload_checksum));
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  std::string path;
+  const auto flags = parse_flags(argc, argv, 2, &path,
+                                 {"mode", "faults", "pairs", "threads"});
+  if (path.empty()) {
+    std::fprintf(stderr, "query: FILE is required\n");
+    return 1;
+  }
+  core::LoadOptions options;
+  const std::string mode = flag_or(flags, "mode", "mmap");
+  if (mode == "mmap") {
+    options.mode = core::LoadMode::kMmap;
+  } else if (mode == "materialize") {
+    options.mode = core::LoadMode::kMaterialize;
+  } else {
+    std::fprintf(stderr, "bad --mode %s (want mmap|materialize)\n",
+                 mode.c_str());
+    return 1;
+  }
+  const auto faults = parse_id_list(flag_or(flags, "faults", ""));
+  const auto pairs = parse_pairs(flag_or(flags, "pairs", ""));
+  if (pairs.empty()) {
+    std::fprintf(stderr, "query: --pairs s:t[,s:t...] is required\n");
+    return 1;
+  }
+  const auto threads = static_cast<unsigned>(flag_u64(flags, "threads", 1));
+
+  core::BatchQueryEngine session(core::load_scheme(path, options), faults);
+  const auto results = threads > 1 ? session.run_parallel(pairs, threads)
+                                   : session.run_sequential(pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::printf("%u %u %s\n", pairs[i].s, pairs[i].t,
+                results[i] ? "connected" : "disconnected");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "build") return cmd_build(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "query") return cmd_query(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage(argv[0]);
+}
