@@ -4,13 +4,17 @@
 # regression in either preset is a CI regression. Run from anywhere;
 # builds land in <repo>/build and <repo>/build-asan.
 #
-#   scripts/ci.sh            # both presets, full suite
-#   scripts/ci.sh release    # just the release leg
-#   scripts/ci.sh asan       # just the sanitizer leg
-#   scripts/ci.sh store      # fast loop: asan build + run of the label
-#                            # store / differential stress suites only
-#                            # (adversarial container inputs are the
-#                            # tests that most need the sanitizers)
+#   scripts/ci.sh             # both presets, full suite
+#   scripts/ci.sh release     # just the release leg
+#   scripts/ci.sh asan        # just the sanitizer leg
+#   scripts/ci.sh store       # fast loop: asan build + run of the label
+#                             # store / differential stress / decoder
+#                             # workspace suites only (adversarial inputs
+#                             # and the copy-on-write decoder state are
+#                             # what most need the sanitizers)
+#   scripts/ci.sh bench-smoke # Release build of bench_decoder_hotpath,
+#                             # tiny-size run, JSON output validated —
+#                             # keeps bench binaries from silently rotting
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,10 +26,41 @@ if [ "${1:-}" = "store" ]; then
   echo "=== store/stress focused leg (asan) ==="
   cmake --preset asan
   cmake --build --preset asan -j "$jobs" \
-    --target test_label_store test_stress_differential ftc_store
-  ctest --preset asan -R 'test_label_store|test_stress_differential' \
+    --target test_label_store test_stress_differential \
+    test_decoder_workspace ftc_store
+  ctest --preset asan \
+    -R 'test_label_store|test_stress_differential|test_decoder_workspace' \
     -j "$jobs"
-  echo "ci: store/stress suites green under asan"
+  echo "ci: store/stress/workspace suites green under asan"
+  exit 0
+fi
+
+if [ "${1:-}" = "bench-smoke" ]; then
+  echo "=== bench smoke leg (release) ==="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_decoder_hotpath
+  # Run inside build/ so the smoke-size JSON cannot clobber the
+  # checked-in repo-root baseline (regenerate that via bench_all.sh).
+  (cd build && ./bench_decoder_hotpath --smoke)
+  if command -v python3 >/dev/null; then
+    python3 - build/BENCH_decoder_hotpath.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    records = json.load(fh)
+assert isinstance(records, list) and records, "no bench records"
+required = {"backend", "f", "single_query_us", "batch_qps"}
+for r in records:
+    missing = required - r.keys()
+    assert not missing, f"record missing {missing}: {r}"
+print(f"bench-smoke: {len(records)} records, JSON well-formed")
+EOF
+  else
+    # Degraded check without python3: the file must exist and at least
+    # look like a non-empty JSON array of objects.
+    grep -q '^\[{.*}\]$' build/BENCH_decoder_hotpath.json
+    echo "bench-smoke: JSON shape check passed (python3 unavailable)"
+  fi
+  echo "ci: bench smoke green"
   exit 0
 fi
 

@@ -8,13 +8,17 @@
 //   2. keeps an arena of per-thread decoder workspaces (fragment state,
 //      cut bitsets, sketch sums) that are reused across queries instead
 //      of reallocated inside every decode; and
-//   3. fans batches across a small pool of std::thread workers that pull
-//      chunks off a shared std::atomic work index.
+//   3. fans batches across a PERSISTENT pool of condition-variable-parked
+//      worker threads that pull chunks off a shared std::atomic work
+//      index. The pool is created on first run_parallel() and reused
+//      across run() and reset_faults() calls for the engine's lifetime,
+//      so small batches stop paying thread-start cost on every call.
 //
 // connected() / run_sequential() answer on the calling thread (workspace
 // 0); run_parallel() uses num_threads workers. Results are bit-for-bit
 // identical across the three paths: workers share the immutable fault
-// set and only write disjoint result slots.
+// set and only write disjoint result slots. The engine itself is not
+// thread-safe: one session is driven by one caller thread.
 #pragma once
 
 #include <memory>
@@ -46,7 +50,11 @@ class BatchQueryEngine {
                    std::span<const graph::EdgeId> edge_faults,
                    const QueryOptions& options = {});
 
-  // Replaces the session's fault set; cached workspaces are kept.
+  // Parks and joins the worker pool (if one was ever started).
+  ~BatchQueryEngine();
+
+  // Replaces the session's fault set; cached workspaces and the worker
+  // pool are kept.
   void reset_faults(std::span<const graph::EdgeId> edge_faults);
 
   // Single query on the calling thread, reusing the session workspace.
@@ -64,6 +72,8 @@ class BatchQueryEngine {
   const ConnectivityScheme& scheme() const { return scheme_; }
 
  private:
+  struct Pool;  // persistent worker pool, defined in batch_engine.cpp
+
   ConnectivityScheme::Workspace& workspace(std::size_t i);
 
   // Set only by the owning constructor; scheme_ refers to *owned_ then.
@@ -73,6 +83,9 @@ class BatchQueryEngine {
   std::unique_ptr<ConnectivityScheme::FaultSet> faults_;
   // Workspace arena: slot i belongs to worker i (slot 0 = caller).
   std::vector<std::unique_ptr<ConnectivityScheme::Workspace>> workspaces_;
+  // Lazily created on the first parallel batch, then reused for the
+  // engine's lifetime; idle workers park on a condition variable.
+  std::unique_ptr<Pool> pool_;
 };
 
 }  // namespace ftc::core

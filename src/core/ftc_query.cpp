@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/edge_code.hpp"
 #include "graph/fragments.hpp"
 #include "graph/union_find.hpp"
 #include "sketch/rs_sketch.hpp"
+#include "util/xor_kernel.hpp"
 
 namespace ftc::core {
 
@@ -15,63 +17,67 @@ namespace {
 
 using graph::AncestryLabel;
 
-template <typename F>
-F f_from_words(const std::uint64_t* w) {
-  if constexpr (F::kWords == 1) {
-    return F(w[0]);
-  } else {
-    return F(w[0], w[1]);
-  }
-}
-
 }  // namespace
 
 // Fault-set context shared by all queries: parameters, the fragment
-// locator, and flattened per-fragment initial state. Fragment fr owns
-// cut[fr * cut_words ..] and sums[fr * num_levels * k ..].
+// locator, and flattened per-fragment initial state, kept as raw
+// std::uint64_t words so the XOR kernels (util/xor_kernel.hpp) apply and
+// so the copy-on-write workspace can alias rows without knowing the field
+// type. Fragment fr owns cut[fr * cut_words ..] and
+// sum_words[fr * words_per_frag ..] (level-major, k syndromes per level,
+// field_bits/64 words per syndrome).
 struct PreparedFaults::Impl {
-  virtual ~Impl() = default;
-
   LabelParams params;
   graph::FragmentLocator loc{std::vector<std::pair<std::uint32_t, std::uint32_t>>{}};
-  std::size_t nf = 0;         // deduplicated fault count
-  std::size_t cut_words = 0;  // bitset words per fragment
+  std::size_t nf = 0;              // deduplicated fault count
+  std::size_t cut_words = 0;       // bitset words per fragment
+  std::size_t words_per_frag = 0;  // num_levels * k * (field_bits / 64)
   int num_frag = 0;
+  std::vector<std::uint64_t> cut;
+  std::vector<std::uint64_t> sum_words;
+  // Initial |cut| per fragment, precomputed so the merge heap seeds
+  // without re-popcounting prepared rows on every query.
+  std::vector<unsigned> init_cut_size;
 };
 
-// Scratch reused across queries on one thread: working copies of the
-// fragment states plus the merge bookkeeping. Both field widths keep
-// their own sum buffer so one workspace serves any scheme.
+// Scratch reused across queries on one thread. The fragment state is
+// copy-on-write against PreparedFaults: a fragment's cut/sums row is
+// copied into this workspace only when a merge first mutates it
+// (frag_epoch[fr] == epoch marks a live materialization); reads of
+// untouched fragments go straight to the immutable prepared arrays, and
+// bumping `epoch` at query start invalidates every materialization in
+// O(1). The word buffers carry no type, so one workspace serves either
+// field width and any number of distinct PreparedFaults objects.
 struct DecoderWorkspace::Impl {
-  std::vector<std::uint64_t> cut;
-  std::vector<gf::GF2_64> sums64;
-  std::vector<gf::GF2_128> sums128;
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> frag_epoch;  // per fragment: epoch when copied
+  std::vector<std::uint64_t> cut;         // materialized cut rows
+  std::vector<std::uint64_t> sum_words;   // materialized sum rows
   graph::UnionFind uf{0};
   std::vector<char> closed;
   std::vector<std::uint32_t> version;
-  // (cut size, fragment, version) min-heap with lazy invalidation.
+  // (cut size, fragment, version) min-heap with lazy invalidation. Built
+  // only in smallest-cut-first mode; source-first queries never pop it.
   std::vector<std::tuple<unsigned, int, std::uint32_t>> heap;
+  // Allocation-free decode: per-field sketch scratch plus the reused
+  // decoded-edge buffer decode_outgoing fills.
+  sketch::SketchDecodeScratch<gf::GF2_64> scratch64;
+  sketch::SketchDecodeScratch<gf::GF2_128> scratch128;
+  std::vector<std::pair<AncestryLabel, AncestryLabel>> edges;
 };
 
 namespace {
 
 template <typename F>
-struct PreparedImpl final : PreparedFaults::Impl {
-  std::vector<std::uint64_t> cut;
-  std::vector<F> sums;
-};
-
-template <typename F>
-std::vector<F>& workspace_sums(DecoderWorkspace::Impl& ws) {
+sketch::SketchDecodeScratch<F>& workspace_scratch(DecoderWorkspace::Impl& ws) {
   if constexpr (F::kWords == 1) {
-    return ws.sums64;
+    return ws.scratch64;
   } else {
-    return ws.sums128;
+    return ws.scratch128;
   }
 }
 
-template <typename F>
-std::unique_ptr<PreparedFaults::Impl> prepare_impl(
+std::unique_ptr<PreparedFaults::Impl> prepare_any(
     std::span<const EdgeLabel> faults) {
   const LabelParams& params = faults[0].params;
   for (const EdgeLabel& f : faults) {
@@ -79,6 +85,7 @@ std::unique_ptr<PreparedFaults::Impl> prepare_impl(
   }
   const unsigned k = params.k;
   const unsigned num_levels = params.num_levels;
+  const std::size_t field_words = params.field_bits / 64;
 
   // Deduplicate faults: the lower endpoint identifies a tree edge.
   std::vector<const EdgeLabel*> uniq;
@@ -104,34 +111,39 @@ std::unique_ptr<PreparedFaults::Impl> prepare_impl(
   graph::FragmentLocator loc(std::move(intervals));
   const int num_frag = loc.fragment_count();
 
-  auto impl = std::make_unique<PreparedImpl<F>>();
+  auto impl = std::make_unique<PreparedFaults::Impl>();
   impl->params = params;
   impl->nf = nf;
   impl->cut_words = (nf + 63) / 64;
+  impl->words_per_frag =
+      static_cast<std::size_t>(num_levels) * k * field_words;
   impl->num_frag = num_frag;
 
   // Per-fragment cut bitsets and sketch sums (Proposition 4): each fault
   // edge contributes its subtree sketch to the fragment below it and the
-  // fragment above it.
-  const std::size_t sums_per_frag = static_cast<std::size_t>(num_levels) * k;
+  // fragment above it. GF(2^w) addition is XOR, so the whole label
+  // payload folds in as one word-level kernel call per fragment.
   impl->cut.assign(static_cast<std::size_t>(num_frag) * impl->cut_words, 0);
-  impl->sums.assign(static_cast<std::size_t>(num_frag) * sums_per_frag,
-                    F::zero());
+  impl->sum_words.assign(
+      static_cast<std::size_t>(num_frag) * impl->words_per_frag, 0);
   for (std::size_t j = 0; j < nf; ++j) {
     const int below = loc.fragment_of_fault(j);
     const int above = loc.parent_fragment(below);
     FTC_CHECK(above >= 0, "fault fragment without parent");
-    const std::uint64_t* w = uniq[j]->sketch_words.data();
-    FTC_REQUIRE(uniq[j]->sketch_words.size() == sums_per_frag * F::kWords,
+    FTC_REQUIRE(uniq[j]->sketch_words.size() == impl->words_per_frag,
                 "edge label sketch payload has wrong size");
     for (const int fr : {below, above}) {
       impl->cut[fr * impl->cut_words + j / 64] ^= std::uint64_t{1}
                                                   << (j % 64);
-      F* sums = impl->sums.data() + fr * sums_per_frag;
-      for (std::size_t i = 0; i < sums_per_frag; ++i) {
-        sums[i] += f_from_words<F>(w + i * F::kWords);
-      }
+      xor_words(impl->sum_words.data() + fr * impl->words_per_frag,
+                uniq[j]->sketch_words.data(), impl->words_per_frag);
     }
+  }
+  impl->init_cut_size.reserve(num_frag);
+  for (int fr = 0; fr < num_frag; ++fr) {
+    impl->init_cut_size.push_back(
+        popcount_words(impl->cut.data() + fr * impl->cut_words,
+                       impl->cut_words));
   }
   impl->loc = std::move(loc);
   return impl;
@@ -140,58 +152,54 @@ std::unique_ptr<PreparedFaults::Impl> prepare_impl(
 // Decodes the outgoing edges of a fragment set from its per-level sketch
 // sums: scan from the sparsest level down; the first level with a nonzero
 // sketch is the top nonempty boundary, which the hierarchy guarantees to
-// be decodable (Lemma 2). Returns endpoint ancestry-label pairs; empty
-// means no outgoing edge (the component is complete).
+// be decodable (Lemma 2). The level scan is a raw word scan — field
+// elements only materialize (into the workspace scratch) for the one
+// level that actually decodes. Fills ws.edges with endpoint
+// ancestry-label pairs; empty means no outgoing edge (the component is
+// complete).
 template <typename F>
-std::vector<std::pair<AncestryLabel, AncestryLabel>> decode_outgoing(
-    const F* sums, const LabelParams& params, const QueryOptions& options,
-    QueryStats* stats) {
+void decode_outgoing(const std::uint64_t* sum_row, const LabelParams& params,
+                     const QueryOptions& options, DecoderWorkspace::Impl& ws,
+                     QueryStats* stats) {
   const unsigned k = params.k;
+  const std::size_t level_words =
+      static_cast<std::size_t>(k) * F::kWords;
+  sketch::SketchDecodeScratch<F>& scratch = workspace_scratch<F>(ws);
+  ws.edges.clear();
   for (unsigned lev = params.num_levels; lev-- > 0;) {
     if (stats != nullptr) ++stats->levels_scanned;
-    const F* s = sums + static_cast<std::size_t>(lev) * k;
-    bool nonzero = false;
-    for (unsigned j = 0; j < k; ++j) {
-      if (!s[j].is_zero()) {
-        nonzero = true;
-        break;
-      }
-    }
-    if (!nonzero) continue;
+    const std::uint64_t* lw = sum_row + lev * level_words;
+    if (!any_word_nonzero(lw, level_words)) continue;
     if (stats != nullptr) ++stats->outdetect_calls;
-    sketch::RsSketch<F> sk(std::vector<F>(s, s + k));
-    const auto decoded =
-        options.adaptive ? sk.decode_adaptive() : sk.decode(k);
-    if (!decoded.has_value()) {
+    const bool decoded =
+        sketch::decode_sketch_words<F>(lw, k, scratch, options.adaptive);
+    if (!decoded) {
       throw FtcCapacityError(
           "outdetect sketch failed to decode: boundary exceeds k; rebuild "
           "with larger k (or KMode::kProvable)");
     }
-    FTC_CHECK(!decoded->empty(), "nonzero sketch decoded to the empty set");
-    std::vector<std::pair<AncestryLabel, AncestryLabel>> out;
-    out.reserve(decoded->size());
-    for (const F& id : *decoded) {
+    FTC_CHECK(!scratch.support.empty(),
+              "nonzero sketch decoded to the empty set");
+    ws.edges.reserve(scratch.support.size());
+    for (const F& id : scratch.support) {
       const auto [a, b] = EdgeCode<F>::decode(id);
       if (!EdgeCode<F>::plausible(a, b)) {
         throw FtcCapacityError(
             "decoded edge ID is structurally invalid; sketch capacity "
             "exceeded");
       }
-      out.emplace_back(a, b);
+      ws.edges.emplace_back(a, b);
     }
-    return out;
+    return;
   }
-  return {};
 }
 
 template <typename F>
 bool query_impl(const VertexLabel& s, const VertexLabel& t,
-                const PreparedImpl<F>& prep, DecoderWorkspace::Impl& ws,
+                const PreparedFaults::Impl& prep, DecoderWorkspace::Impl& ws,
                 const QueryOptions& options, QueryStats* stats) {
   const LabelParams& params = prep.params;
-  const unsigned k = params.k;
-  const std::size_t sums_per_frag =
-      static_cast<std::size_t>(params.num_levels) * k;
+  const std::size_t wpf = prep.words_per_frag;
   const std::size_t cut_words = prep.cut_words;
   const int num_frag = prep.num_frag;
   if (stats != nullptr) stats->fragments = static_cast<unsigned>(num_frag);
@@ -200,30 +208,51 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
   const int ft = prep.loc.locate(t.anc.tin);
   if (fs == ft) return true;  // connected within T' - sigma(F) already
 
-  // Working copies of the immutable initial state, into reused buffers.
-  ws.cut.assign(prep.cut.begin(), prep.cut.end());
-  std::vector<F>& sums = workspace_sums<F>(ws);
-  sums.assign(prep.sums.begin(), prep.sums.end());
-  ws.uf.reset(static_cast<std::size_t>(num_frag));
-  ws.closed.assign(num_frag, 0);
-  ws.version.assign(num_frag, 0);
-  ws.heap.clear();
+  // New query: bump the epoch — every materialized row from any earlier
+  // query (against this or any other PreparedFaults) dies in O(1). The
+  // word buffers are only ever grown; stale contents are unreachable
+  // because frag_epoch gates every read.
+  ++ws.epoch;
+  const std::size_t nfrag = static_cast<std::size_t>(num_frag);
+  if (ws.frag_epoch.size() < nfrag) ws.frag_epoch.resize(nfrag, 0);
+  if (ws.cut.size() < nfrag * cut_words) ws.cut.resize(nfrag * cut_words);
+  if (ws.sum_words.size() < nfrag * wpf) ws.sum_words.resize(nfrag * wpf);
+  ws.uf.reset(nfrag);
+  ws.closed.assign(nfrag, 0);
 
-  const auto cut_size = [&](int fr) {
-    const std::uint64_t* w = ws.cut.data() + fr * cut_words;
-    unsigned c = 0;
-    for (std::size_t i = 0; i < cut_words; ++i) {
-      c += static_cast<unsigned>(__builtin_popcountll(w[i]));
-    }
-    return c;
+  const auto materialized = [&](std::size_t fr) {
+    return ws.frag_epoch[fr] == ws.epoch;
   };
+  const auto cut_row = [&](std::size_t fr) -> const std::uint64_t* {
+    return (materialized(fr) ? ws.cut.data() : prep.cut.data()) +
+           fr * cut_words;
+  };
+  const auto sum_row = [&](std::size_t fr) -> const std::uint64_t* {
+    return (materialized(fr) ? ws.sum_words.data() : prep.sum_words.data()) +
+           fr * wpf;
+  };
+  const auto cut_size = [&](std::size_t fr) {
+    // An unmaterialized fragment still holds its initial state.
+    return materialized(fr) ? popcount_words(ws.cut.data() + fr * cut_words,
+                                             cut_words)
+                            : prep.init_cut_size[fr];
+  };
+  // Copy-on-write merge: the first mutation of `root` materializes it by
+  // fusing the copy from the prepared row with the first XOR (one
+  // streaming pass); later merges XOR in place.
   const auto merge_state = [&](std::size_t root, std::size_t other) {
-    std::uint64_t* rc = ws.cut.data() + root * cut_words;
-    const std::uint64_t* oc = ws.cut.data() + other * cut_words;
-    for (std::size_t i = 0; i < cut_words; ++i) rc[i] ^= oc[i];
-    F* rs = sums.data() + root * sums_per_frag;
-    const F* os = sums.data() + other * sums_per_frag;
-    for (std::size_t i = 0; i < sums_per_frag; ++i) rs[i] += os[i];
+    const std::uint64_t* oc = cut_row(other);
+    const std::uint64_t* os = sum_row(other);
+    if (materialized(root)) {
+      xor_words(ws.cut.data() + root * cut_words, oc, cut_words);
+      xor_words(ws.sum_words.data() + root * wpf, os, wpf);
+    } else {
+      xor_words_into(ws.cut.data() + root * cut_words,
+                     prep.cut.data() + root * cut_words, oc, cut_words);
+      xor_words_into(ws.sum_words.data() + root * wpf,
+                     prep.sum_words.data() + root * wpf, os, wpf);
+      ws.frag_epoch[root] = ws.epoch;
+    }
   };
 
   using HeapEntry = std::tuple<unsigned, int, std::uint32_t>;
@@ -237,7 +266,17 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
     ws.heap.pop_back();
     return e;
   };
-  for (int fr = 0; fr < num_frag; ++fr) heap_push({cut_size(fr), fr, 0u});
+  // Only smallest-cut-first mode ever pops the heap, so only that mode
+  // pays for building it (source-first queries skip it entirely).
+  if (options.smallest_cut_first) {
+    ws.version.assign(nfrag, 0);
+    ws.heap.clear();
+    ws.heap.reserve(nfrag);
+    for (int fr = 0; fr < num_frag; ++fr) {
+      ws.heap.push_back({prep.init_cut_size[fr], fr, 0u});
+    }
+    std::make_heap(ws.heap.begin(), ws.heap.end(), std::greater<>{});
+  }
 
   graph::UnionFind& uf = ws.uf;
   const auto pick_source_first = [&]() -> int {
@@ -264,9 +303,8 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
       if (fr < 0) return false;
     }
 
-    const auto edges = decode_outgoing(sums.data() + fr * sums_per_frag,
-                                       params, options, stats);
-    if (edges.empty()) {
+    decode_outgoing<F>(sum_row(fr), params, options, ws, stats);
+    if (ws.edges.empty()) {
       ws.closed[fr] = 1;
       // A closed set is a complete component of G - F. If it holds s or
       // t, the two can no longer meet.
@@ -276,7 +314,7 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
       }
       continue;
     }
-    for (const auto& [a, b] : edges) {
+    for (const auto& [a, b] : ws.edges) {
       const std::size_t fa = uf.find(prep.loc.locate(a.tin));
       const std::size_t fb = uf.find(prep.loc.locate(b.tin));
       if (fa == fb) continue;  // joined by an earlier edge this round
@@ -287,10 +325,11 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
       if (stats != nullptr) ++stats->merges;
       if (uf.find(fs) == uf.find(ft)) return true;
     }
-    const std::size_t root = uf.find(fr);
-    ++ws.version[root];
-    heap_push({cut_size(static_cast<int>(root)), static_cast<int>(root),
-               ws.version[root]});
+    if (options.smallest_cut_first) {
+      const std::size_t root = uf.find(fr);
+      ++ws.version[root];
+      heap_push({cut_size(root), static_cast<int>(root), ws.version[root]});
+    }
   }
 }
 
@@ -304,10 +343,10 @@ PreparedFaults::~PreparedFaults() = default;
 
 PreparedFaults PreparedFaults::prepare(std::span<const EdgeLabel> faults) {
   if (faults.empty()) return PreparedFaults(nullptr);
-  if (faults[0].params.field_bits == 64) {
-    return PreparedFaults(prepare_impl<gf::GF2_64>(faults));
-  }
-  return PreparedFaults(prepare_impl<gf::GF2_128>(faults));
+  FTC_REQUIRE(faults[0].params.field_bits == 64 ||
+                  faults[0].params.field_bits == 128,
+              "unsupported field width in edge label");
+  return PreparedFaults(prepare_any(faults));
 }
 
 bool PreparedFaults::empty() const { return impl_ == nullptr; }
@@ -347,13 +386,11 @@ bool FtcDecoder::connected(const VertexLabel& s, const VertexLabel& t,
   FTC_REQUIRE(s.params == impl.params && t.params == impl.params,
               "vertex and edge labels from different schemes");
   if (impl.params.field_bits == 64) {
-    return query_impl<gf::GF2_64>(
-        s, t, static_cast<const PreparedImpl<gf::GF2_64>&>(impl),
-        *workspace.impl_, options, stats);
+    return query_impl<gf::GF2_64>(s, t, impl, *workspace.impl_, options,
+                                  stats);
   }
-  return query_impl<gf::GF2_128>(
-      s, t, static_cast<const PreparedImpl<gf::GF2_128>&>(impl),
-      *workspace.impl_, options, stats);
+  return query_impl<gf::GF2_128>(s, t, impl, *workspace.impl_, options,
+                                 stats);
 }
 
 }  // namespace ftc::core

@@ -15,10 +15,17 @@
 // Query sessions: everything the decoder derives from the fault labels
 // alone (dedup, fragment intervals, initial per-fragment cut bitsets and
 // sketch sums) is independent of (s, t). PreparedFaults materializes it
-// once so a batch of queries against the same fault set skips that work,
-// and DecoderWorkspace keeps the per-query scratch (fragment state
-// copies, union-find, merge heap) alive across calls instead of
-// reallocating it inside every connected() invocation.
+// once — as flattened std::uint64_t arrays, since GF(2^w) addition is
+// XOR — so a batch of queries against the same fault set skips that work.
+// DecoderWorkspace holds the per-thread scratch and is copy-on-write
+// against PreparedFaults: a query never copies the prepared fragment
+// state up front; a fragment's row is materialized into the workspace
+// only when a merge first mutates it (epoch-tagged, so invalidating all
+// materializations between queries is O(1)), reads of untouched fragments
+// fall through to the immutable prepared arrays, and sketch decoding runs
+// out of reusable scratch buffers instead of per-call allocations. One
+// workspace may serve queries against any number of PreparedFaults
+// objects, of either field width, in any interleaving.
 #pragma once
 
 #include <memory>
@@ -68,10 +75,12 @@ class PreparedFaults {
   friend class FtcDecoder;
 };
 
-// Reusable per-query scratch: working copies of the fragment states, the
-// union-find forest, closed/version flags and the merge heap. NOT
-// thread-safe — give each worker thread its own workspace and reuse it
-// across that thread's queries to amortize allocation.
+// Reusable per-thread scratch: copy-on-write fragment-state rows
+// (epoch-tagged against the PreparedFaults being queried), the union-find
+// forest, closed/version flags, the merge heap and the sketch-decode
+// buffers. NOT thread-safe — give each worker thread its own workspace
+// and reuse it across that thread's queries (against one or many fault
+// sets) to amortize allocation.
 class DecoderWorkspace {
  public:
   DecoderWorkspace();

@@ -8,7 +8,11 @@
 // In kMmap mode the per-query cost is two 8-byte vertex-record reads from
 // the mapping — no std::vector is materialized on the query path; only
 // the <= f fault-edge labels of a session are decoded, once, inside
-// prepare_faults().
+// prepare_faults(). The served hot path is therefore the shared one: the
+// core backend queries through PreparedFaults + the copy-on-write
+// DecoderWorkspace of core/ftc_query.cpp, and all fragment/sketch merges
+// (core RS sums, AGM cells, cycle-space vectors) go through the word-XOR
+// kernels in util/xor_kernel.hpp.
 #include "core/label_store.hpp"
 
 #include <fcntl.h>

@@ -6,6 +6,7 @@
 #include "graph/fragments.hpp"
 #include "graph/spanning_tree.hpp"
 #include "util/common.hpp"
+#include "util/xor_kernel.hpp"
 
 namespace ftc::dp21 {
 
@@ -15,17 +16,16 @@ using graph::VertexId;
 
 namespace {
 
+// Cycle-space vectors add over GF(2); route through the shared word-XOR
+// kernel (util/xor_kernel.hpp) like every other merge on the query path.
 void xor_into(std::vector<std::uint64_t>& dst,
               const std::vector<std::uint64_t>& src) {
   FTC_REQUIRE(dst.size() == src.size(), "vector width mismatch");
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  xor_words(dst.data(), src.data(), dst.size());
 }
 
 bool is_zero(const std::vector<std::uint64_t>& v) {
-  for (const auto w : v) {
-    if (w != 0) return false;
-  }
-  return true;
+  return !any_word_nonzero(v.data(), v.size());
 }
 
 }  // namespace

@@ -1,13 +1,14 @@
 #include "sketch/agm_sketch.hpp"
 
 #include "util/common.hpp"
+#include "util/xor_kernel.hpp"
 
 namespace ftc::sketch {
 
 AgmSketch::AgmSketch(unsigned levels, unsigned reps, std::uint64_t seed)
     : levels_(levels), reps_(reps), seed_(seed) {
   FTC_REQUIRE(levels >= 1 && reps >= 1, "AgmSketch needs levels, reps >= 1");
-  cells_.assign(static_cast<std::size_t>(levels_) * reps_, Cell{});
+  words_.assign(static_cast<std::size_t>(levels_) * reps_ * 3, 0);
 }
 
 std::uint64_t AgmSketch::item_hash(const PackedId& id, unsigned rep) const {
@@ -26,40 +27,38 @@ void AgmSketch::toggle(const PackedId& id) {
     const std::uint64_t h = item_hash(id, r);
     unsigned level = h == 0 ? 63u : static_cast<unsigned>(__builtin_ctzll(h));
     if (level >= levels_) level = levels_ - 1;
-    Cell& c = cells_[static_cast<std::size_t>(r) * levels_ + level];
-    c.id_lo ^= id.lo;
-    c.id_hi ^= id.hi;
-    c.fp ^= f;
+    std::uint64_t* c =
+        words_.data() + 3 * (static_cast<std::size_t>(r) * levels_ + level);
+    c[0] ^= id.lo;
+    c[1] ^= id.hi;
+    c[2] ^= f;
   }
 }
 
 void AgmSketch::merge(const AgmSketch& o) {
   FTC_REQUIRE(levels_ == o.levels_ && reps_ == o.reps_ && seed_ == o.seed_,
               "merging incompatible AGM sketches");
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i].id_lo ^= o.cells_[i].id_lo;
-    cells_[i].id_hi ^= o.cells_[i].id_hi;
-    cells_[i].fp ^= o.cells_[i].fp;
-  }
+  // Every cell field is XOR-additive, so the whole sketch merges as one
+  // flat word-XOR kernel call (shared with the core decoder's fragment
+  // merges, util/xor_kernel.hpp).
+  xor_words(words_.data(), o.words_.data(), words_.size());
 }
 
 std::optional<PackedId> AgmSketch::sample() const {
-  for (const Cell& c : cells_) {
-    if (c.id_lo == 0 && c.id_hi == 0 && c.fp == 0) continue;
-    if (c.fp == fingerprint(c.id_lo, c.id_hi)) {
-      return PackedId{c.id_lo, c.id_hi};
+  for (std::size_t i = 0; i + 2 < words_.size(); i += 3) {
+    const std::uint64_t id_lo = words_[i];
+    const std::uint64_t id_hi = words_[i + 1];
+    const std::uint64_t fp = words_[i + 2];
+    if (id_lo == 0 && id_hi == 0 && fp == 0) continue;
+    if (fp == fingerprint(id_lo, id_hi)) {
+      return PackedId{id_lo, id_hi};
     }
   }
   return std::nullopt;
 }
 
 void AgmSketch::append_words(std::vector<std::uint64_t>& out) const {
-  out.reserve(out.size() + num_words());
-  for (const Cell& c : cells_) {
-    out.push_back(c.id_lo);
-    out.push_back(c.id_hi);
-    out.push_back(c.fp);
-  }
+  out.insert(out.end(), words_.begin(), words_.end());
 }
 
 AgmSketch AgmSketch::from_words(unsigned levels, unsigned reps,
@@ -68,19 +67,12 @@ AgmSketch AgmSketch::from_words(unsigned levels, unsigned reps,
   AgmSketch s(levels, reps, seed);
   FTC_REQUIRE(words.size() == s.num_words(),
               "AGM sketch word count inconsistent with (levels, reps)");
-  for (std::size_t i = 0; i < s.cells_.size(); ++i) {
-    s.cells_[i].id_lo = words[3 * i];
-    s.cells_[i].id_hi = words[3 * i + 1];
-    s.cells_[i].fp = words[3 * i + 2];
-  }
+  s.words_.assign(words.begin(), words.end());
   return s;
 }
 
 bool AgmSketch::looks_empty() const {
-  for (const Cell& c : cells_) {
-    if (c.id_lo != 0 || c.id_hi != 0 || c.fp != 0) return false;
-  }
-  return true;
+  return !any_word_nonzero(words_.data(), words_.size());
 }
 
 }  // namespace ftc::sketch

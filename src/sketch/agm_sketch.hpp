@@ -45,34 +45,33 @@ class AgmSketch {
   // True iff every cell is zero; whp equivalent to the set being empty.
   bool looks_empty() const;
 
-  std::size_t size_bits() const { return cells_.size() * 3 * 64; }
+  std::size_t size_bits() const { return words_.size() * 64; }
   unsigned levels() const { return levels_; }
   unsigned reps() const { return reps_; }
   std::uint64_t seed() const { return seed_; }
 
   // Serialization: the raw cell payload as 3 u64 words per cell
-  // (id_lo, id_hi, fp), rep-major — num_words() of them. Round-trips
-  // exactly through from_words with the same (levels, reps, seed).
-  std::size_t num_words() const { return cells_.size() * 3; }
+  // (id_lo, id_hi, fp), rep-major — num_words() of them. This is also the
+  // in-memory layout (the sketch IS a flat word array), which makes
+  // merge() a single word-XOR kernel call and (de)serialization a copy.
+  // Round-trips exactly through from_words with the same
+  // (levels, reps, seed).
+  std::size_t num_words() const { return words_.size(); }
   void append_words(std::vector<std::uint64_t>& out) const;
   static AgmSketch from_words(unsigned levels, unsigned reps,
                               std::uint64_t seed,
                               std::span<const std::uint64_t> words);
 
  private:
-  struct Cell {
-    std::uint64_t id_lo = 0;
-    std::uint64_t id_hi = 0;
-    std::uint64_t fp = 0;
-  };
-
   std::uint64_t item_hash(const PackedId& id, unsigned rep) const;
   std::uint64_t fingerprint(std::uint64_t lo, std::uint64_t hi) const;
 
   unsigned levels_ = 0;
   unsigned reps_ = 0;
   std::uint64_t seed_ = 0;
-  std::vector<Cell> cells_;  // reps_ x levels_, row-major by rep
+  // reps_ x levels_ cells, row-major by rep, 3 words per cell:
+  // words_[3 * (rep * levels_ + level) + {0, 1, 2}] = id_lo, id_hi, fp.
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace ftc::sketch

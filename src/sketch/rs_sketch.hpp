@@ -34,10 +34,11 @@
 
 namespace ftc::sketch {
 
-// Odd power sums S_1, S_3, ..., S_{2k-1} of xs.
+// Odd power sums S_1, S_3, ..., S_{2k-1} of xs, into a reused buffer.
 template <typename F>
-std::vector<F> odd_power_sums(std::span<const F> xs, unsigned k) {
-  std::vector<F> syn(k, F::zero());
+void odd_power_sums_into(std::span<const F> xs, unsigned k,
+                         std::vector<F>& syn) {
+  syn.assign(k, F::zero());
   for (const F& x : xs) {
     const F x2 = x.square();
     F p = x;
@@ -46,7 +47,232 @@ std::vector<F> odd_power_sums(std::span<const F> xs, unsigned k) {
       p *= x2;
     }
   }
+}
+
+// Odd power sums S_1, S_3, ..., S_{2k-1} of xs.
+template <typename F>
+std::vector<F> odd_power_sums(std::span<const F> xs, unsigned k) {
+  std::vector<F> syn;
+  odd_power_sums_into(xs, k, syn);
   return syn;
+}
+
+// Streaming check that the odd power sums of xs equal syn[0 .. w).
+// This is the decoder's fail-stop verification, so it runs on every
+// accepted decode and its constant matters. The walk is striped: stripe
+// s of 4 holds x^(2(4q+s)+1) and advances by x^8, giving 4 * |xs|
+// independent carry-less-multiply chains — throughput-bound, versus the
+// latency-bound single chain per element of odd_power_sums_into. Exits
+// on the first mismatched syndrome. pow_buf/sq_buf are caller-provided
+// scratch (clobbered); syn must not alias them.
+template <typename F>
+bool power_sums_match(std::span<const F> xs, std::span<const F> syn,
+                      unsigned w, std::vector<F>& pow_buf,
+                      std::vector<F>& sq_buf) {
+  const std::size_t d = xs.size();
+  constexpr unsigned kStripes = 4;
+  pow_buf.resize(d * kStripes);
+  sq_buf.resize(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const F x2 = xs[i].square();
+    F p = xs[i];
+    for (unsigned s = 0; s < kStripes; ++s) {
+      pow_buf[s * d + i] = p;  // x^1, x^3, x^5, x^7
+      p *= x2;
+    }
+    sq_buf[i] = x2.square().square();  // the stride: x^8
+  }
+  for (unsigned base = 0; base < w; base += kStripes) {
+    const unsigned lanes = std::min(kStripes, w - base);
+    for (unsigned s = 0; s < lanes; ++s) {
+      F* row = pow_buf.data() + s * d;
+      F acc = F::zero();
+      for (std::size_t i = 0; i < d; ++i) {
+        acc += row[i];
+        row[i] *= sq_buf[i];
+      }
+      if (acc != syn[base + s]) return false;
+    }
+  }
+  return true;
+}
+
+// Reusable scratch for the span-based decoders below. Owning one of these
+// per worker thread (the decoder keeps one in DecoderWorkspace) makes the
+// query-time decode allocation-free after warm-up: the expanded power-sum
+// table, the candidate support and the verification syndromes all live in
+// buffers that are recycled across calls instead of re-allocated per
+// sketch.
+template <typename F>
+struct SketchDecodeScratch {
+  std::vector<F> syn;      // staging: syndromes gathered from raw words
+  std::vector<F> s;        // expanded S_1..S_2k (index 1-based)
+  std::vector<F> support;  // decoded support — the decoders' output
+  std::vector<F> check;    // verification power sums
+};
+
+// Span-based core of RsSketch::decode: attempts to recover the set
+// sketched by `syn` assuming its size is <= t (t <= syn.size()). On
+// success returns true with the sorted support in scratch.support; on
+// failure returns false (fail-stop, never mis-reports a set of size <= k).
+// Allocation-free given a warm scratch, except inside Berlekamp-Massey /
+// root finding whose temporaries are O(t).
+template <typename F>
+bool decode_syndromes(std::span<const F> syn, unsigned t,
+                      SketchDecodeScratch<F>& scratch) {
+  const unsigned kk = static_cast<unsigned>(syn.size());
+  FTC_REQUIRE(t <= kk, "decode threshold exceeds sketch capacity");
+  scratch.support.clear();
+  const auto all_zero = [&syn] {
+    for (const F& x : syn) {
+      if (!x.is_zero()) return false;
+    }
+    return true;
+  };
+  if (t == 0) return all_zero();
+  // Reconstruct S_1..S_2k: odd entries stored, even entries are squares.
+  std::vector<F>& s = scratch.s;
+  s.assign(2 * kk + 1, F::zero());  // s[i] = S_i, index 1-based
+  for (unsigned i = 1; i <= 2 * kk; ++i) {
+    s[i] = (i % 2 == 1) ? syn[(i - 1) / 2] : s[i / 2].square();
+  }
+  const gf::Poly<F> sigma =
+      gf::berlekamp_massey(std::span<const F>(s.data() + 1, 2 * t));
+  const int deg = sigma.degree();
+  if (deg < 0 || static_cast<unsigned>(deg) > t) return false;
+  if (deg == 0) return all_zero();
+  // Cheap consistency filter before the (expensive) root finding: a
+  // correct locator annihilates the whole syndrome sequence, so check
+  // the LFSR recurrence on the syndromes beyond the 2t used by BM.
+  // Wrong-threshold attempts (t < |X|) are rejected here in O(k deg)
+  // instead of surviving to the trace algorithm.
+  for (unsigned i = 2 * t + 1; i <= 2 * kk; ++i) {
+    F acc = s[i];
+    for (int j = 1; j <= deg; ++j) acc += sigma.coeff(j) * s[i - j];
+    if (!acc.is_zero()) return false;
+  }
+  // sigma(z) = prod (1 - x z): its roots are the inverses of the support.
+  const std::vector<F> roots = gf::find_roots(sigma);
+  if (static_cast<int>(roots.size()) != deg) return false;
+  scratch.support.reserve(roots.size());
+  for (const F& r : roots) {
+    if (r.is_zero()) {
+      scratch.support.clear();
+      return false;
+    }
+    scratch.support.push_back(gf::inverse(r));
+  }
+  // Full verification against every stored syndrome (fail-stop). s is
+  // done serving the expansion at this point and doubles as scratch.
+  if (!power_sums_match<F>(scratch.support, syn, kk, scratch.check,
+                           scratch.s)) {
+    scratch.support.clear();
+    return false;
+  }
+  std::sort(scratch.support.begin(), scratch.support.end());
+  return true;
+}
+
+// One field element from its little-endian word representation (the
+// flattened layout shared by edge-label payloads, PreparedFaults rows and
+// AgmSketch cells: F::kWords std::uint64_t words per element).
+template <typename F>
+F element_from_words(const std::uint64_t* w) {
+  if constexpr (F::kWords == 1) {
+    return F(w[0]);
+  } else {
+    return F(w[0], w[1]);
+  }
+}
+
+// Word-lazy windowed adaptive decoder — the query hot path's entry point.
+//
+// `words` is a flattened array of k syndromes (F::kWords words each).
+// Rather than materializing all k field elements and verifying every
+// attempt against the full sketch (O(k) field operations per attempt even
+// for tiny sets), this exploits the prefix property (Proposition 6): the
+// first w syndromes are exactly the w-threshold sketch of the same set,
+// so each doubling attempt at threshold t decodes the w = 4t prefix and
+// verifies against it alone.
+//
+// Fail-stop is preserved EXACTLY: a candidate support S (|S| = d) is
+// accepted only after it also matches the first w* >= (k + d) / 2
+// syndromes. Matching w* odd power sums pins S_1..S_{2w*} (even sums are
+// squares in characteristic 2), so by the BCH minimum-distance argument
+// X != S would need |X Δ S| >= 2w* + 1 > k + d >= |X| + |S| — impossible
+// for any true set X of size <= k. Hence, like the full decoder, a set of
+// size <= k is never mis-reported; sets exceeding capacity fail (false).
+// Cost: a set of size d pays O(d^2) per failed attempt and one O(d * k/2)
+// closure verification, and only ~k/2 of the k elements are ever gathered.
+template <typename F>
+bool decode_sketch_words(const std::uint64_t* words, unsigned k,
+                         SketchDecodeScratch<F>& scratch, bool adaptive) {
+  std::vector<F>& syn = scratch.syn;
+  syn.clear();
+  const auto gather = [&](unsigned upto) {
+    while (syn.size() < upto) {
+      syn.push_back(element_from_words<F>(words + syn.size() * F::kWords));
+    }
+  };
+  if (!adaptive) {
+    // Ablation path (QueryOptions::adaptive = false): the plain full-width
+    // decode, verified against every syndrome.
+    gather(k);
+    return decode_syndromes<F>(syn, k, scratch);
+  }
+  unsigned t = 1;
+  while (true) {
+    const unsigned w = std::min(k, 4 * t);
+    gather(w);
+    // An empty support from a zero window can only be trusted at full
+    // width (a nonzero sketch with a zero w*-prefix means |X| > k): keep
+    // doubling so the t = k round gives the exact full-width answer.
+    if (decode_syndromes<F>(std::span<const F>(syn.data(), w), t, scratch) &&
+        (!scratch.support.empty() || w == k)) {
+      const unsigned d = static_cast<unsigned>(scratch.support.size());
+      const unsigned w_star = std::min(k, std::max(w, (k + d + 1) / 2));
+      if (w_star <= w) return true;  // the attempt window already closes it
+      gather(w_star);
+      if (!scratch.support.empty() &&
+          power_sums_match<F>(scratch.support,
+                              std::span<const F>(syn.data(), w_star), w_star,
+                              scratch.check, scratch.s)) {
+        return true;
+      }
+      // A window-w collision from a set larger than w: keep doubling —
+      // at t = k this becomes the exact full-width decode.
+      scratch.support.clear();
+    }
+    if (t == k) return false;
+    t = std::min(2 * t, k);
+  }
+}
+
+// Doubling search over thresholds (the adaptive decoding of Section 6 /
+// Appendix B), span form: total cost is dominated by the final successful
+// attempt, so a set of size d decodes in ~O(d^2) instead of O(k^2).
+template <typename F>
+bool decode_syndromes_adaptive(std::span<const F> syn,
+                               SketchDecodeScratch<F>& scratch,
+                               unsigned start = 1) {
+  const unsigned kk = static_cast<unsigned>(syn.size());
+  bool nonzero = false;
+  for (const F& x : syn) {
+    if (!x.is_zero()) {
+      nonzero = true;
+      break;
+    }
+  }
+  if (!nonzero) {
+    scratch.support.clear();
+    return true;
+  }
+  unsigned t = std::max(1u, std::min(start, kk));
+  while (true) {
+    if (decode_syndromes<F>(syn, t, scratch)) return true;
+    if (t == kk) return false;
+    t = std::min(2 * t, kk);
+  }
 }
 
 template <typename F>
@@ -94,66 +320,23 @@ class RsSketch {
   // Attempts to recover the sketched set assuming |X| <= t (t <= k). Uses
   // only the first t stored syndromes for locator synthesis but verifies
   // the candidate support against all k stored syndromes. Returns the
-  // sorted support on success.
+  // sorted support on success. Owning convenience over decode_syndromes();
+  // hot paths pass a long-lived SketchDecodeScratch instead.
   std::optional<std::vector<F>> decode(unsigned t) const {
-    FTC_REQUIRE(t <= k(), "decode threshold exceeds sketch capacity");
-    if (t == 0) {
-      if (is_zero()) return std::vector<F>{};
-      return std::nullopt;
-    }
-    // Reconstruct S_1..S_2k: odd entries stored, even entries are squares.
-    const unsigned kk = k();
-    std::vector<F> s(2 * kk + 1, F::zero());  // s[i] = S_i, index 1-based
-    for (unsigned i = 1; i <= 2 * kk; ++i) {
-      s[i] = (i % 2 == 1) ? syn_[(i - 1) / 2] : s[i / 2].square();
-    }
-    const gf::Poly<F> sigma =
-        gf::berlekamp_massey(std::span<const F>(s.data() + 1, 2 * t));
-    const int deg = sigma.degree();
-    if (deg < 0 || static_cast<unsigned>(deg) > t) return std::nullopt;
-    if (deg == 0) {
-      if (is_zero()) return std::vector<F>{};
-      return std::nullopt;
-    }
-    // Cheap consistency filter before the (expensive) root finding: a
-    // correct locator annihilates the whole syndrome sequence, so check
-    // the LFSR recurrence on the syndromes beyond the 2t used by BM.
-    // Wrong-threshold attempts (t < |X|) are rejected here in O(k deg)
-    // instead of surviving to the trace algorithm.
-    for (unsigned i = 2 * t + 1; i <= 2 * kk; ++i) {
-      F acc = s[i];
-      for (int j = 1; j <= deg; ++j) acc += sigma.coeff(j) * s[i - j];
-      if (!acc.is_zero()) return std::nullopt;
-    }
-    // sigma(z) = prod (1 - x z): its roots are the inverses of the support.
-    std::vector<F> roots = gf::find_roots(sigma);
-    if (static_cast<int>(roots.size()) != deg) return std::nullopt;
-    std::vector<F> support;
-    support.reserve(roots.size());
-    for (const F& r : roots) {
-      if (r.is_zero()) return std::nullopt;
-      support.push_back(gf::inverse(r));
-    }
-    // Full verification against every stored syndrome (fail-stop).
-    const std::vector<F> check = odd_power_sums<F>(support, k());
-    for (unsigned j = 0; j < k(); ++j) {
-      if (check[j] != syn_[j]) return std::nullopt;
-    }
-    std::sort(support.begin(), support.end());
-    return support;
+    SketchDecodeScratch<F> scratch;
+    if (!decode_syndromes<F>(syn_, t, scratch)) return std::nullopt;
+    return std::move(scratch.support);
   }
 
   // Doubling search over thresholds (the adaptive decoding of Section 6 /
   // Appendix B): total cost is dominated by the final successful attempt,
   // so a set of size d decodes in ~O(d^2) instead of O(k^2).
   std::optional<std::vector<F>> decode_adaptive(unsigned start = 1) const {
-    if (is_zero()) return std::vector<F>{};
-    unsigned t = std::max(1u, std::min(start, k()));
-    while (true) {
-      if (auto r = decode(t)) return r;
-      if (t == k()) return std::nullopt;
-      t = std::min(2 * t, k());
+    SketchDecodeScratch<F> scratch;
+    if (!decode_syndromes_adaptive<F>(syn_, scratch, start)) {
+      return std::nullopt;
     }
+    return std::move(scratch.support);
   }
 
   std::size_t size_bits() const { return syn_.size() * F::kBits; }

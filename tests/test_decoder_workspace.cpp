@@ -1,0 +1,168 @@
+// Regression traps for the copy-on-write DecoderWorkspace
+// (core/ftc_query.cpp): one workspace serving interleaved queries across
+// multiple PreparedFaults objects — different fault sets, different
+// schemes, and both field widths — must answer exactly like a fresh
+// workspace (and like BFS ground truth). If the epoch/copy-on-write
+// logic ever reads a stale or foreign materialized row, these
+// interleavings catch it.
+//
+// Also pins the "same decode decisions, just cheaper" contract:
+// QueryStats (fragments / outdetect_calls / merges / levels_scanned) on a
+// seeded corpus must be identical between a long-lived reused workspace
+// and a throwaway fresh one, for every QueryOptions combination.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ftc_query.hpp"
+#include "core/ftc_scheme.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+
+namespace ftc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+struct Session {
+  Graph g;
+  FtcScheme scheme;
+  std::vector<EdgeId> fault_ids;
+  PreparedFaults prepared;
+
+  Session(Graph graph, const FtcConfig& cfg, std::vector<EdgeId> faults)
+      : g(std::move(graph)),
+        scheme(FtcScheme::build(g, cfg)),
+        fault_ids(std::move(faults)),
+        prepared(PreparedFaults::prepare(labels())) {}
+
+  std::vector<EdgeLabel> labels() const {
+    std::vector<EdgeLabel> out;
+    out.reserve(fault_ids.size());
+    for (const EdgeId e : fault_ids) out.push_back(scheme.edge_label(e));
+    return out;
+  }
+
+  bool query(VertexId s, VertexId t, DecoderWorkspace& ws,
+             const QueryOptions& options = {},
+             QueryStats* stats = nullptr) const {
+    return FtcDecoder::connected(scheme.vertex_label(s),
+                                 scheme.vertex_label(t), prepared, ws,
+                                 options, stats);
+  }
+
+  bool ground_truth(VertexId s, VertexId t) const {
+    return graph::connected_avoiding(g, s, t, fault_ids);
+  }
+};
+
+std::vector<EdgeId> random_faults(SplitMix64& rng, const Graph& g,
+                                  unsigned count) {
+  std::vector<EdgeId> faults;
+  for (unsigned i = 0; i < count; ++i) {
+    faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+  }
+  return faults;
+}
+
+FtcConfig config_for(unsigned f, FieldKind field = FieldKind::kAuto) {
+  FtcConfig cfg;
+  cfg.f = f;
+  cfg.k_scale = 2.0;
+  cfg.field = field;
+  return cfg;
+}
+
+// One workspace, four prepared fault sets (two schemes on different
+// graphs x two fault sets each, one scheme forced to GF(2^128)),
+// round-robin interleaved. Every answer must match a fresh workspace and
+// the BFS ground truth.
+TEST(DecoderWorkspace, InterleavesAcrossFaultSetsSchemesAndFields) {
+  SplitMix64 rng(71);
+  const Graph g64 = graph::random_connected(48, 120, 5);
+  const Graph g128 = graph::random_connected(40, 100, 6);
+
+  std::vector<Session> sessions;
+  sessions.emplace_back(g64, config_for(5), random_faults(rng, g64, 5));
+  sessions.emplace_back(g64, config_for(3), random_faults(rng, g64, 2));
+  sessions.emplace_back(g128, config_for(4, FieldKind::kGF128),
+                        random_faults(rng, g128, 4));
+  sessions.emplace_back(g128, config_for(4, FieldKind::kGF128),
+                        random_faults(rng, g128, 1));
+  ASSERT_EQ(sessions[0].prepared.params().field_bits, 64u);
+  ASSERT_EQ(sessions[2].prepared.params().field_bits, 128u);
+
+  DecoderWorkspace shared;
+  for (int round = 0; round < 40; ++round) {
+    const Session& sess = sessions[round % sessions.size()];
+    const auto s = static_cast<VertexId>(rng.next_below(sess.g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.next_below(sess.g.num_vertices()));
+    const bool expected = sess.ground_truth(s, t);
+    EXPECT_EQ(sess.query(s, t, shared), expected)
+        << "shared workspace, round " << round << " s=" << s << " t=" << t;
+    DecoderWorkspace fresh;
+    EXPECT_EQ(sess.query(s, t, fresh), expected)
+        << "fresh workspace, round " << round << " s=" << s << " t=" << t;
+  }
+}
+
+// Shrinking then regrowing the fragment count through one workspace: a
+// large fault set materializes many rows; a following small fault set
+// must not see them, nor the large one the small one's afterwards.
+TEST(DecoderWorkspace, LargeSmallLargeFaultSetCycles) {
+  SplitMix64 rng(91);
+  const Graph g = graph::random_connected(64, 170, 9);
+  const Session big(g, config_for(12), random_faults(rng, g, 12));
+  const Session small(g, config_for(12), random_faults(rng, g, 1));
+
+  DecoderWorkspace shared;
+  for (int round = 0; round < 30; ++round) {
+    const Session& sess = (round % 3 == 1) ? small : big;
+    const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    EXPECT_EQ(sess.query(s, t, shared), sess.ground_truth(s, t))
+        << "round " << round << " s=" << s << " t=" << t;
+  }
+}
+
+// Decode decisions are a function of (labels, fault set, options) only:
+// workspace reuse must not change QueryStats, just the cost of producing
+// them. Runs the full option matrix on a seeded corpus.
+TEST(DecoderWorkspace, QueryStatsUnchangedByWorkspaceReuse) {
+  SplitMix64 rng(123);
+  const Graph g = graph::random_connected(56, 140, 13);
+  for (const unsigned f : {1u, 3u, 6u}) {
+    const Session sess(g, config_for(f), random_faults(rng, g, f));
+    for (const bool adaptive : {true, false}) {
+      for (const bool smallest_cut : {true, false}) {
+        const QueryOptions options{adaptive, smallest_cut};
+        DecoderWorkspace reused;
+        for (int i = 0; i < 25; ++i) {
+          const auto s =
+              static_cast<VertexId>(rng.next_below(g.num_vertices()));
+          const auto t =
+              static_cast<VertexId>(rng.next_below(g.num_vertices()));
+          QueryStats warm{};
+          const bool got = sess.query(s, t, reused, options, &warm);
+          DecoderWorkspace fresh;
+          QueryStats cold{};
+          const bool expected = sess.query(s, t, fresh, options, &cold);
+          ASSERT_EQ(got, expected)
+              << "f=" << f << " adaptive=" << adaptive
+              << " smallest_cut=" << smallest_cut << " i=" << i;
+          EXPECT_EQ(warm.fragments, cold.fragments);
+          EXPECT_EQ(warm.outdetect_calls, cold.outdetect_calls);
+          EXPECT_EQ(warm.merges, cold.merges);
+          EXPECT_EQ(warm.levels_scanned, cold.levels_scanned);
+          EXPECT_EQ(got, sess.ground_truth(s, t));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftc::core
