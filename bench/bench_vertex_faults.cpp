@@ -1,0 +1,211 @@
+// Vertex-fault serving cost: what the Delta * f incident-edge reduction
+// (Section 1.4, FaultSpec vertex faults) actually costs on the serving
+// path, per backend.
+//
+// For each (backend, |F_v|): delete |F_v| random vertices, open a
+// BatchQueryEngine session on the FaultSpec and measure
+//   reduced  — the deduplicated fault-edge count after the reduction
+//              (the Delta * f label blow-up the paper's open-problems
+//              section wants to beat);
+//   prep     — session open time (reduction + label materialization);
+//   single   — session single-query latency (reused workspace);
+//   batch    — small-batch parallel throughput.
+// Answers are spot-checked against the vertex-avoiding BFS ground truth.
+// The scheme is built with capacity f = reduced + margin so the sketch
+// threshold covers the inflated fault set — the build-time price of
+// serving vertex faults through an edge-fault labeling.
+//
+// Usage: bench_vertex_faults [backend|all] [--smoke]
+// Output: a human table, one `JSON [...]` line, and
+// BENCH_vertex_faults.json (checked-in baseline at the repo root;
+// regenerate with scripts/bench_all.sh).
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/batch_engine.hpp"
+
+namespace ftc::bench {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+constexpr std::size_t kBatchSize = 8;
+constexpr unsigned kBatchThreads = 4;
+
+struct Sizes {
+  VertexId n = 256;
+  std::size_t num_queries = 500;
+  std::size_t batch_reps = 100;
+  std::size_t checked = 32;
+};
+
+core::SchemeConfig bench_config(core::BackendKind backend, unsigned f) {
+  core::SchemeConfig cfg;
+  cfg.backend = backend;
+  cfg.set_f(f);
+  cfg.ftc.k_scale = 2.0;
+  cfg.cycle.scale = 3.0;
+  cfg.agm.scale = 1.5;
+  return cfg;
+}
+
+// dp21-agm labels grow ~quadratically in the capacity f; vertex faults
+// inflate f by Delta, so cap the AGM column early. Logged: no silent caps.
+bool feasible(core::BackendKind backend, unsigned f_build) {
+  return backend != core::BackendKind::kDp21Agm || f_build <= 64;
+}
+
+void run_case(core::BackendKind backend, const Graph& g, unsigned fv,
+              const Sizes& sz, Table& table, JsonRecords& json) {
+  SplitMix64 rng(0xfau * (fv + 1) + static_cast<unsigned>(backend));
+  std::vector<VertexId> vertex_faults;
+  while (vertex_faults.size() < fv) {
+    const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    if (std::find(vertex_faults.begin(), vertex_faults.end(), v) ==
+        vertex_faults.end()) {
+      vertex_faults.push_back(v);
+    }
+  }
+  // The reduction's size, to pick a sound build capacity.
+  std::vector<EdgeId> reduced;
+  for (const VertexId v : vertex_faults) {
+    const auto inc = g.incident_edges(v);
+    reduced.insert(reduced.end(), inc.begin(), inc.end());
+  }
+  std::sort(reduced.begin(), reduced.end());
+  reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
+  const unsigned f_build =
+      std::max(4u, static_cast<unsigned>(reduced.size()) + 4);
+  if (!feasible(backend, f_build)) {
+    std::printf("skipping %s |Fv|=%u (f=%u): label memory would exceed the "
+                "bench budget\n",
+                core::backend_name(backend), fv, f_build);
+    return;
+  }
+
+  Timer build_timer;
+  const auto scheme = core::make_scheme(g, bench_config(backend, f_build));
+  const double build_ms = build_timer.millis();
+
+  const core::FaultSpec spec = core::FaultSpec::vertices(vertex_faults);
+  Timer prep_timer;
+  core::BatchQueryEngine engine(*scheme, spec);
+  const double prep_ms = prep_timer.millis();
+
+  std::vector<core::BatchQueryEngine::Query> queries;
+  queries.reserve(sz.num_queries);
+  for (std::size_t i = 0; i < sz.num_queries; ++i) {
+    queries.push_back(
+        {static_cast<VertexId>(rng.next_below(g.num_vertices())),
+         static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+  }
+
+  // Ground truth on a prefix, plus workspace warm-up.
+  const std::size_t checked = std::min(sz.checked, queries.size());
+  for (std::size_t i = 0; i < checked; ++i) {
+    const bool got = engine.connected(queries[i].s, queries[i].t);
+    const bool expected = graph::connected_avoiding(
+        g, queries[i].s, queries[i].t, {}, vertex_faults);
+    FTC_REQUIRE(got == expected,
+                "vertex-fault decoder disagrees with BFS ground truth");
+  }
+
+  Timer single_timer;
+  std::size_t answered = 0;
+  for (const auto& q : queries) {
+    (void)engine.connected(q.s, q.t);
+    ++answered;
+    if (single_timer.seconds() > 2.0 && answered >= 16) break;  // time box
+  }
+  const double single_us = single_timer.micros() / answered;
+
+  const std::vector<core::BatchQueryEngine::Query> batch(
+      queries.begin(),
+      queries.begin() + std::min(kBatchSize, queries.size()));
+  (void)engine.run_parallel(batch, kBatchThreads);  // warm the pool
+  Timer batch_timer;
+  std::size_t batches = 0;
+  for (std::size_t r = 0; r < sz.batch_reps; ++r) {
+    (void)engine.run_parallel(batch, kBatchThreads);
+    ++batches;
+    if (batch_timer.seconds() > 2.0 && batches >= 8) break;  // time box
+  }
+  const double batch_qps = static_cast<double>(batches * batch.size()) /
+                           batch_timer.seconds();
+
+  table.add_row({core::backend_name(backend), std::to_string(fv),
+                 std::to_string(engine.num_faults()),
+                 std::to_string(f_build), fmt(prep_ms, "%.2f"),
+                 fmt(single_us, "%.2f"), fmt(batch_qps, "%.0f"),
+                 fmt(build_ms, "%.0f")});
+  json.add();
+  json.field("backend", core::backend_name(backend));
+  json.field("vertex_faults", fv);
+  json.field("reduced_edge_faults", engine.num_faults());
+  json.field("f", f_build);
+  json.field("n", g.num_vertices());
+  json.field("m", g.num_edges());
+  json.field("prepare_ms", prep_ms);
+  json.field("single_query_us", single_us);
+  json.field("batch_size", batch.size());
+  json.field("batch_threads", kBatchThreads);
+  json.field("batch_qps", batch_qps);
+  json.field("build_ms", build_ms);
+  json.field("checked_queries", checked);
+}
+
+}  // namespace
+}  // namespace ftc::bench
+
+int main(int argc, char** argv) {
+  using namespace ftc;
+
+  bool smoke = false;
+  std::string backend_arg = "all";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      backend_arg = arg;
+    }
+  }
+
+  bench::Sizes sz;
+  std::vector<unsigned> fv_sizes{1, 4, 16};
+  if (smoke) {
+    sz = {96, 48, 8, 16};
+    fv_sizes = {1, 2};
+  }
+  const graph::EdgeId m = 3 * sz.n;
+  const graph::Graph g = graph::random_connected(sz.n, m, 23);
+  std::printf("bench_vertex_faults: n=%u m=%u, %zu queries, batch=%zu x %u "
+              "threads%s\n",
+              sz.n, m, sz.num_queries, bench::kBatchSize,
+              bench::kBatchThreads, smoke ? " [smoke]" : "");
+
+  bench::Table table({"backend", "|Fv|", "reduced", "f", "prep ms",
+                      "single us", "batch q/s", "build ms"});
+  bench::JsonRecords json;
+  const auto run_backend = [&](core::BackendKind b) {
+    for (const unsigned fv : fv_sizes) {
+      bench::run_case(b, g, fv, sz, table, json);
+    }
+  };
+  if (backend_arg == "all") {
+    for (const core::BackendKind b : core::kAllBackends) run_backend(b);
+  } else {
+    run_backend(core::parse_backend(backend_arg));
+  }
+  table.print();
+  json.print("JSON");
+  std::ofstream out("BENCH_vertex_faults.json", std::ios::trunc);
+  out << json.dump() << "\n";
+  std::printf("wrote BENCH_vertex_faults.json\n");
+  return 0;
+}

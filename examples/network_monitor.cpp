@@ -79,7 +79,7 @@ int monitor(const Fabric& fabric, core::BackendKind backend) {
   // session on the advertised fault set and runs host-pair reachability
   // queries through it.
   SplitMix64 rng(7);
-  core::BatchQueryEngine engine(*scheme, {});
+  core::BatchQueryEngine engine(*scheme, core::FaultSpec{});
   int epochs = 0, queries = 0, disconnections = 0, mismatches = 0;
   for (int epoch = 0; epoch < 200; ++epoch) {
     ++epochs;

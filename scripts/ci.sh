@@ -12,9 +12,15 @@
 #                             # workspace suites only (adversarial inputs
 #                             # and the copy-on-write decoder state are
 #                             # what most need the sanitizers)
-#   scripts/ci.sh bench-smoke # Release build of bench_decoder_hotpath,
-#                             # tiny-size run, JSON output validated —
-#                             # keeps bench binaries from silently rotting
+#   scripts/ci.sh store-v2    # format-v2 focused asan leg: v1 fixture
+#                             # load + v2 round-trip + vertex-fault
+#                             # parity (fault-model suites) plus an
+#                             # end-to-end ftc_store build/inspect/query
+#                             # exercise with --vertex-faults
+#   scripts/ci.sh bench-smoke # Release build of bench_decoder_hotpath +
+#                             # bench_vertex_faults, tiny-size runs, JSON
+#                             # outputs validated — keeps bench binaries
+#                             # from silently rotting
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,29 +41,78 @@ if [ "${1:-}" = "store" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "store-v2" ]; then
+  echo "=== store format-v2 / fault-model leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_label_store test_stress_differential test_fault_spec \
+    ftc_store
+  # v1 fixture compat, v2 adjacency round-trip + adversarial corpus, and
+  # the vertex/mixed-fault differential sweeps, all under asan.
+  ctest --preset asan \
+    -R 'test_label_store|test_stress_differential|test_fault_spec' \
+    -j "$jobs"
+  # End-to-end CLI exercise: build a v2 store, inspect it, serve a
+  # vertex-fault query, and confirm the v1 fixture still loads but
+  # refuses vertex faults with the typed capability error (exit 2).
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  build-asan/ftc_store build --out "$tmp/v2.ftcs" --family grid \
+    --rows 6 --cols 6 --backend core-ftc --f 8 >/dev/null
+  build-asan/ftc_store inspect "$tmp/v2.ftcs" | grep -q 'format version     2'
+  build-asan/ftc_store inspect "$tmp/v2.ftcs" | grep -q 'supported (adjacency'
+  out="$(build-asan/ftc_store query "$tmp/v2.ftcs" --faults 1 \
+    --vertex-faults 7 --pairs 0:35,7:7)"
+  # Anchored: 'connected' is a substring of 'disconnected'. Deleting one
+  # interior vertex (+ one edge) leaves the 6x6 grid connected, and a
+  # deleted vertex stays connected to itself.
+  printf '%s\n' "$out" | grep -qx '0 35 connected'
+  printf '%s\n' "$out" | grep -qx '7 7 connected'
+  build-asan/ftc_store inspect tests/data/v1_core_ftc.ftcs \
+    | grep -q 'format version     1'
+  if build-asan/ftc_store query tests/data/v1_core_ftc.ftcs \
+       --vertex-faults 1 --pairs 0:2 2>/dev/null; then
+    echo "ci: v1 store unexpectedly served a vertex-fault query" >&2
+    exit 1
+  fi
+  echo "ci: store-v2 leg green (fixture compat + v2 round-trip + CLI)"
+  exit 0
+fi
+
 if [ "${1:-}" = "bench-smoke" ]; then
   echo "=== bench smoke leg (release) ==="
   cmake --preset release
-  cmake --build --preset release -j "$jobs" --target bench_decoder_hotpath
+  cmake --build --preset release -j "$jobs" \
+    --target bench_decoder_hotpath bench_vertex_faults
   # Run inside build/ so the smoke-size JSON cannot clobber the
   # checked-in repo-root baseline (regenerate that via bench_all.sh).
   (cd build && ./bench_decoder_hotpath --smoke)
+  (cd build && ./bench_vertex_faults --smoke)
   if command -v python3 >/dev/null; then
-    python3 - build/BENCH_decoder_hotpath.json <<'EOF'
+    python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json <<'EOF'
 import json, sys
-with open(sys.argv[1]) as fh:
-    records = json.load(fh)
-assert isinstance(records, list) and records, "no bench records"
-required = {"backend", "f", "single_query_us", "batch_qps"}
-for r in records:
-    missing = required - r.keys()
-    assert not missing, f"record missing {missing}: {r}"
-print(f"bench-smoke: {len(records)} records, JSON well-formed")
+required = {
+    "BENCH_decoder_hotpath.json": {"backend", "f", "single_query_us",
+                                   "batch_qps"},
+    "BENCH_vertex_faults.json": {"backend", "vertex_faults",
+                                 "reduced_edge_faults", "single_query_us",
+                                 "batch_qps"},
+}
+for path in sys.argv[1:]:
+    with open(path) as fh:
+        records = json.load(fh)
+    assert isinstance(records, list) and records, f"no bench records: {path}"
+    need = required[path.split("/")[-1]]
+    for r in records:
+        missing = need - r.keys()
+        assert not missing, f"{path}: record missing {missing}: {r}"
+    print(f"bench-smoke: {path}: {len(records)} records, JSON well-formed")
 EOF
   else
-    # Degraded check without python3: the file must exist and at least
-    # look like a non-empty JSON array of objects.
+    # Degraded check without python3: the files must exist and at least
+    # look like non-empty JSON arrays of objects.
     grep -q '^\[{.*}\]$' build/BENCH_decoder_hotpath.json
+    grep -q '^\[{.*}\]$' build/BENCH_vertex_faults.json
     echo "bench-smoke: JSON shape check passed (python3 unavailable)"
   fi
   echo "ci: bench smoke green"

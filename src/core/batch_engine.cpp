@@ -106,25 +106,40 @@ struct BatchQueryEngine::Pool {
 };
 
 BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
-                                   std::span<const graph::EdgeId> edge_faults,
+                                   const FaultSpec& spec,
                                    const QueryOptions& options)
     : scheme_(scheme),
       options_(options),
-      faults_(scheme.prepare_faults(edge_faults)) {}
+      faults_(scheme.prepare_faults(spec)) {}
 
 BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
-                                   std::span<const graph::EdgeId> edge_faults,
+                                   const FaultSpec& spec,
                                    const QueryOptions& options)
     : owned_(require_scheme(std::move(scheme))),
       scheme_(*owned_),
       options_(options),
-      faults_(scheme_.prepare_faults(edge_faults)) {}
+      faults_(scheme_.prepare_faults(spec)) {}
+
+BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
+                                   std::span<const graph::EdgeId> edge_faults,
+                                   const QueryOptions& options)
+    : BatchQueryEngine(scheme, FaultSpec::edges(edge_faults), options) {}
+
+BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
+                                   std::span<const graph::EdgeId> edge_faults,
+                                   const QueryOptions& options)
+    : BatchQueryEngine(std::move(scheme), FaultSpec::edges(edge_faults),
+                       options) {}
 
 BatchQueryEngine::~BatchQueryEngine() = default;
 
+void BatchQueryEngine::reset_faults(const FaultSpec& spec) {
+  faults_ = scheme_.prepare_faults(spec);
+}
+
 void BatchQueryEngine::reset_faults(
     std::span<const graph::EdgeId> edge_faults) {
-  faults_ = scheme_.prepare_faults(edge_faults);
+  reset_faults(FaultSpec::edges(edge_faults));
 }
 
 ConnectivityScheme::Workspace& BatchQueryEngine::workspace(std::size_t i) {

@@ -36,16 +36,24 @@ class BatchQueryEngine {
     graph::VertexId t = 0;
   };
 
-  // Opens a session for one fault set. The scheme must outlive the
-  // engine. `options` applies to every query of the session.
-  BatchQueryEngine(const ConnectivityScheme& scheme,
-                   std::span<const graph::EdgeId> edge_faults,
+  // Opens a session for one fault set — any mix of edge and vertex
+  // faults (vertex faults need a scheme with adjacency; CapabilityError
+  // otherwise). The scheme must outlive the engine. `options` applies to
+  // every query of the session.
+  BatchQueryEngine(const ConnectivityScheme& scheme, const FaultSpec& spec,
                    const QueryOptions& options = {});
 
   // Owning variant: the engine takes the scheme (typically one loaded
   // from a label store, see label_store.hpp) and keeps it alive for the
   // session — a serving session spun up directly from a store file:
-  //   BatchQueryEngine session(load_scheme("labels.ftcs"), faults);
+  //   BatchQueryEngine session(load_scheme("labels.ftcs"), spec);
+  BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
+                   const FaultSpec& spec, const QueryOptions& options = {});
+
+  // Deprecated edge-only shims, kept one release: forward to FaultSpec.
+  BatchQueryEngine(const ConnectivityScheme& scheme,
+                   std::span<const graph::EdgeId> edge_faults,
+                   const QueryOptions& options = {});
   BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
                    std::span<const graph::EdgeId> edge_faults,
                    const QueryOptions& options = {});
@@ -55,6 +63,8 @@ class BatchQueryEngine {
 
   // Replaces the session's fault set; cached workspaces and the worker
   // pool are kept.
+  void reset_faults(const FaultSpec& spec);
+  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
   void reset_faults(std::span<const graph::EdgeId> edge_faults);
 
   // Single query on the calling thread, reusing the session workspace.

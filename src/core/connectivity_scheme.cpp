@@ -5,77 +5,121 @@
 
 #include "core/ftc_scheme.hpp"
 #include "core/label_store.hpp"
+#include "core/scheme_adapters.hpp"
 
 namespace ftc::core {
 
-std::vector<graph::EdgeId> canonicalize_faults(
-    std::span<const graph::EdgeId> edge_faults, graph::EdgeId num_edges) {
-  std::vector<graph::EdgeId> faults(edge_faults.begin(), edge_faults.end());
-  for (const graph::EdgeId e : faults) {
-    FTC_REQUIRE(e < num_edges, "fault edge out of range");
+// ------------------------------------------------------------------
+// Base-class fault model: every public entry point funnels through here,
+// so validation, the vertex -> incident-edges reduction and the
+// endpoint-deletion rule are identical across all backends and serving
+// paths (in-memory, store-served, batch engine, oracle, CLI).
+
+std::unique_ptr<ConnectivityScheme::FaultSet>
+ConnectivityScheme::prepare_faults(const FaultSpec& spec) const {
+  const graph::EdgeId m = num_edges();
+  const graph::VertexId n = num_vertices();
+  for (const graph::EdgeId e : spec.edge_faults()) {
+    FTC_REQUIRE(e < m, "fault edge out of range");
   }
-  std::sort(faults.begin(), faults.end());
-  faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
-  return faults;
+  for (const graph::VertexId v : spec.vertex_faults()) {
+    FTC_REQUIRE(v < n, "fault vertex out of range");
+  }
+
+  std::vector<graph::EdgeId> edges(spec.edge_faults().begin(),
+                                   spec.edge_faults().end());
+  if (spec.has_vertex_faults()) {
+    const AdjacencyProvider* adj = adjacency();
+    if (adj == nullptr) {
+      throw CapabilityError(
+          "vertex faults need adjacency, which this scheme does not carry "
+          "(e.g. it was loaded from a format-v1 label store; rebuild or "
+          "re-save as format v2 with the adjacency side-table)");
+    }
+    // The Section 1.4 reduction: a faulty vertex becomes its incident
+    // edges — Delta * f labels in the worst case.
+    for (const graph::VertexId v : spec.vertex_faults()) {
+      adj->append_incident(v, edges);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  auto fault_set = prepare_edge_faults(edges);
+  FTC_CHECK(fault_set != nullptr, "backend returned a null fault set");
+  fault_set->vertex_faults_.assign(spec.vertex_faults().begin(),
+                                   spec.vertex_faults().end());
+  return fault_set;
+}
+
+bool ConnectivityScheme::query(graph::VertexId s, graph::VertexId t,
+                               const FaultSet& faults, Workspace& workspace,
+                               const QueryOptions& options) const {
+  FTC_REQUIRE(s < num_vertices() && t < num_vertices(),
+              "query vertex out of range");
+  // A vertex is connected to itself even when deleted; a deleted
+  // endpoint is disconnected from everything else.
+  if (s == t) return true;
+  const auto deleted = [&](graph::VertexId v) {
+    const auto vf = faults.vertex_faults();
+    return std::binary_search(vf.begin(), vf.end(), v);
+  };
+  if (deleted(s) || deleted(t)) return false;
+  return query_edges(s, t, faults, workspace, options);
+}
+
+bool ConnectivityScheme::connected(graph::VertexId s, graph::VertexId t,
+                                   const FaultSpec& spec,
+                                   const QueryOptions& options) const {
+  const auto faults = prepare_faults(spec);
+  const auto workspace = make_workspace();
+  return query(s, t, *faults, *workspace, options);
 }
 
 namespace {
 
-// Canonicalize the fault set, then fetch each edge's label from the
-// wrapped scheme — the materialization step every adapter shares.
+// Fetch each (already canonicalized) fault edge's label from the wrapped
+// scheme — the materialization step every adapter shares.
 template <typename Scheme>
 auto materialize_labels(const Scheme& scheme,
-                        std::span<const graph::EdgeId> edge_faults,
-                        graph::EdgeId num_edges) {
-  const auto faults = canonicalize_faults(edge_faults, num_edges);
+                        std::span<const graph::EdgeId> edge_faults) {
   std::vector<decltype(scheme.edge_label(graph::EdgeId{}))> labels;
-  labels.reserve(faults.size());
-  for (const graph::EdgeId e : faults) labels.push_back(scheme.edge_label(e));
+  labels.reserve(edge_faults.size());
+  for (const graph::EdgeId e : edge_faults) {
+    labels.push_back(scheme.edge_label(e));
+  }
   return labels;
 }
 
-class EmptyWorkspace final : public ConnectivityScheme::Workspace {};
+using detail::BackendWorkspace;
+using detail::EmptyWorkspace;
+using detail::PreparedFaultSet;
+using detail::checked_cast;
 
-// query() is the hot path: the fault-set/workspace types are fixed when
-// prepare_faults()/make_workspace() hand them out, so downcast statically
-// and keep the RTTI check as a debug-only guard against mixing backends.
-template <typename T, typename U>
-T& checked_cast(U& obj, const char* what) {
-#ifndef NDEBUG
-  FTC_REQUIRE(dynamic_cast<std::remove_reference_t<T>*>(&obj) != nullptr,
-              what);
-#else
-  (void)what;
-#endif
-  return static_cast<T&>(obj);
-}
+using CoreFaultSet = PreparedFaultSet<PreparedFaults>;
+using CoreWorkspace = BackendWorkspace<DecoderWorkspace>;
+using CycleFaultSet = PreparedFaultSet<dp21::CycleSpaceFtc::Prepared>;
+using AgmFaultSet = PreparedFaultSet<dp21::AgmFtc::Prepared>;
+using AgmWorkspace = BackendWorkspace<dp21::AgmFtc::Workspace>;
+
+// In-memory backends share the graph-derived incidence lists (the store
+// persists them as the format-v2 adjacency section).
+class InMemoryBackendBase : public ConnectivityScheme {
+ public:
+  explicit InMemoryBackendBase(const graph::Graph& g) : adjacency_(g) {}
+
+  const AdjacencyProvider* adjacency() const override { return &adjacency_; }
+
+ private:
+  VectorAdjacency adjacency_;
+};
 
 // ---------------------------------------------------------------- core
 
-class CoreFaultSet final : public ConnectivityScheme::FaultSet {
- public:
-  explicit CoreFaultSet(PreparedFaults prepared)
-      : prepared_(std::move(prepared)) {}
-
-  std::size_t num_faults() const override { return prepared_.num_faults(); }
-  const PreparedFaults& prepared() const { return prepared_; }
-
- private:
-  PreparedFaults prepared_;
-};
-
-class CoreWorkspace final : public ConnectivityScheme::Workspace {
- public:
-  DecoderWorkspace& decoder() { return decoder_; }
-
- private:
-  DecoderWorkspace decoder_;
-};
-
-class CoreFtcBackend final : public ConnectivityScheme {
+class CoreFtcBackend final : public InMemoryBackendBase {
  public:
   CoreFtcBackend(const graph::Graph& g, const FtcConfig& config)
-      : scheme_(FtcScheme::build(g, config)) {}
+      : InMemoryBackendBase(g), scheme_(FtcScheme::build(g, config)) {}
 
   BackendKind backend() const override { return BackendKind::kCoreFtc; }
   graph::VertexId num_vertices() const override {
@@ -92,30 +136,13 @@ class CoreFtcBackend final : public ConnectivityScheme {
     return scheme_.total_label_bits();
   }
 
-  std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const graph::EdgeId> edge_faults) const override {
-    const auto labels = materialize_labels(scheme_, edge_faults, num_edges());
-    return std::make_unique<CoreFaultSet>(PreparedFaults::prepare(labels));
-  }
-
   std::unique_ptr<Workspace> make_workspace() const override {
     return std::make_unique<CoreWorkspace>();
   }
 
-  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
-             Workspace& workspace,
-             const QueryOptions& options) const override {
-    const auto& fs = checked_cast<const CoreFaultSet&>(
-        faults, "fault set from a different backend");
-    auto& ws = checked_cast<CoreWorkspace&>(
-        workspace, "workspace from a different backend");
-    return FtcDecoder::connected(scheme_.vertex_label(s),
-                                 scheme_.vertex_label(t), fs.prepared(),
-                                 ws.decoder(), options);
-  }
-
   void serialize_params(store::ByteWriter& out) const override {
-    store::encode_core_params(scheme_.params(), out);
+    store::encode_core_params(scheme_.params(), scheme_.level_populations(),
+                              out);
   }
   void serialize_vertex_label(graph::VertexId v,
                               store::ByteWriter& out) const override {
@@ -126,28 +153,39 @@ class CoreFtcBackend final : public ConnectivityScheme {
     store::encode_core_edge(scheme_.edge_label(e), out);
   }
 
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const graph::EdgeId> edge_faults) const override {
+    const auto labels = materialize_labels(scheme_, edge_faults);
+    auto prepared = PreparedFaults::prepare(labels, scheme_.level_populations());
+    const std::size_t nf = prepared.num_faults();
+    return std::make_unique<CoreFaultSet>(std::move(prepared), nf);
+  }
+
+  bool query_edges(graph::VertexId s, graph::VertexId t,
+                   const FaultSet& faults, Workspace& workspace,
+                   const QueryOptions& options) const override {
+    const auto& fs = checked_cast<const CoreFaultSet&>(
+        faults, "fault set from a different backend");
+    auto& ws = checked_cast<CoreWorkspace&>(
+        workspace, "workspace from a different backend");
+    return FtcDecoder::connected(scheme_.vertex_label(s),
+                                 scheme_.vertex_label(t), fs.prepared(),
+                                 ws.inner(), options);
+  }
+
  private:
   FtcScheme scheme_;
 };
 
 // ----------------------------------------------------- dp21 cycle-space
 
-class CycleFaultSet final : public ConnectivityScheme::FaultSet {
- public:
-  explicit CycleFaultSet(std::vector<dp21::CsEdgeLabel> labels)
-      : labels_(std::move(labels)) {}
-  std::size_t num_faults() const override { return labels_.size(); }
-  std::span<const dp21::CsEdgeLabel> labels() const { return labels_; }
-
- private:
-  std::vector<dp21::CsEdgeLabel> labels_;
-};
-
-class CycleSpaceBackend final : public ConnectivityScheme {
+class CycleSpaceBackend final : public InMemoryBackendBase {
  public:
   CycleSpaceBackend(const graph::Graph& g,
                     const dp21::CycleSpaceConfig& config)
-      : scheme_(dp21::CycleSpaceFtc::build(g, config)),
+      : InMemoryBackendBase(g),
+        scheme_(dp21::CycleSpaceFtc::build(g, config)),
         num_vertices_(g.num_vertices()),
         num_edges_(g.num_edges()) {}
 
@@ -163,24 +201,8 @@ class CycleSpaceBackend final : public ConnectivityScheme {
     return scheme_.edge_label_bits();
   }
 
-  std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const graph::EdgeId> edge_faults) const override {
-    return std::make_unique<CycleFaultSet>(
-        materialize_labels(scheme_, edge_faults, num_edges_));
-  }
-
   std::unique_ptr<Workspace> make_workspace() const override {
     return std::make_unique<EmptyWorkspace>();
-  }
-
-  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
-             Workspace& /*workspace*/,
-             const QueryOptions& /*options*/) const override {
-    const auto& fs = checked_cast<const CycleFaultSet&>(
-        faults, "fault set from a different backend");
-    return dp21::CycleSpaceFtc::connected(scheme_.vertex_label(s),
-                                          scheme_.vertex_label(t),
-                                          fs.labels());
   }
 
   void serialize_params(store::ByteWriter& out) const override {
@@ -196,6 +218,24 @@ class CycleSpaceBackend final : public ConnectivityScheme {
     store::encode_cycle_edge(scheme_.edge_label(e), out);
   }
 
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const graph::EdgeId> edge_faults) const override {
+    const auto labels = materialize_labels(scheme_, edge_faults);
+    return std::make_unique<CycleFaultSet>(
+        dp21::CycleSpaceFtc::Prepared::prepare(labels), labels.size());
+  }
+
+  bool query_edges(graph::VertexId s, graph::VertexId t,
+                   const FaultSet& faults, Workspace& /*workspace*/,
+                   const QueryOptions& /*options*/) const override {
+    const auto& fs = checked_cast<const CycleFaultSet&>(
+        faults, "fault set from a different backend");
+    return dp21::CycleSpaceFtc::connected(scheme_.vertex_label(s),
+                                          scheme_.vertex_label(t),
+                                          fs.prepared());
+  }
+
  private:
   dp21::CycleSpaceFtc scheme_;
   graph::VertexId num_vertices_;
@@ -204,21 +244,11 @@ class CycleSpaceBackend final : public ConnectivityScheme {
 
 // ------------------------------------------------------------ dp21 AGM
 
-class AgmFaultSet final : public ConnectivityScheme::FaultSet {
- public:
-  explicit AgmFaultSet(std::vector<dp21::AgmEdgeLabel> labels)
-      : labels_(std::move(labels)) {}
-  std::size_t num_faults() const override { return labels_.size(); }
-  std::span<const dp21::AgmEdgeLabel> labels() const { return labels_; }
-
- private:
-  std::vector<dp21::AgmEdgeLabel> labels_;
-};
-
-class AgmBackend final : public ConnectivityScheme {
+class AgmBackend final : public InMemoryBackendBase {
  public:
   AgmBackend(const graph::Graph& g, const dp21::AgmFtcConfig& config)
-      : scheme_(dp21::AgmFtc::build(g, config)),
+      : InMemoryBackendBase(g),
+        scheme_(dp21::AgmFtc::build(g, config)),
         num_vertices_(g.num_vertices()),
         num_edges_(g.num_edges()) {}
 
@@ -232,23 +262,8 @@ class AgmBackend final : public ConnectivityScheme {
     return scheme_.edge_label_bits();
   }
 
-  std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const graph::EdgeId> edge_faults) const override {
-    return std::make_unique<AgmFaultSet>(
-        materialize_labels(scheme_, edge_faults, num_edges_));
-  }
-
   std::unique_ptr<Workspace> make_workspace() const override {
-    return std::make_unique<EmptyWorkspace>();
-  }
-
-  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
-             Workspace& /*workspace*/,
-             const QueryOptions& /*options*/) const override {
-    const auto& fs = checked_cast<const AgmFaultSet&>(
-        faults, "fault set from a different backend");
-    return dp21::AgmFtc::connected(scheme_.vertex_label(s),
-                                   scheme_.vertex_label(t), fs.labels());
+    return std::make_unique<AgmWorkspace>();
   }
 
   void serialize_params(store::ByteWriter& out) const override {
@@ -268,6 +283,26 @@ class AgmBackend final : public ConnectivityScheme {
     store::encode_agm_edge(scheme_.edge_label(e), out);
   }
 
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const graph::EdgeId> edge_faults) const override {
+    const auto labels = materialize_labels(scheme_, edge_faults);
+    return std::make_unique<AgmFaultSet>(
+        dp21::AgmFtc::Prepared::prepare(labels), labels.size());
+  }
+
+  bool query_edges(graph::VertexId s, graph::VertexId t,
+                   const FaultSet& faults, Workspace& workspace,
+                   const QueryOptions& /*options*/) const override {
+    const auto& fs = checked_cast<const AgmFaultSet&>(
+        faults, "fault set from a different backend");
+    auto& ws = checked_cast<AgmWorkspace&>(
+        workspace, "workspace from a different backend");
+    return dp21::AgmFtc::connected(scheme_.vertex_label(s),
+                                   scheme_.vertex_label(t), fs.prepared(),
+                                   ws.inner());
+  }
+
  private:
   dp21::AgmFtc scheme_;
   graph::VertexId num_vertices_;
@@ -275,14 +310,6 @@ class AgmBackend final : public ConnectivityScheme {
 };
 
 }  // namespace
-
-bool ConnectivityScheme::connected(graph::VertexId s, graph::VertexId t,
-                                   std::span<const graph::EdgeId> edge_faults,
-                                   const QueryOptions& options) const {
-  const auto faults = prepare_faults(edge_faults);
-  const auto workspace = make_workspace();
-  return query(s, t, *faults, *workspace, options);
-}
 
 std::unique_ptr<ConnectivityScheme> make_scheme(const graph::Graph& g,
                                                 const SchemeConfig& config) {

@@ -7,12 +7,28 @@
 // be benchmarked head-to-head, and feed the batch query engine
 // (batch_engine.hpp).
 //
+// The fault model is a first-class value type (fault_spec.hpp): a
+// FaultSpec names faulty edges AND faulty vertices, canonicalized once.
+// The vertex -> incident-edges reduction (label cost Delta * f — the
+// reduction the paper's open-problems section wants to beat) lives HERE,
+// in the base class, behind the AdjacencyProvider abstraction: backends
+// only ever see deduplicated edge faults, and any scheme that can name
+// its adjacency — in-memory builds and format-v2 label stores alike —
+// serves vertex and mixed faults identically. Schemes without adjacency
+// (format-v1 stores) throw the typed CapabilityError.
+//
 // The query path is split into the three stages every backend shares:
-//   1. prepare_faults — materialize and deduplicate the fault-edge
-//      labels once per fault set (immutable; concurrent reads are safe);
+//   1. prepare_faults — reduce vertex faults to incident edges, then
+//      materialize the deduplicated fault-edge labels once per fault set
+//      (immutable; concurrent reads are safe);
 //   2. make_workspace — per-thread decode scratch, reused across queries;
 //   3. query — answer one (s, t) pair against a prepared fault set.
 // connected() bundles the three for one-shot use.
+//
+// Backends implement the protected hooks (prepare_edge_faults /
+// query_edges); the public entry points are non-virtual so fault-model
+// semantics (endpoint deletion, the reduction, validation) are identical
+// across every backend and every serving path.
 #pragma once
 
 #include <memory>
@@ -22,6 +38,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/fault_spec.hpp"
 #include "core/ftc_query.hpp"
 #include "dp21/agm_ftc.hpp"
 #include "dp21/cycle_space_ftc.hpp"
@@ -36,11 +53,23 @@ class ByteWriter;
 class ConnectivityScheme {
  public:
   // A materialized, deduplicated fault set. Immutable after creation:
-  // any number of threads may query against the same FaultSet.
+  // any number of threads may query against the same FaultSet. Carries
+  // the deleted vertices of its FaultSpec so query() can apply the
+  // endpoint-deletion rule uniformly across backends.
   class FaultSet {
    public:
     virtual ~FaultSet() = default;
-    virtual std::size_t num_faults() const = 0;  // after dedup
+    // Deduplicated fault-edge labels materialized (vertex faults count
+    // through their incident edges after the reduction).
+    virtual std::size_t num_faults() const = 0;
+    // The deleted vertices themselves (sorted, unique).
+    std::span<const graph::VertexId> vertex_faults() const {
+      return vertex_faults_;
+    }
+
+   private:
+    std::vector<graph::VertexId> vertex_faults_;
+    friend class ConnectivityScheme;
   };
 
   // Per-thread decode scratch. Not thread-safe; reuse across queries on
@@ -67,23 +96,43 @@ class ConnectivityScheme {
            static_cast<std::size_t>(num_edges()) * edge_label_bits();
   }
 
-  // Validates edge IDs and deduplicates them before materializing labels.
-  virtual std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const graph::EdgeId> edge_faults) const = 0;
+  // Incidence lists for the vertex-fault reduction, or nullptr when the
+  // scheme carries none (format-v1 label stores). Vertex-fault capability
+  // is exactly `adjacency() != nullptr`.
+  virtual const AdjacencyProvider* adjacency() const { return nullptr; }
+
+  // Validates the spec's IDs against this scheme's dimensions
+  // (std::invalid_argument on out-of-range), reduces vertex faults to
+  // their incident edges (CapabilityError if adjacency() is null and the
+  // spec names vertices), and materializes the deduplicated fault-edge
+  // labels once.
+  std::unique_ptr<FaultSet> prepare_faults(const FaultSpec& spec) const;
+  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
+  std::unique_ptr<FaultSet> prepare_faults(
+      std::span<const graph::EdgeId> edge_faults) const {
+    return prepare_faults(FaultSpec::edges(edge_faults));
+  }
+
   virtual std::unique_ptr<Workspace> make_workspace() const = 0;
 
   // s-t connectivity in G - F. `faults` must come from this scheme's
-  // prepare_faults and `workspace` from its make_workspace. QueryOptions
-  // drives the core-FTC ablation switches; the dp21 backends have no
-  // such switches and ignore it.
-  virtual bool query(graph::VertexId s, graph::VertexId t,
-                     const FaultSet& faults, Workspace& workspace,
-                     const QueryOptions& options = {}) const = 0;
+  // prepare_faults and `workspace` from its make_workspace. A vertex is
+  // connected to itself even when deleted; a deleted endpoint is
+  // disconnected from everything else. QueryOptions drives the core-FTC
+  // ablation switches; the dp21 backends have no such switches and
+  // ignore it.
+  bool query(graph::VertexId s, graph::VertexId t, const FaultSet& faults,
+             Workspace& workspace, const QueryOptions& options = {}) const;
 
   // One-shot convenience: prepare + query with a throwaway workspace.
+  bool connected(graph::VertexId s, graph::VertexId t, const FaultSpec& spec,
+                 const QueryOptions& options = {}) const;
+  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
   bool connected(graph::VertexId s, graph::VertexId t,
                  std::span<const graph::EdgeId> edge_faults,
-                 const QueryOptions& options = {}) const;
+                 const QueryOptions& options = {}) const {
+    return connected(s, t, FaultSpec::edges(edge_faults), options);
+  }
 
   // ----------------------------------------------------------- persistence
   // Label export for the LabelStore container (label_store.hpp): the
@@ -97,15 +146,23 @@ class ConnectivityScheme {
                                     store::ByteWriter& out) const = 0;
 
   // Writes the whole scheme as one versioned container file (atomically:
-  // a temp file is renamed into place). Implemented in label_store.cpp;
+  // a temp file is renamed into place). Format v2; includes the
+  // adjacency side-table iff adjacency() != nullptr, so saved schemes
+  // keep their vertex-fault capability. Implemented in label_store.cpp;
   // load it back with load_scheme(). Throws StoreError on I/O failure.
   void save(const std::string& path) const;
-};
 
-// Validates fault edge IDs against num_edges and deduplicates them —
-// the canonicalization step shared by every backend's prepare_faults.
-std::vector<graph::EdgeId> canonicalize_faults(
-    std::span<const graph::EdgeId> edge_faults, graph::EdgeId num_edges);
+ protected:
+  // Backend hooks. `edge_faults` arrives validated, sorted and
+  // deduplicated (vertex faults already reduced to incident edges);
+  // `query_edges` never sees a deleted endpoint (the base class resolves
+  // those) and its fault set/workspace downcasts are backend-local.
+  virtual std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const graph::EdgeId> edge_faults) const = 0;
+  virtual bool query_edges(graph::VertexId s, graph::VertexId t,
+                           const FaultSet& faults, Workspace& workspace,
+                           const QueryOptions& options) const = 0;
+};
 
 // Per-backend build knobs, bundled so one config object can drive any
 // backend. set_f() is the common knob: the fault budget every backend

@@ -1,0 +1,110 @@
+// FaultSpec: the first-class fault model of the query API.
+//
+// A fault set is no longer "a span of edge IDs": queries may delete whole
+// vertices (every incident edge goes down with them — the open-problems
+// reduction of Section 1.4, cost Delta * f labels) alongside individual
+// edges. FaultSpec is the canonical value type every layer accepts —
+// ConnectivityScheme::prepare_faults, BatchQueryEngine sessions,
+// ConnectivityOracle and the ftc_store CLI — so canonicalization
+// (sorting + deduplication) happens exactly once, at construction, and
+// every consumer downstream can rely on sorted unique IDs.
+//
+// Range validation is deliberately NOT done here: a FaultSpec is built
+// without reference to any particular scheme, and prepare_faults checks
+// the IDs against the scheme's dimensions (std::invalid_argument on
+// out-of-range IDs, as before).
+//
+// Vertex faults need adjacency (the vertex -> incident-edges reduction);
+// schemes that carry none — e.g. those loaded from a format-v1 label
+// store — throw the typed CapabilityError below.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftc::core {
+
+// Thrown when a query asks a scheme for something it structurally cannot
+// serve (vertex faults without adjacency), as opposed to a malformed
+// request. Derives from std::invalid_argument so pre-FaultSpec callers
+// that caught the old error type keep working.
+class CapabilityError : public std::invalid_argument {
+ public:
+  explicit CapabilityError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+class FaultSpec {
+ public:
+  // The empty fault set (every query answers "connected").
+  FaultSpec() = default;
+
+  // Factories canonicalize once: IDs come out sorted and deduplicated.
+  static FaultSpec edges(std::span<const graph::EdgeId> edge_faults);
+  static FaultSpec vertices(std::span<const graph::VertexId> vertex_faults);
+  static FaultSpec of(std::span<const graph::EdgeId> edge_faults,
+                      std::span<const graph::VertexId> vertex_faults);
+
+  std::span<const graph::EdgeId> edge_faults() const { return edges_; }
+  std::span<const graph::VertexId> vertex_faults() const { return vertices_; }
+
+  bool has_vertex_faults() const { return !vertices_.empty(); }
+  bool empty() const { return edges_.empty() && vertices_.empty(); }
+  // Total distinct faulty elements (edges + vertices).
+  std::size_t size() const { return edges_.size() + vertices_.size(); }
+
+ private:
+  FaultSpec(std::vector<graph::EdgeId> edges,
+            std::vector<graph::VertexId> vertices)
+      : edges_(std::move(edges)), vertices_(std::move(vertices)) {}
+
+  std::vector<graph::EdgeId> edges_;      // sorted, unique
+  std::vector<graph::VertexId> vertices_; // sorted, unique
+};
+
+// Incidence access for the vertex -> incident-edges reduction, decoupled
+// from graph::Graph so both in-memory schemes (which copy the incidence
+// lists at build time) and label-store-served schemes (which read an
+// adjacency side-table straight from the mapped container) can serve
+// vertex faults through one interface.
+class AdjacencyProvider {
+ public:
+  virtual ~AdjacencyProvider() = default;
+
+  virtual graph::VertexId num_vertices() const = 0;
+  virtual std::size_t degree(graph::VertexId v) const = 0;
+  // Appends v's incident edge IDs to out (order unspecified; callers
+  // sort + dedup the merged set). Append-style instead of span-returning
+  // so mapped providers can decode on the fly without stable storage.
+  virtual void append_incident(graph::VertexId v,
+                               std::vector<graph::EdgeId>& out) const = 0;
+};
+
+// Owning incidence lists in CSR layout. Built from a graph by the
+// in-memory backends, or from a decoded store adjacency section by the
+// kMaterialize load path.
+class VectorAdjacency final : public AdjacencyProvider {
+ public:
+  explicit VectorAdjacency(const graph::Graph& g);
+  // offsets: n + 1 monotone entry offsets into lists. 64-bit like the
+  // on-disk v2 side-table: 2m entries can exceed uint32_t.
+  VectorAdjacency(std::vector<std::uint64_t> offsets,
+                  std::vector<graph::EdgeId> lists);
+
+  graph::VertexId num_vertices() const override {
+    return static_cast<graph::VertexId>(offsets_.size() - 1);
+  }
+  std::size_t degree(graph::VertexId v) const override;
+  void append_incident(graph::VertexId v,
+                       std::vector<graph::EdgeId>& out) const override;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // n + 1 entries
+  std::vector<graph::EdgeId> lists_;
+};
+
+}  // namespace ftc::core

@@ -38,6 +38,9 @@ struct PreparedFaults::Impl {
   // Initial |cut| per fragment, precomputed so the merge heap seeds
   // without re-popcounting prepared rows on every query.
   std::vector<unsigned> init_cut_size;
+  // Optional sound per-level boundary-size bounds (empty = none); the
+  // windowed decode clamps its capacity to min(k, bound) per level.
+  std::vector<std::uint32_t> level_bounds;
 };
 
 // Scratch reused across queries on one thread. The fragment state is
@@ -50,6 +53,10 @@ struct PreparedFaults::Impl {
 // field width and any number of distinct PreparedFaults objects.
 struct DecoderWorkspace::Impl {
   std::uint64_t epoch = 0;
+  // Decode start hint: the previous round's support size within the
+  // current query (boundaries change slowly across merges), seeding the
+  // adaptive doubling threshold. Reset at query start.
+  unsigned decode_hint = 0;
   std::vector<std::uint64_t> frag_epoch;  // per fragment: epoch when copied
   std::vector<std::uint64_t> cut;         // materialized cut rows
   std::vector<std::uint64_t> sum_words;   // materialized sum rows
@@ -78,7 +85,8 @@ sketch::SketchDecodeScratch<F>& workspace_scratch(DecoderWorkspace::Impl& ws) {
 }
 
 std::unique_ptr<PreparedFaults::Impl> prepare_any(
-    std::span<const EdgeLabel> faults) {
+    std::span<const EdgeLabel> faults,
+    std::span<const std::uint32_t> level_bounds) {
   const LabelParams& params = faults[0].params;
   for (const EdgeLabel& f : faults) {
     FTC_REQUIRE(f.params == params, "fault labels from different schemes");
@@ -146,6 +154,11 @@ std::unique_ptr<PreparedFaults::Impl> prepare_any(
                        impl->cut_words));
   }
   impl->loc = std::move(loc);
+  if (!level_bounds.empty()) {
+    FTC_REQUIRE(level_bounds.size() == num_levels,
+                "level bounds inconsistent with the label hierarchy");
+    impl->level_bounds.assign(level_bounds.begin(), level_bounds.end());
+  }
   return impl;
 }
 
@@ -158,9 +171,11 @@ std::unique_ptr<PreparedFaults::Impl> prepare_any(
 // ancestry-label pairs; empty means no outgoing edge (the component is
 // complete).
 template <typename F>
-void decode_outgoing(const std::uint64_t* sum_row, const LabelParams& params,
+void decode_outgoing(const std::uint64_t* sum_row,
+                     const PreparedFaults::Impl& prep,
                      const QueryOptions& options, DecoderWorkspace::Impl& ws,
                      QueryStats* stats) {
+  const LabelParams& params = prep.params;
   const unsigned k = params.k;
   const std::size_t level_words =
       static_cast<std::size_t>(k) * F::kWords;
@@ -171,8 +186,15 @@ void decode_outgoing(const std::uint64_t* sum_row, const LabelParams& params,
     const std::uint64_t* lw = sum_row + lev * level_words;
     if (!any_word_nonzero(lw, level_words)) continue;
     if (stats != nullptr) ++stats->outdetect_calls;
-    const bool decoded =
-        sketch::decode_sketch_words<F>(lw, k, scratch, options.adaptive);
+    // A sound per-level population bound (format v2) shrinks the decode
+    // capacity and its fail-stop window; 0 / missing means "use k".
+    const unsigned bound =
+        lev < prep.level_bounds.size() ? prep.level_bounds[lev] : 0;
+    const bool decoded = sketch::decode_sketch_words<F>(
+        lw, k, scratch, options.adaptive, bound, ws.decode_hint);
+    if (decoded) {
+      ws.decode_hint = static_cast<unsigned>(scratch.support.size());
+    }
     if (!decoded) {
       throw FtcCapacityError(
           "outdetect sketch failed to decode: boundary exceeds k; rebuild "
@@ -213,6 +235,7 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
   // word buffers are only ever grown; stale contents are unreachable
   // because frag_epoch gates every read.
   ++ws.epoch;
+  ws.decode_hint = 0;
   const std::size_t nfrag = static_cast<std::size_t>(num_frag);
   if (ws.frag_epoch.size() < nfrag) ws.frag_epoch.resize(nfrag, 0);
   if (ws.cut.size() < nfrag * cut_words) ws.cut.resize(nfrag * cut_words);
@@ -303,7 +326,7 @@ bool query_impl(const VertexLabel& s, const VertexLabel& t,
       if (fr < 0) return false;
     }
 
-    decode_outgoing<F>(sum_row(fr), params, options, ws, stats);
+    decode_outgoing<F>(sum_row(fr), prep, options, ws, stats);
     if (ws.edges.empty()) {
       ws.closed[fr] = 1;
       // A closed set is a complete component of G - F. If it holds s or
@@ -341,12 +364,14 @@ PreparedFaults::PreparedFaults(PreparedFaults&&) noexcept = default;
 PreparedFaults& PreparedFaults::operator=(PreparedFaults&&) noexcept = default;
 PreparedFaults::~PreparedFaults() = default;
 
-PreparedFaults PreparedFaults::prepare(std::span<const EdgeLabel> faults) {
+PreparedFaults PreparedFaults::prepare(
+    std::span<const EdgeLabel> faults,
+    std::span<const std::uint32_t> level_bounds) {
   if (faults.empty()) return PreparedFaults(nullptr);
   FTC_REQUIRE(faults[0].params.field_bits == 64 ||
                   faults[0].params.field_bits == 128,
               "unsupported field width in edge label");
-  return PreparedFaults(prepare_any(faults));
+  return PreparedFaults(prepare_any(faults, level_bounds));
 }
 
 bool PreparedFaults::empty() const { return impl_ == nullptr; }

@@ -56,7 +56,16 @@ class PreparedFaults {
  public:
   // Validates that all fault labels come from the same scheme. An empty
   // fault set is valid (every query answers "connected").
-  static PreparedFaults prepare(std::span<const EdgeLabel> faults);
+  //
+  // level_bounds, when non-empty, must have one entry per hierarchy
+  // level: a SOUND upper bound on any fragment boundary's size at that
+  // level (e.g. the level's total edge population, as carried by label
+  // store format v2). Levels bounded below k decode and fail-stop-verify
+  // against a (bound + d)/2 window instead of (k + d)/2 — same exact
+  // answers, fewer field operations. An empty span means "no bounds"
+  // (every level uses k).
+  static PreparedFaults prepare(std::span<const EdgeLabel> faults,
+                                std::span<const std::uint32_t> level_bounds = {});
 
   PreparedFaults(PreparedFaults&&) noexcept;
   PreparedFaults& operator=(PreparedFaults&&) noexcept;

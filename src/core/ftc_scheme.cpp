@@ -76,6 +76,8 @@ struct FtcScheme::Impl {
   // level-major then syndrome index, each F::kWords words.
   std::size_t words_per_edge = 0;
   std::vector<std::uint64_t> sketch_data;
+  // Per level: edge population clamped to k (sound boundary-size bound).
+  std::vector<std::uint32_t> level_pops;
 
   // Computes, per hierarchy level, every T'-vertex's outdetect label (XOR
   // of incident level-edge IDs) and aggregates subtree sums bottom-up; the
@@ -199,6 +201,11 @@ FtcScheme FtcScheme::build(const graph::Graph& g, const FtcConfig& config) {
   impl->params.k = resolve_k(config, n_aux, points.size());
   impl->params.num_levels = static_cast<std::uint32_t>(hier.levels.size());
   impl->params.kind = static_cast<std::uint8_t>(config.kind);
+  impl->level_pops.reserve(hier.levels.size());
+  for (const auto& level : hier.levels) {
+    impl->level_pops.push_back(static_cast<std::uint32_t>(
+        std::min<std::size_t>(level.size(), impl->params.k)));
+  }
 
   // Ancestry parts of the labels.
   impl->vertex_anc.reserve(impl->orig_n);
@@ -256,6 +263,10 @@ EdgeLabel FtcScheme::edge_label(EdgeId e) const {
                             begin + static_cast<std::ptrdiff_t>(
                                         impl_->words_per_edge));
   return label;
+}
+
+std::span<const std::uint32_t> FtcScheme::level_populations() const {
+  return impl_->level_pops;
 }
 
 graph::VertexId FtcScheme::num_vertices() const { return impl_->orig_n; }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/config.hpp"
 #include "core/ftc_labels.hpp"
@@ -49,6 +50,13 @@ class FtcScheme {
   graph::EdgeId num_edges() const;
   const LabelParams& params() const;
   const BuildStats& build_stats() const;
+
+  // Per hierarchy level: the level's edge population clamped to k — a
+  // sound upper bound on any fragment boundary's size at that level
+  // (boundaries are subsets of the level's edge set). Persisted by label
+  // store format v2 and fed to PreparedFaults::prepare so the windowed
+  // decode can shrink its capacity and fail-stop window per level.
+  std::span<const std::uint32_t> level_populations() const;
 
   // Size accounting (bits), matching the labels' size_bits().
   std::size_t vertex_label_bits() const;

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "core/ftc_query.hpp"
+#include "core/scheme_adapters.hpp"
 
 namespace ftc::core {
 
@@ -44,15 +45,23 @@ std::uint64_t read_u64_at(const std::uint8_t* base, std::size_t offset) {
   return v;
 }
 
+std::uint32_t read_u32_at(const std::uint8_t* base, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{base[offset + i]} << (8 * i);
+  return v;
+}
+
 // Fixed per-edge blob size implied by the params blob, used to
 // cross-check the offset index at open.
 std::size_t expected_edge_blob_bytes(BackendKind backend,
-                                     std::span<const std::uint8_t> params) {
+                                     std::span<const std::uint8_t> params,
+                                     std::uint32_t version) {
   store::ByteReader r(params);
   std::size_t expect = 0;
   switch (backend) {
     case BackendKind::kCoreFtc:
-      expect = store::core_edge_blob_bytes(store::decode_core_params(r));
+      expect =
+          store::core_edge_blob_bytes(store::decode_core_params(r, version));
       break;
     case BackendKind::kDp21CycleSpace:
       expect = store::cycle_edge_blob_bytes(store::decode_cycle_params(r));
@@ -68,11 +77,12 @@ std::size_t expected_edge_blob_bytes(BackendKind backend,
 }
 
 void derive_label_bits(BackendKind backend,
-                       std::span<const std::uint8_t> params, StoreInfo& info) {
+                       std::span<const std::uint8_t> params,
+                       std::uint32_t version, StoreInfo& info) {
   store::ByteReader r(params);
   switch (backend) {
     case BackendKind::kCoreFtc: {
-      const LabelParams p = store::decode_core_params(r);
+      const LabelParams p = store::decode_core_params(r, version);
       info.vertex_label_bits = 2 * p.coord_bits();
       info.edge_label_bits = 4 * p.coord_bits() +
                              static_cast<std::size_t>(p.num_levels) * p.k *
@@ -116,11 +126,36 @@ void ConnectivityScheme::save(const std::string& path) const {
   }
   offsets.push_back(blobs.size());
 
+  // Adjacency side-table (format v2): present iff the scheme can name
+  // its incidence lists, so saved schemes keep vertex-fault capability.
+  const AdjacencyProvider* adj = adjacency();
+  store::ByteWriter adj_section;
+  if (adj != nullptr) {
+    FTC_CHECK(adj->num_vertices() == n,
+              "adjacency provider inconsistent with the scheme");
+    std::vector<graph::EdgeId> incident;
+    adj_section.u64(0);
+    std::uint64_t running = 0;
+    store::ByteWriter lists;
+    for (VertexId v = 0; v < n; ++v) {
+      incident.clear();
+      adj->append_incident(v, incident);
+      running += incident.size();
+      adj_section.u64(running);
+      for (const graph::EdgeId e : incident) lists.u32(e);
+    }
+    // The invariant open() enforces: every edge appears in exactly two
+    // incidence lists.
+    FTC_CHECK(running == 2 * static_cast<std::uint64_t>(m),
+              "adjacency provider does not cover every edge twice");
+    adj_section.bytes(lists.view());
+  }
+
   store::ByteWriter w;
   w.u64(store::kMagic);
   w.u32(static_cast<std::uint32_t>(store::kFormatVersion));
   w.u8(static_cast<std::uint8_t>(backend()));
-  w.u8(0);
+  w.u8(adj != nullptr ? store::kFlagHasAdjacency : 0);  // flags
   w.u8(0);
   w.u8(0);
   w.u64(n);
@@ -128,7 +163,7 @@ void ConnectivityScheme::save(const std::string& path) const {
   w.u64(params.size());
   const std::size_t payload_checksum_off = w.size();
   w.u64(0);  // payload checksum, patched below
-  w.u64(0);  // reserved
+  w.u64(adj_section.size());  // adjacency section size (0 when absent)
   const std::size_t header_checksum_off = w.size();
   w.u64(0);  // header checksum, patched below
   FTC_CHECK(w.size() == store::kHeaderBytes, "store header layout drifted");
@@ -144,6 +179,10 @@ void ConnectivityScheme::save(const std::string& path) const {
   w.pad_to(8);
   for (const std::uint64_t off : offsets) w.u64(off);
   w.bytes(blobs.view());
+  if (adj != nullptr) {
+    w.pad_to(8);
+    w.bytes(adj_section.view());
+  }
 
   const auto file = w.view();
   w.patch_u64(payload_checksum_off,
@@ -248,22 +287,34 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   info.file_bytes = size;
   info.format_version = h.u32();
   const std::uint8_t backend_byte = h.u8();
-  h.u8();
+  const std::uint8_t flags = h.u8();
   h.u8();
   h.u8();
   const std::uint64_t n64 = h.u64();
   const std::uint64_t m64 = h.u64();
   const std::uint64_t params_size = h.u64();
   info.payload_checksum = h.u64();
-  h.u64();  // reserved
+  const std::uint64_t adj_size = h.u64();  // reserved (zero) in v1
   const std::size_t header_checksum_off = h.pos();
   const std::uint64_t header_checksum = h.u64();
   if (store::fnv1a(bytes.first(header_checksum_off)) != header_checksum) {
     throw StoreError("corrupt header (checksum mismatch): " + path);
   }
-  if (info.format_version != store::kFormatVersion) {
+  if (info.format_version < store::kMinFormatVersion ||
+      info.format_version > store::kFormatVersion) {
     throw StoreError("unsupported label store format version " +
                      std::to_string(info.format_version) + ": " + path);
+  }
+  if (info.format_version < 2 && (flags != 0 || adj_size != 0)) {
+    throw StoreError("corrupt v1 header (reserved fields nonzero): " + path);
+  }
+  if ((flags & ~store::kFlagHasAdjacency) != 0) {
+    throw StoreError("unknown header flags in label store: " + path);
+  }
+  info.has_adjacency = (flags & store::kFlagHasAdjacency) != 0;
+  if (info.has_adjacency != (adj_size != 0)) {
+    throw StoreError(
+        "corrupt header (adjacency flag/size disagree): " + path);
   }
   if (backend_byte > static_cast<std::uint8_t>(BackendKind::kDp21Agm)) {
     throw StoreError("unknown backend kind in label store: " + path);
@@ -294,13 +345,33 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   info.edge_index_bytes = (static_cast<std::size_t>(info.num_edges) + 1) * 8;
   if (info.edge_index_bytes > size - view->index_off_) throw fail_bounds();
   view->blob_off_ = view->index_off_ + info.edge_index_bytes;
-  info.edge_blob_bytes = size - view->blob_off_;
+
+  // The blob section runs to the (8-aligned) adjacency section when one
+  // is present (format v2), otherwise to the end of the file.
+  info.adjacency_bytes = static_cast<std::size_t>(adj_size);
+  std::size_t blob_region = size - view->blob_off_;
+  if (info.has_adjacency) {
+    // Exact CSR accounting: (n + 1) u64 offsets + 2m u32 edge IDs.
+    const std::size_t expected_adj =
+        8 * (static_cast<std::size_t>(info.num_vertices) + 1) +
+        8 * static_cast<std::size_t>(info.num_edges);
+    if (info.adjacency_bytes != expected_adj) {
+      throw StoreError("corrupt adjacency section (size mismatch): " + path);
+    }
+    if (info.adjacency_bytes > blob_region) throw fail_bounds();
+    view->adj_off_ = size - info.adjacency_bytes;
+    if (view->adj_off_ % 8 != 0) {
+      throw StoreError("corrupt adjacency section (misaligned): " + path);
+    }
+    blob_region = view->adj_off_ - view->blob_off_;
+  }
 
   // Offset index: starts at 0, non-decreasing, ends exactly at the blob
-  // section end, and (the blobs being fixed-size per scheme) every
-  // spacing must match the width implied by the params blob.
-  const std::size_t expected_blob =
-      expected_edge_blob_bytes(info.backend, view->params_blob());
+  // section end (up to the pre-adjacency alignment pad), and (the blobs
+  // being fixed-size per scheme) every spacing must match the width
+  // implied by the params blob.
+  const std::size_t expected_blob = expected_edge_blob_bytes(
+      info.backend, view->params_blob(), info.format_version);
   std::uint64_t prev = read_u64_at(view->map_, view->index_off_);
   if (prev != 0) {
     throw StoreError("corrupt edge index (must start at 0): " + path);
@@ -309,7 +380,7 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
     const std::uint64_t next = read_u64_at(
         view->map_,
         view->index_off_ + 8 * (static_cast<std::size_t>(e) + 1));
-    if (next < prev || next > info.edge_blob_bytes) {
+    if (next < prev || next > blob_region) {
       throw StoreError("corrupt edge index (offsets not monotone): " + path);
     }
     if (next - prev != expected_blob) {
@@ -317,11 +388,49 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
     }
     prev = next;
   }
-  if (prev != info.edge_blob_bytes) {
+  info.edge_blob_bytes = static_cast<std::size_t>(prev);
+  const bool blob_end_ok =
+      info.has_adjacency
+          ? align8(info.edge_blob_bytes) == blob_region
+          : info.edge_blob_bytes == blob_region;
+  if (!blob_end_ok) {
     throw StoreError("corrupt edge index (trailing bytes): " + path);
   }
 
-  derive_label_bits(info.backend, view->params_blob(), info);
+  // Adjacency CSR validation: monotone offsets covering exactly 2m
+  // entries, every entry a valid edge ID.
+  if (info.has_adjacency) {
+    const std::size_t entries = 2 * static_cast<std::size_t>(info.num_edges);
+    const std::size_t lists_off =
+        view->adj_off_ +
+        8 * (static_cast<std::size_t>(info.num_vertices) + 1);
+    std::uint64_t prev_off = read_u64_at(view->map_, view->adj_off_);
+    if (prev_off != 0) {
+      throw StoreError("corrupt adjacency offsets (must start at 0): " +
+                       path);
+    }
+    for (VertexId v = 0; v < info.num_vertices; ++v) {
+      const std::uint64_t next_off = read_u64_at(
+          view->map_,
+          view->adj_off_ + 8 * (static_cast<std::size_t>(v) + 1));
+      if (next_off < prev_off || next_off > entries) {
+        throw StoreError("corrupt adjacency offsets (not monotone): " + path);
+      }
+      prev_off = next_off;
+    }
+    if (prev_off != entries) {
+      throw StoreError("corrupt adjacency offsets (entry count): " + path);
+    }
+    for (std::size_t i = 0; i < entries; ++i) {
+      if (read_u32_at(view->map_, lists_off + 4 * i) >= info.num_edges) {
+        throw StoreError("corrupt adjacency list (edge ID out of range): " +
+                         path);
+      }
+    }
+  }
+
+  derive_label_bits(info.backend, view->params_blob(), info.format_version,
+                    info);
 
   if (verify_checksum &&
       store::fnv1a(bytes.subspan(store::kHeaderBytes)) !=
@@ -352,63 +461,98 @@ std::span<const std::uint8_t> LabelStoreView::edge_blob(EdgeId e) const {
   return {map_ + blob_off_ + begin, static_cast<std::size_t>(end - begin)};
 }
 
+std::size_t LabelStoreView::adjacency_degree(VertexId v) const {
+  FTC_REQUIRE(info_.has_adjacency, "store carries no adjacency section");
+  FTC_REQUIRE(v < info_.num_vertices, "vertex out of range");
+  const std::uint64_t begin =
+      read_u64_at(map_, adj_off_ + 8 * static_cast<std::size_t>(v));
+  const std::uint64_t end =
+      read_u64_at(map_, adj_off_ + 8 * (static_cast<std::size_t>(v) + 1));
+  return static_cast<std::size_t>(end - begin);
+}
+
+void LabelStoreView::adjacency_append(VertexId v,
+                                      std::vector<graph::EdgeId>& out) const {
+  FTC_REQUIRE(info_.has_adjacency, "store carries no adjacency section");
+  FTC_REQUIRE(v < info_.num_vertices, "vertex out of range");
+  const std::uint64_t begin =
+      read_u64_at(map_, adj_off_ + 8 * static_cast<std::size_t>(v));
+  const std::uint64_t end =
+      read_u64_at(map_, adj_off_ + 8 * (static_cast<std::size_t>(v) + 1));
+  const std::size_t lists_off =
+      adj_off_ + 8 * (static_cast<std::size_t>(info_.num_vertices) + 1);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    out.push_back(read_u32_at(map_, lists_off + 4 * static_cast<std::size_t>(i)));
+  }
+}
+
 // ------------------------------------------------------------------
 // Loaded (label-served) backends.
 
 namespace {
 
-// Downcast guard for fault sets / workspaces, mirroring the in-memory
-// adapters: static in release, RTTI-checked in debug.
-template <typename T, typename U>
-T& stored_cast(U& obj, const char* what) {
-#ifndef NDEBUG
-  FTC_REQUIRE(dynamic_cast<std::remove_reference_t<T>*>(&obj) != nullptr,
-              what);
-#else
-  (void)what;
-#endif
-  return static_cast<T&>(obj);
-}
+// The store-served backends wrap the same per-backend session state as
+// the in-memory adapters; the wrappers are shared (scheme_adapters.hpp)
+// so the two serving paths cannot drift apart.
+using detail::BackendWorkspace;
+using detail::PreparedFaultSet;
+using detail::checked_cast;
 
-class CoreStoredFaults final : public ConnectivityScheme::FaultSet {
+using CoreStoredFaults = PreparedFaultSet<PreparedFaults>;
+using CoreStoredWorkspace = BackendWorkspace<DecoderWorkspace>;
+using CycleStoredFaults = PreparedFaultSet<dp21::CycleSpaceFtc::Prepared>;
+using AgmStoredFaults = PreparedFaultSet<dp21::AgmFtc::Prepared>;
+using AgmStoredWorkspace = BackendWorkspace<dp21::AgmFtc::Workspace>;
+using EmptyStoredWorkspace = detail::EmptyWorkspace;
+
+// Zero-copy adjacency provider over the mapped v2 side-table: degrees
+// and incidence lists decode on the fly from the (validated) CSR
+// section, so serving vertex faults costs no load-time materialization.
+class MappedAdjacency final : public AdjacencyProvider {
  public:
-  explicit CoreStoredFaults(PreparedFaults prepared)
-      : prepared_(std::move(prepared)) {}
-  std::size_t num_faults() const override { return prepared_.num_faults(); }
-  const PreparedFaults& prepared() const { return prepared_; }
+  explicit MappedAdjacency(std::shared_ptr<const LabelStoreView> view)
+      : view_(std::move(view)) {}
+
+  VertexId num_vertices() const override {
+    return view_->info().num_vertices;
+  }
+  std::size_t degree(VertexId v) const override {
+    return view_->adjacency_degree(v);
+  }
+  void append_incident(VertexId v,
+                       std::vector<EdgeId>& out) const override {
+    view_->adjacency_append(v, out);
+  }
 
  private:
-  PreparedFaults prepared_;
+  std::shared_ptr<const LabelStoreView> view_;
 };
 
-class CoreStoredWorkspace final : public ConnectivityScheme::Workspace {
- public:
-  DecoderWorkspace& decoder() { return decoder_; }
-
- private:
-  DecoderWorkspace decoder_;
-};
-
-template <typename Label>
-class LabelVecFaults final : public ConnectivityScheme::FaultSet {
- public:
-  explicit LabelVecFaults(std::vector<Label> labels)
-      : labels_(std::move(labels)) {}
-  std::size_t num_faults() const override { return labels_.size(); }
-  std::span<const Label> labels() const { return labels_; }
-
- private:
-  std::vector<Label> labels_;
-};
-
-class EmptyStoredWorkspace final : public ConnectivityScheme::Workspace {};
-
-// Shared plumbing: the mapping, header-derived sizes, and save() support
-// by re-emitting the raw blobs (a loaded store round-trips bit-exactly).
+// Shared plumbing: the mapping, header-derived sizes, the adjacency
+// side-table (when the container carries one), and save() support by
+// re-emitting the stored blobs (a loaded store round-trips bit-exactly).
 class StoredSchemeBase : public ConnectivityScheme {
  public:
-  explicit StoredSchemeBase(std::shared_ptr<const LabelStoreView> view)
-      : view_(std::move(view)) {}
+  StoredSchemeBase(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+      : view_(std::move(view)) {
+    if (!view_->info().has_adjacency) return;
+    if (mode == LoadMode::kMaterialize) {
+      // Eager decode into owned CSR vectors.
+      std::vector<std::uint64_t> offsets;
+      std::vector<EdgeId> lists;
+      offsets.reserve(static_cast<std::size_t>(num_vertices()) + 1);
+      offsets.push_back(0);
+      lists.reserve(2 * static_cast<std::size_t>(num_edges()));
+      for (VertexId v = 0; v < num_vertices(); ++v) {
+        view_->adjacency_append(v, lists);
+        offsets.push_back(lists.size());
+      }
+      adjacency_ = std::make_unique<VectorAdjacency>(std::move(offsets),
+                                                     std::move(lists));
+    } else {
+      adjacency_ = std::make_unique<MappedAdjacency>(view_);
+    }
+  }
 
   VertexId num_vertices() const override {
     return view_->info().num_vertices;
@@ -419,6 +563,11 @@ class StoredSchemeBase : public ConnectivityScheme {
   }
   std::size_t edge_label_bits() const override {
     return view_->info().edge_label_bits;
+  }
+
+  // Vertex-fault capability is exactly "the container had the side-table".
+  const AdjacencyProvider* adjacency() const override {
+    return adjacency_.get();
   }
 
   void serialize_params(store::ByteWriter& out) const override {
@@ -457,14 +606,16 @@ class StoredSchemeBase : public ConnectivityScheme {
 
   std::shared_ptr<const LabelStoreView> view_;
   std::vector<graph::AncestryLabel> vertex_cache_;  // kMaterialize only
+  std::unique_ptr<AdjacencyProvider> adjacency_;    // null: v1 container
 };
 
 class StoredCoreScheme final : public StoredSchemeBase {
  public:
   StoredCoreScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
-      : StoredSchemeBase(std::move(view)) {
+      : StoredSchemeBase(std::move(view), mode) {
     store::ByteReader pr(view_->params_blob());
-    params_ = store::decode_core_params(pr);
+    params_ = store::decode_core_params(pr, view_->info().format_version,
+                                        &level_bounds_);
     if (mode == LoadMode::kMaterialize) {
       materialize_vertices();
       edge_cache_.reserve(num_edges());
@@ -476,31 +627,43 @@ class StoredCoreScheme final : public StoredSchemeBase {
 
   BackendKind backend() const override { return BackendKind::kCoreFtc; }
 
-  std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const EdgeId> edge_faults) const override {
-    const auto ids = canonicalize_faults(edge_faults, num_edges());
-    std::vector<EdgeLabel> labels;
-    labels.reserve(ids.size());
-    for (const EdgeId e : ids) {
-      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
-    }
-    return std::make_unique<CoreStoredFaults>(PreparedFaults::prepare(labels));
-  }
-
   std::unique_ptr<Workspace> make_workspace() const override {
     return std::make_unique<CoreStoredWorkspace>();
   }
 
-  bool query(VertexId s, VertexId t, const FaultSet& faults,
-             Workspace& workspace,
-             const QueryOptions& options) const override {
-    const auto& fs = stored_cast<const CoreStoredFaults&>(
+  // Re-encode instead of re-emitting the stored blob: a v1 container's
+  // core params carry no bounds fields, and save() always writes format
+  // v2 (the re-encode emits count 0 then; for v2 inputs it reproduces
+  // the stored bytes exactly, keeping re-saves byte-identical).
+  void serialize_params(store::ByteWriter& out) const override {
+    store::encode_core_params(params_, level_bounds_, out);
+  }
+
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const EdgeId> edge_faults) const override {
+    std::vector<EdgeLabel> labels;
+    labels.reserve(edge_faults.size());
+    for (const EdgeId e : edge_faults) {
+      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
+    }
+    // v2 containers carry the builder's per-level population bounds, so
+    // store-served decodes run the same shrunken windows.
+    auto prepared = PreparedFaults::prepare(labels, level_bounds_);
+    const std::size_t nf = prepared.num_faults();
+    return std::make_unique<CoreStoredFaults>(std::move(prepared), nf);
+  }
+
+  bool query_edges(VertexId s, VertexId t, const FaultSet& faults,
+                   Workspace& workspace,
+                   const QueryOptions& options) const override {
+    const auto& fs = checked_cast<const CoreStoredFaults&>(
         faults, "fault set from a different backend");
-    auto& ws = stored_cast<CoreStoredWorkspace&>(
+    auto& ws = checked_cast<CoreStoredWorkspace&>(
         workspace, "workspace from a different backend");
     return FtcDecoder::connected(VertexLabel{params_, anc(s)},
                                  VertexLabel{params_, anc(t)}, fs.prepared(),
-                                 ws.decoder(), options);
+                                 ws.inner(), options);
   }
 
  private:
@@ -510,13 +673,14 @@ class StoredCoreScheme final : public StoredSchemeBase {
   }
 
   LabelParams params_;
-  std::vector<EdgeLabel> edge_cache_;  // kMaterialize only
+  std::vector<std::uint32_t> level_bounds_;  // empty for v1 containers
+  std::vector<EdgeLabel> edge_cache_;        // kMaterialize only
 };
 
 class StoredCycleScheme final : public StoredSchemeBase {
  public:
   StoredCycleScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
-      : StoredSchemeBase(std::move(view)) {
+      : StoredSchemeBase(std::move(view), mode) {
     store::ByteReader pr(view_->params_blob());
     params_ = store::decode_cycle_params(pr);
     if (mode == LoadMode::kMaterialize) {
@@ -532,30 +696,30 @@ class StoredCycleScheme final : public StoredSchemeBase {
     return BackendKind::kDp21CycleSpace;
   }
 
-  std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const EdgeId> edge_faults) const override {
-    const auto ids = canonicalize_faults(edge_faults, num_edges());
-    std::vector<dp21::CsEdgeLabel> labels;
-    labels.reserve(ids.size());
-    for (const EdgeId e : ids) {
-      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
-    }
-    return std::make_unique<LabelVecFaults<dp21::CsEdgeLabel>>(
-        std::move(labels));
-  }
-
   std::unique_ptr<Workspace> make_workspace() const override {
     return std::make_unique<EmptyStoredWorkspace>();
   }
 
-  bool query(VertexId s, VertexId t, const FaultSet& faults,
-             Workspace& /*workspace*/,
-             const QueryOptions& /*options*/) const override {
-    const auto& fs = stored_cast<const LabelVecFaults<dp21::CsEdgeLabel>&>(
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const EdgeId> edge_faults) const override {
+    std::vector<dp21::CsEdgeLabel> labels;
+    labels.reserve(edge_faults.size());
+    for (const EdgeId e : edge_faults) {
+      labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
+    }
+    return std::make_unique<CycleStoredFaults>(
+        dp21::CycleSpaceFtc::Prepared::prepare(labels), labels.size());
+  }
+
+  bool query_edges(VertexId s, VertexId t, const FaultSet& faults,
+                   Workspace& /*workspace*/,
+                   const QueryOptions& /*options*/) const override {
+    const auto& fs = checked_cast<const CycleStoredFaults&>(
         faults, "fault set from a different backend");
     return dp21::CycleSpaceFtc::connected(dp21::CsVertexLabel{anc(s)},
                                           dp21::CsVertexLabel{anc(t)},
-                                          fs.labels());
+                                          fs.prepared());
   }
 
  private:
@@ -571,7 +735,7 @@ class StoredCycleScheme final : public StoredSchemeBase {
 class StoredAgmScheme final : public StoredSchemeBase {
  public:
   StoredAgmScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
-      : StoredSchemeBase(std::move(view)) {
+      : StoredSchemeBase(std::move(view), mode) {
     store::ByteReader pr(view_->params_blob());
     params_ = store::decode_agm_params(pr);
     if (mode == LoadMode::kMaterialize) {
@@ -585,30 +749,32 @@ class StoredAgmScheme final : public StoredSchemeBase {
 
   BackendKind backend() const override { return BackendKind::kDp21Agm; }
 
-  std::unique_ptr<FaultSet> prepare_faults(
+  std::unique_ptr<Workspace> make_workspace() const override {
+    return std::make_unique<AgmStoredWorkspace>();
+  }
+
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
       std::span<const EdgeId> edge_faults) const override {
-    const auto ids = canonicalize_faults(edge_faults, num_edges());
     std::vector<dp21::AgmEdgeLabel> labels;
-    labels.reserve(ids.size());
-    for (const EdgeId e : ids) {
+    labels.reserve(edge_faults.size());
+    for (const EdgeId e : edge_faults) {
       labels.push_back(edge_cache_.empty() ? decode_edge(e) : edge_cache_[e]);
     }
-    return std::make_unique<LabelVecFaults<dp21::AgmEdgeLabel>>(
-        std::move(labels));
+    return std::make_unique<AgmStoredFaults>(
+        dp21::AgmFtc::Prepared::prepare(labels), labels.size());
   }
 
-  std::unique_ptr<Workspace> make_workspace() const override {
-    return std::make_unique<EmptyStoredWorkspace>();
-  }
-
-  bool query(VertexId s, VertexId t, const FaultSet& faults,
-             Workspace& /*workspace*/,
-             const QueryOptions& /*options*/) const override {
-    const auto& fs = stored_cast<const LabelVecFaults<dp21::AgmEdgeLabel>&>(
+  bool query_edges(VertexId s, VertexId t, const FaultSet& faults,
+                   Workspace& workspace,
+                   const QueryOptions& /*options*/) const override {
+    const auto& fs = checked_cast<const AgmStoredFaults&>(
         faults, "fault set from a different backend");
+    auto& ws = checked_cast<AgmStoredWorkspace&>(
+        workspace, "workspace from a different backend");
     return dp21::AgmFtc::connected(dp21::AgmVertexLabel{anc(s)},
                                    dp21::AgmVertexLabel{anc(t)},
-                                   fs.labels());
+                                   fs.prepared(), ws.inner());
   }
 
  private:

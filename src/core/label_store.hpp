@@ -10,30 +10,49 @@
 // materializing per-label std::vector copies on the query path (only the
 // <= f fault-edge labels of a session are decoded, once per fault set).
 //
-// Container format, version 1 (all integers little-endian):
+// Container format, version 2 (all integers little-endian):
 //
 //   header (64 bytes)
 //     0   u64  magic "FTCSTORE"
-//     8   u32  format version (1)
-//     12  u8   BackendKind, u8[3] reserved (zero)
+//     8   u32  format version (2)
+//     12  u8   BackendKind
+//     13  u8   flags (bit 0: adjacency section present), u8[2] reserved
 //     16  u64  num_vertices
 //     24  u64  num_edges
 //     32  u64  params blob size in bytes
 //     40  u64  payload checksum: FNV-1a over bytes [64, file end)
-//     48  u64  reserved (zero)
+//     48  u64  adjacency section size in bytes (0 when absent)
 //     56  u64  header checksum: FNV-1a over bytes [0, 56)
-//   params blob          backend-specific scheme parameters
+//   params blob          backend-specific scheme parameters; for the core
+//                        backend v2 appends per-level sketch population
+//                        bounds (u32 count + count u32 values) so served
+//                        schemes shrink their decode windows like the
+//                        in-memory builder does
 //   (pad to 8)
 //   vertex section       num_vertices fixed 8-byte records (tin, tout)
 //   (pad to 8)
 //   edge offset index    (num_edges + 1) u64, byte offsets into the blob
 //                        section; blob e spans [index[e], index[e+1])
 //   edge blob section    concatenated per-edge label blobs
+//   (pad to 8)
+//   adjacency section    optional incidence side-table in CSR layout:
+//                        (num_vertices + 1) u64 entry offsets, then the
+//                        concatenated incidence lists as u32 edge IDs
+//                        (2 * num_edges entries total). Carrying it is
+//                        what lets store-served schemes answer vertex-
+//                        and mixed-fault queries (the vertex -> incident-
+//                        edges reduction needs incidence).
+//
+// Version 1 files (no flags byte semantics, no adjacency, core params
+// without bounds) still load read-compatibly: edge-fault queries behave
+// exactly as they always did, and vertex-fault queries raise the typed
+// CapabilityError because the container carries no adjacency.
 //
 // Versioning policy: the format version is bumped on any layout change;
-// readers reject versions they do not understand (no silent best-effort
-// parsing). Every structural property — magic, both checksums, section
-// bounds, index monotonicity, blob sizes implied by the params — is
+// readers accept versions [1, 2] and reject anything else (no silent
+// best-effort parsing). Every structural property — magic, both
+// checksums, section bounds, index monotonicity, blob sizes implied by
+// the params, adjacency offset monotonicity and edge-ID ranges — is
 // validated at open, and every read is bounds-checked, so corrupt or
 // adversarial files throw StoreError and never invoke UB.
 #pragma once
@@ -61,10 +80,14 @@ class StoreError : public std::runtime_error {
 
 namespace store {
 
-inline constexpr std::uint64_t kFormatVersion = 1;
+// Written format version; readers accept [kMinFormatVersion, kFormatVersion].
+inline constexpr std::uint64_t kFormatVersion = 2;
+inline constexpr std::uint64_t kMinFormatVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 64;
 // "FTCSTORE" read as a little-endian u64.
 inline constexpr std::uint64_t kMagic = 0x45524F5453435446ULL;
+// Header flags byte (offset 13).
+inline constexpr std::uint8_t kFlagHasAdjacency = 0x01;
 
 // FNV-1a over a byte range (seedable so checksums can be streamed).
 inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
@@ -169,8 +192,15 @@ struct AgmParams {
   }
 };
 
-void encode_core_params(const LabelParams& p, ByteWriter& w);
-LabelParams decode_core_params(ByteReader& r);
+// Core params carry the optional per-level sketch population bounds in
+// format v2 (u32 count — 0 or num_levels — then the values); v1 blobs
+// have no bounds fields at all, so decode needs the container version.
+// bounds_out may be null when the caller only needs the fixed params.
+void encode_core_params(const LabelParams& p,
+                        std::span<const std::uint32_t> level_bounds,
+                        ByteWriter& w);
+LabelParams decode_core_params(ByteReader& r, std::uint32_t format_version,
+                               std::vector<std::uint32_t>* bounds_out = nullptr);
 void encode_cycle_params(const CycleParams& p, ByteWriter& w);
 CycleParams decode_cycle_params(ByteReader& r);
 void encode_agm_params(const AgmParams& p, ByteWriter& w);
@@ -209,6 +239,9 @@ struct StoreInfo {
   std::size_t vertex_section_bytes = 0;
   std::size_t edge_index_bytes = 0;
   std::size_t edge_blob_bytes = 0;
+  // Format v2: optional adjacency side-table (vertex-fault capability).
+  bool has_adjacency = false;
+  std::size_t adjacency_bytes = 0;
   // Derived from the params blob; match the builder scheme's accounting.
   std::size_t vertex_label_bits = 0;
   std::size_t edge_label_bits = 0;
@@ -235,6 +268,12 @@ class LabelStoreView {
   std::span<const std::uint8_t> vertex_blob(graph::VertexId v) const;
   std::span<const std::uint8_t> edge_blob(graph::EdgeId e) const;
 
+  // Adjacency side-table reads (valid only when info().has_adjacency;
+  // offsets were validated monotone and in-range at open).
+  std::size_t adjacency_degree(graph::VertexId v) const;
+  void adjacency_append(graph::VertexId v,
+                        std::vector<graph::EdgeId>& out) const;
+
  private:
   LabelStoreView() = default;
 
@@ -244,6 +283,7 @@ class LabelStoreView {
   std::size_t vertex_off_ = 0;
   std::size_t index_off_ = 0;
   std::size_t blob_off_ = 0;
+  std::size_t adj_off_ = 0;  // 0 when no adjacency section
   StoreInfo info_;
 };
 

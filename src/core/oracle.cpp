@@ -1,7 +1,5 @@
 #include "core/oracle.hpp"
 
-#include <algorithm>
-
 #include "core/batch_engine.hpp"
 
 namespace ftc::core {
@@ -26,13 +24,7 @@ ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
 
 ConnectivityOracle::ConnectivityOracle(const graph::Graph& g,
                                        const SchemeConfig& config)
-    : has_adjacency_(true), scheme_(make_scheme(g, config)) {
-  incident_.resize(g.num_vertices());
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const auto edges = g.incident_edges(v);
-    incident_[v].assign(edges.begin(), edges.end());
-  }
-}
+    : scheme_(make_scheme(g, config)) {}
 
 ConnectivityOracle::ConnectivityOracle(
     std::unique_ptr<ConnectivityScheme> scheme)
@@ -45,37 +37,35 @@ ConnectivityOracle ConnectivityOracle::from_store(const std::string& path,
   return ConnectivityOracle(load_scheme(path, options));
 }
 
+bool ConnectivityOracle::connected(VertexId s, VertexId t,
+                                   const FaultSpec& spec) const {
+  return scheme_->connected(s, t, spec);
+}
+
 bool ConnectivityOracle::connected(
     VertexId s, VertexId t, std::span<const EdgeId> edge_faults) const {
-  return scheme_->connected(s, t, edge_faults);
+  return connected(s, t, FaultSpec::edges(edge_faults));
 }
 
 bool ConnectivityOracle::connected_vertex_faults(
     VertexId s, VertexId t,
     std::span<const VertexId> vertex_faults) const {
-  FTC_REQUIRE(has_adjacency_,
-              "vertex-fault queries need adjacency; this oracle was loaded "
-              "from a label store (edge-fault queries only)");
-  if (s == t) return true;
-  std::vector<EdgeId> edges;
-  for (const VertexId v : vertex_faults) {
-    FTC_REQUIRE(v < incident_.size(), "vertex fault out of range");
-    if (v == s || v == t) return false;  // an endpoint was deleted
-    edges.insert(edges.end(), incident_[v].begin(), incident_[v].end());
-  }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  return connected(s, t, edges);
+  return connected(s, t, FaultSpec::vertices(vertex_faults));
+}
+
+std::vector<bool> ConnectivityOracle::batch_connected(
+    std::span<const Query> queries, const FaultSpec& spec) const {
+  BatchQueryEngine engine(*scheme_, spec);
+  std::vector<BatchQueryEngine::Query> batch;
+  batch.reserve(queries.size());
+  for (const Query& q : queries) batch.push_back({q.s, q.t});
+  return engine.run_sequential(batch);
 }
 
 std::vector<bool> ConnectivityOracle::batch_connected(
     std::span<const Query> queries,
     std::span<const EdgeId> edge_faults) const {
-  BatchQueryEngine engine(*scheme_, edge_faults);
-  std::vector<BatchQueryEngine::Query> batch;
-  batch.reserve(queries.size());
-  for (const Query& q : queries) batch.push_back({q.s, q.t});
-  return engine.run_sequential(batch);
+  return batch_connected(queries, FaultSpec::edges(edge_faults));
 }
 
 }  // namespace ftc::core

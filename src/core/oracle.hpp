@@ -3,11 +3,14 @@
 // Section 1.4: "any f-FTC labeling scheme is also usable as a centralized
 // oracle with the space complexity of m times the label size". This
 // wrapper owns a ConnectivityScheme backend (any of the three label
-// constructions, selected by SchemeConfig::backend), answers (s, t, F)
-// queries directly, and adds the vertex-fault reduction the paper
-// sketches: a faulty vertex becomes the set of its incident edges (label
-// size Delta * f in the worst case — the reduction the open-problems
-// section wants to beat).
+// constructions, selected by SchemeConfig::backend) and answers
+// (s, t, F) queries for any FaultSpec — edge faults, vertex faults, or
+// both. The vertex -> incident-edges reduction itself (label size
+// Delta * f in the worst case — the reduction the open-problems section
+// wants to beat) lives in the scheme layer behind AdjacencyProvider, so
+// the facade is a thin convenience: in-memory schemes and format-v2
+// label stores serve vertex faults identically, and format-v1 stores
+// raise the typed CapabilityError.
 #pragma once
 
 #include <memory>
@@ -29,21 +32,23 @@ class ConnectivityOracle {
   ConnectivityOracle(const graph::Graph& g, const SchemeConfig& config);
 
   // Serve straight from a persisted label store, without the graph.
-  // Edge-fault queries behave identically to the oracle that wrote the
-  // store; connected_vertex_faults throws std::invalid_argument (the
-  // vertex->incident-edges reduction needs adjacency, which a label
-  // store deliberately does not carry — Section 1.4's oracle is
-  // labels-only).
+  // Queries behave identically to the oracle that wrote the store;
+  // vertex-fault capability follows the container (format v2 carries the
+  // adjacency side-table; v1 containers serve edge faults only and
+  // throw CapabilityError on vertex faults).
   static ConnectivityOracle from_store(const std::string& path,
                                        const LoadOptions& options = {});
 
-  // s-t connectivity in G - faults.
+  // s-t connectivity in G - F for any mix of edge and vertex faults.
+  // A deleted endpoint is disconnected from everything else by
+  // definition (and connected to itself).
+  bool connected(graph::VertexId s, graph::VertexId t,
+                 const FaultSpec& spec) const;
+  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
   bool connected(graph::VertexId s, graph::VertexId t,
                  std::span<const graph::EdgeId> edge_faults) const;
 
-  // s-t connectivity after deleting whole vertices (all incident edges).
-  // A deleted endpoint is disconnected from everything else by definition
-  // (and connected to itself).
+  // Deprecated vertex-only shim, kept one release: forwards to FaultSpec.
   bool connected_vertex_faults(
       graph::VertexId s, graph::VertexId t,
       std::span<const graph::VertexId> vertex_faults) const;
@@ -55,9 +60,17 @@ class ConnectivityOracle {
   // Shared fault set across a batch: fault labels are materialized once
   // and the decode workspace is reused (see batch_engine.hpp for the
   // multi-threaded version).
+  std::vector<bool> batch_connected(std::span<const Query> queries,
+                                    const FaultSpec& spec) const;
+  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
   std::vector<bool> batch_connected(
       std::span<const Query> queries,
       std::span<const graph::EdgeId> edge_faults) const;
+
+  // True when the scheme can serve vertex faults (it carries adjacency).
+  bool supports_vertex_faults() const {
+    return scheme_->adjacency() != nullptr;
+  }
 
   const ConnectivityScheme& scheme() const { return *scheme_; }
   std::size_t space_bits() const { return scheme_->total_label_bits(); }
@@ -65,8 +78,6 @@ class ConnectivityOracle {
  private:
   explicit ConnectivityOracle(std::unique_ptr<ConnectivityScheme> scheme);
 
-  bool has_adjacency_ = false;  // false for store-loaded oracles
-  std::vector<std::vector<graph::EdgeId>> incident_;  // adjacency copy
   std::unique_ptr<ConnectivityScheme> scheme_;
 };
 

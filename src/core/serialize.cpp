@@ -153,7 +153,9 @@ void check(bool ok, const char* what) {
 
 }  // namespace
 
-void encode_core_params(const LabelParams& p, ByteWriter& w) {
+void encode_core_params(const LabelParams& p,
+                        std::span<const std::uint32_t> level_bounds,
+                        ByteWriter& w) {
   w.u8(p.field_bits);
   w.u8(p.kind);
   w.u8(0);
@@ -161,9 +163,19 @@ void encode_core_params(const LabelParams& p, ByteWriter& w) {
   w.u32(p.n_aux);
   w.u32(p.k);
   w.u32(p.num_levels);
+  // v2 trailer: per-level sketch population bounds. Count is 0 (no
+  // bounds, e.g. a re-saved v1 store) or exactly num_levels.
+  FTC_REQUIRE(level_bounds.empty() || level_bounds.size() == p.num_levels,
+              "level bounds inconsistent with the label hierarchy");
+  w.u32(static_cast<std::uint32_t>(level_bounds.size()));
+  for (const std::uint32_t b : level_bounds) {
+    FTC_REQUIRE(b <= p.k, "level bound exceeds sketch capacity");
+    w.u32(b);
+  }
 }
 
-LabelParams decode_core_params(ByteReader& r) {
+LabelParams decode_core_params(ByteReader& r, std::uint32_t format_version,
+                               std::vector<std::uint32_t>* bounds_out) {
   LabelParams p;
   p.field_bits = r.u8();
   p.kind = r.u8();
@@ -176,6 +188,17 @@ LabelParams decode_core_params(ByteReader& r) {
         "corrupt core-ftc params: bad field width");
   check(p.k <= kMaxSketchDim && p.num_levels <= kMaxSketchDim,
         "corrupt core-ftc params: implausible sketch dimensions");
+  if (bounds_out != nullptr) bounds_out->clear();
+  if (format_version >= 2) {
+    const std::uint32_t count = r.u32();
+    check(count == 0 || count == p.num_levels,
+          "corrupt core-ftc params: bad level-bound count");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t b = r.u32();
+      check(b <= p.k, "corrupt core-ftc params: level bound exceeds k");
+      if (bounds_out != nullptr) bounds_out->push_back(b);
+    }
+  }
   return p;
 }
 

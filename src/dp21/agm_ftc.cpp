@@ -8,6 +8,7 @@
 #include "graph/spanning_tree.hpp"
 #include "graph/union_find.hpp"
 #include "util/common.hpp"
+#include "util/xor_kernel.hpp"
 
 namespace ftc::dp21 {
 
@@ -114,10 +115,14 @@ AgmEdgeLabel AgmFtc::edge_label(EdgeId e) const {
   return edge_labels_[e];
 }
 
-bool AgmFtc::connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
-                       std::span<const AgmEdgeLabel> faults) {
-  if (s.anc == t.anc) return true;
-  if (faults.empty()) return true;
+// Fault-set-only work: dedup, fragment structure, and the initial
+// per-fragment sketches (Proposition 4), flattened to one word row per
+// fragment so queries can seed their mutable state with a single copy
+// and merge through the shared word-XOR kernel.
+AgmFtc::Prepared AgmFtc::Prepared::prepare(
+    std::span<const AgmEdgeLabel> faults) {
+  Prepared prep;
+  if (faults.empty()) return prep;
 
   std::vector<const AgmEdgeLabel*> uniq;
   for (const AgmEdgeLabel& f : faults) uniq.push_back(&f);
@@ -134,34 +139,72 @@ bool AgmFtc::connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
   for (const auto* f : uniq) intervals.push_back({f->lower.tin, f->lower.tout});
-  const graph::FragmentLocator loc(std::move(intervals));
-  const int num_frag = loc.fragment_count();
+  graph::FragmentLocator loc(std::move(intervals));
+  prep.num_frag_ = loc.fragment_count();
+  prep.levels_ = uniq[0]->sketch.levels();
+  prep.reps_ = uniq[0]->sketch.reps();
+  prep.seed_ = uniq[0]->sketch.seed();
+  prep.words_per_frag_ = uniq[0]->sketch.num_words();
 
+  prep.frag_words_.assign(
+      static_cast<std::size_t>(prep.num_frag_) * prep.words_per_frag_, 0);
+  std::vector<std::uint64_t> scratch;
+  for (std::size_t j = 0; j < nf; ++j) {
+    // Full geometry check (not just word count): sketches built under a
+    // different seed have incompatible fingerprints and must fail fast,
+    // not silently merge into whp-rejected cells.
+    FTC_REQUIRE(uniq[j]->sketch.levels() == prep.levels_ &&
+                    uniq[j]->sketch.reps() == prep.reps_ &&
+                    uniq[j]->sketch.seed() == prep.seed_,
+                "fault labels from different AGM schemes");
+    scratch.clear();
+    uniq[j]->sketch.append_words(scratch);
+    FTC_CHECK(scratch.size() == prep.words_per_frag_,
+              "AGM sketch word count inconsistent with its geometry");
+    const int below = loc.fragment_of_fault(j);
+    const int above = loc.parent_fragment(below);
+    for (const int fr : {below, above}) {
+      xor_words(prep.frag_words_.data() + fr * prep.words_per_frag_,
+                scratch.data(), prep.words_per_frag_);
+    }
+  }
+  prep.loc_ = std::move(loc);
+  return prep;
+}
+
+bool AgmFtc::connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
+                       const Prepared& prepared, Workspace& workspace) {
+  if (s.anc == t.anc) return true;
+  if (prepared.trivial()) return true;
+
+  const graph::FragmentLocator& loc = prepared.loc_;
   const int fs = loc.locate(s.anc.tin);
   const int ft = loc.locate(t.anc.tin);
   if (fs == ft) return true;
 
-  // Per-fragment sketches (Proposition 4).
-  std::vector<AgmSketch> frag(num_frag, AgmSketch(uniq[0]->sketch.levels(),
-                                                  uniq[0]->sketch.reps(),
-                                                  uniq[0]->sketch.seed()));
-  for (std::size_t j = 0; j < nf; ++j) {
-    const int below = loc.fragment_of_fault(j);
-    const int above = loc.parent_fragment(below);
-    frag[below].merge(uniq[j]->sketch);
-    frag[above].merge(uniq[j]->sketch);
-  }
+  const std::size_t num_frag = static_cast<std::size_t>(prepared.num_frag_);
+  const std::size_t wpf = prepared.words_per_frag_;
+  // Seed the mutable state from the immutable session rows. assign()
+  // reuses the workspace buffers' capacity, so steady-state queries are
+  // allocation-free.
+  workspace.frag_words_.assign(prepared.frag_words_.begin(),
+                               prepared.frag_words_.end());
+  workspace.uf_.reset(num_frag);
+  workspace.closed_.assign(num_frag, 0);
+  graph::UnionFind& uf = workspace.uf_;
+  const auto frag_row = [&](std::size_t fr) {
+    return workspace.frag_words_.data() + fr * wpf;
+  };
 
-  graph::UnionFind uf(static_cast<std::size_t>(num_frag));
-  std::vector<char> closed(num_frag, 0);
   // Source-first growth, as in DP21: grow the set containing s.
   while (true) {
     const std::size_t cur = uf.find(static_cast<std::size_t>(fs));
-    if (closed[cur]) return false;
-    const auto sample = frag[cur].sample();
+    if (workspace.closed_[cur]) return false;
+    const auto sample = sketch::AgmSketch::sample_words(
+        std::span<const std::uint64_t>(frag_row(cur), wpf), prepared.seed_);
     if (!sample.has_value()) {
       // Empty (whp) -> the component of s is complete without t.
-      closed[cur] = 1;
+      workspace.closed_[cur] = 1;
       return false;
     }
     const auto [a, b] = unpack_id(*sample);
@@ -175,12 +218,18 @@ bool AgmFtc::connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
     uf.unite(fa, fb);
     const std::size_t root = uf.find(fa);
     const std::size_t other = root == fa ? fb : fa;
-    frag[root].merge(frag[other]);
+    xor_words(frag_row(root), frag_row(other), wpf);
     if (uf.find(static_cast<std::size_t>(fs)) ==
         uf.find(static_cast<std::size_t>(ft))) {
       return true;
     }
   }
+}
+
+bool AgmFtc::connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
+                       std::span<const AgmEdgeLabel> faults) {
+  Workspace workspace;
+  return connected(s, t, Prepared::prepare(faults), workspace);
 }
 
 }  // namespace ftc::dp21

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "graph/ancestry.hpp"
+#include "graph/fragments.hpp"
 #include "graph/graph.hpp"
+#include "graph/union_find.hpp"
 #include "sketch/agm_sketch.hpp"
 
 namespace ftc::dp21 {
@@ -43,7 +45,50 @@ class AgmFtc {
   AgmVertexLabel vertex_label(graph::VertexId v) const;
   AgmEdgeLabel edge_label(graph::EdgeId e) const;
 
-  // Universal decoder; correct whp over the sketch hash seeds.
+  // Immutable per-fault-set session state: deduplicated faults, the
+  // fragment locator of T' - sigma(F), and every fragment's initial
+  // sketch as one flat word row (Proposition 4). Built once; any number
+  // of threads may query against the same Prepared concurrently.
+  class Prepared {
+   public:
+    static Prepared prepare(std::span<const AgmEdgeLabel> faults);
+
+    bool trivial() const { return num_frag_ == 0; }  // empty fault set
+
+   private:
+    Prepared() = default;
+    friend class AgmFtc;
+
+    graph::FragmentLocator loc_{
+        std::vector<std::pair<std::uint32_t, std::uint32_t>>{}};
+    int num_frag_ = 0;
+    unsigned levels_ = 0;
+    unsigned reps_ = 0;
+    std::uint64_t seed_ = 0;
+    std::size_t words_per_frag_ = 0;
+    std::vector<std::uint64_t> frag_words_;  // num_frag_ * words_per_frag_
+  };
+
+  // Reusable per-thread scratch: the mutable fragment-sketch rows the
+  // source-first growth merges into (seeded from Prepared at query
+  // start; buffers are recycled so steady-state queries allocate
+  // nothing), plus the union-find forest and closed flags. NOT
+  // thread-safe; one workspace per worker thread. The AGM sketches are
+  // the largest per-query state of any backend, which is why this
+  // backend gains the most from workspace reuse.
+  class Workspace {
+   private:
+    friend class AgmFtc;
+    std::vector<std::uint64_t> frag_words_;
+    graph::UnionFind uf_{0};
+    std::vector<char> closed_;
+  };
+
+  // Session decoder: the batch-engine hot path.
+  static bool connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
+                        const Prepared& prepared, Workspace& workspace);
+
+  // One-shot universal decoder; correct whp over the sketch hash seeds.
   static bool connected(const AgmVertexLabel& s, const AgmVertexLabel& t,
                         std::span<const AgmEdgeLabel> faults);
 

@@ -120,10 +120,13 @@ std::size_t CycleSpaceFtc::edge_label_bits() const {
   return 4 * coord_bits_ + bits_ + 1;
 }
 
-bool CycleSpaceFtc::connected(const CsVertexLabel& s, const CsVertexLabel& t,
-                              std::span<const CsEdgeLabel> faults) {
-  if (s.anc == t.anc) return true;
-  if (faults.empty()) return true;
+// All fault-set-only work — fragment structure, per-fragment cut
+// vectors, and the GF(2) kernel of the fragment-vector matrix — happens
+// here, once per session. Queries never mutate any of it.
+CycleSpaceFtc::Prepared CycleSpaceFtc::Prepared::prepare(
+    std::span<const CsEdgeLabel> faults) {
+  Prepared prep;
+  if (faults.empty()) return prep;
 
   // Distinct tree faults, identified by the lower endpoint's tin.
   std::vector<const CsEdgeLabel*> tree_faults;
@@ -140,17 +143,14 @@ bool CycleSpaceFtc::connected(const CsVertexLabel& s, const CsVertexLabel& t,
                                   return x->b.tin == y->b.tin;
                                 }),
                     tree_faults.end());
-  if (tree_faults.empty()) return true;  // the spanning tree survives
+  if (tree_faults.empty()) return prep;  // the spanning tree survives
+  prep.trivial_ = false;
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
   intervals.reserve(tree_faults.size());
   for (const auto* f : tree_faults) intervals.push_back({f->b.tin, f->b.tout});
-  const graph::FragmentLocator loc(std::move(intervals));
+  graph::FragmentLocator loc(std::move(intervals));
   const int num_frag = loc.fragment_count();
-
-  const int fs = loc.locate(s.anc.tin);
-  const int ft = loc.locate(t.anc.tin);
-  if (fs == ft) return true;
 
   const std::size_t words = tree_faults[0]->vec.size();
   std::vector<std::vector<std::uint64_t>> vec(
@@ -237,15 +237,32 @@ bool CycleSpaceFtc::connected(const CsVertexLabel& s, const CsVertexLabel& t,
     }
   }
 
+  prep.kernel_ = std::move(kernel);
+  prep.loc_ = std::move(loc);
+  return prep;
+}
+
+bool CycleSpaceFtc::connected(const CsVertexLabel& s, const CsVertexLabel& t,
+                              const Prepared& prepared) {
+  if (s.anc == t.anc) return true;
+  if (prepared.trivial_) return true;
+  const int fs = prepared.loc_.locate(s.anc.tin);
+  const int ft = prepared.loc_.locate(t.anc.tin);
+  if (fs == ft) return true;
   // Fragments are in the same component of G - F iff they agree on every
   // kernel basis vector.
   const auto bit = [](const std::vector<std::uint64_t>& m, int i) -> bool {
     return (m[i / 64] >> (i % 64)) & 1;
   };
-  for (const auto& kv : kernel) {
+  for (const auto& kv : prepared.kernel_) {
     if (bit(kv, fs) != bit(kv, ft)) return false;
   }
   return true;
+}
+
+bool CycleSpaceFtc::connected(const CsVertexLabel& s, const CsVertexLabel& t,
+                              std::span<const CsEdgeLabel> faults) {
+  return connected(s, t, Prepared::prepare(faults));
 }
 
 }  // namespace ftc::dp21

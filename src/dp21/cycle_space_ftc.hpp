@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/ancestry.hpp"
+#include "graph/fragments.hpp"
 #include "graph/graph.hpp"
 
 namespace ftc::dp21 {
@@ -54,9 +55,39 @@ class CycleSpaceFtc {
   CsVertexLabel vertex_label(graph::VertexId v) const;
   CsEdgeLabel edge_label(graph::EdgeId e) const;
 
-  // Universal decoder; correct with high probability over the sampled
-  // lambdas (one-sided: "connected" answers are always correct, a
-  // "disconnected" answer is wrong only on a lambda collision).
+  // Per-fault-set session state, built once and shared by any number of
+  // queries (and threads — it is immutable after prepare). Everything
+  // the decoder derives from the fault labels is (s, t)-independent
+  // here: the fragment locator AND the GF(2) kernel of the
+  // fragment-vector matrix, so a query is just two fragment locations
+  // plus one bit comparison per kernel vector.
+  class Prepared {
+   public:
+    static Prepared prepare(std::span<const CsEdgeLabel> faults);
+
+    // True when the spanning tree survives (no tree fault): every query
+    // answers "connected" without touching the locator.
+    bool trivial() const { return trivial_; }
+
+   private:
+    Prepared() = default;
+    friend class CycleSpaceFtc;
+
+    bool trivial_ = true;
+    graph::FragmentLocator loc_{
+        std::vector<std::pair<std::uint32_t, std::uint32_t>>{}};
+    // Kernel combos over fragments: two fragments are connected in G - F
+    // iff they agree on every kernel vector (whp).
+    std::vector<std::vector<std::uint64_t>> kernel_;
+  };
+
+  // Session decoder: the batch-engine hot path.
+  static bool connected(const CsVertexLabel& s, const CsVertexLabel& t,
+                        const Prepared& prepared);
+
+  // One-shot universal decoder; correct with high probability over the
+  // sampled lambdas (one-sided: "connected" answers are always correct,
+  // a "disconnected" answer is wrong only on a lambda collision).
   static bool connected(const CsVertexLabel& s, const CsVertexLabel& t,
                         std::span<const CsEdgeLabel> faults);
 

@@ -40,6 +40,22 @@ bool connected_avoiding(const Graph& g, VertexId s, VertexId t,
   return false;
 }
 
+bool connected_avoiding(const Graph& g, VertexId s, VertexId t,
+                        std::span<const EdgeId> edge_faults,
+                        std::span<const VertexId> vertex_faults) {
+  FTC_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
+              "vertex out of range");
+  if (s == t) return true;
+  std::vector<EdgeId> dead(edge_faults.begin(), edge_faults.end());
+  for (const VertexId v : vertex_faults) {
+    FTC_REQUIRE(v < g.num_vertices(), "fault vertex out of range");
+    if (v == s || v == t) return false;  // an endpoint was deleted
+    const auto inc = g.incident_edges(v);
+    dead.insert(dead.end(), inc.begin(), inc.end());
+  }
+  return connected_avoiding(g, s, t, dead);
+}
+
 std::vector<int> components_avoiding(const Graph& g,
                                      std::span<const EdgeId> faults) {
   const std::vector<char> faulty = fault_mask(g, faults);

@@ -13,6 +13,14 @@ namespace ftc::graph {
 bool connected_avoiding(const Graph& g, VertexId s, VertexId t,
                         std::span<const EdgeId> faults);
 
+// Same, after additionally deleting whole vertices (every incident edge
+// of a faulty vertex goes down with it). A deleted endpoint is
+// disconnected from everything else by definition, and connected to
+// itself — matching the oracle's fault-model semantics.
+bool connected_avoiding(const Graph& g, VertexId s, VertexId t,
+                        std::span<const EdgeId> edge_faults,
+                        std::span<const VertexId> vertex_faults);
+
 // Component id per vertex in g - faults (ids are 0-based, arbitrary).
 std::vector<int> components_avoiding(const Graph& g,
                                      std::span<const EdgeId> faults);

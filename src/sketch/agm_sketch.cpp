@@ -16,13 +16,14 @@ std::uint64_t AgmSketch::item_hash(const PackedId& id, unsigned rep) const {
                   seed_ + 0x1000003 * (rep + 1));
 }
 
-std::uint64_t AgmSketch::fingerprint(std::uint64_t lo, std::uint64_t hi) const {
-  return mix_hash(lo + 0x6a09e667f3bcc909ULL * hi, seed_ ^ 0xdeadbeefULL);
+std::uint64_t AgmSketch::fingerprint(std::uint64_t lo, std::uint64_t hi,
+                                     std::uint64_t seed) {
+  return mix_hash(lo + 0x6a09e667f3bcc909ULL * hi, seed ^ 0xdeadbeefULL);
 }
 
 void AgmSketch::toggle(const PackedId& id) {
   FTC_REQUIRE(!id.is_zero(), "sketch items must be nonzero");
-  const std::uint64_t f = fingerprint(id.lo, id.hi);
+  const std::uint64_t f = fingerprint(id.lo, id.hi, seed_);
   for (unsigned r = 0; r < reps_; ++r) {
     const std::uint64_t h = item_hash(id, r);
     unsigned level = h == 0 ? 63u : static_cast<unsigned>(__builtin_ctzll(h));
@@ -45,12 +46,17 @@ void AgmSketch::merge(const AgmSketch& o) {
 }
 
 std::optional<PackedId> AgmSketch::sample() const {
-  for (std::size_t i = 0; i + 2 < words_.size(); i += 3) {
-    const std::uint64_t id_lo = words_[i];
-    const std::uint64_t id_hi = words_[i + 1];
-    const std::uint64_t fp = words_[i + 2];
+  return sample_words(words_, seed_);
+}
+
+std::optional<PackedId> AgmSketch::sample_words(
+    std::span<const std::uint64_t> words, std::uint64_t seed) {
+  for (std::size_t i = 0; i + 2 < words.size(); i += 3) {
+    const std::uint64_t id_lo = words[i];
+    const std::uint64_t id_hi = words[i + 1];
+    const std::uint64_t fp = words[i + 2];
     if (id_lo == 0 && id_hi == 0 && fp == 0) continue;
-    if (fp == fingerprint(id_lo, id_hi)) {
+    if (fp == fingerprint(id_lo, id_hi, seed)) {
       return PackedId{id_lo, id_hi};
     }
   }

@@ -62,9 +62,16 @@ class AgmSketch {
                               std::uint64_t seed,
                               std::span<const std::uint64_t> words);
 
+  // sample() over a raw cell array (3 u64 per cell, the layout above)
+  // without materializing an AgmSketch — the dp21 query workspace keeps
+  // per-fragment sketches as flat word rows and samples them in place.
+  static std::optional<PackedId> sample_words(
+      std::span<const std::uint64_t> words, std::uint64_t seed);
+
  private:
   std::uint64_t item_hash(const PackedId& id, unsigned rep) const;
-  std::uint64_t fingerprint(std::uint64_t lo, std::uint64_t hi) const;
+  static std::uint64_t fingerprint(std::uint64_t lo, std::uint64_t hi,
+                                   std::uint64_t seed);
 
   unsigned levels_ = 0;
   unsigned reps_ = 0;

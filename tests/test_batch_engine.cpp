@@ -81,7 +81,7 @@ TEST_P(BatchEngine, EmptyBatchAndEmptyFaults) {
   const Graph g = graph::random_connected(24, 60, 37);
   const auto scheme = make_scheme(g, test_config(GetParam(), 2));
 
-  BatchQueryEngine no_faults(*scheme, {});
+  BatchQueryEngine no_faults(*scheme, FaultSpec{});
   EXPECT_EQ(no_faults.num_faults(), 0u);
   EXPECT_TRUE(no_faults.run_sequential({}).empty());
   EXPECT_TRUE(no_faults.run_parallel({}, 4).empty());
@@ -110,7 +110,7 @@ TEST_P(BatchEngine, ResetFaultsReusesWorkspaces) {
   const Graph g = graph::random_connected(30, 75, 41);
   const auto scheme = make_scheme(g, test_config(GetParam(), 3));
   SplitMix64 rng(17);
-  BatchQueryEngine engine(*scheme, {});
+  BatchQueryEngine engine(*scheme, FaultSpec{});
   for (int epoch = 0; epoch < 3; ++epoch) {
     std::vector<EdgeId> faults;
     for (int i = 0; i < 3; ++i) {

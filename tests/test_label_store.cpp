@@ -188,25 +188,34 @@ TEST_P(LabelStoreParity, TenThousandQueryBatchMatchesInMemory) {
   }
 }
 
-TEST_P(LabelStoreParity, OracleFromStoreServesEdgeFaultsOnly) {
+// A format-v2 store carries the adjacency side-table, so the oracle
+// facade over a loaded scheme serves edge, vertex and mixed faults
+// exactly like the in-memory oracle that wrote it.
+TEST_P(LabelStoreParity, OracleFromStoreServesVertexAndMixedFaults) {
   const Graph g = graph::barbell(8, 3);
-  const auto scheme = make_scheme(g, test_config(GetParam(), 2));
+  // Headroom for the Delta * f incident-edge reduction (Delta = 8 here).
+  const auto scheme = make_scheme(g, test_config(GetParam(), 10));
   StoreFile file("oracle_" + std::to_string(static_cast<int>(GetParam())));
   scheme->save(file.path());
 
   const ConnectivityOracle oracle = ConnectivityOracle::from_store(file.path());
   EXPECT_EQ(oracle.scheme().backend(), GetParam());
+  EXPECT_TRUE(oracle.supports_vertex_faults());
   SplitMix64 rng(5);
   for (int it = 0; it < 20; ++it) {
-    const auto faults = random_faults(rng, g, 2);
+    const auto edge_faults = random_faults(rng, g, 2);
+    std::vector<VertexId> vertex_faults;
+    for (unsigned i = 0; i < rng.next_below(2); ++i) {
+      vertex_faults.push_back(
+          static_cast<VertexId>(rng.next_below(g.num_vertices())));
+    }
+    const auto spec = FaultSpec::of(edge_faults, vertex_faults);
     const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
     const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
-    EXPECT_EQ(oracle.connected(s, t, faults),
-              graph::connected_avoiding(g, s, t, faults));
+    EXPECT_EQ(oracle.connected(s, t, spec),
+              graph::connected_avoiding(g, s, t, edge_faults, vertex_faults))
+        << "it=" << it;
   }
-  const std::vector<VertexId> vf{0};
-  EXPECT_THROW((void)oracle.connected_vertex_faults(1, 2, vf),
-               std::invalid_argument);
 }
 
 TEST_P(LabelStoreParity, LoadedSchemeValidatesQueryArguments) {
@@ -217,8 +226,12 @@ TEST_P(LabelStoreParity, LoadedSchemeValidatesQueryArguments) {
   const auto loaded = load_scheme(file.path());
   const std::vector<EdgeId> bad{g.num_edges()};
   EXPECT_THROW((void)loaded->prepare_faults(bad), std::invalid_argument);
-  EXPECT_THROW((void)loaded->connected(g.num_vertices(), 0, {}),
+  EXPECT_THROW((void)loaded->connected(g.num_vertices(), 0, FaultSpec{}),
                std::invalid_argument);
+  EXPECT_THROW(
+      (void)loaded->prepare_faults(
+          FaultSpec::vertices(std::vector<VertexId>{g.num_vertices()})),
+      std::invalid_argument);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, LabelStoreParity,
@@ -373,6 +386,193 @@ TEST_F(LabelStoreAdversarial, OversizedDimensionsThrow) {
   write_file(file.path(), bytes);
   EXPECT_THROW((void)LabelStoreView::open(file.path()), StoreError);
 }
+
+// ------------------------------------------------------------------
+// Format v2 adjacency section: adversarial corpus. Every corruption must
+// surface as StoreError — with and without the payload-checksum pass.
+
+TEST_F(LabelStoreAdversarial, AdjacencyFlagWithoutSectionThrows) {
+  StoreFile file("adjflag");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  // Clear the adjacency size (offset 48) but keep the flag (offset 13).
+  for (int i = 0; i < 8; ++i) bytes[48 + i] = 0;
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, UnknownHeaderFlagThrows) {
+  StoreFile file("badflag");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[13] |= 0x80;  // undefined flag bit
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, AdjacencySizeMismatchThrows) {
+  StoreFile file("adjsize");
+  auto bytes = make_store_bytes(BackendKind::kCoreFtc, file);
+  bytes[48] ^= 0x08;  // adjacency size no longer matches 8(n+1) + 8m
+  fix_header_checksum(bytes);
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, TruncatedAdjacencySectionThrows) {
+  for (const BackendKind backend : kAllBackends) {
+    StoreFile file("adjtrunc_" + std::to_string(static_cast<int>(backend)));
+    const auto bytes = make_store_bytes(backend, file);
+    const auto view = LabelStoreView::open(file.path());
+    ASSERT_TRUE(view->info().has_adjacency);
+    const std::size_t adj_bytes = view->info().adjacency_bytes;
+    // Cut inside the adjacency section (offsets and lists regions).
+    for (const std::size_t keep :
+         {bytes.size() - adj_bytes + 8, bytes.size() - adj_bytes / 2,
+          bytes.size() - 1}) {
+      write_file(file.path(),
+                 std::span<const std::uint8_t>(bytes.data(), keep));
+      EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError)
+          << backend_name(backend) << " truncated to " << keep;
+    }
+  }
+}
+
+TEST_F(LabelStoreAdversarial, NonMonotoneAdjacencyOffsetsThrow) {
+  StoreFile file("adjmono");
+  auto bytes = make_store_bytes(BackendKind::kDp21CycleSpace, file);
+  const auto view = LabelStoreView::open(file.path());
+  const std::size_t adj_off = bytes.size() - view->info().adjacency_bytes;
+  // Offset entry 1 becomes garbage (way beyond 2m).
+  bytes[adj_off + 8 + 6] = 0xff;
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError);
+}
+
+TEST_F(LabelStoreAdversarial, AdjacencyEdgeIdOutOfRangeThrows) {
+  StoreFile file("adjid");
+  auto bytes = make_store_bytes(BackendKind::kDp21CycleSpace, file);
+  const auto view = LabelStoreView::open(file.path());
+  const StoreInfo info = view->info();
+  const std::size_t adj_off = bytes.size() - info.adjacency_bytes;
+  const std::size_t lists_off =
+      adj_off + 8 * (static_cast<std::size_t>(info.num_vertices) + 1);
+  for (int i = 0; i < 4; ++i) bytes[lists_off + i] = 0xff;  // id = 2^32 - 1
+  write_file(file.path(), bytes);
+  EXPECT_THROW((void)LabelStoreView::open(file.path(), false), StoreError);
+}
+
+// ------------------------------------------------------------------
+// Backward compatibility: checked-in format-v1 fixtures (written by the
+// PR-2/PR-3 era writer) must still load, serve edge-fault queries
+// identically to a freshly built scheme, and raise the typed capability
+// error on vertex faults (v1 carries no adjacency).
+
+struct V1Fixture {
+  const char* file;
+  BackendKind backend;
+};
+
+class LabelStoreV1Compat : public ::testing::TestWithParam<V1Fixture> {
+ protected:
+  // The exact graph + config the fixtures were generated with (see
+  // tests/data/: barbell(4, 3), f = 2, seed 7, k_override 12 /
+  // bits_override 64).
+  static Graph fixture_graph() { return graph::barbell(4, 3); }
+  static SchemeConfig fixture_config(BackendKind backend) {
+    SchemeConfig cfg;
+    cfg.backend = backend;
+    cfg.set_f(2).set_seed(7);
+    cfg.ftc.k_override = 12;
+    cfg.cycle.bits_override = 64;
+    return cfg;
+  }
+  static std::string fixture_path(const char* file) {
+    return std::string(FTC_TEST_DATA_DIR) + "/" + file;
+  }
+};
+
+TEST_P(LabelStoreV1Compat, LoadsAndServesEdgeFaultsUnchanged) {
+  const std::string path = fixture_path(GetParam().file);
+  const auto view = LabelStoreView::open(path);
+  EXPECT_EQ(view->info().format_version, 1u);
+  EXPECT_EQ(view->info().backend, GetParam().backend);
+  EXPECT_FALSE(view->info().has_adjacency);
+  EXPECT_EQ(view->info().adjacency_bytes, 0u);
+
+  const Graph g = fixture_graph();
+  const auto rebuilt = make_scheme(g, fixture_config(GetParam().backend));
+  for (const LoadMode mode : {LoadMode::kMmap, LoadMode::kMaterialize}) {
+    const auto loaded = load_scheme(path, {mode, true});
+    EXPECT_EQ(loaded->num_vertices(), g.num_vertices());
+    EXPECT_EQ(loaded->num_edges(), g.num_edges());
+    EXPECT_EQ(loaded->adjacency(), nullptr);
+    SplitMix64 rng(77);
+    for (int it = 0; it < 40; ++it) {
+      const auto faults = random_faults(rng, g, 2);
+      const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const bool expected = graph::connected_avoiding(g, s, t, faults);
+      EXPECT_EQ(loaded->connected(s, t, faults), expected) << "it=" << it;
+      EXPECT_EQ(rebuilt->connected(s, t, faults), expected) << "it=" << it;
+    }
+  }
+}
+
+TEST_P(LabelStoreV1Compat, VertexFaultsRaiseTypedCapabilityError) {
+  const std::string path = fixture_path(GetParam().file);
+  const auto loaded = load_scheme(path);
+  const std::vector<VertexId> vf{1};
+  EXPECT_THROW((void)loaded->prepare_faults(FaultSpec::vertices(vf)),
+               CapabilityError);
+  EXPECT_THROW((void)loaded->connected(0, 2, FaultSpec::vertices(vf)),
+               CapabilityError);
+  const ConnectivityOracle oracle = ConnectivityOracle::from_store(path);
+  EXPECT_FALSE(oracle.supports_vertex_faults());
+  EXPECT_THROW((void)oracle.connected_vertex_faults(0, 2, vf),
+               CapabilityError);
+  // Edge-only specs keep working through the same session API.
+  BatchQueryEngine session(load_scheme(path),
+                           FaultSpec::edges(std::vector<EdgeId>{0, 3}));
+  EXPECT_THROW(session.reset_faults(FaultSpec::vertices(vf)),
+               CapabilityError);
+}
+
+// A v1 container re-saved through the new writer becomes a valid v2
+// container (core params gain an empty bounds trailer, still no
+// adjacency) and keeps serving identical answers.
+TEST_P(LabelStoreV1Compat, ResaveUpgradesToV2WithoutAdjacency) {
+  const std::string path = fixture_path(GetParam().file);
+  const auto loaded = load_scheme(path);
+  StoreFile upgraded("v1_upgrade_" +
+                     std::to_string(static_cast<int>(GetParam().backend)));
+  loaded->save(upgraded.path());
+  const auto view = LabelStoreView::open(upgraded.path());
+  EXPECT_EQ(view->info().format_version, store::kFormatVersion);
+  EXPECT_FALSE(view->info().has_adjacency);
+  const auto reloaded = load_scheme(upgraded.path());
+  const Graph g = fixture_graph();
+  SplitMix64 rng(78);
+  for (int it = 0; it < 25; ++it) {
+    const auto faults = random_faults(rng, g, 2);
+    const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    EXPECT_EQ(reloaded->connected(s, t, faults),
+              graph::connected_avoiding(g, s, t, faults))
+        << "it=" << it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, LabelStoreV1Compat,
+    ::testing::Values(V1Fixture{"v1_core_ftc.ftcs", BackendKind::kCoreFtc},
+                      V1Fixture{"v1_dp21_cycle.ftcs",
+                                BackendKind::kDp21CycleSpace}),
+    [](const auto& info) {
+      return std::string(info.param.backend == BackendKind::kCoreFtc
+                             ? "core_ftc"
+                             : "dp21_cycle");
+    });
 
 }  // namespace
 }  // namespace ftc::core

@@ -10,14 +10,18 @@
 // different fragment structures (expanders, large diameter, bridges,
 // clique chains, heavy-tailed degrees, product graphs).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/batch_engine.hpp"
 #include "core/connectivity_scheme.hpp"
+#include "core/label_store.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "util/common.hpp"
@@ -179,6 +183,111 @@ TEST_P(StressDifferential, SessionsAgreeWithOneShotAcrossAblations) {
         }
       }
     }
+  }
+}
+
+// The FaultSpec fault model, differentially: vertex-only and mixed
+// edge+vertex fault sweeps vs the BFS ground truth, across all three
+// backends, through every serving path — one-shot connected(spec),
+// prepared sessions, BatchQueryEngine, and schemes served from a
+// format-v2 label store in both load modes.
+TEST_P(StressDifferential, VertexAndMixedFaultsAgreeWithBfsGroundTruth) {
+  // Capacity headroom: <= 2 vertex faults * max degree + 2 edge faults.
+  const unsigned f = 14;
+  struct Sweep {
+    const char* family;
+    unsigned n;
+    std::uint64_t seed;
+  };
+  const Sweep sweeps[] = {
+      {"grid", 4, 0},
+      {"path_of_cliques", 4, 0},
+      {"hypercube", 4, 0},
+      {"preferential_attachment", 24, 2},
+  };
+  for (const Sweep& sweep : sweeps) {
+    const auto inst = make_instance(sweep.family, sweep.n, sweep.seed);
+    ASSERT_TRUE(inst.has_value());
+    const Graph& g = inst->g;
+    const auto scheme = make_scheme(g, stress_config(GetParam(), f));
+
+    // Store round-trip: the saved container (format v2, with adjacency)
+    // must answer vertex faults exactly like the in-memory scheme.
+    const std::string store_path =
+        ::testing::TempDir() + "ftc_vfstress_" + sweep.family + "_" +
+        std::to_string(static_cast<int>(GetParam())) + "_" +
+        std::to_string(::getpid()) + ".ftcs";
+    scheme->save(store_path);
+    const auto mmap_scheme =
+        load_scheme(store_path, {LoadMode::kMmap, true});
+    const auto mat_scheme =
+        load_scheme(store_path, {LoadMode::kMaterialize, true});
+
+    SplitMix64 rng(mix_hash(sweep.n * 77 + sweep.seed, 0x5eed));
+    for (int it = 0; it < 25; ++it) {
+      std::vector<graph::VertexId> vertex_faults;
+      for (unsigned i = 0; i < 1 + rng.next_below(2); ++i) {
+        vertex_faults.push_back(
+            static_cast<VertexId>(rng.next_below(g.num_vertices())));
+      }
+      std::vector<EdgeId> edge_faults;
+      if (it % 2 == 0) {  // alternate vertex-only and mixed sweeps
+        for (unsigned i = 0; i < rng.next_below(3); ++i) {
+          edge_faults.push_back(
+              static_cast<EdgeId>(rng.next_below(g.num_edges())));
+        }
+      }
+      const auto spec = FaultSpec::of(edge_faults, vertex_faults);
+      const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const bool expected =
+          graph::connected_avoiding(g, s, t, edge_faults, vertex_faults);
+      const auto replay = [&](const char* path) {
+        std::ostringstream os;
+        os << "REPLAY (family=" << sweep.family << ", n=" << sweep.n
+           << ", seed=" << sweep.seed << ") backend="
+           << backend_name(GetParam()) << " path=" << path
+           << " edge_faults=" << fault_list(edge_faults)
+           << " vertex_faults="
+           << fault_list(std::vector<EdgeId>(vertex_faults.begin(),
+                                             vertex_faults.end()))
+           << " s=" << s << " t=" << t;
+        return os.str();
+      };
+      EXPECT_EQ(scheme->connected(s, t, spec), expected)
+          << replay("in-memory");
+      EXPECT_EQ(mmap_scheme->connected(s, t, spec), expected)
+          << replay("store-mmap");
+      EXPECT_EQ(mat_scheme->connected(s, t, spec), expected)
+          << replay("store-materialize");
+    }
+
+    // The same specs through batch sessions (in-memory and store-owned).
+    SplitMix64 rng2(4242);
+    std::vector<graph::VertexId> vf{
+        static_cast<VertexId>(rng2.next_below(g.num_vertices()))};
+    std::vector<EdgeId> ef{
+        static_cast<EdgeId>(rng2.next_below(g.num_edges()))};
+    const auto spec = FaultSpec::of(ef, vf);
+    BatchQueryEngine in_memory(*scheme, spec);
+    BatchQueryEngine from_store(
+        load_scheme(store_path, {LoadMode::kMmap, true}), spec);
+    std::vector<BatchQueryEngine::Query> queries;
+    for (int i = 0; i < 200; ++i) {
+      queries.push_back(
+          {static_cast<VertexId>(rng2.next_below(g.num_vertices())),
+           static_cast<VertexId>(rng2.next_below(g.num_vertices()))});
+    }
+    const auto expected_bits = in_memory.run_sequential(queries);
+    EXPECT_EQ(from_store.run_parallel(queries, 4), expected_bits)
+        << sweep.family;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(static_cast<bool>(expected_bits[i]),
+                graph::connected_avoiding(g, queries[i].s, queries[i].t, ef,
+                                          vf))
+          << sweep.family << " i=" << i;
+    }
+    std::remove(store_path.c_str());
   }
 }
 

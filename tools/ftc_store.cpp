@@ -12,12 +12,16 @@
 //       prints the parsed header: backend, dimensions, per-section and
 //       per-label sizes, checksum.
 //
-//   ftc_store query   labels.ftcs --faults 3,17,40 --pairs 0:9,4:7
-//                     [--mode mmap|materialize] [--threads T]
+//   ftc_store query   labels.ftcs --faults 3,17,40 --vertex-faults 5,9
+//                     --pairs 0:9,4:7 [--mode mmap|materialize]
+//                     [--threads T]
 //       spins up a BatchQueryEngine session directly from the store file
-//       (no graph, no rebuild) and answers the queries.
+//       (no graph, no rebuild) and answers the queries. --vertex-faults
+//       deletes whole vertices (every incident edge) via the adjacency
+//       side-table; format-v1 stores carry none and fail with a
+//       capability error.
 //
-// Exit codes: 0 ok, 1 usage error, 2 store/build error.
+// Exit codes: 0 ok, 1 usage error, 2 store/build/capability error.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -38,8 +42,8 @@ using namespace ftc;
                "usage: %s build --out FILE [--backend B] [--f K] [--family F] "
                "[generator flags] [--seed S]\n"
                "       %s inspect FILE\n"
-               "       %s query FILE --faults a,b,c --pairs s:t,s:t "
-               "[--mode mmap|materialize] [--threads T]\n",
+               "       %s query FILE --faults a,b,c --vertex-faults u,v "
+               "--pairs s:t,s:t [--mode mmap|materialize] [--threads T]\n",
                argv0, argv0, argv0);
   std::exit(1);
 }
@@ -246,6 +250,10 @@ int cmd_inspect(int argc, char** argv) {
   std::printf("  vertex section   %zu\n", info.vertex_section_bytes);
   std::printf("  edge index       %zu\n", info.edge_index_bytes);
   std::printf("  edge blobs       %zu\n", info.edge_blob_bytes);
+  std::printf("  adjacency        %zu\n", info.adjacency_bytes);
+  std::printf("vertex faults      %s\n",
+              info.has_adjacency ? "supported (adjacency side-table)"
+                                 : "unsupported (no adjacency; format v1?)");
   std::printf("vertex label bits  %zu\n", info.vertex_label_bits);
   std::printf("edge label bits    %zu\n", info.edge_label_bits);
   std::printf("payload checksum   %016llx\n",
@@ -255,8 +263,9 @@ int cmd_inspect(int argc, char** argv) {
 
 int cmd_query(int argc, char** argv) {
   std::string path;
-  const auto flags = parse_flags(argc, argv, 2, &path,
-                                 {"mode", "faults", "pairs", "threads"});
+  const auto flags =
+      parse_flags(argc, argv, 2, &path,
+                  {"mode", "faults", "vertex-faults", "pairs", "threads"});
   if (path.empty()) {
     std::fprintf(stderr, "query: FILE is required\n");
     return 1;
@@ -273,6 +282,8 @@ int cmd_query(int argc, char** argv) {
     return 1;
   }
   const auto faults = parse_id_list(flag_or(flags, "faults", ""));
+  const auto vertex_faults =
+      parse_id_list(flag_or(flags, "vertex-faults", ""));
   const auto pairs = parse_pairs(flag_or(flags, "pairs", ""));
   if (pairs.empty()) {
     std::fprintf(stderr, "query: --pairs s:t[,s:t...] is required\n");
@@ -280,7 +291,8 @@ int cmd_query(int argc, char** argv) {
   }
   const auto threads = static_cast<unsigned>(flag_u64(flags, "threads", 1));
 
-  core::BatchQueryEngine session(core::load_scheme(path, options), faults);
+  const core::FaultSpec spec = core::FaultSpec::of(faults, vertex_faults);
+  core::BatchQueryEngine session(core::load_scheme(path, options), spec);
   const auto results = threads > 1 ? session.run_parallel(pairs, threads)
                                    : session.run_sequential(pairs);
   for (std::size_t i = 0; i < pairs.size(); ++i) {
