@@ -18,9 +18,19 @@
 #                             # end-to-end ftc_store build/inspect/query
 #                             # exercise with --vertex-faults
 #   scripts/ci.sh bench-smoke # Release build of bench_decoder_hotpath +
-#                             # bench_vertex_faults, tiny-size runs, JSON
-#                             # outputs validated — keeps bench binaries
-#                             # from silently rotting
+#                             # bench_vertex_faults + bench_shard_swap,
+#                             # tiny-size runs, JSON outputs validated —
+#                             # keeps bench binaries from silently rotting
+#   scripts/ci.sh store-shard # sharded-store leg: asan run of the
+#                             # sharded/manifest + live-swap suites, then
+#                             # an end-to-end CLI exercise — shard a
+#                             # fixture store, reload it via the
+#                             # manifest, parity-check 1k queries against
+#                             # the unsharded container, merge back
+#                             # byte-identically, run swap-demo
+#   scripts/ci.sh docs        # documentation leg: every relative link in
+#                             # README.md and docs/*.md must resolve to a
+#                             # file in the repo (dead links fail)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -79,17 +89,91 @@ if [ "${1:-}" = "store-v2" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "store-shard" ]; then
+  echo "=== sharded store / live swap leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_sharded_store test_store_swap ftc_store
+  ctest --preset asan -R 'test_sharded_store|test_store_swap' -j "$jobs"
+  # End-to-end CLI exercise: build a container, shard it, reload through
+  # the manifest, and parity-check 1k queries (mixed edge + vertex
+  # faults) against the unsharded store; then merge back byte-identically
+  # and run the live-swap demo.
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  build-asan/ftc_store build --out "$tmp/flat.ftcs" --family grid \
+    --rows 12 --cols 12 --backend core-ftc --f 8 >/dev/null
+  build-asan/ftc_store shard "$tmp/flat.ftcs" --out "$tmp/labels.ftcm" \
+    --shards 4 >/dev/null
+  build-asan/ftc_store inspect "$tmp/labels.ftcm" | grep -q 'sharded manifest'
+  build-asan/ftc_store inspect "$tmp/labels.ftcm" \
+    | grep -q 'shards             4'
+  # 1000 deterministic query pairs over the 144-vertex grid (no python
+  # dependency on this leg).
+  pairs=""
+  for i in $(seq 0 999); do
+    pairs+="$(( (i * 37 + 11) % 144 )):$(( (i * 53 + 29) % 144 )),"
+  done
+  pairs="${pairs%,}"
+  build-asan/ftc_store query "$tmp/flat.ftcs" --faults 3,40 \
+    --vertex-faults 77 --pairs "$pairs" > "$tmp/flat.out"
+  build-asan/ftc_store query "$tmp/labels.ftcm" --faults 3,40 \
+    --vertex-faults 77 --pairs "$pairs" > "$tmp/sharded.out"
+  if ! cmp -s "$tmp/flat.out" "$tmp/sharded.out"; then
+    echo "ci: sharded store answers diverge from the unsharded store" >&2
+    exit 1
+  fi
+  [ "$(wc -l < "$tmp/sharded.out")" = "1000" ]
+  build-asan/ftc_store merge "$tmp/labels.ftcm" --out "$tmp/merged.ftcs" \
+    >/dev/null
+  cmp "$tmp/flat.ftcs" "$tmp/merged.ftcs"
+  build-asan/ftc_store swap-demo --n 64 --m 80 --f 3 --swaps 4 \
+    --queries 64 >/dev/null
+  echo "ci: store-shard leg green (suites + 1k-query CLI parity + merge + swap-demo)"
+  exit 0
+fi
+
+if [ "${1:-}" = "docs" ]; then
+  echo "=== docs link check ==="
+  fail=0
+  for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir="$(dirname "$doc")"
+    # Relative markdown links: [text](target). External schemes and
+    # pure #anchors are skipped; in-repo anchors are checked by file.
+    while IFS= read -r target; do
+      case "$target" in
+        http://*|https://*|mailto:*|"#"*) continue ;;
+      esac
+      file="${target%%#*}"
+      [ -n "$file" ] || continue
+      if [ ! -e "$dir/$file" ] && [ ! -e "$file" ]; then
+        echo "dead link in $doc: $target" >&2
+        fail=1
+      fi
+    done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\((.*)\)$/\1/')
+  done
+  if [ "$fail" -ne 0 ]; then
+    echo "ci: docs link check FAILED" >&2
+    exit 1
+  fi
+  echo "ci: docs link check green"
+  exit 0
+fi
+
 if [ "${1:-}" = "bench-smoke" ]; then
   echo "=== bench smoke leg (release) ==="
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
-    --target bench_decoder_hotpath bench_vertex_faults
+    --target bench_decoder_hotpath bench_vertex_faults bench_shard_swap
   # Run inside build/ so the smoke-size JSON cannot clobber the
   # checked-in repo-root baseline (regenerate that via bench_all.sh).
   (cd build && ./bench_decoder_hotpath --smoke)
   (cd build && ./bench_vertex_faults --smoke)
+  (cd build && ./bench_shard_swap --smoke)
   if command -v python3 >/dev/null; then
-    python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json <<'EOF'
+    python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json \
+      build/BENCH_shard_swap.json <<'EOF'
 import json, sys
 required = {
     "BENCH_decoder_hotpath.json": {"backend", "f", "single_query_us",
@@ -97,6 +181,8 @@ required = {
     "BENCH_vertex_faults.json": {"backend", "vertex_faults",
                                  "reduced_edge_faults", "single_query_us",
                                  "batch_qps"},
+    "BENCH_shard_swap.json": {"backend", "k_shards", "save_ms", "open_us",
+                              "batch_qps", "swap_us"},
 }
 for path in sys.argv[1:]:
     with open(path) as fh:
@@ -113,6 +199,7 @@ EOF
     # look like non-empty JSON arrays of objects.
     grep -q '^\[{.*}\]$' build/BENCH_decoder_hotpath.json
     grep -q '^\[{.*}\]$' build/BENCH_vertex_faults.json
+    grep -q '^\[{.*}\]$' build/BENCH_shard_swap.json
     echo "bench-smoke: JSON shape check passed (python3 unavailable)"
   fi
   echo "ci: bench smoke green"

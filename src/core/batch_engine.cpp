@@ -5,8 +5,8 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 namespace ftc::core {
 
@@ -16,10 +16,10 @@ namespace {
 // index negligible while still load-balancing uneven query costs.
 constexpr std::size_t kChunk = 16;
 
-std::unique_ptr<ConnectivityScheme> require_scheme(
+std::shared_ptr<const ConnectivityScheme> require_scheme(
     std::unique_ptr<ConnectivityScheme> scheme) {
   FTC_REQUIRE(scheme != nullptr, "null scheme");
-  return scheme;
+  return std::shared_ptr<const ConnectivityScheme>(std::move(scheme));
 }
 
 }  // namespace
@@ -105,20 +105,29 @@ struct BatchQueryEngine::Pool {
   bool stop = false;
 };
 
+BatchQueryEngine::BatchQueryEngine(
+    std::shared_ptr<const ConnectivityScheme> scheme, const FaultSpec& spec,
+    const QueryOptions& options)
+    : spec_(spec), options_(options) {
+  auto gen = std::make_shared<Generation>();
+  gen->epoch = next_epoch_++;
+  gen->scheme = std::move(scheme);
+  gen->faults = gen->scheme->prepare_faults(spec_);
+  gen_ = std::move(gen);
+}
+
 BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
                                    const FaultSpec& spec,
                                    const QueryOptions& options)
-    : scheme_(scheme),
-      options_(options),
-      faults_(scheme.prepare_faults(spec)) {}
+    // Non-owning: the caller guarantees the scheme outlives the engine.
+    : BatchQueryEngine(std::shared_ptr<const ConnectivityScheme>(
+                           &scheme, [](const ConnectivityScheme*) {}),
+                       spec, options) {}
 
 BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
                                    const FaultSpec& spec,
                                    const QueryOptions& options)
-    : owned_(require_scheme(std::move(scheme))),
-      scheme_(*owned_),
-      options_(options),
-      faults_(scheme_.prepare_faults(spec)) {}
+    : BatchQueryEngine(require_scheme(std::move(scheme)), spec, options) {}
 
 BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
                                    std::span<const graph::EdgeId> edge_faults,
@@ -133,8 +142,82 @@ BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
 
 BatchQueryEngine::~BatchQueryEngine() = default;
 
+std::shared_ptr<BatchQueryEngine::Generation> BatchQueryEngine::snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return gen_;
+}
+
+std::uint64_t BatchQueryEngine::epoch() const { return snapshot()->epoch; }
+
+std::size_t BatchQueryEngine::num_faults() const {
+  return snapshot()->faults->num_faults();
+}
+
+const ConnectivityScheme& BatchQueryEngine::scheme() const {
+  return *snapshot()->scheme;
+}
+
+std::uint64_t BatchQueryEngine::install(
+    std::shared_ptr<const ConnectivityScheme> scheme) {
+  // Prepare the incoming generation OUTSIDE the lock (fault-label
+  // decoding is the expensive part of a swap), then publish it only if
+  // the fault spec did not change underneath; a concurrent reset_faults
+  // wins and the preparation is redone against the fresh spec.
+  for (;;) {
+    FaultSpec spec;
+    std::uint64_t spec_version;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      spec = spec_;
+      spec_version = spec_version_;
+    }
+    auto gen = std::make_shared<Generation>();
+    gen->scheme = scheme;
+    gen->faults = scheme->prepare_faults(spec);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (spec_version_ != spec_version) continue;
+    gen->epoch = next_epoch_++;
+    gen_ = std::move(gen);
+    return gen_->epoch;
+  }
+}
+
+std::uint64_t BatchQueryEngine::swap_store(
+    std::unique_ptr<ConnectivityScheme> scheme) {
+  return install(require_scheme(std::move(scheme)));
+}
+
+std::uint64_t BatchQueryEngine::swap_store(
+    std::shared_ptr<const StoreView> view, LoadMode mode) {
+  return install(require_scheme(load_scheme(std::move(view), mode)));
+}
+
 void BatchQueryEngine::reset_faults(const FaultSpec& spec) {
-  faults_ = scheme_.prepare_faults(spec);
+  // Query-thread only, so no query is in flight on the current
+  // generation; the new fault set is published as a sibling generation
+  // (same scheme, same epoch) instead of mutated in place, because a
+  // concurrent swap_store may still hold a reference to the old one.
+  // Preparation happens before the spec commits, so a spec the scheme
+  // rejects leaves the session fully unchanged. If a swap publishes a
+  // new generation between our snapshot and our install, that
+  // generation carries the OLD spec — loop and re-prepare against it
+  // (mirroring install()'s spec_version_ retry in the other direction),
+  // so the session never keeps serving a spec reset_faults replaced.
+  for (;;) {
+    const std::shared_ptr<Generation> cur = snapshot();
+    auto gen = std::make_shared<Generation>();
+    gen->epoch = cur->epoch;
+    gen->scheme = cur->scheme;
+    gen->faults = cur->scheme->prepare_faults(spec);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (gen_ != cur) continue;
+    spec_ = spec;
+    ++spec_version_;
+    gen->workspaces = std::move(cur->workspaces);
+    gen_ = std::move(gen);
+    return;
+  }
 }
 
 void BatchQueryEngine::reset_faults(
@@ -142,24 +225,29 @@ void BatchQueryEngine::reset_faults(
   reset_faults(FaultSpec::edges(edge_faults));
 }
 
-ConnectivityScheme::Workspace& BatchQueryEngine::workspace(std::size_t i) {
-  while (workspaces_.size() <= i) {
-    workspaces_.push_back(scheme_.make_workspace());
+ConnectivityScheme::Workspace& BatchQueryEngine::workspace(Generation& gen,
+                                                           std::size_t i) {
+  while (gen.workspaces.size() <= i) {
+    gen.workspaces.push_back(gen.scheme->make_workspace());
   }
-  return *workspaces_[i];
+  return *gen.workspaces[i];
 }
 
 bool BatchQueryEngine::connected(graph::VertexId s, graph::VertexId t) {
-  return scheme_.query(s, t, *faults_, workspace(0), options_);
+  const auto gen = snapshot();
+  last_run_epoch_ = gen->epoch;
+  return gen->scheme->query(s, t, *gen->faults, workspace(*gen, 0), options_);
 }
 
 std::vector<bool> BatchQueryEngine::run_sequential(
     std::span<const Query> queries) {
+  const auto gen = snapshot();
+  last_run_epoch_ = gen->epoch;
   std::vector<bool> out;
   out.reserve(queries.size());
-  ConnectivityScheme::Workspace& ws = workspace(0);
+  ConnectivityScheme::Workspace& ws = workspace(*gen, 0);
   for (const Query& q : queries) {
-    out.push_back(scheme_.query(q.s, q.t, *faults_, ws, options_));
+    out.push_back(gen->scheme->query(q.s, q.t, *gen->faults, ws, options_));
   }
   return out;
 }
@@ -174,6 +262,11 @@ std::vector<bool> BatchQueryEngine::run_parallel(
       std::min<std::size_t>(num_threads, std::max<std::size_t>(max_useful, 1)));
   if (num_threads <= 1) return run_sequential(queries);
 
+  // The whole batch pins ONE generation: every result comes from the
+  // same label epoch even if swap_store lands mid-batch.
+  const auto gen = snapshot();
+  last_run_epoch_ = gen->epoch;
+
   // vector<bool> is not safe for concurrent writes; use one byte per
   // result and convert at the end.
   std::vector<std::uint8_t> results(queries.size(), 0);
@@ -183,18 +276,18 @@ std::vector<bool> BatchQueryEngine::run_parallel(
 
   // Pre-create every workspace on this thread: workspace() grows the
   // arena and must not race.
-  for (unsigned i = 0; i < num_threads; ++i) workspace(i);
+  for (unsigned i = 0; i < num_threads; ++i) workspace(*gen, i);
 
   const std::function<void(unsigned)> worker = [&](unsigned id) {
-    ConnectivityScheme::Workspace& ws = workspace(id);
+    ConnectivityScheme::Workspace& ws = workspace(*gen, id);
     try {
       for (;;) {
         const std::size_t begin = next.fetch_add(kChunk);
         if (begin >= queries.size()) break;
         const std::size_t end = std::min(begin + kChunk, queries.size());
         for (std::size_t i = begin; i < end; ++i) {
-          results[i] = scheme_.query(queries[i].s, queries[i].t, *faults_,
-                                     ws, options_)
+          results[i] = gen->scheme->query(queries[i].s, queries[i].t,
+                                          *gen->faults, ws, options_)
                            ? 1
                            : 0;
         }

@@ -1,4 +1,5 @@
-// BatchQueryEngine: a query session over any ConnectivityScheme backend.
+// BatchQueryEngine: a query session over any ConnectivityScheme backend,
+// with epoch-based zero-downtime label swapping.
 //
 // The engine is the serving-path counterpart of the labeling theory: a
 // fault set changes rarely (a failure epoch), while (s, t) queries arrive
@@ -14,18 +15,36 @@
 //      across run() and reset_faults() calls for the engine's lifetime,
 //      so small batches stop paying thread-start cost on every call.
 //
-// connected() / run_sequential() answer on the calling thread (workspace
-// 0); run_parallel() uses num_threads workers. Results are bit-for-bit
-// identical across the three paths: workers share the immutable fault
-// set and only write disjoint result slots. The engine itself is not
-// thread-safe: one session is driven by one caller thread.
+// Label generations and epochs. Everything a query reads — the scheme,
+// the prepared fault set, the workspace arena — lives in one immutable
+// *generation* tagged with a monotonically increasing epoch. A query or
+// batch pins the current generation (one shared_ptr copy) on entry and
+// runs against it to completion. swap_store() builds a NEW generation
+// around a replacement scheme (typically freshly loaded labels from a
+// store or sharded manifest), prepares the session's fault set against
+// it off the hot path, and atomically publishes it: queries already in
+// flight finish on the old generation, the next query starts on the new
+// one, and the old generation — including any mmapped store behind it —
+// is released when its last in-flight pin drops. No drain, no lost
+// queries, no torn reads across label generations.
+//
+// Threading contract: queries (connected / run_sequential /
+// run_parallel) and reset_faults are driven by ONE caller thread, as
+// before. swap_store() — and only swap_store() — may additionally be
+// called from ANY other thread, concurrently with in-flight queries.
+// Results are bit-for-bit identical across the three query paths within
+// one generation: workers share the immutable fault set and only write
+// disjoint result slots.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/connectivity_scheme.hpp"
+#include "core/label_store.hpp"
 
 namespace ftc::core {
 
@@ -38,14 +57,17 @@ class BatchQueryEngine {
 
   // Opens a session for one fault set — any mix of edge and vertex
   // faults (vertex faults need a scheme with adjacency; CapabilityError
-  // otherwise). The scheme must outlive the engine. `options` applies to
-  // every query of the session.
+  // otherwise). The scheme must outlive the engine (and every generation
+  // that references it — swap_store keeps the initial generation alive
+  // only until in-flight queries finish). `options` applies to every
+  // query of the session.
   BatchQueryEngine(const ConnectivityScheme& scheme, const FaultSpec& spec,
                    const QueryOptions& options = {});
 
   // Owning variant: the engine takes the scheme (typically one loaded
-  // from a label store, see label_store.hpp) and keeps it alive for the
-  // session — a serving session spun up directly from a store file:
+  // from a label store, see label_store.hpp) and keeps it alive while
+  // any generation references it — a serving session spun up directly
+  // from a store file:
   //   BatchQueryEngine session(load_scheme("labels.ftcs"), spec);
   BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
                    const FaultSpec& spec, const QueryOptions& options = {});
@@ -61,8 +83,29 @@ class BatchQueryEngine {
   // Parks and joins the worker pool (if one was ever started).
   ~BatchQueryEngine();
 
+  // Installs a new label generation — the zero-downtime cut-over. The
+  // session's fault set is prepared against the new scheme (it must
+  // still name valid IDs there; std::invalid_argument otherwise, with
+  // the old generation left fully serving), then the generation is
+  // published under the next epoch. Safe to call from a thread other
+  // than the query-driving one, concurrently with in-flight queries;
+  // those finish on their pinned generation. Returns the new epoch.
+  std::uint64_t swap_store(std::unique_ptr<ConnectivityScheme> scheme);
+  // Convenience: swap to labels served from an already-open store view
+  // (single container or sharded manifest).
+  std::uint64_t swap_store(std::shared_ptr<const StoreView> view,
+                           LoadMode mode = LoadMode::kMmap);
+
+  // Epoch of the currently installed generation (starts at 1; each
+  // swap_store increments it). reset_faults keeps the epoch: it changes
+  // the fault set, not the label generation.
+  std::uint64_t epoch() const;
+  // Epoch the most recent connected()/run_*() call on the query thread
+  // answered from. Meaningful only on that thread.
+  std::uint64_t last_run_epoch() const { return last_run_epoch_; }
+
   // Replaces the session's fault set; cached workspaces and the worker
-  // pool are kept.
+  // pool are kept. Query-thread only (like the query entry points).
   void reset_faults(const FaultSpec& spec);
   // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
   void reset_faults(std::span<const graph::EdgeId> edge_faults);
@@ -78,21 +121,47 @@ class BatchQueryEngine {
   std::vector<bool> run_parallel(std::span<const Query> queries,
                                  unsigned num_threads = 0);
 
-  std::size_t num_faults() const { return faults_->num_faults(); }
-  const ConnectivityScheme& scheme() const { return scheme_; }
+  std::size_t num_faults() const;
+  // The scheme of the current generation. The reference stays valid
+  // until the generation is retired: a later swap_store plus the end of
+  // any in-flight queries. Callers that never swap can hold it freely.
+  const ConnectivityScheme& scheme() const;
 
  private:
   struct Pool;  // persistent worker pool, defined in batch_engine.cpp
 
-  ConnectivityScheme::Workspace& workspace(std::size_t i);
+  // One immutable label generation: everything a pinned query touches.
+  // The workspace arena rides along because workspaces are backend-
+  // specific scratch — a swap to a different backend (or labels of a
+  // different shape) must not reuse stale scratch.
+  struct Generation {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const ConnectivityScheme> scheme;
+    std::unique_ptr<ConnectivityScheme::FaultSet> faults;
+    // Workspace arena: slot i belongs to worker i (slot 0 = caller).
+    // Grown and used only by the query-driving thread and its workers.
+    std::vector<std::unique_ptr<ConnectivityScheme::Workspace>> workspaces;
+  };
 
-  // Set only by the owning constructor; scheme_ refers to *owned_ then.
-  std::unique_ptr<ConnectivityScheme> owned_;
-  const ConnectivityScheme& scheme_;
+  BatchQueryEngine(std::shared_ptr<const ConnectivityScheme> scheme,
+                   const FaultSpec& spec, const QueryOptions& options);
+
+  std::shared_ptr<Generation> snapshot() const;
+  std::uint64_t install(std::shared_ptr<const ConnectivityScheme> scheme);
+  static ConnectivityScheme::Workspace& workspace(Generation& gen,
+                                                  std::size_t i);
+
+  // Guards gen_, next_epoch_, spec_ and spec_version_. Held only for
+  // pointer swaps and snapshots on the query path; swap_store prepares
+  // the incoming generation outside the lock.
+  mutable std::mutex mutex_;
+  std::shared_ptr<Generation> gen_;
+  std::uint64_t next_epoch_ = 1;
+  FaultSpec spec_;
+  std::uint64_t spec_version_ = 0;
+
   QueryOptions options_;
-  std::unique_ptr<ConnectivityScheme::FaultSet> faults_;
-  // Workspace arena: slot i belongs to worker i (slot 0 = caller).
-  std::vector<std::unique_ptr<ConnectivityScheme::Workspace>> workspaces_;
+  std::uint64_t last_run_epoch_ = 0;  // query-thread only
   // Lazily created on the first parallel batch, then reused for the
   // engine's lifetime; idle workers park on a condition variable.
   std::unique_ptr<Pool> pool_;

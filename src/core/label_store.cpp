@@ -51,6 +51,10 @@ std::uint32_t read_u32_at(const std::uint8_t* base, std::size_t offset) {
   return v;
 }
 
+}  // namespace
+
+namespace store {
+
 // Fixed per-edge blob size implied by the params blob, used to
 // cross-check the offset index at open.
 std::size_t expected_edge_blob_bytes(BackendKind backend,
@@ -76,86 +80,167 @@ std::size_t expected_edge_blob_bytes(BackendKind backend,
   return expect;
 }
 
-void derive_label_bits(BackendKind backend,
-                       std::span<const std::uint8_t> params,
-                       std::uint32_t version, StoreInfo& info) {
+StoreLabelBits derive_label_bits(BackendKind backend,
+                                 std::span<const std::uint8_t> params,
+                                 std::uint32_t version) {
   store::ByteReader r(params);
+  StoreLabelBits bits;
   switch (backend) {
     case BackendKind::kCoreFtc: {
       const LabelParams p = store::decode_core_params(r, version);
-      info.vertex_label_bits = 2 * p.coord_bits();
-      info.edge_label_bits = 4 * p.coord_bits() +
+      bits.vertex_label_bits = 2 * p.coord_bits();
+      bits.edge_label_bits = 4 * p.coord_bits() +
                              static_cast<std::size_t>(p.num_levels) * p.k *
                                  p.field_bits;
       break;
     }
     case BackendKind::kDp21CycleSpace: {
       const store::CycleParams p = store::decode_cycle_params(r);
-      info.vertex_label_bits = 2 * p.coord_bits;
-      info.edge_label_bits = 4 * p.coord_bits + p.vector_bits + 1;
+      bits.vertex_label_bits = 2 * p.coord_bits;
+      bits.edge_label_bits = 4 * p.coord_bits + p.vector_bits + 1;
       break;
     }
     case BackendKind::kDp21Agm: {
       const store::AgmParams p = store::decode_agm_params(r);
-      info.vertex_label_bits = 2 * p.coord_bits;
-      info.edge_label_bits = 4 * p.coord_bits + p.sketch_words() * 64;
+      bits.vertex_label_bits = 2 * p.coord_bits;
+      bits.edge_label_bits = 4 * p.coord_bits + p.sketch_words() * 64;
       break;
+    }
+  }
+  return bits;
+}
+
+void CsrAdjacency::validate(const std::string& path) const {
+  // Exact CSR accounting: (n + 1) u64 offsets + 2m u32 edge IDs.
+  const std::size_t expected =
+      8 * (static_cast<std::size_t>(n) + 1) +
+      8 * static_cast<std::size_t>(m);
+  if (bytes != expected) {
+    throw StoreError("corrupt adjacency section (size mismatch): " + path);
+  }
+  const std::size_t entries = 2 * static_cast<std::size_t>(m);
+  const std::size_t lists_off = off + 8 * (static_cast<std::size_t>(n) + 1);
+  std::uint64_t prev_off = read_u64_at(base, off);
+  if (prev_off != 0) {
+    throw StoreError("corrupt adjacency offsets (must start at 0): " + path);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t next_off =
+        read_u64_at(base, off + 8 * (static_cast<std::size_t>(v) + 1));
+    if (next_off < prev_off || next_off > entries) {
+      throw StoreError("corrupt adjacency offsets (not monotone): " + path);
+    }
+    prev_off = next_off;
+  }
+  if (prev_off != entries) {
+    throw StoreError("corrupt adjacency offsets (entry count): " + path);
+  }
+  for (std::size_t i = 0; i < entries; ++i) {
+    if (read_u32_at(base, lists_off + 4 * i) >= m) {
+      throw StoreError("corrupt adjacency list (edge ID out of range): " +
+                       path);
     }
   }
 }
 
-}  // namespace
+std::size_t CsrAdjacency::degree(VertexId v) const {
+  FTC_REQUIRE(base != nullptr, "store carries no adjacency section");
+  FTC_REQUIRE(v < n, "vertex out of range");
+  const std::uint64_t begin =
+      read_u64_at(base, off + 8 * static_cast<std::size_t>(v));
+  const std::uint64_t end =
+      read_u64_at(base, off + 8 * (static_cast<std::size_t>(v) + 1));
+  return static_cast<std::size_t>(end - begin);
+}
+
+void CsrAdjacency::append(VertexId v, std::vector<graph::EdgeId>& out) const {
+  FTC_REQUIRE(base != nullptr, "store carries no adjacency section");
+  FTC_REQUIRE(v < n, "vertex out of range");
+  const std::uint64_t begin =
+      read_u64_at(base, off + 8 * static_cast<std::size_t>(v));
+  const std::uint64_t end =
+      read_u64_at(base, off + 8 * (static_cast<std::size_t>(v) + 1));
+  const std::size_t lists_off = off + 8 * (static_cast<std::size_t>(n) + 1);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    out.push_back(
+        read_u32_at(base, lists_off + 4 * static_cast<std::size_t>(i)));
+  }
+}
+
+}  // namespace store
 
 // ------------------------------------------------------------------
 // Writer.
 
-void ConnectivityScheme::save(const std::string& path) const {
-  const VertexId n = num_vertices();
-  const EdgeId m = num_edges();
+namespace store {
+
+std::vector<std::uint8_t> build_adjacency_section(
+    const ConnectivityScheme& scheme) {
+  const AdjacencyProvider* adj = scheme.adjacency();
+  if (adj == nullptr) return {};
+  const VertexId n = scheme.num_vertices();
+  FTC_CHECK(adj->num_vertices() == n,
+            "adjacency provider inconsistent with the scheme");
+  std::vector<graph::EdgeId> incident;
+  store::ByteWriter section;
+  section.u64(0);
+  std::uint64_t running = 0;
+  store::ByteWriter lists;
+  for (VertexId v = 0; v < n; ++v) {
+    incident.clear();
+    adj->append_incident(v, incident);
+    running += incident.size();
+    section.u64(running);
+    for (const graph::EdgeId e : incident) lists.u32(e);
+  }
+  // The invariant open() enforces: every edge appears in exactly two
+  // incidence lists.
+  FTC_CHECK(running == 2 * static_cast<std::uint64_t>(scheme.num_edges()),
+            "adjacency provider does not cover every edge twice");
+  section.bytes(lists.view());
+  return section.take();
+}
+
+std::vector<std::uint8_t> build_container_bytes(
+    const ConnectivityScheme& scheme, VertexId v_begin, VertexId v_end,
+    EdgeId e_begin, EdgeId e_end, bool include_adjacency) {
+  FTC_REQUIRE(v_begin <= v_end && v_end <= scheme.num_vertices(),
+              "vertex range out of order or out of range");
+  FTC_REQUIRE(e_begin <= e_end && e_end <= scheme.num_edges(),
+              "edge range out of order or out of range");
+  const auto n = static_cast<VertexId>(v_end - v_begin);
+  const auto m = static_cast<EdgeId>(e_end - e_begin);
 
   store::ByteWriter params;
-  serialize_params(params);
+  scheme.serialize_params(params);
 
   // Edge blobs first (the offset index precedes them in the file).
   store::ByteWriter blobs;
   std::vector<std::uint64_t> offsets;
   offsets.reserve(static_cast<std::size_t>(m) + 1);
-  for (EdgeId e = 0; e < m; ++e) {
+  for (EdgeId e = e_begin; e < e_end; ++e) {
     offsets.push_back(blobs.size());
-    serialize_edge_label(e, blobs);
+    scheme.serialize_edge_label(e, blobs);
   }
   offsets.push_back(blobs.size());
 
   // Adjacency side-table (format v2): present iff the scheme can name
   // its incidence lists, so saved schemes keep vertex-fault capability.
-  const AdjacencyProvider* adj = adjacency();
-  store::ByteWriter adj_section;
-  if (adj != nullptr) {
-    FTC_CHECK(adj->num_vertices() == n,
-              "adjacency provider inconsistent with the scheme");
-    std::vector<graph::EdgeId> incident;
-    adj_section.u64(0);
-    std::uint64_t running = 0;
-    store::ByteWriter lists;
-    for (VertexId v = 0; v < n; ++v) {
-      incident.clear();
-      adj->append_incident(v, incident);
-      running += incident.size();
-      adj_section.u64(running);
-      for (const graph::EdgeId e : incident) lists.u32(e);
-    }
-    // The invariant open() enforces: every edge appears in exactly two
-    // incidence lists.
-    FTC_CHECK(running == 2 * static_cast<std::uint64_t>(m),
-              "adjacency provider does not cover every edge twice");
-    adj_section.bytes(lists.view());
+  // Only meaningful for a full-range container (the lists name global
+  // edge IDs); shard containers carry none — the manifest does instead.
+  std::vector<std::uint8_t> adj_section;
+  if (include_adjacency && scheme.adjacency() != nullptr) {
+    FTC_CHECK(v_begin == 0 && v_end == scheme.num_vertices() &&
+                  e_begin == 0 && e_end == scheme.num_edges(),
+              "adjacency requires the full vertex/edge ranges");
+    adj_section = build_adjacency_section(scheme);
   }
 
   store::ByteWriter w;
   w.u64(store::kMagic);
   w.u32(static_cast<std::uint32_t>(store::kFormatVersion));
-  w.u8(static_cast<std::uint8_t>(backend()));
-  w.u8(adj != nullptr ? store::kFlagHasAdjacency : 0);  // flags
+  w.u8(static_cast<std::uint8_t>(scheme.backend()));
+  w.u8(!adj_section.empty() ? store::kFlagHasAdjacency : 0);  // flags
   w.u8(0);
   w.u8(0);
   w.u64(n);
@@ -170,18 +255,18 @@ void ConnectivityScheme::save(const std::string& path) const {
 
   w.bytes(params.view());
   w.pad_to(8);
-  for (VertexId v = 0; v < n; ++v) {
+  for (VertexId v = v_begin; v < v_end; ++v) {
     const std::size_t before = w.size();
-    serialize_vertex_label(v, w);
+    scheme.serialize_vertex_label(v, w);
     FTC_CHECK(w.size() - before == store::kVertexRecordBytes,
               "vertex record must be fixed-size");
   }
   w.pad_to(8);
   for (const std::uint64_t off : offsets) w.u64(off);
   w.bytes(blobs.view());
-  if (adj != nullptr) {
+  if (!adj_section.empty()) {
     w.pad_to(8);
-    w.bytes(adj_section.view());
+    w.bytes(adj_section);
   }
 
   const auto file = w.view();
@@ -189,7 +274,39 @@ void ConnectivityScheme::save(const std::string& path) const {
               store::fnv1a(file.subspan(store::kHeaderBytes)));
   w.patch_u64(header_checksum_off,
               store::fnv1a(file.first(header_checksum_off)));
+  return w.take();
+}
 
+MappedFile map_readonly(const std::string& path, std::size_t min_bytes,
+                        const char* kind) {
+  // O_NONBLOCK so opening a FIFO with no writer fails fast instead of
+  // blocking; harmless for regular files (the only kind accepted below).
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
+  if (fd < 0) {
+    throw StoreError(std::string("cannot open ") + kind + ": " + path + " (" +
+                     std::strerror(errno) + ")");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw StoreError("not a regular file: " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < min_bytes) {
+    ::close(fd);
+    throw StoreError(std::string(kind) + " truncated (no header): " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    throw StoreError("mmap failed: " + path + " (" + std::strerror(errno) +
+                     ")");
+  }
+  return {static_cast<const std::uint8_t*>(map), size};
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> file) {
   // Write to a unique temp file (per process AND per call, for
   // concurrent saves from one process), fsync it, rename into place and
   // fsync the directory — so a crashed, failed or racing save never
@@ -239,6 +356,14 @@ void ConnectivityScheme::save(const std::string& path) const {
   }
 }
 
+}  // namespace store
+
+void ConnectivityScheme::save(const std::string& path) const {
+  const auto file = store::build_container_bytes(
+      *this, 0, num_vertices(), 0, num_edges(), /*include_adjacency=*/true);
+  store::write_file_atomic(path, file);
+}
+
 // ------------------------------------------------------------------
 // Mmap view.
 
@@ -250,32 +375,12 @@ LabelStoreView::~LabelStoreView() {
 
 std::shared_ptr<const LabelStoreView> LabelStoreView::open(
     const std::string& path, bool verify_checksum) {
-  // O_NONBLOCK so opening a FIFO with no writer fails fast instead of
-  // blocking; harmless for regular files (the only kind accepted below).
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
-  if (fd < 0) {
-    throw StoreError("cannot open label store: " + path + " (" +
-                     std::strerror(errno) + ")");
-  }
-  struct stat st{};
-  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
-    ::close(fd);
-    throw StoreError("not a regular file: " + path);
-  }
-  const std::size_t size = static_cast<std::size_t>(st.st_size);
-  if (size < store::kHeaderBytes) {
-    ::close(fd);
-    throw StoreError("label store truncated (no header): " + path);
-  }
-  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (map == MAP_FAILED) {
-    throw StoreError("mmap failed: " + path + " (" + std::strerror(errno) +
-                     ")");
-  }
+  const store::MappedFile mapped =
+      store::map_readonly(path, store::kHeaderBytes, "label store");
+  const std::size_t size = mapped.size;
 
   std::shared_ptr<LabelStoreView> view(new LabelStoreView());
-  view->map_ = static_cast<const std::uint8_t*>(map);
+  view->map_ = mapped.data;
   view->map_bytes_ = size;
 
   const std::span<const std::uint8_t> bytes(view->map_, size);
@@ -350,27 +455,23 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   // is present (format v2), otherwise to the end of the file.
   info.adjacency_bytes = static_cast<std::size_t>(adj_size);
   std::size_t blob_region = size - view->blob_off_;
+  std::size_t adj_off = 0;
   if (info.has_adjacency) {
-    // Exact CSR accounting: (n + 1) u64 offsets + 2m u32 edge IDs.
-    const std::size_t expected_adj =
-        8 * (static_cast<std::size_t>(info.num_vertices) + 1) +
-        8 * static_cast<std::size_t>(info.num_edges);
-    if (info.adjacency_bytes != expected_adj) {
-      throw StoreError("corrupt adjacency section (size mismatch): " + path);
-    }
+    // Placement only; CsrAdjacency::validate() (below) enforces the
+    // exact CSR size and every structural property of the section.
     if (info.adjacency_bytes > blob_region) throw fail_bounds();
-    view->adj_off_ = size - info.adjacency_bytes;
-    if (view->adj_off_ % 8 != 0) {
+    adj_off = size - info.adjacency_bytes;
+    if (adj_off % 8 != 0) {
       throw StoreError("corrupt adjacency section (misaligned): " + path);
     }
-    blob_region = view->adj_off_ - view->blob_off_;
+    blob_region = adj_off - view->blob_off_;
   }
 
   // Offset index: starts at 0, non-decreasing, ends exactly at the blob
   // section end (up to the pre-adjacency alignment pad), and (the blobs
   // being fixed-size per scheme) every spacing must match the width
   // implied by the params blob.
-  const std::size_t expected_blob = expected_edge_blob_bytes(
+  const std::size_t expected_blob = store::expected_edge_blob_bytes(
       info.backend, view->params_blob(), info.format_version);
   std::uint64_t prev = read_u64_at(view->map_, view->index_off_);
   if (prev != 0) {
@@ -398,39 +499,18 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   }
 
   // Adjacency CSR validation: monotone offsets covering exactly 2m
-  // entries, every entry a valid edge ID.
+  // entries, every entry a valid edge ID (shared with the sharded
+  // manifest, which carries the same section layout).
   if (info.has_adjacency) {
-    const std::size_t entries = 2 * static_cast<std::size_t>(info.num_edges);
-    const std::size_t lists_off =
-        view->adj_off_ +
-        8 * (static_cast<std::size_t>(info.num_vertices) + 1);
-    std::uint64_t prev_off = read_u64_at(view->map_, view->adj_off_);
-    if (prev_off != 0) {
-      throw StoreError("corrupt adjacency offsets (must start at 0): " +
-                       path);
-    }
-    for (VertexId v = 0; v < info.num_vertices; ++v) {
-      const std::uint64_t next_off = read_u64_at(
-          view->map_,
-          view->adj_off_ + 8 * (static_cast<std::size_t>(v) + 1));
-      if (next_off < prev_off || next_off > entries) {
-        throw StoreError("corrupt adjacency offsets (not monotone): " + path);
-      }
-      prev_off = next_off;
-    }
-    if (prev_off != entries) {
-      throw StoreError("corrupt adjacency offsets (entry count): " + path);
-    }
-    for (std::size_t i = 0; i < entries; ++i) {
-      if (read_u32_at(view->map_, lists_off + 4 * i) >= info.num_edges) {
-        throw StoreError("corrupt adjacency list (edge ID out of range): " +
-                         path);
-      }
-    }
+    view->adj_ = store::CsrAdjacency{view->map_, adj_off, info.adjacency_bytes,
+                                     info.num_vertices, info.num_edges};
+    view->adj_.validate(path);
   }
 
-  derive_label_bits(info.backend, view->params_blob(), info.format_version,
-                    info);
+  const store::StoreLabelBits bits = store::derive_label_bits(
+      info.backend, view->params_blob(), info.format_version);
+  info.vertex_label_bits = bits.vertex_label_bits;
+  info.edge_label_bits = bits.edge_label_bits;
 
   if (verify_checksum &&
       store::fnv1a(bytes.subspan(store::kHeaderBytes)) !=
@@ -462,28 +542,12 @@ std::span<const std::uint8_t> LabelStoreView::edge_blob(EdgeId e) const {
 }
 
 std::size_t LabelStoreView::adjacency_degree(VertexId v) const {
-  FTC_REQUIRE(info_.has_adjacency, "store carries no adjacency section");
-  FTC_REQUIRE(v < info_.num_vertices, "vertex out of range");
-  const std::uint64_t begin =
-      read_u64_at(map_, adj_off_ + 8 * static_cast<std::size_t>(v));
-  const std::uint64_t end =
-      read_u64_at(map_, adj_off_ + 8 * (static_cast<std::size_t>(v) + 1));
-  return static_cast<std::size_t>(end - begin);
+  return adj_.degree(v);
 }
 
 void LabelStoreView::adjacency_append(VertexId v,
                                       std::vector<graph::EdgeId>& out) const {
-  FTC_REQUIRE(info_.has_adjacency, "store carries no adjacency section");
-  FTC_REQUIRE(v < info_.num_vertices, "vertex out of range");
-  const std::uint64_t begin =
-      read_u64_at(map_, adj_off_ + 8 * static_cast<std::size_t>(v));
-  const std::uint64_t end =
-      read_u64_at(map_, adj_off_ + 8 * (static_cast<std::size_t>(v) + 1));
-  const std::size_t lists_off =
-      adj_off_ + 8 * (static_cast<std::size_t>(info_.num_vertices) + 1);
-  for (std::uint64_t i = begin; i < end; ++i) {
-    out.push_back(read_u32_at(map_, lists_off + 4 * static_cast<std::size_t>(i)));
-  }
+  adj_.append(v, out);
 }
 
 // ------------------------------------------------------------------
@@ -510,7 +574,7 @@ using EmptyStoredWorkspace = detail::EmptyWorkspace;
 // section, so serving vertex faults costs no load-time materialization.
 class MappedAdjacency final : public AdjacencyProvider {
  public:
-  explicit MappedAdjacency(std::shared_ptr<const LabelStoreView> view)
+  explicit MappedAdjacency(std::shared_ptr<const StoreView> view)
       : view_(std::move(view)) {}
 
   VertexId num_vertices() const override {
@@ -525,7 +589,7 @@ class MappedAdjacency final : public AdjacencyProvider {
   }
 
  private:
-  std::shared_ptr<const LabelStoreView> view_;
+  std::shared_ptr<const StoreView> view_;
 };
 
 // Shared plumbing: the mapping, header-derived sizes, the adjacency
@@ -533,7 +597,7 @@ class MappedAdjacency final : public AdjacencyProvider {
 // re-emitting the stored blobs (a loaded store round-trips bit-exactly).
 class StoredSchemeBase : public ConnectivityScheme {
  public:
-  StoredSchemeBase(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+  StoredSchemeBase(std::shared_ptr<const StoreView> view, LoadMode mode)
       : view_(std::move(view)) {
     if (!view_->info().has_adjacency) return;
     if (mode == LoadMode::kMaterialize) {
@@ -604,14 +668,14 @@ class StoredSchemeBase : public ConnectivityScheme {
     return vertex_cache_[v];
   }
 
-  std::shared_ptr<const LabelStoreView> view_;
+  std::shared_ptr<const StoreView> view_;
   std::vector<graph::AncestryLabel> vertex_cache_;  // kMaterialize only
   std::unique_ptr<AdjacencyProvider> adjacency_;    // null: v1 container
 };
 
 class StoredCoreScheme final : public StoredSchemeBase {
  public:
-  StoredCoreScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+  StoredCoreScheme(std::shared_ptr<const StoreView> view, LoadMode mode)
       : StoredSchemeBase(std::move(view), mode) {
     store::ByteReader pr(view_->params_blob());
     params_ = store::decode_core_params(pr, view_->info().format_version,
@@ -679,7 +743,7 @@ class StoredCoreScheme final : public StoredSchemeBase {
 
 class StoredCycleScheme final : public StoredSchemeBase {
  public:
-  StoredCycleScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+  StoredCycleScheme(std::shared_ptr<const StoreView> view, LoadMode mode)
       : StoredSchemeBase(std::move(view), mode) {
     store::ByteReader pr(view_->params_blob());
     params_ = store::decode_cycle_params(pr);
@@ -734,7 +798,7 @@ class StoredCycleScheme final : public StoredSchemeBase {
 
 class StoredAgmScheme final : public StoredSchemeBase {
  public:
-  StoredAgmScheme(std::shared_ptr<const LabelStoreView> view, LoadMode mode)
+  StoredAgmScheme(std::shared_ptr<const StoreView> view, LoadMode mode)
       : StoredSchemeBase(std::move(view), mode) {
     store::ByteReader pr(view_->params_blob());
     params_ = store::decode_agm_params(pr);
@@ -790,7 +854,7 @@ class StoredAgmScheme final : public StoredSchemeBase {
 }  // namespace
 
 std::unique_ptr<ConnectivityScheme> load_scheme(
-    std::shared_ptr<const LabelStoreView> view, LoadMode mode) {
+    std::shared_ptr<const StoreView> view, LoadMode mode) {
   FTC_REQUIRE(view != nullptr, "null label store view");
   switch (view->info().backend) {
     case BackendKind::kCoreFtc:
@@ -806,7 +870,9 @@ std::unique_ptr<ConnectivityScheme> load_scheme(
 
 std::unique_ptr<ConnectivityScheme> load_scheme(const std::string& path,
                                                 const LoadOptions& options) {
-  return load_scheme(LabelStoreView::open(path, options.verify_checksum),
+  // open_store_view dispatches on the magic: single containers and
+  // sharded manifests load through the same StoreView interface.
+  return load_scheme(open_store_view(path, options.verify_checksum),
                      options.mode);
 }
 

@@ -224,6 +224,77 @@ std::size_t core_edge_blob_bytes(const LabelParams& params);
 std::size_t cycle_edge_blob_bytes(const CycleParams& params);
 std::size_t agm_edge_blob_bytes(const AgmParams& params);
 
+// Decodes the params blob just far enough to answer "how many bytes is
+// one edge blob" / "how many bits is one label" for any backend; both
+// throw StoreError when the blob is inconsistent with the backend. Used
+// by the container reader to cross-check the offset index and by the
+// sharded-manifest reader (sharded_store.hpp), which carries the params
+// blob itself.
+std::size_t expected_edge_blob_bytes(BackendKind backend,
+                                     std::span<const std::uint8_t> params,
+                                     std::uint32_t version);
+struct StoreLabelBits {
+  std::size_t vertex_label_bits = 0;
+  std::size_t edge_label_bits = 0;
+};
+StoreLabelBits derive_label_bits(BackendKind backend,
+                                 std::span<const std::uint8_t> params,
+                                 std::uint32_t version);
+
+// The CSR adjacency side-table layout shared by container v2 and the
+// sharded-store manifest: (n + 1) u64 entry offsets followed by 2m u32
+// edge IDs. validate() enforces the full structural contract (exact
+// size, offsets monotone and covering exactly 2m entries, every edge ID
+// in range) and throws StoreError; degree()/append() are only legal
+// after a successful validate().
+struct CsrAdjacency {
+  const std::uint8_t* base = nullptr;  // file mapping
+  std::size_t off = 0;                 // section start within the mapping
+  std::size_t bytes = 0;               // recorded section size
+  graph::VertexId n = 0;
+  graph::EdgeId m = 0;
+
+  void validate(const std::string& path) const;
+  std::size_t degree(graph::VertexId v) const;
+  void append(graph::VertexId v, std::vector<graph::EdgeId>& out) const;
+};
+
+// Serializes one container holding the scheme's labels restricted to
+// the given vertex/edge ranges — the whole scheme for save(), one shard
+// for save_sharded() (sharded_store.hpp). include_adjacency emits the
+// CSR side-table when the scheme carries one and requires the full
+// ranges (the lists name global edge IDs); shard containers pass false —
+// the manifest carries the adjacency instead.
+std::vector<std::uint8_t> build_container_bytes(
+    const ConnectivityScheme& scheme, graph::VertexId v_begin,
+    graph::VertexId v_end, graph::EdgeId e_begin, graph::EdgeId e_end,
+    bool include_adjacency);
+
+// The CSR adjacency section bytes for a scheme, or empty when it
+// carries no adjacency. Shared by the container writer above and the
+// manifest writer (sharded_store.cpp).
+std::vector<std::uint8_t> build_adjacency_section(
+    const ConnectivityScheme& scheme);
+
+// Durable atomic file write shared by the container and manifest
+// writers: unique temp file (per process and per call) + fsync + rename
+// into place + best-effort directory fsync, so a crashed, failed or
+// racing write never leaves a half-written artifact under the target
+// name. Throws StoreError on I/O failure.
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+// Read-only mmap of a regular file, shared by the container and
+// manifest readers. Throws StoreError (naming `kind` in the message)
+// when the file is missing, not regular, smaller than min_bytes, or
+// unmappable. The caller owns the mapping (munmap(data, size)).
+struct MappedFile {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+MappedFile map_readonly(const std::string& path, std::size_t min_bytes,
+                        const char* kind);
+
 }  // namespace store
 
 // Parsed header + section accounting of an open store, for inspection
@@ -242,16 +313,51 @@ struct StoreInfo {
   // Format v2: optional adjacency side-table (vertex-fault capability).
   bool has_adjacency = false;
   std::size_t adjacency_bytes = 0;
+  // Sharded manifests (sharded_store.hpp): number of shard containers
+  // behind this view; 0 for a plain single-container store. When
+  // nonzero, file_bytes covers the manifest plus every shard.
+  std::uint32_t num_shards = 0;
   // Derived from the params blob; match the builder scheme's accounting.
   std::size_t vertex_label_bits = 0;
   std::size_t edge_label_bits = 0;
 };
 
-// Read-only mmap view of a store file. open() validates the complete
-// structure up front (see the format comment); accessors after a
-// successful open are zero-copy spans into the mapping and cannot go out
-// of bounds. Immutable and safe to share across threads.
-class LabelStoreView {
+// The read interface every store serving path programs against: a
+// validated, immutable view of one scheme's labels. Two implementations:
+// LabelStoreView (one mmapped container file, below) and ShardedStoreView
+// (a manifest routing over K shard containers, sharded_store.hpp).
+// load_scheme() and everything downstream — the label-served backends,
+// BatchQueryEngine sessions, ConnectivityOracle::from_store — only ever
+// see this interface, so single-file and sharded stores serve queries
+// through identical code. Implementations are safe to share across
+// threads after a successful open.
+class StoreView {
+ public:
+  virtual ~StoreView() = default;
+  StoreView(const StoreView&) = delete;
+  StoreView& operator=(const StoreView&) = delete;
+
+  const StoreInfo& info() const { return info_; }
+  virtual std::span<const std::uint8_t> params_blob() const = 0;
+  virtual std::span<const std::uint8_t> vertex_blob(
+      graph::VertexId v) const = 0;
+  virtual std::span<const std::uint8_t> edge_blob(graph::EdgeId e) const = 0;
+
+  // Adjacency side-table reads (valid only when info().has_adjacency).
+  virtual std::size_t adjacency_degree(graph::VertexId v) const = 0;
+  virtual void adjacency_append(graph::VertexId v,
+                                std::vector<graph::EdgeId>& out) const = 0;
+
+ protected:
+  StoreView() = default;
+  StoreInfo info_;
+};
+
+// Read-only mmap view of a single container file. open() validates the
+// complete structure up front (see the format comment); accessors after
+// a successful open are zero-copy spans into the mapping and cannot go
+// out of bounds. Immutable and safe to share across threads.
+class LabelStoreView final : public StoreView {
  public:
   // Maps the file and validates it. verify_checksum=false skips only the
   // full-payload FNV pass (an O(file) read) — every structural check and
@@ -259,20 +365,17 @@ class LabelStoreView {
   static std::shared_ptr<const LabelStoreView> open(
       const std::string& path, bool verify_checksum = true);
 
-  ~LabelStoreView();
-  LabelStoreView(const LabelStoreView&) = delete;
-  LabelStoreView& operator=(const LabelStoreView&) = delete;
+  ~LabelStoreView() override;
 
-  const StoreInfo& info() const { return info_; }
-  std::span<const std::uint8_t> params_blob() const;
-  std::span<const std::uint8_t> vertex_blob(graph::VertexId v) const;
-  std::span<const std::uint8_t> edge_blob(graph::EdgeId e) const;
+  std::span<const std::uint8_t> params_blob() const override;
+  std::span<const std::uint8_t> vertex_blob(graph::VertexId v) const override;
+  std::span<const std::uint8_t> edge_blob(graph::EdgeId e) const override;
 
   // Adjacency side-table reads (valid only when info().has_adjacency;
   // offsets were validated monotone and in-range at open).
-  std::size_t adjacency_degree(graph::VertexId v) const;
+  std::size_t adjacency_degree(graph::VertexId v) const override;
   void adjacency_append(graph::VertexId v,
-                        std::vector<graph::EdgeId>& out) const;
+                        std::vector<graph::EdgeId>& out) const override;
 
  private:
   LabelStoreView() = default;
@@ -283,8 +386,7 @@ class LabelStoreView {
   std::size_t vertex_off_ = 0;
   std::size_t index_off_ = 0;
   std::size_t blob_off_ = 0;
-  std::size_t adj_off_ = 0;  // 0 when no adjacency section
-  StoreInfo info_;
+  store::CsrAdjacency adj_;  // base == nullptr when no adjacency section
 };
 
 // How load_scheme materializes a store:
@@ -303,18 +405,25 @@ struct LoadOptions {
   bool verify_checksum = true;
 };
 
-// Reconstructs a ConnectivityScheme from a container file. The returned
-// scheme answers queries through the backend's universal decoder —
-// identical results to the scheme that wrote the store — and supports
-// save() (re-emitting the container) but, by design, never needs the
-// graph. Throws StoreError on any malformed input.
+// Opens a store behind the common StoreView interface, dispatching on
+// the file magic: a single-container file yields a LabelStoreView, a
+// sharded-store manifest (sharded_store.hpp) yields a ShardedStoreView.
+// Implemented in sharded_store.cpp.
+std::shared_ptr<const StoreView> open_store_view(const std::string& path,
+                                                 bool verify_checksum = true);
+
+// Reconstructs a ConnectivityScheme from a container file or a sharded
+// manifest (dispatching on the magic). The returned scheme answers
+// queries through the backend's universal decoder — identical results to
+// the scheme that wrote the store — and supports save() (re-emitting a
+// single container, even from a sharded source) but, by design, never
+// needs the graph. Throws StoreError on any malformed input.
 std::unique_ptr<ConnectivityScheme> load_scheme(const std::string& path,
                                                 const LoadOptions& options = {});
 
 // Same, over an already-open view (shares the mapping; several schemes
 // and threads may serve from one view).
 std::unique_ptr<ConnectivityScheme> load_scheme(
-    std::shared_ptr<const LabelStoreView> view,
-    LoadMode mode = LoadMode::kMmap);
+    std::shared_ptr<const StoreView> view, LoadMode mode = LoadMode::kMmap);
 
 }  // namespace ftc::core

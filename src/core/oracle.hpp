@@ -31,11 +31,14 @@ class ConnectivityOracle {
   // Backend-agnostic: any labeling construction behind the factory.
   ConnectivityOracle(const graph::Graph& g, const SchemeConfig& config);
 
-  // Serve straight from a persisted label store, without the graph.
-  // Queries behave identically to the oracle that wrote the store;
-  // vertex-fault capability follows the container (format v2 carries the
-  // adjacency side-table; v1 containers serve edge faults only and
-  // throw CapabilityError on vertex faults).
+  // Serve straight from a persisted label store, without the graph. The
+  // path may name a single container file or a sharded-store manifest
+  // (sharded_store.hpp) — the magic dispatch in load_scheme() makes the
+  // two indistinguishable up here. Queries behave identically to the
+  // oracle that wrote the store; vertex-fault capability follows the
+  // artifact (format-v2 containers and manifests carry the adjacency
+  // side-table; v1 containers serve edge faults only and throw
+  // CapabilityError on vertex faults).
   static ConnectivityOracle from_store(const std::string& path,
                                        const LoadOptions& options = {});
 

@@ -17,6 +17,7 @@
 
 #include "core/ftc_labels.hpp"
 #include "core/label_store.hpp"
+#include "core/sharded_store.hpp"
 
 namespace ftc::core {
 
@@ -342,6 +343,49 @@ dp21::AgmEdgeLabel decode_agm_edge(ByteReader& r, const AgmParams& params) {
 
 std::size_t agm_edge_blob_bytes(const AgmParams& params) {
   return 16 + 8 * params.sketch_words();
+}
+
+// ------------------------------------------------------------------
+// Sharded-manifest shard-table records (sharded_store.hpp). Fixed
+// 48-byte range/digest prefix, u32 name length, name bytes, zero pad to
+// an 8-byte record boundary — records always start 8-aligned in the
+// manifest, so ByteWriter::pad_to(8) lands on the record boundary.
+
+void encode_shard_record(const ShardRecord& rec, ByteWriter& w) {
+  FTC_REQUIRE(w.size() % 8 == 0, "shard record must start 8-aligned");
+  FTC_REQUIRE(!rec.name.empty() && rec.name.size() <= kMaxShardNameBytes,
+              "shard name length out of range");
+  w.u64(rec.vertex_begin);
+  w.u64(rec.vertex_end);
+  w.u64(rec.edge_begin);
+  w.u64(rec.edge_end);
+  w.u64(rec.file_bytes);
+  w.u64(rec.payload_digest);
+  w.u32(static_cast<std::uint32_t>(rec.name.size()));
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(rec.name.data()),
+      rec.name.size()));
+  w.pad_to(8);
+}
+
+ShardRecord decode_shard_record(ByteReader& r) {
+  ShardRecord rec;
+  rec.vertex_begin = r.u64();
+  rec.vertex_end = r.u64();
+  rec.edge_begin = r.u64();
+  rec.edge_end = r.u64();
+  rec.file_bytes = r.u64();
+  rec.payload_digest = r.u64();
+  const std::uint32_t len = r.u32();
+  if (len == 0 || len > kMaxShardNameBytes) {
+    throw StoreError("corrupt manifest (shard name length out of range)");
+  }
+  const auto name = r.take(len);
+  rec.name.assign(name.begin(), name.end());
+  for (const std::uint8_t b : r.take((8 - ((4 + len) % 8)) % 8)) {
+    if (b != 0) throw StoreError("corrupt manifest (shard record padding)");
+  }
+  return rec;
 }
 
 }  // namespace store

@@ -1,0 +1,508 @@
+// ShardedLabelStore implementation: the manifest writer (save_sharded),
+// the manifest-routed ShardedStoreView, and the magic-dispatching
+// open_store_view() entry point.
+//
+// The split is by contiguous vertex/edge ranges so the manifest's range
+// index is two sorted arrays and a lookup is one branchless-ish binary
+// search — the offset-index layout inside each shard is exactly the
+// single-container one, so the per-shard read path is byte-for-byte the
+// code LabelStoreView already runs. Shards open lazily: a view that only
+// ever serves queries touching one shard maps one shard.
+#include "core/sharded_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+namespace ftc::core {
+
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
+
+// Splits path into (directory prefix including the trailing slash — or
+// empty for the current directory — and the file name).
+std::pair<std::string, std::string> split_path(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return {std::string(), path};
+  return {path.substr(0, slash + 1), path.substr(slash + 1)};
+}
+
+// Shard names come from a checksummed but untrusted file; resolving one
+// must never escape the manifest's directory.
+void validate_shard_name(const std::string& name, const std::string& path) {
+  const auto fail = [&](const char* why) -> StoreError {
+    return StoreError(std::string("corrupt manifest (") + why +
+                      " in shard name): " + path);
+  };
+  if (name.empty()) throw fail("empty");
+  if (name.front() == '/') throw fail("absolute path");
+  if (name.find('\0') != std::string::npos) throw fail("NUL byte");
+  std::size_t pos = 0;
+  while (pos <= name.size()) {
+    std::size_t next = name.find('/', pos);
+    if (next == std::string::npos) next = name.size();
+    const std::string_view seg(name.data() + pos, next - pos);
+    if (seg.empty() || seg == "." || seg == "..") {
+      throw fail("path traversal segment");
+    }
+    pos = next + 1;
+  }
+}
+
+// The shard container's payload checksum, straight from its header —
+// recorded in the manifest as the shard digest without a second FNV pass
+// over the (already checksummed) shard bytes.
+std::uint64_t container_payload_checksum(std::span<const std::uint8_t> file) {
+  FTC_CHECK(file.size() >= store::kHeaderBytes, "container too small");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{file[40 + i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------
+// Writer.
+
+void save_sharded(const ConnectivityScheme& scheme,
+                  const std::string& manifest_path, unsigned num_shards) {
+  FTC_REQUIRE(num_shards >= 1, "need at least one shard");
+  FTC_REQUIRE(num_shards <= store::kMaxShards, "too many shards");
+  const VertexId n = scheme.num_vertices();
+  const EdgeId m = scheme.num_edges();
+  const auto [dir, base] = split_path(manifest_path);
+
+  // Contiguous, near-even split of both ID spaces. A shard's vertex and
+  // edge ranges are independent partitions — edge e's endpoints need not
+  // live in the same shard, and nothing on the read path assumes so.
+  std::vector<store::ShardRecord> records(num_shards);
+  for (unsigned k = 0; k < num_shards; ++k) {
+    store::ShardRecord& rec = records[k];
+    rec.vertex_begin = static_cast<std::uint64_t>(n) * k / num_shards;
+    rec.vertex_end = static_cast<std::uint64_t>(n) * (k + 1) / num_shards;
+    rec.edge_begin = static_cast<std::uint64_t>(m) * k / num_shards;
+    rec.edge_end = static_cast<std::uint64_t>(m) * (k + 1) / num_shards;
+    rec.name = base + ".shard" + std::to_string(k) + ".ftcs";
+  }
+
+  // Build and write the shard containers in parallel: serialization only
+  // reads the (immutable) scheme, and every worker writes distinct
+  // files. Each shard is written atomically; the manifest goes last, so
+  // a crash mid-save never publishes a manifest naming missing shards.
+  std::vector<std::exception_ptr> errors(num_shards);
+  const auto build_shard = [&](unsigned k) {
+    try {
+      store::ShardRecord& rec = records[k];
+      const auto bytes = store::build_container_bytes(
+          scheme, static_cast<VertexId>(rec.vertex_begin),
+          static_cast<VertexId>(rec.vertex_end),
+          static_cast<EdgeId>(rec.edge_begin),
+          static_cast<EdgeId>(rec.edge_end),
+          /*include_adjacency=*/false);
+      rec.file_bytes = bytes.size();
+      rec.payload_digest = container_payload_checksum(bytes);
+      store::write_file_atomic(dir + rec.name, bytes);
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  };
+  const unsigned workers = std::min<unsigned>(
+      num_shards, std::max(1u, std::thread::hardware_concurrency()));
+  if (workers <= 1) {
+    for (unsigned k = 0; k < num_shards; ++k) build_shard(k);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (unsigned k = w; k < num_shards; k += workers) build_shard(k);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  store::ByteWriter params;
+  scheme.serialize_params(params);
+  const std::vector<std::uint8_t> adj_section =
+      store::build_adjacency_section(scheme);
+
+  store::ByteWriter w;
+  w.u64(store::kManifestMagic);
+  w.u32(static_cast<std::uint32_t>(store::kManifestFormatVersion));
+  w.u8(static_cast<std::uint8_t>(scheme.backend()));
+  w.u8(!adj_section.empty() ? store::kFlagHasAdjacency : 0);  // flags
+  w.u8(0);
+  w.u8(0);
+  w.u64(n);
+  w.u64(m);
+  w.u64(num_shards);
+  w.u64(params.size());
+  w.u64(store::fnv1a(params.view()));
+  w.u64(adj_section.size());
+  const std::size_t payload_checksum_off = w.size();
+  w.u64(0);  // payload checksum, patched below
+  const std::size_t header_checksum_off = w.size();
+  w.u64(0);  // header checksum, patched below
+  FTC_CHECK(w.size() == store::kManifestHeaderBytes,
+            "manifest header layout drifted");
+
+  w.bytes(params.view());
+  w.pad_to(8);
+  for (const store::ShardRecord& rec : records) {
+    store::encode_shard_record(rec, w);
+  }
+  if (!adj_section.empty()) w.bytes(adj_section);
+
+  const auto file = w.view();
+  w.patch_u64(payload_checksum_off,
+              store::fnv1a(file.subspan(store::kManifestHeaderBytes)));
+  w.patch_u64(header_checksum_off,
+              store::fnv1a(file.first(header_checksum_off)));
+  store::write_file_atomic(manifest_path, w.view());
+}
+
+// ------------------------------------------------------------------
+// Reader.
+
+ShardedStoreView::~ShardedStoreView() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+  }
+}
+
+std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
+    const std::string& path, bool verify_checksum) {
+  const store::MappedFile mapped = store::map_readonly(
+      path, store::kManifestHeaderBytes, "store manifest");
+  const std::size_t size = mapped.size;
+
+  std::shared_ptr<ShardedStoreView> view(new ShardedStoreView());
+  view->map_ = mapped.data;
+  view->map_bytes_ = size;
+  view->path_ = path;
+  view->dir_ = split_path(path).first;
+  view->verify_checksum_ = verify_checksum;
+
+  const std::span<const std::uint8_t> bytes(view->map_, size);
+  store::ByteReader h(bytes.first(store::kManifestHeaderBytes));
+  if (h.u64() != store::kManifestMagic) {
+    throw StoreError("bad magic (not a store manifest): " + path);
+  }
+  StoreInfo& info = view->info_;
+  const std::uint32_t manifest_version = h.u32();
+  const std::uint8_t backend_byte = h.u8();
+  const std::uint8_t flags = h.u8();
+  h.u8();
+  h.u8();
+  const std::uint64_t n64 = h.u64();
+  const std::uint64_t m64 = h.u64();
+  const std::uint64_t num_shards = h.u64();
+  const std::uint64_t params_size = h.u64();
+  const std::uint64_t params_hash = h.u64();
+  const std::uint64_t adj_size = h.u64();
+  info.payload_checksum = h.u64();
+  const std::size_t header_checksum_off = h.pos();
+  const std::uint64_t header_checksum = h.u64();
+  if (store::fnv1a(bytes.first(header_checksum_off)) != header_checksum) {
+    throw StoreError("corrupt manifest header (checksum mismatch): " + path);
+  }
+  if (manifest_version != store::kManifestFormatVersion) {
+    throw StoreError("unsupported manifest format version " +
+                     std::to_string(manifest_version) + ": " + path);
+  }
+  if ((flags & ~store::kFlagHasAdjacency) != 0) {
+    throw StoreError("unknown header flags in store manifest: " + path);
+  }
+  info.has_adjacency = (flags & store::kFlagHasAdjacency) != 0;
+  if (info.has_adjacency != (adj_size != 0)) {
+    throw StoreError("corrupt manifest (adjacency flag/size disagree): " +
+                     path);
+  }
+  if (backend_byte > static_cast<std::uint8_t>(BackendKind::kDp21Agm)) {
+    throw StoreError("unknown backend kind in store manifest: " + path);
+  }
+  info.backend = static_cast<BackendKind>(backend_byte);
+  if (n64 >= graph::kNoVertex || m64 >= graph::kNoEdge) {
+    throw StoreError("store manifest dimensions out of range: " + path);
+  }
+  info.num_vertices = static_cast<VertexId>(n64);
+  info.num_edges = static_cast<EdgeId>(m64);
+  if (num_shards < 1 || num_shards > store::kMaxShards) {
+    throw StoreError("store manifest shard count out of range: " + path);
+  }
+  info.num_shards = static_cast<std::uint32_t>(num_shards);
+
+  // The manifest reader never trusts the recorded section sizes: every
+  // section bound is checked against the mapped size before any read.
+  if (verify_checksum &&
+      store::fnv1a(bytes.subspan(store::kManifestHeaderBytes)) !=
+          info.payload_checksum) {
+    throw StoreError("payload checksum mismatch (corrupt manifest): " + path);
+  }
+  if (params_size > size - store::kManifestHeaderBytes) {
+    throw StoreError("store manifest truncated (params exceed file): " + path);
+  }
+  view->params_off_ = store::kManifestHeaderBytes;
+  info.params_bytes = static_cast<std::size_t>(params_size);
+  if (store::fnv1a(view->params_blob()) != params_hash) {
+    throw StoreError("corrupt manifest (params blob hash mismatch): " + path);
+  }
+
+  const std::size_t table_off = align8(view->params_off_ + info.params_bytes);
+  if (table_off > size) {
+    throw StoreError("store manifest truncated (shard table): " + path);
+  }
+  info.adjacency_bytes = static_cast<std::size_t>(adj_size);
+  if (info.adjacency_bytes > size - table_off) {
+    throw StoreError("store manifest truncated (adjacency section): " + path);
+  }
+  const std::size_t adj_off = size - info.adjacency_bytes;
+  if (info.has_adjacency && adj_off % 8 != 0) {
+    throw StoreError("corrupt manifest (adjacency misaligned): " + path);
+  }
+
+  // Shard table: K records that must tile [0, n) and [0, m) exactly —
+  // contiguous, in order, no overlap, no gap — and consume the whole
+  // region between params and adjacency.
+  store::ByteReader table(bytes.subspan(table_off, adj_off - table_off));
+  view->records_.reserve(info.num_shards);
+  std::uint64_t v_cursor = 0;
+  std::uint64_t e_cursor = 0;
+  for (std::uint32_t k = 0; k < info.num_shards; ++k) {
+    store::ShardRecord rec;
+    try {
+      rec = store::decode_shard_record(table);
+    } catch (const StoreError& e) {
+      throw StoreError(std::string(e.what()) + ": " + path);
+    }
+    if (rec.vertex_begin != v_cursor || rec.vertex_end < rec.vertex_begin ||
+        rec.edge_begin != e_cursor || rec.edge_end < rec.edge_begin) {
+      throw StoreError(
+          "corrupt manifest (shard ranges overlap or leave a gap): " + path);
+    }
+    v_cursor = rec.vertex_end;
+    e_cursor = rec.edge_end;
+    validate_shard_name(rec.name, path);
+    view->records_.push_back(std::move(rec));
+  }
+  if (v_cursor != n64 || e_cursor != m64) {
+    throw StoreError("corrupt manifest (shard ranges do not cover the "
+                     "store): " + path);
+  }
+  if (table.remaining() != 0) {
+    throw StoreError("corrupt manifest (trailing bytes after shard table): " +
+                     path);
+  }
+
+  if (info.has_adjacency) {
+    view->adj_ = store::CsrAdjacency{view->map_, adj_off, info.adjacency_bytes,
+                                     info.num_vertices, info.num_edges};
+    view->adj_.validate(path);
+  }
+
+  // Params must decode for this backend (also yields the per-edge blob
+  // width for the aggregate accounting below). Format v2 semantics: the
+  // manifest writer and the shard containers share the v2 params codec.
+  info.format_version = static_cast<std::uint32_t>(store::kFormatVersion);
+  const std::size_t blob_bytes = store::expected_edge_blob_bytes(
+      info.backend, view->params_blob(), info.format_version);
+  const store::StoreLabelBits bits = store::derive_label_bits(
+      info.backend, view->params_blob(), info.format_version);
+  info.vertex_label_bits = bits.vertex_label_bits;
+  info.edge_label_bits = bits.edge_label_bits;
+
+  // Every shard file must already exist with exactly the recorded size;
+  // mapping and full validation stay lazy.
+  info.file_bytes = size;
+  for (const store::ShardRecord& rec : view->records_) {
+    struct stat shard_st{};
+    const std::string shard_path = view->dir_ + rec.name;
+    if (::stat(shard_path.c_str(), &shard_st) != 0) {
+      throw StoreError("missing shard file: " + shard_path + " (" +
+                       std::strerror(errno) + ")");
+    }
+    if (!S_ISREG(shard_st.st_mode) ||
+        static_cast<std::uint64_t>(shard_st.st_size) != rec.file_bytes) {
+      throw StoreError("shard file size disagrees with manifest: " +
+                       shard_path);
+    }
+    info.file_bytes += static_cast<std::size_t>(rec.file_bytes);
+  }
+
+  // Aggregate section accounting (nominal; shards carry the real
+  // sections): n fixed vertex records, K per-shard offset indices, and
+  // m fixed-width edge blobs.
+  info.vertex_section_bytes =
+      static_cast<std::size_t>(info.num_vertices) * store::kVertexRecordBytes;
+  info.edge_index_bytes =
+      (static_cast<std::size_t>(info.num_edges) + info.num_shards) * 8;
+  info.edge_blob_bytes = static_cast<std::size_t>(info.num_edges) * blob_bytes;
+
+  view->shard_views_.resize(info.num_shards);
+  view->opened_ = std::make_unique<std::atomic<bool>[]>(info.num_shards);
+  for (std::uint32_t k = 0; k < info.num_shards; ++k) {
+    view->opened_[k].store(false, std::memory_order_relaxed);
+  }
+  return view;
+}
+
+std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
+    std::size_t k) const {
+  const store::ShardRecord& rec = records_[k];
+  const std::string shard_path = dir_ + rec.name;
+  auto v = LabelStoreView::open(shard_path, verify_checksum_);
+  const StoreInfo& si = v->info();
+  if (si.backend != info_.backend ||
+      si.num_vertices != rec.vertex_end - rec.vertex_begin ||
+      si.num_edges != rec.edge_end - rec.edge_begin) {
+    throw StoreError("shard disagrees with manifest (backend or "
+                     "dimensions): " + shard_path);
+  }
+  if (si.file_bytes != rec.file_bytes ||
+      si.payload_checksum != rec.payload_digest) {
+    throw StoreError("shard digest mismatch (stale or swapped shard): " +
+                     shard_path);
+  }
+  const auto sp = v->params_blob();
+  const auto mp = params_blob();
+  if (sp.size() != mp.size() ||
+      !std::equal(sp.begin(), sp.end(), mp.begin())) {
+    throw StoreError("shard params blob differs from manifest: " +
+                     shard_path);
+  }
+  return v;
+}
+
+const LabelStoreView& ShardedStoreView::shard(std::size_t k) const {
+  // Lazy open with the mmap + validation OUTSIDE the lock, so cold
+  // first-touch opens of different shards proceed in parallel. Racing
+  // opens of the SAME shard both validate and the first publisher wins
+  // (the loser's mapping is discarded); slot k is written exactly once,
+  // and the release store publishes it to lock-free readers.
+  if (!opened_[k].load(std::memory_order_acquire)) {
+    auto v = open_shard(k);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!opened_[k].load(std::memory_order_relaxed)) {
+      shard_views_[k] = std::move(v);
+      opened_[k].store(true, std::memory_order_release);
+    }
+  }
+  return *shard_views_[k];
+}
+
+std::size_t ShardedStoreView::shard_of_vertex(VertexId v) const {
+  FTC_REQUIRE(v < info_.num_vertices, "vertex out of range");
+  // Last shard whose vertex_begin <= v; the tiling invariant makes it
+  // the unique shard with vertex_begin <= v < vertex_end.
+  std::size_t lo = 0;
+  std::size_t hi = records_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (records_[mid].vertex_begin <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t ShardedStoreView::shard_of_edge(EdgeId e) const {
+  FTC_REQUIRE(e < info_.num_edges, "edge out of range");
+  std::size_t lo = 0;
+  std::size_t hi = records_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (records_[mid].edge_begin <= e) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::span<const std::uint8_t> ShardedStoreView::params_blob() const {
+  return {map_ + params_off_, info_.params_bytes};
+}
+
+std::span<const std::uint8_t> ShardedStoreView::vertex_blob(
+    VertexId v) const {
+  const std::size_t k = shard_of_vertex(v);
+  return shard(k).vertex_blob(
+      static_cast<VertexId>(v - records_[k].vertex_begin));
+}
+
+std::span<const std::uint8_t> ShardedStoreView::edge_blob(EdgeId e) const {
+  const std::size_t k = shard_of_edge(e);
+  return shard(k).edge_blob(static_cast<EdgeId>(e - records_[k].edge_begin));
+}
+
+std::size_t ShardedStoreView::adjacency_degree(VertexId v) const {
+  return adj_.degree(v);
+}
+
+void ShardedStoreView::adjacency_append(VertexId v,
+                                        std::vector<EdgeId>& out) const {
+  adj_.append(v, out);
+}
+
+std::size_t ShardedStoreView::shards_open() const {
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < records_.size(); ++k) {
+    if (opened_[k].load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+// ------------------------------------------------------------------
+// Magic dispatch.
+
+std::shared_ptr<const StoreView> open_store_view(const std::string& path,
+                                                 bool verify_checksum) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
+  if (fd < 0) {
+    throw StoreError("cannot open label store: " + path + " (" +
+                     std::strerror(errno) + ")");
+  }
+  std::uint8_t buf[8];
+  std::size_t got = 0;
+  while (got < sizeof(buf)) {
+    const ::ssize_t r = ::read(fd, buf + got, sizeof(buf) - got);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+  if (got < sizeof(buf)) {
+    throw StoreError("label store truncated (no magic): " + path);
+  }
+  std::uint64_t magic = 0;
+  for (int i = 0; i < 8; ++i) magic |= std::uint64_t{buf[i]} << (8 * i);
+  if (magic == store::kMagic) {
+    return LabelStoreView::open(path, verify_checksum);
+  }
+  if (magic == store::kManifestMagic) {
+    return ShardedStoreView::open(path, verify_checksum);
+  }
+  throw StoreError("bad magic (neither a label store nor a manifest): " +
+                   path);
+}
+
+}  // namespace ftc::core

@@ -1,0 +1,166 @@
+// ShardedLabelStore: one labeling scheme split across K container files
+// plus a checksummed manifest, served back through the same StoreView
+// interface as a single container.
+//
+// The paper's O(f)-size polylog labels make connectivity queries
+// servable from precomputed artifacts; sharding is what lets those
+// artifacts outgrow one file. save_sharded() splits a scheme's labels
+// across K shards by CONTIGUOUS vertex and edge ranges — shard k holds
+// vertex records [vk, vk+1) and edge blobs [ek, ek+1), each shard a
+// fully valid format-v2 container in its own right (inspectable and
+// loadable with the ordinary tools) — and writes a manifest recording
+// the ranges, the params blob, and a per-shard digest. Shards build and
+// write in parallel, the first concrete step toward billion-edge stores
+// whose labels are produced and distributed shard-by-shard.
+//
+// Manifest format, version 1 (all integers little-endian):
+//
+//   header (80 bytes)
+//     0   u64  magic "FTCMANIF"
+//     8   u32  manifest format version (1)
+//     12  u8   BackendKind
+//     13  u8   flags (bit 0: adjacency section present), u8[2] reserved
+//     16  u64  total num_vertices
+//     24  u64  total num_edges
+//     32  u64  num_shards (K >= 1)
+//     40  u64  params blob size in bytes
+//     48  u64  params blob hash (FNV-1a over the params blob bytes;
+//              every shard's params blob must match byte-for-byte)
+//     56  u64  adjacency section size in bytes (0 when absent)
+//     64  u64  payload checksum: FNV-1a over bytes [80, file end)
+//     72  u64  header checksum: FNV-1a over bytes [0, 72)
+//   params blob          verbatim copy of the (shared) backend params,
+//                        so schemes load from the manifest alone without
+//                        touching any shard
+//   (pad to 8)
+//   shard table          K records (see store::ShardRecord): vertex and
+//                        edge ranges, expected shard file size, the
+//                        shard's payload checksum as its digest, and the
+//                        shard's file name relative to the manifest
+//   adjacency section    optional CSR incidence side-table, identical
+//                        layout and validation to container v2 — carried
+//                        by the manifest (not the shards: incidence
+//                        lists name global edge IDs), so sharded stores
+//                        keep vertex-fault capability
+//
+// Validation at open: magic, both checksums, version, backend, flags,
+// dimension ranges, and the shard table — ranges must tile [0, n) and
+// [0, m) exactly (no overlap, no gap), names must be relative paths
+// without ".." segments, and every shard file must exist with exactly
+// the recorded size. Shards themselves are mmapped LAZILY, on the first
+// lookup that routes into them; at that point the shard is opened with
+// the full container-v2 validation plus the manifest cross-checks
+// (backend, range dimensions, byte-identical params blob, digest). Any
+// mismatch throws the typed StoreError.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/label_store.hpp"
+
+namespace ftc::core {
+
+namespace store {
+
+inline constexpr std::uint64_t kManifestFormatVersion = 1;
+inline constexpr std::size_t kManifestHeaderBytes = 80;
+// "FTCMANIF" read as a little-endian u64.
+inline constexpr std::uint64_t kManifestMagic = 0x46494E414D435446ULL;
+// Guardrails against absurd shard tables in adversarial manifests.
+inline constexpr std::uint64_t kMaxShards = 1u << 20;
+inline constexpr std::size_t kMaxShardNameBytes = 4096;
+
+// One shard-table entry. Encoded fixed-prefix + name: six u64 fields,
+// u32 name length, name bytes, pad to 8 (codec in serialize.cpp).
+struct ShardRecord {
+  std::uint64_t vertex_begin = 0;
+  std::uint64_t vertex_end = 0;
+  std::uint64_t edge_begin = 0;
+  std::uint64_t edge_end = 0;
+  std::uint64_t file_bytes = 0;       // exact shard file size
+  std::uint64_t payload_digest = 0;   // the shard's own payload checksum
+  std::string name;                   // relative to the manifest directory
+};
+
+void encode_shard_record(const ShardRecord& rec, ByteWriter& w);
+ShardRecord decode_shard_record(ByteReader& r);
+
+}  // namespace store
+
+// Writes `scheme` as num_shards containers plus a manifest at
+// manifest_path. Shard files land next to the manifest, named
+// "<manifest-filename>.shard<k>.ftcs"; each is written atomically, in
+// parallel across worker threads, and the manifest is written last — a
+// crash mid-save never leaves a manifest naming missing or stale
+// shards. num_shards may exceed the vertex/edge counts (the surplus
+// shards hold empty ranges). Load the result back with load_scheme() /
+// open_store_view() on the manifest path. Throws StoreError on I/O
+// failure.
+void save_sharded(const ConnectivityScheme& scheme,
+                  const std::string& manifest_path, unsigned num_shards);
+
+// Manifest-routed StoreView over K lazily-opened shard containers.
+// vertex_blob/edge_blob binary-search the range index and forward to the
+// owning shard, mmapping it on first touch (thread-safe; concurrent
+// queries may race to open the same shard and one open wins). Adjacency
+// reads come from the manifest's own side-table. info() aggregates the
+// whole store: file_bytes spans manifest plus shards, num_shards > 0.
+class ShardedStoreView final : public StoreView {
+ public:
+  // Maps and validates the manifest (structure always; the manifest
+  // payload FNV pass only when verify_checksum). Shard files are
+  // stat-checked here (existence + exact size) but mapped lazily;
+  // verify_checksum also governs the per-shard payload pass at first
+  // touch.
+  static std::shared_ptr<const ShardedStoreView> open(
+      const std::string& path, bool verify_checksum = true);
+
+  ~ShardedStoreView() override;
+
+  std::span<const std::uint8_t> params_blob() const override;
+  std::span<const std::uint8_t> vertex_blob(graph::VertexId v) const override;
+  std::span<const std::uint8_t> edge_blob(graph::EdgeId e) const override;
+  std::size_t adjacency_degree(graph::VertexId v) const override;
+  void adjacency_append(graph::VertexId v,
+                        std::vector<graph::EdgeId>& out) const override;
+
+  // Manifest metadata, for inspection tooling.
+  std::span<const store::ShardRecord> shards() const { return records_; }
+  // Number of shards actually mmapped so far (lazy-open observability).
+  std::size_t shards_open() const;
+
+ private:
+  ShardedStoreView() = default;
+
+  // Opens and validates shard k against the manifest (full container
+  // validation + cross-checks). Throws StoreError on any mismatch.
+  std::shared_ptr<const LabelStoreView> open_shard(std::size_t k) const;
+  // Returns shard k, opening it on first touch (open_shard runs outside
+  // the slot lock; racing opens of one shard let the first win).
+  const LabelStoreView& shard(std::size_t k) const;
+  std::size_t shard_of_vertex(graph::VertexId v) const;
+  std::size_t shard_of_edge(graph::EdgeId e) const;
+
+  const std::uint8_t* map_ = nullptr;  // manifest file
+  std::size_t map_bytes_ = 0;
+  std::size_t params_off_ = 0;
+  store::CsrAdjacency adj_;  // base == nullptr when no adjacency section
+  std::string dir_;          // manifest directory, for shard resolution
+  std::string path_;         // manifest path, for error messages
+  bool verify_checksum_ = true;
+  std::vector<store::ShardRecord> records_;
+
+  // Lazy shard slots: slot k is written exactly once under mutex_ and
+  // read lock-free afterwards through an acquire load of opened_[k].
+  mutable std::mutex mutex_;
+  mutable std::vector<std::shared_ptr<const LabelStoreView>> shard_views_;
+  mutable std::unique_ptr<std::atomic<bool>[]> opened_;
+};
+
+}  // namespace ftc::core

@@ -19,19 +19,47 @@
 //       (no graph, no rebuild) and answers the queries. --vertex-faults
 //       deletes whole vertices (every incident edge) via the adjacency
 //       side-table; format-v1 stores carry none and fail with a
-//       capability error.
+//       capability error. The file may be a container or a manifest.
+//
+//   ftc_store shard   labels.ftcs --out labels.ftcm [--shards K]
+//       splits an existing store into K shard containers plus a
+//       manifest (written next to the manifest path); build also takes
+//       --shards to emit a sharded store directly.
+//
+//   ftc_store merge   labels.ftcm --out labels.ftcs
+//       folds a sharded store back into one container file.
+//
+//   ftc_store swap-demo [--f K] [--n N] [--m M] [--queries Q] [--swaps S]
+//                       [--seed S] [--threads T]
+//       end-to-end zero-downtime swap demonstration: builds two label
+//       generations, serves batches from one BatchQueryEngine session
+//       while another thread swap_store()s between them, and verifies
+//       every answer against the BFS ground truth of the epoch it was
+//       served from.
+//
+// build/inspect/query/shard/merge accept both single containers and
+// sharded manifests anywhere a store path is expected (the magic
+// dispatch in open_store_view / load_scheme decides).
 //
 // Exit codes: 0 ok, 1 usage error, 2 store/build/capability error.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_engine.hpp"
 #include "core/connectivity_scheme.hpp"
 #include "core/label_store.hpp"
+#include "core/sharded_store.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "util/common.hpp"
 
 namespace {
 
@@ -40,11 +68,15 @@ using namespace ftc;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s build --out FILE [--backend B] [--f K] [--family F] "
-               "[generator flags] [--seed S]\n"
+               "[generator flags] [--seed S] [--shards K]\n"
                "       %s inspect FILE\n"
                "       %s query FILE --faults a,b,c --vertex-faults u,v "
-               "--pairs s:t,s:t [--mode mmap|materialize] [--threads T]\n",
-               argv0, argv0, argv0);
+               "--pairs s:t,s:t [--mode mmap|materialize] [--threads T]\n"
+               "       %s shard FILE --out MANIFEST [--shards K]\n"
+               "       %s merge MANIFEST --out FILE\n"
+               "       %s swap-demo [--f K] [--n N] [--m M] [--queries Q] "
+               "[--swaps S] [--seed S] [--threads T]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -206,7 +238,7 @@ int cmd_build(int argc, char** argv) {
   const auto flags = parse_flags(
       argc, argv, 2, nullptr,
       {"out", "backend", "f", "scheme-seed", "family", "n", "m", "p", "rows",
-       "cols", "k", "len", "deg", "dim", "seed"});
+       "cols", "k", "len", "deg", "dim", "seed", "shards"});
   const auto out_it = flags.find("out");
   if (out_it == flags.end()) {
     std::fprintf(stderr, "build: --out FILE is required\n");
@@ -216,18 +248,26 @@ int cmd_build(int argc, char** argv) {
   config.backend = core::parse_backend(flag_or(flags, "backend", "core-ftc"));
   config.set_f(static_cast<unsigned>(flag_u64(flags, "f", 3)));
   config.set_seed(flag_u64(flags, "scheme-seed", 1));
+  const auto shards = static_cast<unsigned>(flag_u64(flags, "shards", 0));
 
   const graph::Graph g = make_graph(flags);
   std::printf("graph: n=%u m=%u; building %s labels (f=%u)...\n",
               g.num_vertices(), g.num_edges(),
               core::backend_name(config.backend), config.f());
   const auto scheme = core::make_scheme(g, config);
-  scheme->save(out_it->second);
-  const auto view = core::LabelStoreView::open(out_it->second);
-  std::printf("wrote %s: %zu bytes (%.2f bits/edge label, checksum %016llx)\n",
-              out_it->second.c_str(), view->info().file_bytes,
-              static_cast<double>(view->info().edge_label_bits),
-              static_cast<unsigned long long>(view->info().payload_checksum));
+  if (shards > 0) {
+    core::save_sharded(*scheme, out_it->second, shards);
+  } else {
+    scheme->save(out_it->second);
+  }
+  const auto view = core::open_store_view(out_it->second);
+  std::printf(
+      "wrote %s: %zu bytes, %u shard(s) (%.2f bits/edge label, checksum "
+      "%016llx)\n",
+      out_it->second.c_str(), view->info().file_bytes,
+      view->info().num_shards > 0 ? view->info().num_shards : 1,
+      static_cast<double>(view->info().edge_label_bits),
+      static_cast<unsigned long long>(view->info().payload_checksum));
   return 0;
 }
 
@@ -238,9 +278,12 @@ int cmd_inspect(int argc, char** argv) {
     std::fprintf(stderr, "inspect: FILE is required\n");
     return 1;
   }
-  const auto view = core::LabelStoreView::open(path);
+  const auto view = core::open_store_view(path);
   const core::StoreInfo& info = view->info();
-  std::printf("label store        %s\n", path.c_str());
+  const auto* sharded =
+      dynamic_cast<const core::ShardedStoreView*>(view.get());
+  std::printf("label store        %s%s\n", path.c_str(),
+              sharded != nullptr ? " (sharded manifest)" : "");
   std::printf("format version     %u\n", info.format_version);
   std::printf("backend            %s\n", core::backend_name(info.backend));
   std::printf("vertices           %u\n", info.num_vertices);
@@ -258,6 +301,167 @@ int cmd_inspect(int argc, char** argv) {
   std::printf("edge label bits    %zu\n", info.edge_label_bits);
   std::printf("payload checksum   %016llx\n",
               static_cast<unsigned long long>(info.payload_checksum));
+  if (sharded != nullptr) {
+    std::printf("shards             %u\n", info.num_shards);
+    for (const core::store::ShardRecord& rec : sharded->shards()) {
+      std::printf(
+          "  %-28s vertices [%llu, %llu) edges [%llu, %llu) %llu bytes "
+          "digest %016llx\n",
+          rec.name.c_str(),
+          static_cast<unsigned long long>(rec.vertex_begin),
+          static_cast<unsigned long long>(rec.vertex_end),
+          static_cast<unsigned long long>(rec.edge_begin),
+          static_cast<unsigned long long>(rec.edge_end),
+          static_cast<unsigned long long>(rec.file_bytes),
+          static_cast<unsigned long long>(rec.payload_digest));
+    }
+  }
+  return 0;
+}
+
+int cmd_shard(int argc, char** argv) {
+  std::string path;
+  const auto flags = parse_flags(argc, argv, 2, &path, {"out", "shards"});
+  const auto out_it = flags.find("out");
+  if (path.empty() || out_it == flags.end()) {
+    std::fprintf(stderr, "shard: FILE and --out MANIFEST are required\n");
+    return 1;
+  }
+  const auto shards = static_cast<unsigned>(flag_u64(flags, "shards", 4));
+  if (shards == 0) {
+    std::fprintf(stderr, "shard: --shards must be >= 1\n");
+    return 1;
+  }
+  const auto scheme = core::load_scheme(path);
+  core::save_sharded(*scheme, out_it->second, shards);
+  const auto view = core::open_store_view(out_it->second);
+  std::printf("sharded %s -> %s: %u shards, %zu bytes total\n", path.c_str(),
+              out_it->second.c_str(), view->info().num_shards,
+              view->info().file_bytes);
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  std::string path;
+  const auto flags = parse_flags(argc, argv, 2, &path, {"out"});
+  const auto out_it = flags.find("out");
+  if (path.empty() || out_it == flags.end()) {
+    std::fprintf(stderr, "merge: MANIFEST and --out FILE are required\n");
+    return 1;
+  }
+  const auto scheme = core::load_scheme(path);
+  scheme->save(out_it->second);
+  const auto view = core::open_store_view(out_it->second);
+  std::printf("merged %s -> %s: %zu bytes\n", path.c_str(),
+              out_it->second.c_str(), view->info().file_bytes);
+  return 0;
+}
+
+// Live-swap demonstration: one serving session, two label generations,
+// concurrent swap_store calls, every answer checked against the BFS
+// ground truth of the epoch it was served from.
+int cmd_swap_demo(int argc, char** argv) {
+  const auto flags = parse_flags(
+      argc, argv, 2, nullptr,
+      {"f", "n", "m", "queries", "swaps", "seed", "threads", "backend"});
+  const auto n = static_cast<graph::VertexId>(flag_u64(flags, "n", 96));
+  const auto m = static_cast<graph::EdgeId>(flag_u64(flags, "m", 3 * n));
+  const auto f = static_cast<unsigned>(flag_u64(flags, "f", 4));
+  const auto queries_per_batch = flag_u64(flags, "queries", 256);
+  const auto swaps = flag_u64(flags, "swaps", 8);
+  const std::uint64_t seed = flag_u64(flags, "seed", 1);
+  const auto threads = static_cast<unsigned>(flag_u64(flags, "threads", 2));
+  core::SchemeConfig config;
+  config.backend = core::parse_backend(flag_or(flags, "backend", "core-ftc"));
+  config.set_f(f).set_seed(seed);
+
+  // Two label generations over two graphs with identical ID spaces, so
+  // the same queries and fault IDs stay valid across the swap.
+  const graph::Graph g_a = graph::random_connected(n, m, seed);
+  const graph::Graph g_b = graph::random_connected(n, m, seed + 17);
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  const std::string store_a =
+      dir + "/ftc_swap_demo_a_" + std::to_string(::getpid()) + ".ftcs";
+  const std::string store_b =
+      dir + "/ftc_swap_demo_b_" + std::to_string(::getpid()) + ".ftcm";
+  core::make_scheme(g_a, config)->save(store_a);
+  // Generation B served from a sharded store, to show the two artifact
+  // layouts are interchangeable on the serving path.
+  core::save_sharded(*core::make_scheme(g_b, config), store_b, 4);
+  std::printf("generation A: %s\ngeneration B: %s (4 shards)\n",
+              store_a.c_str(), store_b.c_str());
+
+  SplitMix64 rng(seed);
+  std::vector<graph::EdgeId> faults;
+  for (unsigned i = 0; i < f; ++i) {
+    faults.push_back(static_cast<graph::EdgeId>(rng.next_below(m)));
+  }
+  std::vector<core::BatchQueryEngine::Query> batch;
+  for (std::uint64_t i = 0; i < queries_per_batch; ++i) {
+    batch.push_back({static_cast<graph::VertexId>(rng.next_below(n)),
+                     static_cast<graph::VertexId>(rng.next_below(n))});
+  }
+  std::vector<bool> truth_a;
+  std::vector<bool> truth_b;
+  for (const auto& q : batch) {
+    truth_a.push_back(graph::connected_avoiding(g_a, q.s, q.t, faults));
+    truth_b.push_back(graph::connected_avoiding(g_b, q.s, q.t, faults));
+  }
+
+  core::BatchQueryEngine session(core::load_scheme(store_a),
+                                 core::FaultSpec::edges(faults));
+  // Epoch 1 = A; the swapper alternates B, A, B, ... so odd epochs serve
+  // A and even epochs serve B.
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    for (std::uint64_t i = 0; i < swaps && !done.load(); ++i) {
+      const bool to_b = i % 2 == 0;
+      const auto epoch =
+          session.swap_store(core::load_scheme(to_b ? store_b : store_a));
+      std::printf("swap #%llu -> generation %s now serving (epoch %llu)\n",
+                  static_cast<unsigned long long>(i + 1), to_b ? "B" : "A",
+                  static_cast<unsigned long long>(epoch));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+  });
+
+  std::uint64_t total = 0;
+  std::uint64_t mismatches = 0;
+  std::map<std::uint64_t, std::uint64_t> per_epoch;
+  while (!done.load()) {
+    const auto results = threads > 1 ? session.run_parallel(batch, threads)
+                                     : session.run_sequential(batch);
+    const std::uint64_t epoch = session.last_run_epoch();
+    const std::vector<bool>& truth = epoch % 2 == 1 ? truth_a : truth_b;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      mismatches += results[i] != truth[i];
+    }
+    total += batch.size();
+    per_epoch[epoch] += batch.size();
+  }
+  swapper.join();
+  std::remove(store_a.c_str());
+  const auto manifest = core::ShardedStoreView::open(store_b);
+  for (const auto& rec : manifest->shards()) {
+    std::remove((dir + "/" + rec.name).c_str());
+  }
+  std::remove(store_b.c_str());
+
+  for (const auto& [epoch, count] : per_epoch) {
+    std::printf("epoch %llu answered %llu queries (generation %s)\n",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(count),
+                epoch % 2 == 1 ? "A" : "B");
+  }
+  std::printf("%llu queries across %zu epochs, %llu inconsistent answers\n",
+              static_cast<unsigned long long>(total), per_epoch.size(),
+              static_cast<unsigned long long>(mismatches));
+  if (mismatches != 0) {
+    std::fprintf(stderr, "swap-demo: answers disagreed with their epoch\n");
+    return 2;
+  }
   return 0;
 }
 
@@ -311,6 +515,9 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(argc, argv);
     if (cmd == "inspect") return cmd_inspect(argc, argv);
     if (cmd == "query") return cmd_query(argc, argv);
+    if (cmd == "shard") return cmd_shard(argc, argv);
+    if (cmd == "merge") return cmd_merge(argc, argv);
+    if (cmd == "swap-demo") return cmd_swap_demo(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
