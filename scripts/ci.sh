@@ -26,8 +26,14 @@
 #                             # an end-to-end CLI exercise — shard a
 #                             # fixture store, reload it via the
 #                             # manifest, parity-check 1k queries against
-#                             # the unsharded container, merge back
-#                             # byte-identically, run swap-demo
+#                             # the unsharded container (lazy AND
+#                             # prefetched: all three answer streams must
+#                             # be byte-identical), merge back
+#                             # byte-identically, run swap-demo with and
+#                             # without --prefetch
+#   scripts/ci.sh tsan        # ThreadSanitizer leg: tsan preset build +
+#                             # run of the concurrency-heavy suites
+#                             # (sharded prefetch races, live epoch swap)
 #   scripts/ci.sh docs        # documentation leg: every relative link in
 #                             # README.md and docs/*.md must resolve to a
 #                             # file in the repo (dead links fail)
@@ -124,12 +130,37 @@ if [ "${1:-}" = "store-shard" ]; then
     exit 1
   fi
   [ "$(wc -l < "$tmp/sharded.out")" = "1000" ]
+  # Prefetch parity: the warmed route-table fast path must answer
+  # byte-identically to the lazy-open path (prefetch diagnostics go to
+  # stderr, so stdout is comparable as-is).
+  build-asan/ftc_store query "$tmp/labels.ftcm" --prefetch=4 --faults 3,40 \
+    --vertex-faults 77 --pairs "$pairs" > "$tmp/prefetched.out" \
+    2> "$tmp/prefetch.log"
+  if ! cmp -s "$tmp/sharded.out" "$tmp/prefetched.out"; then
+    echo "ci: prefetched answers diverge from lazy-open answers" >&2
+    exit 1
+  fi
+  grep -q 'prefetch: 4 shard(s) newly mapped' "$tmp/prefetch.log"
+  build-asan/ftc_store inspect "$tmp/labels.ftcm" --verbose \
+    | grep -q 'route table resolved'
   build-asan/ftc_store merge "$tmp/labels.ftcm" --out "$tmp/merged.ftcs" \
     >/dev/null
   cmp "$tmp/flat.ftcs" "$tmp/merged.ftcs"
   build-asan/ftc_store swap-demo --n 64 --m 80 --f 3 --swaps 4 \
     --queries 64 >/dev/null
-  echo "ci: store-shard leg green (suites + 1k-query CLI parity + merge + swap-demo)"
+  build-asan/ftc_store swap-demo --n 64 --m 80 --f 3 --swaps 4 \
+    --queries 64 --prefetch >/dev/null 2>&1
+  echo "ci: store-shard leg green (suites + 1k-query CLI parity incl. prefetch + merge + swap-demo)"
+  exit 0
+fi
+
+if [ "${1:-}" = "tsan" ]; then
+  echo "=== concurrency leg (tsan) ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" \
+    --target test_sharded_store test_store_swap
+  ctest --preset tsan -R 'test_sharded_store|test_store_swap' -j "$jobs"
+  echo "ci: sharded prefetch + live-swap suites green under tsan"
   exit 0
 fi
 
@@ -182,7 +213,9 @@ required = {
                                  "reduced_edge_faults", "single_query_us",
                                  "batch_qps"},
     "BENCH_shard_swap.json": {"backend", "k_shards", "save_ms", "open_us",
-                              "batch_qps", "swap_us"},
+                              "batch_qps", "prefetch_us",
+                              "prefetched_first_query_us",
+                              "prefetched_batch_qps", "swap_us"},
 }
 for path in sys.argv[1:]:
     with open(path) as fh:

@@ -160,7 +160,14 @@ const ConnectivityScheme& BatchQueryEngine::scheme() const {
 
 std::uint64_t BatchQueryEngine::install(
     std::shared_ptr<const ConnectivityScheme> scheme) {
-  // Prepare the incoming generation OUTSIDE the lock (fault-label
+  // Warm the incoming labels OUTSIDE the lock before anything is
+  // published: a sharded store maps + digest-verifies every shard here,
+  // in parallel, and resolves its flat route table — so the first
+  // queries on the new epoch never hit a cold lazy open (the
+  // swap-under-load collapse) and a corrupt shard fails the swap while
+  // the old generation keeps serving.
+  scheme->prefetch();
+  // Prepare the incoming generation outside the lock too (fault-label
   // decoding is the expensive part of a swap), then publish it only if
   // the fault spec did not change underneath; a concurrent reset_faults
   // wins and the preparation is redone against the fresh spec.

@@ -84,12 +84,17 @@ class BatchQueryEngine {
   ~BatchQueryEngine();
 
   // Installs a new label generation — the zero-downtime cut-over. The
-  // session's fault set is prepared against the new scheme (it must
-  // still name valid IDs there; std::invalid_argument otherwise, with
-  // the old generation left fully serving), then the generation is
-  // published under the next epoch. Safe to call from a thread other
-  // than the query-driving one, concurrently with in-flight queries;
-  // those finish on their pinned generation. Returns the new epoch.
+  // incoming scheme is prefetched off-lock first (a sharded store maps
+  // and digest-verifies all shards in parallel and resolves its flat
+  // route table, so the new epoch never serves a cold lazy open; a
+  // corrupt shard throws StoreError with the old generation left fully
+  // serving). The session's fault set is then prepared against the new
+  // scheme (it must still name valid IDs there; std::invalid_argument
+  // otherwise, again leaving the old generation serving), and the
+  // generation is published under the next epoch. Safe to call from a
+  // thread other than the query-driving one, concurrently with
+  // in-flight queries; those finish on their pinned generation. Returns
+  // the new epoch.
   std::uint64_t swap_store(std::unique_ptr<ConnectivityScheme> scheme);
   // Convenience: swap to labels served from an already-open store view
   // (single container or sharded manifest).

@@ -518,6 +518,27 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
     throw StoreError("payload checksum mismatch (corrupt label store): " +
                      path);
   }
+
+  // Flat route table: the container is one contiguous mapping with
+  // fixed-width records (the index walk above proved it), so routing
+  // resolves to base + stride arithmetic captured once as per-ID
+  // pointers. Sharded views splice these per-shard tables into their
+  // global one (sharded_store.cpp).
+  store::FlatRoutes& routes = view->routes_;
+  routes.num_vertices = info.num_vertices;
+  routes.num_edges = info.num_edges;
+  routes.edge_blob_bytes = expected_blob;
+  routes.vertex_ptr.reserve(info.num_vertices);
+  for (VertexId v = 0; v < info.num_vertices; ++v) {
+    routes.vertex_ptr.push_back(
+        view->map_ + view->vertex_off_ +
+        static_cast<std::size_t>(v) * store::kVertexRecordBytes);
+  }
+  routes.edge_ptr.reserve(info.num_edges);
+  for (EdgeId e = 0; e < info.num_edges; ++e) {
+    routes.edge_ptr.push_back(view->map_ + view->blob_off_ +
+                              static_cast<std::size_t>(e) * expected_blob);
+  }
   return view;
 }
 
@@ -533,12 +554,11 @@ std::span<const std::uint8_t> LabelStoreView::vertex_blob(VertexId v) const {
 }
 
 std::span<const std::uint8_t> LabelStoreView::edge_blob(EdgeId e) const {
+  // The route table was derived from (and validated against) the offset
+  // index at open — blobs are fixed-width — so this is the same span the
+  // two index reads would produce, minus the two reads.
   FTC_REQUIRE(e < info_.num_edges, "edge out of range");
-  const std::uint64_t begin =
-      read_u64_at(map_, index_off_ + 8 * static_cast<std::size_t>(e));
-  const std::uint64_t end =
-      read_u64_at(map_, index_off_ + 8 * (static_cast<std::size_t>(e) + 1));
-  return {map_ + blob_off_ + begin, static_cast<std::size_t>(end - begin)};
+  return {routes_.edge_ptr[e], routes_.edge_blob_bytes};
 }
 
 std::size_t LabelStoreView::adjacency_degree(VertexId v) const {
@@ -645,6 +665,12 @@ class StoredSchemeBase : public ConnectivityScheme {
     out.bytes(view_->edge_blob(e));
   }
 
+  // Warm-up: map every lazily-opened shard and resolve the route table,
+  // surfacing the view's typed StoreError on a corrupt backing.
+  void prefetch(unsigned threads = 0) const override {
+    view_->prefetch(threads);
+  }
+
  protected:
   // Zero-copy vertex-label read: one bounds-checked 8-byte record
   // straight from the mapping.
@@ -663,12 +689,32 @@ class StoredSchemeBase : public ConnectivityScheme {
   }
 
   graph::AncestryLabel anc(VertexId v) const {
-    if (vertex_cache_.empty()) return mapped_anc(v);
-    FTC_REQUIRE(v < vertex_cache_.size(), "vertex out of range");
-    return vertex_cache_[v];
+    if (!vertex_cache_.empty()) {
+      FTC_REQUIRE(v < vertex_cache_.size(), "vertex out of range");
+      return vertex_cache_[v];
+    }
+    // Resolved-route fast path: one cached pointer load and a direct
+    // index, no virtual dispatch (and for sharded views no binary
+    // search or lazy-open check).
+    if (const store::FlatRoutes* rt = routes_.get()) {
+      FTC_REQUIRE(v < rt->num_vertices, "vertex out of range");
+      return store::decode_vertex_record_at(rt->vertex_ptr[v]);
+    }
+    return mapped_anc(v);
+  }
+
+  // Edge blob bytes through the same resolved-route fast path (used by
+  // the per-backend decode_edge helpers on prepare_faults).
+  std::span<const std::uint8_t> edge_bytes(EdgeId e) const {
+    if (const store::FlatRoutes* rt = routes_.get()) {
+      FTC_REQUIRE(e < rt->num_edges, "edge out of range");
+      return {rt->edge_ptr[e], rt->edge_blob_bytes};
+    }
+    return view_->edge_blob(e);
   }
 
   std::shared_ptr<const StoreView> view_;
+  detail::RouteCache routes_{*view_};  // after view_: init order matters
   std::vector<graph::AncestryLabel> vertex_cache_;  // kMaterialize only
   std::unique_ptr<AdjacencyProvider> adjacency_;    // null: v1 container
 };
@@ -732,7 +778,7 @@ class StoredCoreScheme final : public StoredSchemeBase {
 
  private:
   EdgeLabel decode_edge(EdgeId e) const {
-    store::ByteReader r(view_->edge_blob(e));
+    store::ByteReader r(edge_bytes(e));
     return store::decode_core_edge(r, params_);
   }
 
@@ -788,7 +834,7 @@ class StoredCycleScheme final : public StoredSchemeBase {
 
  private:
   dp21::CsEdgeLabel decode_edge(EdgeId e) const {
-    store::ByteReader r(view_->edge_blob(e));
+    store::ByteReader r(edge_bytes(e));
     return store::decode_cycle_edge(r, params_);
   }
 
@@ -843,7 +889,7 @@ class StoredAgmScheme final : public StoredSchemeBase {
 
  private:
   dp21::AgmEdgeLabel decode_edge(EdgeId e) const {
-    store::ByteReader r(view_->edge_blob(e));
+    store::ByteReader r(edge_bytes(e));
     return store::decode_agm_edge(r, params_);
   }
 

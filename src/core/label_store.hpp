@@ -210,6 +210,14 @@ AgmParams decode_agm_params(ByteReader& r);
 inline constexpr std::size_t kVertexRecordBytes = 8;
 void encode_vertex_record(const graph::AncestryLabel& anc, ByteWriter& w);
 graph::AncestryLabel decode_vertex_record(ByteReader& r);
+// Zero-copy decode of one fixed 8-byte vertex record (LE tin, tout)
+// straight from a resolved route pointer — the per-query hot path.
+inline graph::AncestryLabel decode_vertex_record_at(const std::uint8_t* p) {
+  graph::AncestryLabel anc;
+  for (int i = 0; i < 4; ++i) anc.tin |= std::uint32_t{p[i]} << (8 * i);
+  for (int i = 0; i < 4; ++i) anc.tout |= std::uint32_t{p[4 + i]} << (8 * i);
+  return anc;
+}
 
 void encode_core_edge(const EdgeLabel& label, ByteWriter& w);
 EdgeLabel decode_core_edge(ByteReader& r, const LabelParams& params);
@@ -240,6 +248,34 @@ struct StoreLabelBits {
 StoreLabelBits derive_label_bits(BackendKind backend,
                                  std::span<const std::uint8_t> params,
                                  std::uint32_t version);
+
+// Generation-resolved flat route table: one pointer per vertex record
+// and per edge blob, straight into the (already open and validated)
+// mapping(s). Resolving routing ONCE — at container open for a flat
+// store, or when the last shard of a sharded store is mapped — replaces
+// the per-query virtual dispatch + binary-search + lazy-open check with
+// a single array deref, so a K-shard store serves at flat-container
+// speed. Pointers stay valid for the lifetime of the StoreView that
+// published the table. Cost is 16 bytes per ID; a page-granular variant
+// (shard+offset per fixed-size ID page) is the follow-on if that ever
+// dominates label bytes.
+struct FlatRoutes {
+  graph::VertexId num_vertices = 0;
+  graph::EdgeId num_edges = 0;
+  std::size_t edge_blob_bytes = 0;  // fixed width implied by the params
+  std::vector<const std::uint8_t*> vertex_ptr;  // [n] 8-byte records
+  std::vector<const std::uint8_t*> edge_ptr;    // [m] label blobs
+};
+
+// What one prefetch() call did: thread fan-out, wall time, and the
+// per-shard map+digest cost (empty for single-container views; 0 for a
+// shard that was already mapped when the call claimed it).
+struct PrefetchStats {
+  unsigned threads = 1;
+  double total_us = 0.0;
+  std::size_t shards_opened = 0;  // newly mapped by this call
+  std::vector<double> shard_us;   // per shard, manifest order
+};
 
 // The CSR adjacency side-table layout shared by container v2 and the
 // sharded-store manifest: (n + 1) u64 entry offsets followed by 2m u32
@@ -348,6 +384,25 @@ class StoreView {
   virtual void adjacency_append(graph::VertexId v,
                                 std::vector<graph::EdgeId>& out) const = 0;
 
+  // Maps and digest-verifies any lazily-opened backing (every shard of a
+  // sharded view) so nothing cold remains on the query path, and
+  // publishes the flat route table. threads = 0 picks min(shards,
+  // hardware concurrency); work is stolen over shard indices. Idempotent
+  // and safe to call concurrently with queries and with lazy first-touch
+  // opens; a corrupt shard throws the same typed StoreError the lazy
+  // open would. Single-container views are fully mapped and validated at
+  // open(), so the base implementation is a no-op.
+  virtual store::PrefetchStats prefetch(unsigned threads = 0) const {
+    (void)threads;
+    return {};
+  }
+
+  // The resolved flat route table, or nullptr while part of the backing
+  // is still unmapped (a sharded view before prefetch() or before every
+  // shard has been lazily touched). Never reverts to nullptr once
+  // published; the table lives as long as this view.
+  virtual const store::FlatRoutes* routes() const { return nullptr; }
+
  protected:
   StoreView() = default;
   StoreInfo info_;
@@ -377,6 +432,11 @@ class LabelStoreView final : public StoreView {
   void adjacency_append(graph::VertexId v,
                         std::vector<graph::EdgeId>& out) const override;
 
+  // A single container is mapped, validated and route-resolved entirely
+  // at open(): prefetch has nothing left to do and routes() is always
+  // available.
+  const store::FlatRoutes* routes() const override { return &routes_; }
+
  private:
   LabelStoreView() = default;
 
@@ -387,6 +447,7 @@ class LabelStoreView final : public StoreView {
   std::size_t index_off_ = 0;
   std::size_t blob_off_ = 0;
   store::CsrAdjacency adj_;  // base == nullptr when no adjacency section
+  store::FlatRoutes routes_;  // built at open (the index walk is O(m) anyway)
 };
 
 // How load_scheme materializes a store:

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <string_view>
@@ -389,6 +390,41 @@ std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
   return v;
 }
 
+bool ShardedStoreView::publish_shard(
+    std::size_t k, std::shared_ptr<const LabelStoreView> v) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (opened_[k].load(std::memory_order_relaxed)) return false;  // racer won
+  shard_views_[k] = std::move(v);
+  opened_[k].store(true, std::memory_order_release);
+  if (++open_count_ < records_.size()) return true;
+
+  // Last shard in: resolve routing once. Every shard container already
+  // built its own flat table at open, so the global one is a splice —
+  // per-ID pointers are absolute, only the array positions shift by the
+  // manifest ranges. Published with a release store; queries that loaded
+  // nullptr a moment ago keep using the per-shard path, bit-identically.
+  auto routes = std::make_unique<store::FlatRoutes>();
+  routes->num_vertices = info_.num_vertices;
+  routes->num_edges = info_.num_edges;
+  routes->vertex_ptr.reserve(info_.num_vertices);
+  routes->edge_ptr.reserve(info_.num_edges);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const store::FlatRoutes* sub = shard_views_[i]->routes();
+    FTC_CHECK(sub != nullptr, "shard container missing its route table");
+    routes->edge_blob_bytes = sub->edge_blob_bytes;
+    routes->vertex_ptr.insert(routes->vertex_ptr.end(),
+                              sub->vertex_ptr.begin(), sub->vertex_ptr.end());
+    routes->edge_ptr.insert(routes->edge_ptr.end(), sub->edge_ptr.begin(),
+                            sub->edge_ptr.end());
+  }
+  FTC_CHECK(routes->vertex_ptr.size() == info_.num_vertices &&
+                routes->edge_ptr.size() == info_.num_edges,
+            "spliced route table does not tile the store");
+  routes_storage_ = std::move(routes);
+  routes_ptr_.store(routes_storage_.get(), std::memory_order_release);
+  return true;
+}
+
 const LabelStoreView& ShardedStoreView::shard(std::size_t k) const {
   // Lazy open with the mmap + validation OUTSIDE the lock, so cold
   // first-touch opens of different shards proceed in parallel. Racing
@@ -396,14 +432,71 @@ const LabelStoreView& ShardedStoreView::shard(std::size_t k) const {
   // (the loser's mapping is discarded); slot k is written exactly once,
   // and the release store publishes it to lock-free readers.
   if (!opened_[k].load(std::memory_order_acquire)) {
-    auto v = open_shard(k);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (!opened_[k].load(std::memory_order_relaxed)) {
-      shard_views_[k] = std::move(v);
-      opened_[k].store(true, std::memory_order_release);
-    }
+    publish_shard(k, open_shard(k));
   }
   return *shard_views_[k];
+}
+
+store::PrefetchStats ShardedStoreView::prefetch(unsigned threads) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t num_shards = records_.size();
+  store::PrefetchStats stats;
+  stats.shard_us.assign(num_shards, 0.0);
+
+  // Work-stealing over shard indices (the save_sharded writer pattern):
+  // every worker pulls the next unclaimed shard, maps + digest-verifies
+  // it outside any lock, and publishes through the same slot discipline
+  // as the lazy path — so prefetch composes safely with concurrent
+  // queries and with itself.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> opened{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_shards) return;
+      if (opened_[k].load(std::memory_order_acquire)) continue;
+      try {
+        const auto s0 = std::chrono::steady_clock::now();
+        auto v = open_shard(k);
+        stats.shard_us[k] =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - s0)
+                .count();
+        if (publish_shard(k, std::move(v))) {
+          opened.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(num_shards, 1)));
+  stats.threads = threads;
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  stats.shards_opened = opened.load(std::memory_order_relaxed);
+  stats.total_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return stats;
 }
 
 std::size_t ShardedStoreView::shard_of_vertex(VertexId v) const {
@@ -444,12 +537,22 @@ std::span<const std::uint8_t> ShardedStoreView::params_blob() const {
 
 std::span<const std::uint8_t> ShardedStoreView::vertex_blob(
     VertexId v) const {
+  // Once the global route table is published, a lookup is one acquire
+  // load and a direct index — no binary search, no shard indirection.
+  if (const store::FlatRoutes* rt = routes()) {
+    FTC_REQUIRE(v < rt->num_vertices, "vertex out of range");
+    return {rt->vertex_ptr[v], store::kVertexRecordBytes};
+  }
   const std::size_t k = shard_of_vertex(v);
   return shard(k).vertex_blob(
       static_cast<VertexId>(v - records_[k].vertex_begin));
 }
 
 std::span<const std::uint8_t> ShardedStoreView::edge_blob(EdgeId e) const {
+  if (const store::FlatRoutes* rt = routes()) {
+    FTC_REQUIRE(e < rt->num_edges, "edge out of range");
+    return {rt->edge_ptr[e], rt->edge_blob_bytes};
+  }
   const std::size_t k = shard_of_edge(e);
   return shard(k).edge_blob(static_cast<EdgeId>(e - records_[k].edge_begin));
 }

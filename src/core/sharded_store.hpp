@@ -130,6 +130,22 @@ class ShardedStoreView final : public StoreView {
   void adjacency_append(graph::VertexId v,
                         std::vector<graph::EdgeId>& out) const override;
 
+  // Maps + digest-verifies every still-unmapped shard in parallel
+  // (work-stealing over shard indices, the same thread pattern as
+  // save_sharded's writers) and publishes the flat route table, so the
+  // first-touch cliff and the lazy double-checked open leave the query
+  // path entirely. Idempotent; safe concurrently with queries, with lazy
+  // first-touch opens, and with other prefetch calls. A shard that fails
+  // validation throws the same typed StoreError a lazy open would (the
+  // first failure wins; already-published shards stay served).
+  store::PrefetchStats prefetch(unsigned threads = 0) const override;
+
+  // Non-null once every shard is mapped — after prefetch(), or once lazy
+  // traffic has touched all K shards.
+  const store::FlatRoutes* routes() const override {
+    return routes_ptr_.load(std::memory_order_acquire);
+  }
+
   // Manifest metadata, for inspection tooling.
   std::span<const store::ShardRecord> shards() const { return records_; }
   // Number of shards actually mmapped so far (lazy-open observability).
@@ -144,6 +160,12 @@ class ShardedStoreView final : public StoreView {
   // Returns shard k, opening it on first touch (open_shard runs outside
   // the slot lock; racing opens of one shard let the first win).
   const LabelStoreView& shard(std::size_t k) const;
+  // Publishes an opened shard into slot k under mutex_; returns false
+  // when a racing open published first. When the last slot fills,
+  // splices the shards' per-container route tables into the global one
+  // and publishes routes_ptr_.
+  bool publish_shard(std::size_t k,
+                     std::shared_ptr<const LabelStoreView> v) const;
   std::size_t shard_of_vertex(graph::VertexId v) const;
   std::size_t shard_of_edge(graph::EdgeId e) const;
 
@@ -161,6 +183,11 @@ class ShardedStoreView final : public StoreView {
   mutable std::mutex mutex_;
   mutable std::vector<std::shared_ptr<const LabelStoreView>> shard_views_;
   mutable std::unique_ptr<std::atomic<bool>[]> opened_;
+  mutable std::size_t open_count_ = 0;  // slots published, guarded by mutex_
+  // Global flat route table, built once under mutex_ when open_count_
+  // reaches K and then read lock-free through routes_ptr_.
+  mutable std::unique_ptr<store::FlatRoutes> routes_storage_;
+  mutable std::atomic<const store::FlatRoutes*> routes_ptr_{nullptr};
 };
 
 }  // namespace ftc::core

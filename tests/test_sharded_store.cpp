@@ -15,10 +15,12 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_engine.hpp"
@@ -293,6 +295,127 @@ TEST(ShardedStore, ShardsOpenLazily) {
   EXPECT_EQ(view->shards_open(), 1u);  // cached, not reopened
   (void)view->edge_blob(g.num_edges() - 1);
   EXPECT_EQ(view->shards_open(), 2u);
+}
+
+// ------------------------------------------------------------------
+// Prefetch: the parallel warm-up path and the flat route table it
+// publishes must compose with lazy opens, concurrent queries and
+// corrupt shards exactly like the lazy path does.
+
+// prefetch() maps every shard, publishes the route table, and the blobs
+// served through the resolved routes are byte-identical to the
+// unsharded container.
+TEST(ShardedStorePrefetch, OpensAllShardsResolvesRoutesAndKeepsParity) {
+  const Graph g = graph::random_connected(40, 100, 21);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  StoreFile flat("prefetch_flat");
+  scheme->save(flat.path());
+  const auto flat_view = LabelStoreView::open(flat.path());
+  ManifestFile manifest("prefetch");
+  save_sharded(*scheme, manifest.path(), 8);
+
+  const auto view = ShardedStoreView::open(manifest.path());
+  EXPECT_EQ(view->routes(), nullptr);
+  const store::PrefetchStats stats = view->prefetch(4);
+  EXPECT_EQ(stats.shards_opened, 8u);
+  EXPECT_EQ(stats.shard_us.size(), 8u);
+  EXPECT_GT(stats.threads, 0u);
+  EXPECT_EQ(view->shards_open(), 8u);
+  ASSERT_NE(view->routes(), nullptr);
+  EXPECT_EQ(view->routes()->num_vertices, g.num_vertices());
+  EXPECT_EQ(view->routes()->num_edges, g.num_edges());
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(spans_equal(view->vertex_blob(v), flat_view->vertex_blob(v)));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(spans_equal(view->edge_blob(e), flat_view->edge_blob(e)));
+  }
+
+  // Idempotent: a second prefetch opens nothing and changes nothing.
+  const store::PrefetchStats again = view->prefetch();
+  EXPECT_EQ(again.shards_opened, 0u);
+  EXPECT_EQ(view->shards_open(), 8u);
+}
+
+// The single-container view resolves its routes at open; prefetch is a
+// no-op there but routes() is live immediately.
+TEST(ShardedStorePrefetch, FlatContainerRoutesAvailableAtOpen) {
+  const Graph g = graph::cycle(16);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 2));
+  StoreFile flat("routes_flat");
+  scheme->save(flat.path());
+  const auto view = LabelStoreView::open(flat.path());
+  ASSERT_NE(view->routes(), nullptr);
+  EXPECT_EQ(view->routes()->num_vertices, g.num_vertices());
+  EXPECT_EQ(view->routes()->num_edges, g.num_edges());
+  (void)view->prefetch(3);  // no-op, must not throw
+}
+
+// Prefetch racing lazy first-touch opens and concurrent queries: every
+// read must come back correct and every shard end up mapped exactly
+// once. (This is the test the tsan preset is aimed at.)
+TEST(ShardedStorePrefetch, RacesLazyOpensAndConcurrentQueries) {
+  const Graph g = graph::random_connected(64, 160, 33);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 2));
+  StoreFile flat("race_flat");
+  scheme->save(flat.path());
+  const auto flat_view = LabelStoreView::open(flat.path());
+  ManifestFile manifest("race");
+  save_sharded(*scheme, manifest.path(), 16);
+
+  for (int round = 0; round < 4; ++round) {
+    const auto view = ShardedStoreView::open(manifest.path());
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    // Two prefetchers racing each other...
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&] { (void)view->prefetch(4); });
+    }
+    // ...while readers drive lazy first-touch opens across all shards.
+    for (int r = 0; r < 3; ++r) {
+      threads.emplace_back([&, r] {
+        for (VertexId v = r; v < g.num_vertices(); v += 3) {
+          if (!spans_equal(view->vertex_blob(v), flat_view->vertex_blob(v))) {
+            mismatches.fetch_add(1);
+          }
+        }
+        for (EdgeId e = r; e < g.num_edges(); e += 3) {
+          if (!spans_equal(view->edge_blob(e), flat_view->edge_blob(e))) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(view->shards_open(), 16u);
+    EXPECT_NE(view->routes(), nullptr);
+  }
+}
+
+// A corrupt shard fails prefetch with the SAME typed error the lazy
+// open throws, and the healthy shards keep serving.
+TEST(ShardedStorePrefetch, CorruptShardThrowsTypedStoreError) {
+  ManifestFile manifest("prefetch_corrupt");
+  const Graph g = graph::random_connected(24, 60, 9);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 2));
+  save_sharded(*scheme, manifest.path(), 4);
+  // Flip one payload byte of shard 2 and re-patch nothing: its digest no
+  // longer matches the manifest record.
+  auto shard = read_file(manifest.shard_path(2));
+  shard.back() ^= 0x01;
+  write_file(manifest.shard_path(2), shard);
+
+  const auto view = ShardedStoreView::open(manifest.path());
+  EXPECT_THROW((void)view->prefetch(4), StoreError);
+  // The failure is sticky for the bad shard, not for the store: healthy
+  // shards were published and still serve, the route table never
+  // resolves, and re-touching the bad shard throws again.
+  EXPECT_EQ(view->routes(), nullptr);
+  EXPECT_LT(view->shards_open(), 4u);
+  (void)view->vertex_blob(0);  // shard 0 serves
+  EXPECT_THROW((void)view->edge_blob(g.num_edges() - 25), StoreError);
 }
 
 // ------------------------------------------------------------------

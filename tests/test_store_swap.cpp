@@ -321,6 +321,71 @@ TEST(StoreSwap, ConcurrentResetFaultsAndSwapStayCoherent) {
       << "a batch answered with a spec reset_faults had already replaced";
 }
 
+// swap_store() prefetches the incoming generation before publishing it:
+// when the swap returns, every shard of a sharded store is already
+// mapped and the flat route table is resolved — the new epoch never
+// serves a cold lazy open.
+TEST(StoreSwap, SwapPrefetchesShardedGenerationBeforePublish) {
+  const Graph g = graph::grid(6, 8);
+  const auto cfg = test_config(BackendKind::kCoreFtc, 3);
+  const auto scheme = make_scheme(g, cfg);
+  TempStore flat("warm_flat");
+  TempStore manifest("warm_manifest");
+  scheme->save(flat.path());
+  save_sharded(*scheme, manifest.path(), 4);
+
+  BatchQueryEngine session(load_scheme(flat.path()), FaultSpec{});
+  const auto view = ShardedStoreView::open(manifest.path());
+  EXPECT_EQ(view->shards_open(), 0u);
+  session.swap_store(view);
+  EXPECT_EQ(view->shards_open(), 4u);
+  EXPECT_NE(view->routes(), nullptr);
+  EXPECT_TRUE(session.connected(0, g.num_vertices() - 1));
+}
+
+// Explicit prefetch() racing a swap_store() that installs a generation
+// over the SAME sharded view (whose install prefetches it again), while
+// queries stream: publication must stay single-shot per shard and every
+// answer correct.
+TEST(StoreSwap, PrefetchRacesSwapStoreOverOneView) {
+  const Graph g = graph::random_connected(48, 120, 19);
+  const auto cfg = test_config(BackendKind::kCoreFtc, 3);
+  const auto scheme = make_scheme(g, cfg);
+  TempStore flat("pfrace_flat");
+  TempStore manifest("pfrace_manifest");
+  scheme->save(flat.path());
+  save_sharded(*scheme, manifest.path(), 8);
+
+  const std::vector<EdgeId> faults{2, 31};
+  std::vector<BatchQueryEngine::Query> queries;
+  SplitMix64 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back({static_cast<VertexId>(rng.next_below(g.num_vertices())),
+                       static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+  }
+  std::vector<bool> truth;
+  for (const auto& q : queries) {
+    truth.push_back(graph::connected_avoiding(g, q.s, q.t, faults));
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    const auto view = ShardedStoreView::open(manifest.path());
+    BatchQueryEngine session(load_scheme(flat.path()),
+                             FaultSpec::edges(faults));
+    std::thread prefetcher([&] { (void)view->prefetch(2); });
+    std::thread swapper([&] { session.swap_store(view); });
+    // Same labels both generations: answers never move mid-race.
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(session.run_sequential(queries), truth) << "round=" << round;
+    }
+    prefetcher.join();
+    swapper.join();
+    EXPECT_EQ(view->shards_open(), 8u);
+    EXPECT_NE(view->routes(), nullptr);
+    EXPECT_EQ(session.run_parallel(queries, 4), truth);
+  }
+}
+
 // The acceptance stress: a session under continuous query load while
 // another thread swaps stores back and forth. Every batch/query answer
 // set must equal the ground truth of exactly the epoch it reports — no

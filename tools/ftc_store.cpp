@@ -8,18 +8,23 @@
 //       generates the graph, builds the selected backend's labels and
 //       writes them as one container file.
 //
-//   ftc_store inspect labels.ftcs
+//   ftc_store inspect labels.ftcs [--verbose]
 //       prints the parsed header: backend, dimensions, per-section and
-//       per-label sizes, checksum.
+//       per-label sizes, checksum. --verbose additionally maps +
+//       digest-verifies every shard of a sharded store and prints what
+//       each one costs.
 //
 //   ftc_store query   labels.ftcs --faults 3,17,40 --vertex-faults 5,9
 //                     --pairs 0:9,4:7 [--mode mmap|materialize]
-//                     [--threads T]
+//                     [--threads T] [--prefetch[=P]]
 //       spins up a BatchQueryEngine session directly from the store file
 //       (no graph, no rebuild) and answers the queries. --vertex-faults
 //       deletes whole vertices (every incident edge) via the adjacency
 //       side-table; format-v1 stores carry none and fail with a
 //       capability error. The file may be a container or a manifest.
+//       --prefetch maps + digest-verifies all shards up front (P worker
+//       threads; bare = auto) and prints the timing on stderr — answers
+//       on stdout are byte-identical with and without it.
 //
 //   ftc_store shard   labels.ftcs --out labels.ftcm [--shards K]
 //       splits an existing store into K shard containers plus a
@@ -30,7 +35,7 @@
 //       folds a sharded store back into one container file.
 //
 //   ftc_store swap-demo [--f K] [--n N] [--m M] [--queries Q] [--swaps S]
-//                       [--seed S] [--threads T]
+//                       [--seed S] [--threads T] [--prefetch[=P]]
 //       end-to-end zero-downtime swap demonstration: builds two label
 //       generations, serves batches from one BatchQueryEngine session
 //       while another thread swap_store()s between them, and verifies
@@ -69,40 +74,58 @@ using namespace ftc;
   std::fprintf(stderr,
                "usage: %s build --out FILE [--backend B] [--f K] [--family F] "
                "[generator flags] [--seed S] [--shards K]\n"
-               "       %s inspect FILE\n"
+               "       %s inspect FILE [--verbose]\n"
                "       %s query FILE --faults a,b,c --vertex-faults u,v "
-               "--pairs s:t,s:t [--mode mmap|materialize] [--threads T]\n"
+               "--pairs s:t,s:t [--mode mmap|materialize] [--threads T] "
+               "[--prefetch[=P]]\n"
                "       %s shard FILE --out MANIFEST [--shards K]\n"
                "       %s merge MANIFEST --out FILE\n"
                "       %s swap-demo [--f K] [--n N] [--m M] [--queries Q] "
-               "[--swaps S] [--seed S] [--threads T]\n",
+               "[--swaps S] [--seed S] [--threads T] [--prefetch[=P]]\n",
                argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
-// Flat --key value argument list -> map (flags must all take a value).
-// Unknown keys are a usage error — a typo'd flag must not silently fall
-// back to the default.
+// Flat --key value / --key=value argument list -> map. Flags in
+// `allowed` must carry a value; flags in `optional_value` may appear
+// bare ("--prefetch") or with an ATTACHED value ("--prefetch=8") — they
+// never consume the next token, so "--prefetch FILE" keeps FILE
+// positional. Unknown keys are a usage error — a typo'd flag must not
+// silently fall back to the default.
 std::map<std::string, std::string> parse_flags(
     int argc, char** argv, int begin, std::string* positional,
-    std::initializer_list<const char*> allowed) {
+    std::initializer_list<const char*> allowed,
+    std::initializer_list<const char*> optional_value = {}) {
   std::map<std::string, std::string> flags;
   for (int i = begin; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      const std::string key = arg.substr(2);
+      std::string key = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        has_value = true;
+      }
       bool known = false;
       for (const char* a : allowed) known = known || key == a;
-      if (!known) {
+      bool optional = false;
+      for (const char* a : optional_value) optional = optional || key == a;
+      if (!known && !optional) {
         std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
         std::exit(1);
       }
-      // A following "--flag" token is a missing value, not a value.
-      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(1);
+      if (!has_value && !optional) {
+        // A following "--flag" token is a missing value, not a value.
+        if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+          std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+          std::exit(1);
+        }
+        value = argv[++i];
       }
-      flags[key] = argv[++i];
+      flags[key] = value;
     } else if (positional != nullptr && positional->empty()) {
       *positional = arg;
     } else {
@@ -144,6 +167,24 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
                     const std::string& key, const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+// --prefetch[=THREADS]: absent -> no prefetch (negative sentinel); bare
+// -> 0 (the view picks its fan-out); =N -> N threads.
+long prefetch_threads(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("prefetch");
+  if (it == flags.end()) return -1;
+  if (it->second.empty()) return 0;
+  return static_cast<long>(parse_u64_or_die(it->second));
+}
+
+// Runs view->prefetch and reports the timing on STDERR — query answers
+// on stdout must stay byte-identical with and without --prefetch.
+void run_prefetch(const core::StoreView& view, long threads) {
+  const auto stats = view.prefetch(static_cast<unsigned>(threads));
+  std::fprintf(stderr,
+               "prefetch: %zu shard(s) newly mapped in %.1f us (%u threads)\n",
+               stats.shards_opened, stats.total_us, stats.threads);
 }
 
 std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
@@ -273,7 +314,8 @@ int cmd_build(int argc, char** argv) {
 
 int cmd_inspect(int argc, char** argv) {
   std::string path;
-  parse_flags(argc, argv, 2, &path, {});
+  const auto flags = parse_flags(argc, argv, 2, &path, {}, {"verbose"});
+  const bool verbose = flags.count("verbose") != 0;
   if (path.empty()) {
     std::fprintf(stderr, "inspect: FILE is required\n");
     return 1;
@@ -302,11 +344,17 @@ int cmd_inspect(int argc, char** argv) {
   std::printf("payload checksum   %016llx\n",
               static_cast<unsigned long long>(info.payload_checksum));
   if (sharded != nullptr) {
+    // --verbose: sequentially map + digest-verify every shard and report
+    // what each one costs (the per-shard share of a cold first query or
+    // of a prefetch pass).
+    core::store::PrefetchStats stats;
+    if (verbose) stats = sharded->prefetch(1);
     std::printf("shards             %u\n", info.num_shards);
+    std::size_t k = 0;
     for (const core::store::ShardRecord& rec : sharded->shards()) {
       std::printf(
           "  %-28s vertices [%llu, %llu) edges [%llu, %llu) %llu bytes "
-          "digest %016llx\n",
+          "digest %016llx",
           rec.name.c_str(),
           static_cast<unsigned long long>(rec.vertex_begin),
           static_cast<unsigned long long>(rec.vertex_end),
@@ -314,6 +362,14 @@ int cmd_inspect(int argc, char** argv) {
           static_cast<unsigned long long>(rec.edge_end),
           static_cast<unsigned long long>(rec.file_bytes),
           static_cast<unsigned long long>(rec.payload_digest));
+      if (verbose) std::printf(" map+digest %.1f us", stats.shard_us[k]);
+      std::printf("\n");
+      ++k;
+    }
+    if (verbose) {
+      std::printf("prefetch           %.1f us total, route table %s\n",
+                  stats.total_us,
+                  sharded->routes() != nullptr ? "resolved" : "unresolved");
     }
   }
   return 0;
@@ -363,7 +419,8 @@ int cmd_merge(int argc, char** argv) {
 int cmd_swap_demo(int argc, char** argv) {
   const auto flags = parse_flags(
       argc, argv, 2, nullptr,
-      {"f", "n", "m", "queries", "swaps", "seed", "threads", "backend"});
+      {"f", "n", "m", "queries", "swaps", "seed", "threads", "backend"},
+      {"prefetch"});
   const auto n = static_cast<graph::VertexId>(flag_u64(flags, "n", 96));
   const auto m = static_cast<graph::EdgeId>(flag_u64(flags, "m", 3 * n));
   const auto f = static_cast<unsigned>(flag_u64(flags, "f", 4));
@@ -409,7 +466,24 @@ int cmd_swap_demo(int argc, char** argv) {
     truth_b.push_back(graph::connected_avoiding(g_b, q.s, q.t, faults));
   }
 
-  core::BatchQueryEngine session(core::load_scheme(store_a),
+  // --prefetch: warm each generation's labels explicitly before handing
+  // it to the session (swap_store prefetches on its own; the flag makes
+  // the warm-up visible and timed). Diagnostics go to stderr.
+  const long pf = prefetch_threads(flags);
+  auto load_generation = [&](const std::string& path) {
+    auto scheme = core::load_scheme(path);
+    if (pf >= 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      scheme->prefetch(static_cast<unsigned>(pf));
+      std::fprintf(stderr, "prefetch %s: %.1f us\n", path.c_str(),
+                   std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+    }
+    return scheme;
+  };
+
+  core::BatchQueryEngine session(load_generation(store_a),
                                  core::FaultSpec::edges(faults));
   // Epoch 1 = A; the swapper alternates B, A, B, ... so odd epochs serve
   // A and even epochs serve B.
@@ -418,7 +492,7 @@ int cmd_swap_demo(int argc, char** argv) {
     for (std::uint64_t i = 0; i < swaps && !done.load(); ++i) {
       const bool to_b = i % 2 == 0;
       const auto epoch =
-          session.swap_store(core::load_scheme(to_b ? store_b : store_a));
+          session.swap_store(load_generation(to_b ? store_b : store_a));
       std::printf("swap #%llu -> generation %s now serving (epoch %llu)\n",
                   static_cast<unsigned long long>(i + 1), to_b ? "B" : "A",
                   static_cast<unsigned long long>(epoch));
@@ -469,7 +543,8 @@ int cmd_query(int argc, char** argv) {
   std::string path;
   const auto flags =
       parse_flags(argc, argv, 2, &path,
-                  {"mode", "faults", "vertex-faults", "pairs", "threads"});
+                  {"mode", "faults", "vertex-faults", "pairs", "threads"},
+                  {"prefetch"});
   if (path.empty()) {
     std::fprintf(stderr, "query: FILE is required\n");
     return 1;
@@ -496,7 +571,11 @@ int cmd_query(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flag_u64(flags, "threads", 1));
 
   const core::FaultSpec spec = core::FaultSpec::of(faults, vertex_faults);
-  core::BatchQueryEngine session(core::load_scheme(path, options), spec);
+  const auto view = core::open_store_view(path, options.verify_checksum);
+  const long pf = prefetch_threads(flags);
+  if (pf >= 0) run_prefetch(*view, pf);
+  core::BatchQueryEngine session(core::load_scheme(view, options.mode),
+                                 spec);
   const auto results = threads > 1 ? session.run_parallel(pairs, threads)
                                    : session.run_sequential(pairs);
   for (std::size_t i = 0; i < pairs.size(); ++i) {
