@@ -58,7 +58,7 @@ void run_backend(core::BackendKind backend, const Graph& g, unsigned f,
          static_cast<VertexId>(rng.next_below(g.num_vertices()))});
   }
 
-  core::BatchQueryEngine engine(*scheme, faults);
+  core::BatchQueryEngine engine(*scheme, core::FaultSpec::edges(faults));
   const auto reference = engine.run_sequential(queries);
 
   std::vector<PathResult> results;
@@ -74,7 +74,8 @@ void run_backend(core::BackendKind backend, const Graph& g, unsigned f,
     std::vector<bool> answers;
     answers.reserve(num_queries);
     for (const auto& q : queries) {
-      answers.push_back(scheme->connected(q.s, q.t, faults));
+      answers.push_back(
+          scheme->connected(q.s, q.t, core::FaultSpec::edges(faults)));
     }
     record("single", t.seconds(), answers);
   }

@@ -84,7 +84,7 @@ void run_case(core::BackendKind backend, const Graph& g, unsigned f,
   }
 
   Timer prep_timer;
-  core::BatchQueryEngine engine(*scheme, faults);
+  core::BatchQueryEngine engine(*scheme, core::FaultSpec::edges(faults));
   const double prep_ms = prep_timer.millis();
 
   // Ground truth on a prefix, plus a warm-up for the session workspace.

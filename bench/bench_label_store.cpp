@@ -66,7 +66,7 @@ void run_backend(core::BackendKind backend, const graph::Graph& g, unsigned f,
         {static_cast<graph::VertexId>(rng.next_below(g.num_vertices())),
          static_cast<graph::VertexId>(rng.next_below(g.num_vertices()))});
   }
-  core::BatchQueryEngine reference(*scheme, faults);
+  core::BatchQueryEngine reference(*scheme, core::FaultSpec::edges(faults));
   const auto expected = reference.run_sequential(queries);
 
   const LoadVariant variants[] = {
@@ -80,7 +80,8 @@ void run_backend(core::BackendKind backend, const graph::Graph& g, unsigned f,
     const double load_ms = load_timer.millis();
 
     Timer first_timer;
-    core::BatchQueryEngine session(std::move(loaded), faults);
+    core::BatchQueryEngine session(std::move(loaded),
+                                   core::FaultSpec::edges(faults));
     const bool first = session.connected(queries[0].s, queries[0].t);
     const double first_ms = first_timer.millis();
     if (first != expected[0]) {

@@ -78,7 +78,10 @@ void run_config(graph::VertexId n, EdgeId m, unsigned f) {
     int correct = 0;
     Timer tq;
     for (const auto& qc : cases) {
-      if (scheme->connected(qc.s, qc.t, qc.faults) == qc.expected) ++correct;
+      if (scheme->connected(qc.s, qc.t, core::FaultSpec::edges(qc.faults)) ==
+          qc.expected) {
+        ++correct;
+      }
     }
     const double query_us = tq.micros() / static_cast<double>(cases.size());
     table.add_row({row.name, fmt_bits(scheme->vertex_label_bits()),

@@ -92,7 +92,7 @@ int monitor(const Fabric& fabric, core::BackendKind backend) {
                          : static_cast<EdgeId>(
                                rng.next_below(g.num_edges())));
     }
-    engine.reset_faults(dead);
+    engine.reset_faults(core::FaultSpec::edges(dead));
     std::vector<core::BatchQueryEngine::Query> batch;
     for (int q = 0; q < 10; ++q) {
       batch.push_back({fabric.host[rng.next_below(fabric.host.size())],

@@ -58,8 +58,9 @@ int main() {
     sc.backend = backend;
     sc.set_f(3);
     const auto backend_scheme = core::make_scheme(g, sc);
-    core::BatchQueryEngine session(*backend_scheme,
-                                   std::vector<graph::EdgeId>{10, 57, 98});
+    core::BatchQueryEngine session(
+        *backend_scheme,
+        core::FaultSpec::edges(std::vector<graph::EdgeId>{10, 57, 98}));
     std::printf("[%-10s] 3 %s 42 | vertex label %zu b, edge label %zu b\n",
                 core::backend_name(backend),
                 session.connected(3, 42) ? "<-> " : "-/->",

@@ -31,6 +31,15 @@
 #                             # be byte-identical), merge back
 #                             # byte-identically, run swap-demo with and
 #                             # without --prefetch
+#   scripts/ci.sh store-delta # deletion-journal / delta-push leg: asan
+#                             # run of the journal + sharded + swap
+#                             # suites (the adversarial journal corpus
+#                             # wants the sanitizers), then a CLI
+#                             # end-to-end: journal appends must answer
+#                             # exactly like explicit query faults,
+#                             # over-budget queries must be refused, and
+#                             # a zero-delta push must reuse every shard
+#                             # and swap in with every shard adopted
 #   scripts/ci.sh tsan        # ThreadSanitizer leg: tsan preset build +
 #                             # run of the concurrency-heavy suites
 #                             # (sharded prefetch races, live epoch swap)
@@ -154,6 +163,74 @@ if [ "${1:-}" = "store-shard" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "store-delta" ]; then
+  echo "=== deletion journal / delta push leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_journal test_sharded_store test_store_swap ftc_store
+  ctest --preset asan -R 'test_journal|test_sharded_store|test_store_swap' \
+    -j "$jobs"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  build-asan/ftc_store build --out "$tmp/flat.ftcs" --family grid \
+    --rows 12 --cols 12 --backend core-ftc --f 8 >/dev/null
+  # Journal lifecycle: first append needs --budget, later ones inherit
+  # it; idempotent and incremental epochs are covered by the suite, the
+  # CLI leg checks the served answers.
+  build-asan/ftc_store journal append "$tmp/flat.ftcs" --edges 3,40 \
+    --budget 8 | grep -q 'epoch 1, 2/8 deletions journaled'
+  build-asan/ftc_store journal append "$tmp/flat.ftcs" --edges 77 \
+    | grep -q 'epoch 2, 3/8 deletions journaled'
+  build-asan/ftc_store inspect "$tmp/flat.ftcs" \
+    | grep -q 'journal            epoch 2: 3/8 deletions'
+  pairs=""
+  for i in $(seq 0 499); do
+    pairs+="$(( (i * 37 + 11) % 144 )):$(( (i * 53 + 29) % 144 )),"
+  done
+  pairs="${pairs%,}"
+  # Replay parity: the journal folded into every query must answer
+  # byte-identically to the same deletions passed as explicit faults —
+  # with and without extra query-time faults on top.
+  build-asan/ftc_store query "$tmp/flat.ftcs" --pairs "$pairs" \
+    > "$tmp/journaled.out"
+  build-asan/ftc_store query "$tmp/flat.ftcs" --ignore-journal \
+    --faults 3,40,77 --pairs "$pairs" > "$tmp/explicit.out"
+  cmp "$tmp/journaled.out" "$tmp/explicit.out"
+  build-asan/ftc_store query "$tmp/flat.ftcs" --faults 100,101 \
+    --pairs "$pairs" > "$tmp/journaled_plus.out"
+  build-asan/ftc_store query "$tmp/flat.ftcs" --ignore-journal \
+    --faults 3,40,77,100,101 --pairs "$pairs" > "$tmp/explicit_plus.out"
+  cmp "$tmp/journaled_plus.out" "$tmp/explicit_plus.out"
+  # 3 journaled + 6 query faults overflows f=8: must be refused, and
+  # --ignore-journal must make the same request legal again.
+  if build-asan/ftc_store query "$tmp/flat.ftcs" \
+       --faults 100,101,102,103,104,105 --pairs 0:1 >/dev/null 2>&1; then
+    echo "ci: over-budget journal+fault query was not refused" >&2
+    exit 1
+  fi
+  build-asan/ftc_store query "$tmp/flat.ftcs" --ignore-journal \
+    --faults 100,101,102,103,104,105 --pairs 0:1 >/dev/null
+  build-asan/ftc_store journal compact "$tmp/flat.ftcs" \
+    | grep -q 'compacted .* 2 -> 1 frames'
+  build-asan/ftc_store query "$tmp/flat.ftcs" --pairs "$pairs" \
+    > "$tmp/compacted.out"
+  cmp "$tmp/journaled.out" "$tmp/compacted.out"
+  # Delta push: a full push seeds epoch 1; pushing the same store over
+  # it must reuse every shard by hard link and bump the epoch.
+  build-asan/ftc_store push "$tmp/flat.ftcs" --out "$tmp/gen.ftcm" \
+    --shards 4 | grep -q 'full push .* epoch 1, 4 shards'
+  build-asan/ftc_store push "$tmp/flat.ftcs" --out "$tmp/gen.ftcm" \
+    | grep -q 'epoch 2: 4/4 shards reused, 0 written'
+  build-asan/ftc_store inspect "$tmp/gen.ftcm" \
+    | grep -q 'manifest epoch     2'
+  # Live cut-over: a zero-delta generation swap must adopt all four
+  # serving shard maps and change no answers.
+  build-asan/ftc_store swap-demo --delta --n 64 --m 80 --f 3 \
+    --queries 64 | grep -q '4/4 shards adopted, 0 newly mapped'
+  echo "ci: store-delta leg green (suites + journal parity + capacity refusal + delta push CLI)"
+  exit 0
+fi
+
 if [ "${1:-}" = "tsan" ]; then
   echo "=== concurrency leg (tsan) ==="
   cmake --preset tsan
@@ -196,15 +273,17 @@ if [ "${1:-}" = "bench-smoke" ]; then
   echo "=== bench smoke leg (release) ==="
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
-    --target bench_decoder_hotpath bench_vertex_faults bench_shard_swap
+    --target bench_decoder_hotpath bench_vertex_faults bench_shard_swap \
+    bench_delta_push
   # Run inside build/ so the smoke-size JSON cannot clobber the
   # checked-in repo-root baseline (regenerate that via bench_all.sh).
   (cd build && ./bench_decoder_hotpath --smoke)
   (cd build && ./bench_vertex_faults --smoke)
   (cd build && ./bench_shard_swap --smoke)
+  (cd build && ./bench_delta_push --smoke)
   if command -v python3 >/dev/null; then
     python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json \
-      build/BENCH_shard_swap.json <<'EOF'
+      build/BENCH_shard_swap.json build/BENCH_delta_push.json <<'EOF'
 import json, sys
 required = {
     "BENCH_decoder_hotpath.json": {"backend", "f", "single_query_us",
@@ -216,6 +295,11 @@ required = {
                               "batch_qps", "prefetch_us",
                               "prefetched_first_query_us",
                               "prefetched_batch_qps", "swap_us"},
+    "BENCH_delta_push.json": {"backend", "k_shards", "shards_changed",
+                              "full_save_ms", "delta_push_ms",
+                              "shards_written", "shards_reused",
+                              "bytes_written", "bytes_reused", "swap_ms",
+                              "shards_adopted", "shards_remapped"},
 }
 for path in sys.argv[1:]:
     with open(path) as fh:

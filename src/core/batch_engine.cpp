@@ -1,5 +1,7 @@
 #include "core/batch_engine.hpp"
 
+#include "core/journal.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -129,17 +131,6 @@ BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
                                    const QueryOptions& options)
     : BatchQueryEngine(require_scheme(std::move(scheme)), spec, options) {}
 
-BatchQueryEngine::BatchQueryEngine(const ConnectivityScheme& scheme,
-                                   std::span<const graph::EdgeId> edge_faults,
-                                   const QueryOptions& options)
-    : BatchQueryEngine(scheme, FaultSpec::edges(edge_faults), options) {}
-
-BatchQueryEngine::BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
-                                   std::span<const graph::EdgeId> edge_faults,
-                                   const QueryOptions& options)
-    : BatchQueryEngine(std::move(scheme), FaultSpec::edges(edge_faults),
-                       options) {}
-
 BatchQueryEngine::~BatchQueryEngine() = default;
 
 std::shared_ptr<BatchQueryEngine::Generation> BatchQueryEngine::snapshot()
@@ -200,6 +191,20 @@ std::uint64_t BatchQueryEngine::swap_store(
   return install(require_scheme(load_scheme(std::move(view), mode)));
 }
 
+std::uint64_t BatchQueryEngine::swap_store(const std::string& path,
+                                           const LoadOptions& options) {
+  // Open the incoming artifact with the CURRENT generation's view as
+  // the reuse source: shards whose manifest digests match stay on their
+  // existing mmaps (delta-push cut-over), so the prefetch in install()
+  // maps only the changed ones.
+  const std::shared_ptr<const StoreView> current =
+      snapshot()->scheme->store_view();
+  auto scheme = load_scheme(
+      open_store_view(path, options.verify_checksum, current), options.mode);
+  attach_journal_sidecar(*scheme, path, options.replay_journal);
+  return install(require_scheme(std::move(scheme)));
+}
+
 void BatchQueryEngine::reset_faults(const FaultSpec& spec) {
   // Query-thread only, so no query is in flight on the current
   // generation; the new fault set is published as a sibling generation
@@ -225,11 +230,6 @@ void BatchQueryEngine::reset_faults(const FaultSpec& spec) {
     gen_ = std::move(gen);
     return;
   }
-}
-
-void BatchQueryEngine::reset_faults(
-    std::span<const graph::EdgeId> edge_faults) {
-  reset_faults(FaultSpec::edges(edge_faults));
 }
 
 ConnectivityScheme::Workspace& BatchQueryEngine::workspace(Generation& gen,

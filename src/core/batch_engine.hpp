@@ -72,14 +72,6 @@ class BatchQueryEngine {
   BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
                    const FaultSpec& spec, const QueryOptions& options = {});
 
-  // Deprecated edge-only shims, kept one release: forward to FaultSpec.
-  BatchQueryEngine(const ConnectivityScheme& scheme,
-                   std::span<const graph::EdgeId> edge_faults,
-                   const QueryOptions& options = {});
-  BatchQueryEngine(std::unique_ptr<ConnectivityScheme> scheme,
-                   std::span<const graph::EdgeId> edge_faults,
-                   const QueryOptions& options = {});
-
   // Parks and joins the worker pool (if one was ever started).
   ~BatchQueryEngine();
 
@@ -100,6 +92,16 @@ class BatchQueryEngine {
   // (single container or sharded manifest).
   std::uint64_t swap_store(std::shared_ptr<const StoreView> view,
                            LoadMode mode = LoadMode::kMmap);
+  // Convenience: open the artifact at `path` and install it. When the
+  // current generation serves a sharded store and the incoming manifest
+  // records byte-identical shard digests (a delta push,
+  // sharded_store.hpp), the matching shards' existing mmaps are ADOPTED
+  // into the new generation — prefetch inside install() maps only the
+  // changed shards, so swap cost scales with the delta, not the store.
+  // A "<path>.jrnl" deletion-journal sidecar replays onto the new
+  // generation per options.replay_journal.
+  std::uint64_t swap_store(const std::string& path,
+                           const LoadOptions& options = {});
 
   // Epoch of the currently installed generation (starts at 1; each
   // swap_store increments it). reset_faults keeps the epoch: it changes
@@ -112,8 +114,6 @@ class BatchQueryEngine {
   // Replaces the session's fault set; cached workspaces and the worker
   // pool are kept. Query-thread only (like the query entry points).
   void reset_faults(const FaultSpec& spec);
-  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
-  void reset_faults(std::span<const graph::EdgeId> edge_faults);
 
   // Single query on the calling thread, reusing the session workspace.
   bool connected(graph::VertexId s, graph::VertexId t);

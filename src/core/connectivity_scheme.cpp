@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ftc_scheme.hpp"
+#include "core/journal.hpp"
 #include "core/label_store.hpp"
 #include "core/scheme_adapters.hpp"
 
@@ -43,6 +44,26 @@ ConnectivityScheme::prepare_faults(const FaultSpec& spec) const {
     }
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  if (journal_ != nullptr) {
+    // Fold the journaled deletions in: a deleted edge is a permanent
+    // fault, so every query answers against journal union query faults
+    // — sound from the unchanged labels as long as the merged set stays
+    // within the fault budget f the journal was created with. Past it,
+    // refuse typed (the labels promise nothing there) instead of
+    // risking a wrong answer.
+    const auto del = journal_->deleted_edges();
+    FTC_REQUIRE(del.empty() || del.back() < m,
+                "journaled deletion out of range for this scheme");
+    edges.insert(edges.end(), del.begin(), del.end());
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    if (edges.size() > journal_->fault_budget()) {
+      throw CapacityError(
+          "query faults plus journaled deletions exceed the fault budget",
+          journal_->fault_budget(), journal_->occupancy(), edges.size());
+    }
   }
 
   auto fault_set = prepare_edge_faults(edges);

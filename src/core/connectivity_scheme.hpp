@@ -50,6 +50,9 @@ namespace store {
 class ByteWriter;
 }  // namespace store
 
+class DeletionJournal;  // journal.hpp
+class StoreView;        // label_store.hpp
+
 class ConnectivityScheme {
  public:
   // A materialized, deduplicated fault set. Immutable after creation:
@@ -113,14 +116,10 @@ class ConnectivityScheme {
   // Validates the spec's IDs against this scheme's dimensions
   // (std::invalid_argument on out-of-range), reduces vertex faults to
   // their incident edges (CapabilityError if adjacency() is null and the
-  // spec names vertices), and materializes the deduplicated fault-edge
-  // labels once.
+  // spec names vertices), folds in any attached deletion journal
+  // (CapacityError when the merged set exceeds the journal's fault
+  // budget), and materializes the deduplicated fault-edge labels once.
   std::unique_ptr<FaultSet> prepare_faults(const FaultSpec& spec) const;
-  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
-  std::unique_ptr<FaultSet> prepare_faults(
-      std::span<const graph::EdgeId> edge_faults) const {
-    return prepare_faults(FaultSpec::edges(edge_faults));
-  }
 
   virtual std::unique_ptr<Workspace> make_workspace() const = 0;
 
@@ -136,11 +135,25 @@ class ConnectivityScheme {
   // One-shot convenience: prepare + query with a throwaway workspace.
   bool connected(graph::VertexId s, graph::VertexId t, const FaultSpec& spec,
                  const QueryOptions& options = {}) const;
-  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
-  bool connected(graph::VertexId s, graph::VertexId t,
-                 std::span<const graph::EdgeId> edge_faults,
-                 const QueryOptions& options = {}) const {
-    return connected(s, t, FaultSpec::edges(edge_faults), options);
+
+  // ------------------------------------------------------------- journal
+  // Journaled deletions (journal.hpp): once attached, prepare_faults
+  // folds the journal's edge set into every fault set it prepares — a
+  // deleted edge is a permanent fault, so queries answer as if those
+  // edges never existed, from the unchanged labels. Attached by the
+  // load paths when a "<store>.jrnl" sidecar accompanies the artifact;
+  // in-memory schemes normally carry none.
+  void attach_journal(std::shared_ptr<const DeletionJournal> journal) {
+    journal_ = std::move(journal);
+  }
+  const DeletionJournal* journal() const { return journal_.get(); }
+
+  // The backing store view of a store-served scheme (label_store.hpp),
+  // or nullptr for in-memory schemes. Swap paths use it to adopt the
+  // current generation's already-mapped shards when installing a
+  // delta-pushed manifest (sharded_store.hpp).
+  virtual std::shared_ptr<const StoreView> store_view() const {
+    return nullptr;
   }
 
   // ----------------------------------------------------------- persistence
@@ -171,6 +184,12 @@ class ConnectivityScheme {
   virtual bool query_edges(graph::VertexId s, graph::VertexId t,
                            const FaultSet& faults, Workspace& workspace,
                            const QueryOptions& options) const = 0;
+
+ private:
+  // Journaled deletions folded into every prepared fault set (null when
+  // no journal is attached). Shared: generations of a serving session
+  // may reference the same journal.
+  std::shared_ptr<const DeletionJournal> journal_;
 };
 
 // Per-backend build knobs, bundled so one config object can drive any

@@ -14,7 +14,24 @@ std::vector<Id> canonical(std::span<const Id> ids) {
   return out;
 }
 
+std::string capacity_message(const std::string& what, std::size_t budget,
+                             std::size_t journaled, std::size_t requested) {
+  const std::size_t remaining = budget > journaled ? budget - journaled : 0;
+  return what + " [requested " + std::to_string(requested) +
+         " faults > budget f=" + std::to_string(budget) + "; " +
+         std::to_string(journaled) + " journaled deletions, " +
+         std::to_string(remaining) + " query-fault slots remaining]";
+}
+
 }  // namespace
+
+CapacityError::CapacityError(const std::string& what, std::size_t budget,
+                             std::size_t journaled, std::size_t requested)
+    : std::invalid_argument(
+          capacity_message(what, budget, journaled, requested)),
+      budget_(budget),
+      journaled_(journaled),
+      requested_(requested) {}
 
 FaultSpec FaultSpec::edges(std::span<const graph::EdgeId> edge_faults) {
   return FaultSpec(canonical(edge_faults), {});

@@ -38,6 +38,35 @@ class CapabilityError : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+// Thrown when journaled deletions plus a query's own fault set would
+// exceed the fault budget f the deletion journal was created with
+// (journal.hpp): the labels only promise correct answers for fault sets
+// of size <= f, so past the budget the scheme refuses typed rather than
+// answer wrong. Carries the full accounting so callers (and operators
+// reading the message) can see how much budget is left before a
+// compaction-and-rebuild is due.
+class CapacityError : public std::invalid_argument {
+ public:
+  // budget: the journal's fault budget f. journaled: distinct journaled
+  // deletions. requested: the merged fault count that overflowed
+  // (journal union query-fault edges after the vertex reduction).
+  CapacityError(const std::string& what, std::size_t budget,
+                std::size_t journaled, std::size_t requested);
+
+  std::size_t budget() const { return budget_; }
+  std::size_t journaled() const { return journaled_; }
+  std::size_t requested() const { return requested_; }
+  // Query-fault headroom left next to the journaled deletions.
+  std::size_t remaining() const {
+    return budget_ > journaled_ ? budget_ - journaled_ : 0;
+  }
+
+ private:
+  std::size_t budget_ = 0;
+  std::size_t journaled_ = 0;
+  std::size_t requested_ = 0;
+};
+
 class FaultSpec {
  public:
   // The empty fault set (every query answers "connected").

@@ -1,0 +1,245 @@
+#include "core/journal.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace ftc::core {
+
+namespace {
+
+using graph::EdgeId;
+
+// Whole-file read; journals are bounded by f IDs plus frame framing, so
+// slurping is the simple and correct choice (no mmap lifetime to manage).
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StoreError("cannot open deletion journal: " + path + " (" +
+                     std::strerror(errno) + ")");
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) {
+    throw StoreError("cannot read deletion journal: " + path);
+  }
+  return bytes;
+}
+
+// One frame appended to `w`; returns the new chain value. `chain` seeds
+// the running digest (kFnvBasis before the first frame).
+std::uint64_t encode_frame(store::ByteWriter& w, std::uint64_t epoch,
+                           std::uint64_t store_digest,
+                           std::uint32_t fault_budget,
+                           std::span<const EdgeId> edges,
+                           std::uint64_t chain) {
+  const std::size_t start = w.size();
+  w.u64(store::kJournalMagic);
+  w.u64(epoch);
+  w.u64(store_digest);
+  w.u32(fault_budget);
+  w.u32(static_cast<std::uint32_t>(edges.size()));
+  for (const EdgeId e : edges) w.u32(e);
+  w.pad_to(8);
+  chain = store::fnv1a(w.view().subspan(start), chain);
+  w.u64(chain);
+  return chain;
+}
+
+std::vector<EdgeId> canonical(std::span<const EdgeId> ids) {
+  std::vector<EdgeId> out(ids.begin(), ids.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string journal_path_for(const std::string& store_path) {
+  return store_path + ".jrnl";
+}
+
+bool DeletionJournal::exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::shared_ptr<const DeletionJournal> DeletionJournal::open(
+    const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  std::shared_ptr<DeletionJournal> j(new DeletionJournal());
+  j->file_bytes_ = bytes.size();
+  j->chain_ = store::kFnvBasis;
+
+  const auto fail = [&](const char* why) -> StoreError {
+    return StoreError(std::string("corrupt deletion journal (") + why +
+                      "): " + path);
+  };
+  if (bytes.empty()) throw fail("empty file");
+
+  store::ByteReader r(bytes);
+  std::uint64_t last_epoch = 0;
+  while (r.remaining() > 0) {
+    const std::size_t start = r.pos();
+    // A tail shorter than any legal frame is truncation, not a frame.
+    if (r.remaining() < store::kJournalFramePrefixBytes + 8) {
+      throw fail("truncated frame");
+    }
+    if (r.u64() != store::kJournalMagic) throw fail("bad frame magic");
+    const std::uint64_t epoch = r.u64();
+    if (epoch <= last_epoch) throw fail("epoch not increasing");
+    const std::uint64_t digest = r.u64();
+    const std::uint32_t budget = r.u32();
+    const std::uint32_t count = r.u32();
+    if (budget == 0) throw fail("zero fault budget");
+    if (count == 0) throw fail("empty frame");
+    if (j->num_frames_ == 0) {
+      j->store_digest_ = digest;
+      j->fault_budget_ = budget;
+    } else if (digest != j->store_digest_) {
+      throw fail("store digest differs between frames");
+    } else if (budget != j->fault_budget_) {
+      throw fail("fault budget differs between frames");
+    }
+    if (count > r.remaining() / 4) throw fail("truncated frame");
+    EdgeId prev = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const EdgeId e = static_cast<EdgeId>(r.u32());
+      if (i != 0 && e <= prev) {
+        throw fail("duplicate or unsorted edge IDs in frame");
+      }
+      prev = e;
+      j->edges_.push_back(e);
+    }
+    while ((r.pos() - start) % 8 != 0) {
+      if (r.u8() != 0) throw fail("nonzero frame padding");
+    }
+    const std::uint64_t expected =
+        store::fnv1a(std::span<const std::uint8_t>(bytes).subspan(
+                         start, r.pos() - start),
+                     j->chain_);
+    if (r.remaining() < 8) throw fail("truncated frame");
+    if (r.u64() != expected) throw fail("running digest mismatch");
+    j->chain_ = expected;
+    last_epoch = epoch;
+    ++j->num_frames_;
+  }
+  j->epoch_ = last_epoch;
+
+  std::sort(j->edges_.begin(), j->edges_.end());
+  j->edges_.erase(std::unique(j->edges_.begin(), j->edges_.end()),
+                  j->edges_.end());
+  if (j->edges_.size() > j->fault_budget_) {
+    throw CapacityError(
+        "deletion journal over capacity: " + path, j->fault_budget_,
+        j->edges_.size(), j->edges_.size());
+  }
+  return j;
+}
+
+std::uint64_t DeletionJournal::append(const std::string& path,
+                                      std::uint64_t store_digest,
+                                      std::uint32_t fault_budget,
+                                      std::span<const EdgeId> edges) {
+  const std::vector<EdgeId> ids = canonical(edges);
+  FTC_REQUIRE(!ids.empty(), "journal append needs at least one edge ID");
+
+  std::vector<std::uint8_t> existing;
+  std::uint64_t epoch = 0;
+  std::uint64_t chain = store::kFnvBasis;
+  std::vector<EdgeId> journaled;
+  if (exists(path)) {
+    const auto prior = open(path);
+    if (prior->store_digest() != store_digest) {
+      throw StoreError(
+          "deletion journal is bound to a different store generation "
+          "(digest mismatch; the journal does not survive a label push): " +
+          path);
+    }
+    if (fault_budget != 0 && fault_budget != prior->fault_budget()) {
+      throw std::invalid_argument(
+          "journal fault budget cannot change after creation: " + path);
+    }
+    fault_budget = prior->fault_budget();
+    epoch = prior->epoch();
+    chain = prior->chain_;
+    journaled.assign(prior->deleted_edges().begin(),
+                     prior->deleted_edges().end());
+    existing = read_file(path);
+  } else {
+    FTC_REQUIRE(fault_budget >= 1,
+                "a new journal needs a positive fault budget");
+  }
+
+  // Drop already-journaled IDs: deletions are idempotent, and only
+  // distinct edges count against the budget.
+  std::vector<EdgeId> fresh;
+  for (const EdgeId e : ids) {
+    if (!std::binary_search(journaled.begin(), journaled.end(), e)) {
+      fresh.push_back(e);
+    }
+  }
+  if (fresh.empty()) return epoch;
+  if (journaled.size() + fresh.size() > fault_budget) {
+    throw CapacityError("journal append would exceed the fault budget: " +
+                            path,
+                        fault_budget, journaled.size(),
+                        journaled.size() + fresh.size());
+  }
+
+  store::ByteWriter w;
+  w.bytes(existing);
+  encode_frame(w, epoch + 1, store_digest, fault_budget, fresh, chain);
+  store::write_file_atomic(path, w.view());
+  return epoch + 1;
+}
+
+DeletionJournal::CompactStats DeletionJournal::compact(
+    const std::string& path) {
+  const auto prior = open(path);
+  CompactStats stats;
+  stats.frames_before = prior->num_frames();
+  stats.file_bytes_before = prior->file_bytes();
+  store::ByteWriter w;
+  encode_frame(w, prior->epoch(), prior->store_digest(),
+               prior->fault_budget(), prior->deleted_edges(),
+               store::kFnvBasis);
+  store::write_file_atomic(path, w.view());
+  stats.frames_after = 1;
+  stats.file_bytes_after = w.size();
+  return stats;
+}
+
+void DeletionJournal::validate_against(const StoreInfo& info,
+                                       const std::string& store_path) const {
+  if (store_digest_ != info.payload_checksum) {
+    throw StoreError(
+        "deletion journal is bound to a different store generation "
+        "(digest mismatch — compact history belongs to the old labels; "
+        "start a fresh journal after a push): " + store_path);
+  }
+  if (!edges_.empty() && edges_.back() >= info.num_edges) {
+    throw StoreError(
+        "deletion journal names unknown edge IDs (beyond the store's "
+        "edge count): " + store_path);
+  }
+}
+
+void attach_journal_sidecar(ConnectivityScheme& scheme,
+                            const std::string& store_path, bool replay) {
+  if (!replay) return;
+  const std::string jpath = journal_path_for(store_path);
+  if (!DeletionJournal::exists(jpath)) return;
+  const std::shared_ptr<const StoreView> view = scheme.store_view();
+  FTC_CHECK(view != nullptr,
+            "journal replay needs a store-served scheme");
+  auto journal = DeletionJournal::open(jpath);
+  journal->validate_against(view->info(), store_path);
+  scheme.attach_journal(std::move(journal));
+}
+
+}  // namespace ftc::core

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "core/ftc_query.hpp"
+#include "core/journal.hpp"
 #include "core/scheme_adapters.hpp"
 
 namespace ftc::core {
@@ -671,6 +672,13 @@ class StoredSchemeBase : public ConnectivityScheme {
     view_->prefetch(threads);
   }
 
+  // The backing view, so a swap can thread the serving generation's
+  // mappings through open_store_view(path, verify, reuse_from) and adopt
+  // unchanged shards across a delta push.
+  std::shared_ptr<const StoreView> store_view() const override {
+    return view_;
+  }
+
  protected:
   // Zero-copy vertex-label read: one bounds-checked 8-byte record
   // straight from the mapping.
@@ -918,8 +926,13 @@ std::unique_ptr<ConnectivityScheme> load_scheme(const std::string& path,
                                                 const LoadOptions& options) {
   // open_store_view dispatches on the magic: single containers and
   // sharded manifests load through the same StoreView interface.
-  return load_scheme(open_store_view(path, options.verify_checksum),
-                     options.mode);
+  auto scheme = load_scheme(open_store_view(path, options.verify_checksum),
+                            options.mode);
+  // Fold a "<path>.jrnl" deletion-journal sidecar into the session
+  // (journal.hpp): journaled deletions then behave as implicit faults in
+  // every query until the store is rebuilt or compacted away.
+  attach_journal_sidecar(*scheme, path, options.replay_journal);
+  return scheme;
 }
 
 }  // namespace ftc::core

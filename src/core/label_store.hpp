@@ -274,7 +274,13 @@ struct PrefetchStats {
   unsigned threads = 1;
   double total_us = 0.0;
   std::size_t shards_opened = 0;  // newly mapped by this call
-  std::vector<double> shard_us;   // per shard, manifest order
+  // Shards this view ADOPTED from a previous-generation view at open()
+  // instead of mapping — byte-identical shards of a delta push
+  // (open_store_view's reuse_from parameter). Constant per view, reported
+  // by every prefetch() call on it; such shards never count in
+  // shards_opened.
+  std::size_t shards_adopted = 0;
+  std::vector<double> shard_us;  // per shard, manifest order
 };
 
 // The CSR adjacency side-table layout shared by container v2 and the
@@ -353,6 +359,12 @@ struct StoreInfo {
   // behind this view; 0 for a plain single-container store. When
   // nonzero, file_bytes covers the manifest plus every shard.
   std::uint32_t num_shards = 0;
+  // Manifest lineage (format v2 manifests; see sharded_store.hpp).
+  // Epoch 1 with parent_digest 0 for full saves and v1 manifests; a
+  // delta push writes parent epoch + 1 and the parent manifest's payload
+  // checksum. Both 0 for single-container stores.
+  std::uint64_t manifest_epoch = 0;
+  std::uint64_t parent_digest = 0;
   // Derived from the params blob; match the builder scheme's accounting.
   std::size_t vertex_label_bits = 0;
   std::size_t edge_label_bits = 0;
@@ -464,6 +476,10 @@ enum class LoadMode {
 struct LoadOptions {
   LoadMode mode = LoadMode::kMmap;
   bool verify_checksum = true;
+  // When a "<path>.jrnl" deletion-journal sidecar exists next to the
+  // store (journal.hpp), fold its journaled deletions into every query's
+  // fault set. Off = serve the store as written, ignoring the sidecar.
+  bool replay_journal = true;
 };
 
 // Opens a store behind the common StoreView interface, dispatching on
@@ -472,6 +488,20 @@ struct LoadOptions {
 // Implemented in sharded_store.cpp.
 std::shared_ptr<const StoreView> open_store_view(const std::string& path,
                                                  bool verify_checksum = true);
+
+// Same, threading a previous-generation view through as a reuse source:
+// when both the opened artifact and reuse_from are sharded stores of the
+// same backend, shards whose manifests record identical payload digests
+// (and sizes and ID extents) are ADOPTED — the new view shares the old
+// view's already-open shard mapping instead of re-mapping the file. This
+// is the in-process half of a delta push (sharded_store.hpp): after
+// save_sharded_delta rewrites 1 of K shards, opening the new manifest
+// against the serving view maps exactly 1 shard. reuse_from == nullptr,
+// a single-container artifact, or a non-sharded reuse_from all degrade
+// to the plain open above.
+std::shared_ptr<const StoreView> open_store_view(
+    const std::string& path, bool verify_checksum,
+    const std::shared_ptr<const StoreView>& reuse_from);
 
 // Reconstructs a ConnectivityScheme from a container file or a sharded
 // manifest (dispatching on the magic). The returned scheme answers

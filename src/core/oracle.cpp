@@ -42,17 +42,6 @@ bool ConnectivityOracle::connected(VertexId s, VertexId t,
   return scheme_->connected(s, t, spec);
 }
 
-bool ConnectivityOracle::connected(
-    VertexId s, VertexId t, std::span<const EdgeId> edge_faults) const {
-  return connected(s, t, FaultSpec::edges(edge_faults));
-}
-
-bool ConnectivityOracle::connected_vertex_faults(
-    VertexId s, VertexId t,
-    std::span<const VertexId> vertex_faults) const {
-  return connected(s, t, FaultSpec::vertices(vertex_faults));
-}
-
 std::vector<bool> ConnectivityOracle::batch_connected(
     std::span<const Query> queries, const FaultSpec& spec) const {
   BatchQueryEngine engine(*scheme_, spec);
@@ -60,12 +49,6 @@ std::vector<bool> ConnectivityOracle::batch_connected(
   batch.reserve(queries.size());
   for (const Query& q : queries) batch.push_back({q.s, q.t});
   return engine.run_sequential(batch);
-}
-
-std::vector<bool> ConnectivityOracle::batch_connected(
-    std::span<const Query> queries,
-    std::span<const EdgeId> edge_faults) const {
-  return batch_connected(queries, FaultSpec::edges(edge_faults));
 }
 
 }  // namespace ftc::core

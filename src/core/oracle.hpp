@@ -47,14 +47,6 @@ class ConnectivityOracle {
   // definition (and connected to itself).
   bool connected(graph::VertexId s, graph::VertexId t,
                  const FaultSpec& spec) const;
-  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
-  bool connected(graph::VertexId s, graph::VertexId t,
-                 std::span<const graph::EdgeId> edge_faults) const;
-
-  // Deprecated vertex-only shim, kept one release: forwards to FaultSpec.
-  bool connected_vertex_faults(
-      graph::VertexId s, graph::VertexId t,
-      std::span<const graph::VertexId> vertex_faults) const;
 
   struct Query {
     graph::VertexId s = 0;
@@ -65,10 +57,6 @@ class ConnectivityOracle {
   // multi-threaded version).
   std::vector<bool> batch_connected(std::span<const Query> queries,
                                     const FaultSpec& spec) const;
-  // Deprecated edge-only shim, kept one release: forwards to FaultSpec.
-  std::vector<bool> batch_connected(
-      std::span<const Query> queries,
-      std::span<const graph::EdgeId> edge_faults) const;
 
   // True when the scheme can serve vertex faults (it carries adjacency).
   bool supports_vertex_faults() const {

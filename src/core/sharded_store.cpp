@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <string_view>
@@ -73,13 +74,53 @@ std::uint64_t container_payload_checksum(std::span<const std::uint8_t> file) {
   return v;
 }
 
-}  // namespace
+// What save_sharded_impl did to the file behind shard k, so error
+// cleanup only unlinks files THIS call produced and never a parent's
+// in-place-reused shard or a prior generation's published one.
+enum class ShardFile : std::uint8_t {
+  kNone = 0,       // nothing on disk yet for this slot
+  kStaged = 1,     // bytes (or a hard link) under the stage name
+  kPublished = 2,  // renamed onto the final shard name
+  kInPlace = 3,    // parent's file reused where it already stood
+};
 
-// ------------------------------------------------------------------
-// Writer.
+// The parent side of a delta push, snapshotted from its manifest before
+// any byte of the child is produced.
+struct ParentManifest {
+  std::string dir;  // parent manifest directory (trailing slash or empty)
+  std::vector<store::ShardRecord> records;
+  std::uint64_t manifest_digest = 0;  // its payload checksum
+  std::uint64_t epoch = 0;
+};
 
-void save_sharded(const ConnectivityScheme& scheme,
-                  const std::string& manifest_path, unsigned num_shards) {
+// Stages the byte-identical file at src for publication as dst without
+// copying: a hard link under the stage name (renamed onto dst only in
+// the publish phase, with every other shard). Returns false (touching
+// nothing) when linking is impossible — src gone, cross-filesystem, no
+// link permission — and the caller falls back to a full write. in_place
+// reports that dst already IS src (same inode: a push over the parent's
+// own path), i.e. nothing needs staging at all.
+bool stage_shard_reuse(const std::string& src, const std::string& dst,
+                       const std::string& stage, bool& in_place) {
+  in_place = false;
+  struct stat src_st{};
+  if (::stat(src.c_str(), &src_st) != 0 || !S_ISREG(src_st.st_mode)) {
+    return false;
+  }
+  struct stat dst_st{};
+  if (::stat(dst.c_str(), &dst_st) == 0 && dst_st.st_dev == src_st.st_dev &&
+      dst_st.st_ino == src_st.st_ino) {
+    in_place = true;  // pushing over the parent path: the file stays put
+    return true;
+  }
+  ::unlink(stage.c_str());
+  return ::link(src.c_str(), stage.c_str()) == 0;
+}
+
+DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
+                                 const std::string& manifest_path,
+                                 unsigned num_shards,
+                                 const ParentManifest* parent) {
   FTC_REQUIRE(num_shards >= 1, "need at least one shard");
   FTC_REQUIRE(num_shards <= store::kMaxShards, "too many shards");
   const VertexId n = scheme.num_vertices();
@@ -99,10 +140,29 @@ void save_sharded(const ConnectivityScheme& scheme,
     rec.name = base + ".shard" + std::to_string(k) + ".ftcs";
   }
 
-  // Build and write the shard containers in parallel: serialization only
-  // reads the (immutable) scheme, and every worker writes distinct
-  // files. Each shard is written atomically; the manifest goes last, so
+  DeltaPushStats stats;
+  stats.epoch = parent != nullptr ? parent->epoch + 1 : 1;
+  stats.shards_total = num_shards;
+  std::atomic<std::size_t> shards_reused{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> bytes_reused{0};
+  std::vector<ShardFile> produced(num_shards, ShardFile::kNone);
+  // True for a published slot that replaced a pre-existing file (a prior
+  // generation's shard): those must survive error cleanup.
+  std::vector<std::uint8_t> replaced(num_shards, 0);
+  const std::string stage_suffix =
+      ".stage." + std::to_string(static_cast<long>(::getpid()));
+
+  // Build the shard containers in parallel: serialization only reads the
+  // (immutable) scheme, and every worker writes distinct files. Every
+  // shard is STAGED under a temp name first and renamed onto its final
+  // name only once all of them built, so a failed save never disturbs a
+  // prior generation living under this path; the manifest goes last, so
   // a crash mid-save never publishes a manifest naming missing shards.
+  // In delta mode a shard whose byte image matches a parent record
+  // (payload digest + exact size — digests are over the full payload, so
+  // a match means byte-identical files) is hard-linked from the parent
+  // instead of written.
   std::vector<std::exception_ptr> errors(num_shards);
   const auto build_shard = [&](unsigned k) {
     try {
@@ -115,67 +175,172 @@ void save_sharded(const ConnectivityScheme& scheme,
           /*include_adjacency=*/false);
       rec.file_bytes = bytes.size();
       rec.payload_digest = container_payload_checksum(bytes);
-      store::write_file_atomic(dir + rec.name, bytes);
+      if (parent != nullptr) {
+        for (const store::ShardRecord& prec : parent->records) {
+          if (prec.payload_digest != rec.payload_digest ||
+              prec.file_bytes != rec.file_bytes) {
+            continue;
+          }
+          bool in_place = false;
+          if (stage_shard_reuse(parent->dir + prec.name, dir + rec.name,
+                                dir + rec.name + stage_suffix, in_place)) {
+            produced[k] = in_place ? ShardFile::kInPlace : ShardFile::kStaged;
+            shards_reused.fetch_add(1, std::memory_order_relaxed);
+            bytes_reused.fetch_add(rec.file_bytes,
+                                   std::memory_order_relaxed);
+            return;
+          }
+          break;  // reuse impossible (e.g. cross-device): write in full
+        }
+      }
+      store::write_file_atomic(dir + rec.name + stage_suffix, bytes);
+      produced[k] = ShardFile::kStaged;
+      bytes_written.fetch_add(rec.file_bytes, std::memory_order_relaxed);
     } catch (...) {
       errors[k] = std::current_exception();
     }
   };
-  const unsigned workers = std::min<unsigned>(
-      num_shards, std::max(1u, std::thread::hardware_concurrency()));
-  if (workers <= 1) {
-    for (unsigned k = 0; k < num_shards; ++k) build_shard(k);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        for (unsigned k = w; k < num_shards; k += workers) build_shard(k);
-      });
+
+  try {
+    const unsigned workers = std::min<unsigned>(
+        num_shards, std::max(1u, std::thread::hardware_concurrency()));
+    if (workers <= 1) {
+      for (unsigned k = 0; k < num_shards; ++k) build_shard(k);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          for (unsigned k = w; k < num_shards; k += workers) build_shard(k);
+        });
+      }
+      for (std::thread& t : threads) t.join();
     }
-    for (std::thread& t : threads) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+
+    store::ByteWriter params;
+    scheme.serialize_params(params);
+    const std::vector<std::uint8_t> adj_section =
+        store::build_adjacency_section(scheme);
+
+    store::ByteWriter w;
+    w.u64(store::kManifestMagic);
+    w.u32(static_cast<std::uint32_t>(store::kManifestFormatVersion));
+    w.u8(static_cast<std::uint8_t>(scheme.backend()));
+    w.u8(!adj_section.empty() ? store::kFlagHasAdjacency : 0);  // flags
+    w.u8(0);
+    w.u8(0);
+    w.u64(n);
+    w.u64(m);
+    w.u64(num_shards);
+    w.u64(params.size());
+    w.u64(store::fnv1a(params.view()));
+    w.u64(adj_section.size());
+    w.u64(stats.epoch);
+    w.u64(parent != nullptr ? parent->manifest_digest : 0);
+    const std::size_t payload_checksum_off = w.size();
+    w.u64(0);  // payload checksum, patched below
+    const std::size_t header_checksum_off = w.size();
+    w.u64(0);  // header checksum, patched below
+    FTC_CHECK(w.size() == store::kManifestHeaderBytes,
+              "manifest header layout drifted");
+
+    w.bytes(params.view());
+    w.pad_to(8);
+    for (const store::ShardRecord& rec : records) {
+      store::encode_shard_record(rec, w);
+    }
+    if (!adj_section.empty()) w.bytes(adj_section);
+
+    const auto file = w.view();
+    w.patch_u64(payload_checksum_off,
+                store::fnv1a(file.subspan(store::kManifestHeaderBytes)));
+    w.patch_u64(header_checksum_off,
+                store::fnv1a(file.first(header_checksum_off)));
+
+    // Publish: only now, with every shard built and the manifest bytes
+    // assembled, do the staged files rename onto their final names. Up
+    // to this point nothing under the live names has been touched, so
+    // any build failure leaves a prior generation fully intact.
+    for (unsigned k = 0; k < num_shards; ++k) {
+      if (produced[k] != ShardFile::kStaged) continue;
+      const std::string final_name = dir + records[k].name;
+      struct stat st{};
+      replaced[k] = ::stat(final_name.c_str(), &st) == 0;
+      const std::string stage = final_name + stage_suffix;
+      if (::rename(stage.c_str(), final_name.c_str()) != 0) {
+        throw StoreError("cannot publish shard file: " + final_name + " (" +
+                         std::strerror(errno) + ")");
+      }
+      produced[k] = ShardFile::kPublished;
+    }
+    store::write_file_atomic(manifest_path, w.view());
+    stats.manifest_bytes = w.size();
+  } catch (...) {
+    // Failure hygiene: an aborted save must not litter the directory
+    // with stage files or shard files no manifest names (or, worse,
+    // that a LATER save under the same path would have to overwrite).
+    // Only files this call created are unlinked — an in-place-reused
+    // parent shard is the parent's, and a published slot that replaced
+    // a prior generation's file stays (removing it would turn that
+    // generation's detectable digest mismatch into a missing shard).
+    for (unsigned k = 0; k < num_shards; ++k) {
+      if (produced[k] == ShardFile::kStaged) {
+        ::unlink((dir + records[k].name + stage_suffix).c_str());
+      } else if (produced[k] == ShardFile::kPublished && !replaced[k]) {
+        ::unlink((dir + records[k].name).c_str());
+      }
+    }
+    throw;
   }
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  // The manifest is live; now drop stale higher-numbered shard files
+  // left by an earlier save with a larger K under this path — they
+  // belong to no manifest and would otherwise shadow future saves.
+  // Best-effort: stop at the first gap (ENOENT) or error.
+  for (std::uint64_t k = num_shards; k < store::kMaxShards; ++k) {
+    const std::string stale =
+        dir + base + ".shard" + std::to_string(k) + ".ftcs";
+    if (::unlink(stale.c_str()) != 0) break;
   }
 
-  store::ByteWriter params;
-  scheme.serialize_params(params);
-  const std::vector<std::uint8_t> adj_section =
-      store::build_adjacency_section(scheme);
+  stats.shards_reused = shards_reused.load(std::memory_order_relaxed);
+  stats.shards_written = stats.shards_total - stats.shards_reused;
+  stats.bytes_written = bytes_written.load(std::memory_order_relaxed);
+  stats.bytes_reused = bytes_reused.load(std::memory_order_relaxed);
+  return stats;
+}
 
-  store::ByteWriter w;
-  w.u64(store::kManifestMagic);
-  w.u32(static_cast<std::uint32_t>(store::kManifestFormatVersion));
-  w.u8(static_cast<std::uint8_t>(scheme.backend()));
-  w.u8(!adj_section.empty() ? store::kFlagHasAdjacency : 0);  // flags
-  w.u8(0);
-  w.u8(0);
-  w.u64(n);
-  w.u64(m);
-  w.u64(num_shards);
-  w.u64(params.size());
-  w.u64(store::fnv1a(params.view()));
-  w.u64(adj_section.size());
-  const std::size_t payload_checksum_off = w.size();
-  w.u64(0);  // payload checksum, patched below
-  const std::size_t header_checksum_off = w.size();
-  w.u64(0);  // header checksum, patched below
-  FTC_CHECK(w.size() == store::kManifestHeaderBytes,
-            "manifest header layout drifted");
+}  // namespace
 
-  w.bytes(params.view());
-  w.pad_to(8);
-  for (const store::ShardRecord& rec : records) {
-    store::encode_shard_record(rec, w);
-  }
-  if (!adj_section.empty()) w.bytes(adj_section);
+// ------------------------------------------------------------------
+// Writer.
 
-  const auto file = w.view();
-  w.patch_u64(payload_checksum_off,
-              store::fnv1a(file.subspan(store::kManifestHeaderBytes)));
-  w.patch_u64(header_checksum_off,
-              store::fnv1a(file.first(header_checksum_off)));
-  store::write_file_atomic(manifest_path, w.view());
+void save_sharded(const ConnectivityScheme& scheme,
+                  const std::string& manifest_path, unsigned num_shards) {
+  save_sharded_impl(scheme, manifest_path, num_shards, nullptr);
+}
+
+DeltaPushStats save_sharded_delta(const ConnectivityScheme& scheme,
+                                  const std::string& manifest_path,
+                                  const std::string& parent_manifest_path,
+                                  unsigned num_shards) {
+  // Snapshot the parent BEFORE producing any child byte: records (the
+  // content addresses), its payload checksum (the child's parent
+  // digest), and its epoch. Structural validation runs in full; the
+  // payload FNV pass is skipped — the checksum VALUE is what chains.
+  const auto parent_view =
+      ShardedStoreView::open(parent_manifest_path, /*verify_checksum=*/false);
+  ParentManifest parent;
+  parent.dir = split_path(parent_manifest_path).first;
+  const auto precs = parent_view->shards();
+  parent.records.assign(precs.begin(), precs.end());
+  parent.manifest_digest = parent_view->info().payload_checksum;
+  parent.epoch = parent_view->info().manifest_epoch;
+  if (num_shards == 0) num_shards = parent_view->info().num_shards;
+  return save_sharded_impl(scheme, manifest_path, num_shards, &parent);
 }
 
 // ------------------------------------------------------------------
@@ -188,9 +353,10 @@ ShardedStoreView::~ShardedStoreView() {
 }
 
 std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
-    const std::string& path, bool verify_checksum) {
+    const std::string& path, bool verify_checksum,
+    const std::shared_ptr<const ShardedStoreView>& reuse_from) {
   const store::MappedFile mapped = store::map_readonly(
-      path, store::kManifestHeaderBytes, "store manifest");
+      path, store::kManifestHeaderBytesV1, "store manifest");
   const std::size_t size = mapped.size;
 
   std::shared_ptr<ShardedStoreView> view(new ShardedStoreView());
@@ -201,12 +367,26 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   view->verify_checksum_ = verify_checksum;
 
   const std::span<const std::uint8_t> bytes(view->map_, size);
-  store::ByteReader h(bytes.first(store::kManifestHeaderBytes));
+  store::ByteReader h(bytes);
   if (h.u64() != store::kManifestMagic) {
     throw StoreError("bad magic (not a store manifest): " + path);
   }
   StoreInfo& info = view->info_;
+  // The header size depends on the version, so the version gates the
+  // rest of the parse (an unsupported-version error wins over a
+  // checksum-mismatch one for corrupt version bytes — both typed).
   const std::uint32_t manifest_version = h.u32();
+  if (manifest_version < store::kMinManifestFormatVersion ||
+      manifest_version > store::kManifestFormatVersion) {
+    throw StoreError("unsupported manifest format version " +
+                     std::to_string(manifest_version) + ": " + path);
+  }
+  const std::size_t header_bytes = manifest_version == 1
+                                       ? store::kManifestHeaderBytesV1
+                                       : store::kManifestHeaderBytes;
+  if (size < header_bytes) {
+    throw StoreError("store manifest truncated (header): " + path);
+  }
   const std::uint8_t backend_byte = h.u8();
   const std::uint8_t flags = h.u8();
   h.u8();
@@ -217,15 +397,24 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   const std::uint64_t params_size = h.u64();
   const std::uint64_t params_hash = h.u64();
   const std::uint64_t adj_size = h.u64();
+  if (manifest_version >= 2) {
+    // v2 lineage fields; v1 manifests predate delta pushes and read as
+    // the root of their own chain.
+    info.manifest_epoch = h.u64();
+    info.parent_digest = h.u64();
+  } else {
+    info.manifest_epoch = 1;
+    info.parent_digest = 0;
+  }
   info.payload_checksum = h.u64();
   const std::size_t header_checksum_off = h.pos();
   const std::uint64_t header_checksum = h.u64();
+  FTC_CHECK(h.pos() == header_bytes, "manifest header layout drifted");
   if (store::fnv1a(bytes.first(header_checksum_off)) != header_checksum) {
     throw StoreError("corrupt manifest header (checksum mismatch): " + path);
   }
-  if (manifest_version != store::kManifestFormatVersion) {
-    throw StoreError("unsupported manifest format version " +
-                     std::to_string(manifest_version) + ": " + path);
+  if (info.manifest_epoch == 0) {
+    throw StoreError("corrupt manifest (epoch zero): " + path);
   }
   if ((flags & ~store::kFlagHasAdjacency) != 0) {
     throw StoreError("unknown header flags in store manifest: " + path);
@@ -251,15 +440,14 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
 
   // The manifest reader never trusts the recorded section sizes: every
   // section bound is checked against the mapped size before any read.
-  if (verify_checksum &&
-      store::fnv1a(bytes.subspan(store::kManifestHeaderBytes)) !=
-          info.payload_checksum) {
+  if (verify_checksum && store::fnv1a(bytes.subspan(header_bytes)) !=
+                             info.payload_checksum) {
     throw StoreError("payload checksum mismatch (corrupt manifest): " + path);
   }
-  if (params_size > size - store::kManifestHeaderBytes) {
+  if (params_size > size - header_bytes) {
     throw StoreError("store manifest truncated (params exceed file): " + path);
   }
-  view->params_off_ = store::kManifestHeaderBytes;
+  view->params_off_ = header_bytes;
   info.params_bytes = static_cast<std::size_t>(params_size);
   if (store::fnv1a(view->params_blob()) != params_hash) {
     throw StoreError("corrupt manifest (params blob hash mismatch): " + path);
@@ -360,7 +548,46 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   for (std::uint32_t k = 0; k < info.num_shards; ++k) {
     view->opened_[k].store(false, std::memory_order_relaxed);
   }
+  if (reuse_from != nullptr) view->adopt_shards(*reuse_from);
   return view;
+}
+
+void ShardedStoreView::adopt_shards(const ShardedStoreView& parent) {
+  // A parent shard is adoptable when its manifest record matches ours in
+  // content address (payload digest + exact size — byte-identical files)
+  // and ID extents, the backends agree, the params blobs are
+  // byte-identical (the new manifest's per-shard params cross-check is
+  // subsumed), and the parent has actually mapped it. Adopted slots
+  // share the parent's LabelStoreView — its mmap stays alive through the
+  // shared_ptr even after the parent view is retired.
+  if (parent.info_.backend != info_.backend) return;
+  const auto pp = parent.params_blob();
+  const auto np = params_blob();
+  if (pp.size() != np.size() || !std::equal(pp.begin(), pp.end(), np.begin())) {
+    return;
+  }
+  for (std::size_t k = 0; k < records_.size(); ++k) {
+    const store::ShardRecord& rec = records_[k];
+    for (std::size_t j = 0; j < parent.records_.size(); ++j) {
+      const store::ShardRecord& prec = parent.records_[j];
+      if (prec.payload_digest != rec.payload_digest ||
+          prec.file_bytes != rec.file_bytes ||
+          prec.vertex_end - prec.vertex_begin !=
+              rec.vertex_end - rec.vertex_begin ||
+          prec.edge_end - prec.edge_begin != rec.edge_end - rec.edge_begin) {
+        continue;
+      }
+      if (!parent.opened_[j].load(std::memory_order_acquire)) continue;
+      shard_views_[k] = parent.shard_views_[j];
+      opened_[k].store(true, std::memory_order_release);
+      ++open_count_;
+      ++adopted_count_;
+      break;
+    }
+  }
+  // Adopting every shard (a zero-delta republish) resolves routing
+  // immediately; open() still has exclusive access, so no lock.
+  if (open_count_ == records_.size()) resolve_routes();
 }
 
 std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
@@ -397,7 +624,11 @@ bool ShardedStoreView::publish_shard(
   shard_views_[k] = std::move(v);
   opened_[k].store(true, std::memory_order_release);
   if (++open_count_ < records_.size()) return true;
+  resolve_routes();
+  return true;
+}
 
+void ShardedStoreView::resolve_routes() const {
   // Last shard in: resolve routing once. Every shard container already
   // built its own flat table at open, so the global one is a splice —
   // per-ID pointers are absolute, only the array positions shift by the
@@ -422,7 +653,6 @@ bool ShardedStoreView::publish_shard(
             "spliced route table does not tile the store");
   routes_storage_ = std::move(routes);
   routes_ptr_.store(routes_storage_.get(), std::memory_order_release);
-  return true;
 }
 
 const LabelStoreView& ShardedStoreView::shard(std::size_t k) const {
@@ -493,6 +723,7 @@ store::PrefetchStats ShardedStoreView::prefetch(unsigned threads) const {
   if (error) std::rethrow_exception(error);
 
   stats.shards_opened = opened.load(std::memory_order_relaxed);
+  stats.shards_adopted = adopted_count_;
   stats.total_us = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
@@ -577,8 +808,9 @@ std::size_t ShardedStoreView::shards_open() const {
 // ------------------------------------------------------------------
 // Magic dispatch.
 
-std::shared_ptr<const StoreView> open_store_view(const std::string& path,
-                                                 bool verify_checksum) {
+std::shared_ptr<const StoreView> open_store_view(
+    const std::string& path, bool verify_checksum,
+    const std::shared_ptr<const StoreView>& reuse_from) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
   if (fd < 0) {
     throw StoreError("cannot open label store: " + path + " (" +
@@ -602,10 +834,19 @@ std::shared_ptr<const StoreView> open_store_view(const std::string& path,
     return LabelStoreView::open(path, verify_checksum);
   }
   if (magic == store::kManifestMagic) {
-    return ShardedStoreView::open(path, verify_checksum);
+    // Adoption only has meaning sharded-to-sharded; any other pairing
+    // quietly degrades to a plain open.
+    return ShardedStoreView::open(
+        path, verify_checksum,
+        std::dynamic_pointer_cast<const ShardedStoreView>(reuse_from));
   }
   throw StoreError("bad magic (neither a label store nor a manifest): " +
                    path);
+}
+
+std::shared_ptr<const StoreView> open_store_view(const std::string& path,
+                                                 bool verify_checksum) {
+  return open_store_view(path, verify_checksum, nullptr);
 }
 
 }  // namespace ftc::core

@@ -13,11 +13,11 @@
 // write in parallel, the first concrete step toward billion-edge stores
 // whose labels are produced and distributed shard-by-shard.
 //
-// Manifest format, version 1 (all integers little-endian):
+// Manifest format, version 2 (all integers little-endian):
 //
-//   header (80 bytes)
+//   header (96 bytes)
 //     0   u64  magic "FTCMANIF"
-//     8   u32  manifest format version (1)
+//     8   u32  manifest format version (2)
 //     12  u8   BackendKind
 //     13  u8   flags (bit 0: adjacency section present), u8[2] reserved
 //     16  u64  total num_vertices
@@ -27,8 +27,13 @@
 //     48  u64  params blob hash (FNV-1a over the params blob bytes;
 //              every shard's params blob must match byte-for-byte)
 //     56  u64  adjacency section size in bytes (0 when absent)
-//     64  u64  payload checksum: FNV-1a over bytes [80, file end)
-//     72  u64  header checksum: FNV-1a over bytes [0, 72)
+//     64  u64  epoch (>= 1; 1 for a full save, parent epoch + 1 for a
+//              delta push)
+//     72  u64  parent digest: the parent manifest's payload checksum for
+//              a delta push, 0 for a full save — a verifiable lineage
+//              chain across pushes
+//     80  u64  payload checksum: FNV-1a over bytes [96, file end)
+//     88  u64  header checksum: FNV-1a over bytes [0, 88)
 //   params blob          verbatim copy of the (shared) backend params,
 //                        so schemes load from the manifest alone without
 //                        touching any shard
@@ -42,6 +47,24 @@
 //                        by the manifest (not the shards: incidence
 //                        lists name global edge IDs), so sharded stores
 //                        keep vertex-fault capability
+//
+// Version 1 manifests (80-byte header: no epoch/parent fields, payload
+// checksum at offset 64 over [80, end), header checksum at 72 over
+// [0, 72)) still load read-compatibly and report epoch 1 with parent
+// digest 0.
+//
+// Delta pushes. Shard digests make the store content-addressed:
+// save_sharded_delta() rebuilds the shard byte images but compares each
+// against the parent manifest's records and REUSES byte-identical shards
+// — hard-linking the parent's file under the new name (or keeping it in
+// place when pushing over the same path) instead of writing it — so the
+// bytes hitting the disk scale with the CHANGED shards, not the store.
+// The new manifest records epoch = parent + 1 and the parent's payload
+// checksum as its parent digest. On the serving side,
+// open_store_view(path, verify, reuse_from) adopts the unchanged shards'
+// already-open mmaps from the previous generation's view, so a
+// BatchQueryEngine::swap_store over a delta push maps only the changed
+// shards.
 //
 // Validation at open: magic, both checksums, version, backend, flags,
 // dimension ranges, and the shard table — ranges must tile [0, n) and
@@ -68,8 +91,12 @@ namespace ftc::core {
 
 namespace store {
 
-inline constexpr std::uint64_t kManifestFormatVersion = 1;
-inline constexpr std::size_t kManifestHeaderBytes = 80;
+// Written manifest version; readers accept
+// [kMinManifestFormatVersion, kManifestFormatVersion].
+inline constexpr std::uint64_t kManifestFormatVersion = 2;
+inline constexpr std::uint64_t kMinManifestFormatVersion = 1;
+inline constexpr std::size_t kManifestHeaderBytes = 96;
+inline constexpr std::size_t kManifestHeaderBytesV1 = 80;
 // "FTCMANIF" read as a little-endian u64.
 inline constexpr std::uint64_t kManifestMagic = 0x46494E414D435446ULL;
 // Guardrails against absurd shard tables in adversarial manifests.
@@ -98,12 +125,50 @@ ShardRecord decode_shard_record(ByteReader& r);
 // "<manifest-filename>.shard<k>.ftcs"; each is written atomically, in
 // parallel across worker threads, and the manifest is written last — a
 // crash mid-save never leaves a manifest naming missing or stale
-// shards. num_shards may exceed the vertex/edge counts (the surplus
+// shards. A failure mid-save (any shard build or write, or the manifest
+// write itself) unlinks every shard file this call created before
+// rethrowing, so aborted saves leave no orphan "<base>.shard<k>.ftcs"
+// litter; a successful save additionally unlinks stale higher-numbered
+// shard files left behind by an earlier save with a larger K under the
+// same path. num_shards may exceed the vertex/edge counts (the surplus
 // shards hold empty ranges). Load the result back with load_scheme() /
 // open_store_view() on the manifest path. Throws StoreError on I/O
 // failure.
 void save_sharded(const ConnectivityScheme& scheme,
                   const std::string& manifest_path, unsigned num_shards);
+
+// Accounting for one save_sharded_delta() call. bytes_written counts
+// shard payload bytes that actually hit the disk (rebuilt shards);
+// bytes_reused counts shard bytes satisfied by hard-linking or keeping
+// the parent's byte-identical file. shards_written + shards_reused ==
+// shards_total. The whole point of a delta push: with 1 of K shards
+// changed, bytes_written is O(1 shard), not O(store).
+struct DeltaPushStats {
+  std::uint64_t epoch = 0;  // the new manifest's epoch (parent + 1)
+  std::size_t shards_total = 0;
+  std::size_t shards_written = 0;
+  std::size_t shards_reused = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_reused = 0;
+  std::uint64_t manifest_bytes = 0;
+};
+
+// Content-addressed delta push: saves `scheme` like save_sharded, but
+// compares every shard's byte image against the parent manifest at
+// parent_manifest_path and reuses byte-identical shards (same payload
+// digest and size) via hard link instead of rewriting them — falling
+// back to a full write when linking fails (e.g. across filesystems).
+// The new manifest chains to the parent: epoch = parent epoch + 1,
+// parent digest = the parent manifest's payload checksum. num_shards ==
+// 0 inherits the parent's shard count (the common case — shard-count
+// changes defeat range-aligned reuse). Pushing over the parent's own
+// path is allowed: unchanged shards are kept in place untouched. Same
+// failure hygiene as save_sharded. Throws StoreError on I/O failure or
+// a malformed parent manifest.
+DeltaPushStats save_sharded_delta(const ConnectivityScheme& scheme,
+                                  const std::string& manifest_path,
+                                  const std::string& parent_manifest_path,
+                                  unsigned num_shards = 0);
 
 // Manifest-routed StoreView over K lazily-opened shard containers.
 // vertex_blob/edge_blob binary-search the range index and forward to the
@@ -117,9 +182,16 @@ class ShardedStoreView final : public StoreView {
   // payload FNV pass only when verify_checksum). Shard files are
   // stat-checked here (existence + exact size) but mapped lazily;
   // verify_checksum also governs the per-shard payload pass at first
-  // touch.
+  // touch. When reuse_from names a previous-generation view of the same
+  // backend with a byte-identical params blob, shards whose manifest
+  // records match one of the parent's (payload digest, file size, and
+  // ID extents) AND are already open there are ADOPTED: the new view
+  // shares the parent's shard mapping, the slot counts as open, and
+  // only genuinely changed shards are left for lazy opens / prefetch —
+  // the serving half of a delta push.
   static std::shared_ptr<const ShardedStoreView> open(
-      const std::string& path, bool verify_checksum = true);
+      const std::string& path, bool verify_checksum = true,
+      const std::shared_ptr<const ShardedStoreView>& reuse_from = nullptr);
 
   ~ShardedStoreView() override;
 
@@ -149,7 +221,11 @@ class ShardedStoreView final : public StoreView {
   // Manifest metadata, for inspection tooling.
   std::span<const store::ShardRecord> shards() const { return records_; }
   // Number of shards actually mmapped so far (lazy-open observability).
+  // Adopted shards count as open.
   std::size_t shards_open() const;
+  // Shards adopted from reuse_from at open() (constant per view; also
+  // reported in every PrefetchStats from this view).
+  std::size_t shards_adopted() const { return adopted_count_; }
 
  private:
   ShardedStoreView() = default;
@@ -166,6 +242,13 @@ class ShardedStoreView final : public StoreView {
   // and publishes routes_ptr_.
   bool publish_shard(std::size_t k,
                      std::shared_ptr<const LabelStoreView> v) const;
+  // Splices the K per-shard route tables into the global one and
+  // publishes routes_ptr_. Callers must hold mutex_ or have exclusive
+  // access (open-time adoption, before the view is shared).
+  void resolve_routes() const;
+  // Open-time only (exclusive access): adopt byte-identical, already-
+  // open shards from a previous-generation view of the same store.
+  void adopt_shards(const ShardedStoreView& parent);
   std::size_t shard_of_vertex(graph::VertexId v) const;
   std::size_t shard_of_edge(graph::EdgeId e) const;
 
@@ -184,6 +267,7 @@ class ShardedStoreView final : public StoreView {
   mutable std::vector<std::shared_ptr<const LabelStoreView>> shard_views_;
   mutable std::unique_ptr<std::atomic<bool>[]> opened_;
   mutable std::size_t open_count_ = 0;  // slots published, guarded by mutex_
+  std::size_t adopted_count_ = 0;       // set once at open()
   // Global flat route table, built once under mutex_ when open_count_
   // reaches K and then read lock-free through routes_ptr_.
   mutable std::unique_ptr<store::FlatRoutes> routes_storage_;

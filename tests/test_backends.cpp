@@ -59,7 +59,7 @@ TEST_P(BackendParity, MatchesBfsOracleOnRandomGraphs) {
       const VertexId t =
           static_cast<VertexId>(rng.next_below(g.num_vertices()));
       const bool expected = graph::connected_avoiding(g, s, t, faults);
-      EXPECT_EQ(scheme->connected(s, t, faults), expected)
+      EXPECT_EQ(scheme->connected(s, t, FaultSpec::edges(faults)), expected)
           << backend_name(GetParam()) << " graph_seed=" << graph_seed
           << " it=" << it;
     }
@@ -84,7 +84,8 @@ TEST_P(BackendParity, QueryOptionAblationsAgree) {
         QueryOptions options;
         options.adaptive = adaptive;
         options.smallest_cut_first = smallest_cut;
-        EXPECT_EQ(scheme->connected(s, t, faults, options), expected)
+        EXPECT_EQ(scheme->connected(s, t, FaultSpec::edges(faults), options),
+                  expected)
             << backend_name(GetParam()) << " adaptive=" << adaptive
             << " smallest_cut_first=" << smallest_cut << " it=" << it;
       }
@@ -102,7 +103,7 @@ TEST_P(BackendParity, PreparedFaultSetServesManyQueries) {
   }
   // Duplicates must collapse in the prepared set.
   faults.push_back(faults[0]);
-  const auto fault_set = scheme->prepare_faults(faults);
+  const auto fault_set = scheme->prepare_faults(FaultSpec::edges(faults));
   EXPECT_LE(fault_set->num_faults(), 3u);
   const auto workspace = scheme->make_workspace();
   for (int it = 0; it < 50; ++it) {
@@ -119,7 +120,8 @@ TEST_P(BackendParity, RejectsOutOfRangeFaults) {
   const Graph g = graph::cycle(12);
   const auto scheme = make_scheme(g, test_config(GetParam(), 2));
   const std::vector<EdgeId> bad{g.num_edges()};
-  EXPECT_THROW((void)scheme->prepare_faults(bad), std::invalid_argument);
+  EXPECT_THROW((void)scheme->prepare_faults(FaultSpec::edges(bad)),
+               std::invalid_argument);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendParity,

@@ -57,7 +57,7 @@ TEST_P(BatchEngine, ParallelMatchesSequentialMatchesSingle) {
     for (unsigned i = 0; i < rng.next_below(5); ++i) {
       faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
     }
-    BatchQueryEngine engine(*scheme, faults);
+    BatchQueryEngine engine(*scheme, FaultSpec::edges(faults));
     const auto queries = random_queries(g, 80, rng);
 
     const auto sequential = engine.run_sequential(queries);
@@ -95,7 +95,7 @@ TEST_P(BatchEngine, DuplicateFaultsCollapse) {
   const auto scheme = make_scheme(g, test_config(GetParam(), 4));
   SplitMix64 rng(13);
   std::vector<EdgeId> faults{3, 3, 3, 9, 9};
-  BatchQueryEngine engine(*scheme, faults);
+  BatchQueryEngine engine(*scheme, FaultSpec::edges(faults));
   EXPECT_LE(engine.num_faults(), 2u);
   const auto queries = random_queries(g, 40, rng);
   const auto results = engine.run_parallel(queries, 4);
@@ -116,7 +116,7 @@ TEST_P(BatchEngine, ResetFaultsReusesWorkspaces) {
     for (int i = 0; i < 3; ++i) {
       faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
     }
-    engine.reset_faults(faults);
+    engine.reset_faults(FaultSpec::edges(faults));
     const auto queries = random_queries(g, 30, rng);
     const auto results = engine.run_parallel(queries, 2);
     for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -130,7 +130,7 @@ TEST_P(BatchEngine, ResetFaultsReusesWorkspaces) {
 TEST_P(BatchEngine, ManyThreadsOnTinyBatchIsSafe) {
   const Graph g = graph::cycle(16);
   const auto scheme = make_scheme(g, test_config(GetParam(), 2));
-  BatchQueryEngine engine(*scheme, std::vector<EdgeId>{0});
+  BatchQueryEngine engine(*scheme, FaultSpec::edges(std::vector<EdgeId>{0}));
   const std::vector<BatchQueryEngine::Query> queries{{1, 15}};
   // More threads than work: the engine must clamp, not crash.
   const auto results = engine.run_parallel(queries, 64);

@@ -126,9 +126,10 @@ TEST_P(LabelStoreParity, SaveLoadRoundTripMatchesInMemoryAndBfs) {
         const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
         const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
         const bool expected = graph::connected_avoiding(g, s, t, faults);
-        EXPECT_EQ(scheme->connected(s, t, faults), expected)
+        EXPECT_EQ(scheme->connected(s, t, FaultSpec::edges(faults)),
+                  expected)
             << fam.name << " it=" << it;
-        EXPECT_EQ(loaded->connected(s, t, faults), expected)
+        EXPECT_EQ(loaded->connected(s, t, FaultSpec::edges(faults)), expected)
             << fam.name << " mode=" << static_cast<int>(mode) << " it=" << it;
       }
     }
@@ -177,11 +178,12 @@ TEST_P(LabelStoreParity, TenThousandQueryBatchMatchesInMemory) {
            static_cast<VertexId>(rng.next_below(g.num_vertices()))});
     }
 
-    BatchQueryEngine in_memory(*scheme, faults);
+    BatchQueryEngine in_memory(*scheme, FaultSpec::edges(faults));
     // The store session owns its loaded scheme (mmap zero-copy path) and
     // fans out across threads; answers must be bit-identical.
     BatchQueryEngine from_store(
-        load_scheme(file.path(), {LoadMode::kMmap, true}), faults);
+        load_scheme(file.path(), {LoadMode::kMmap, true}),
+        FaultSpec::edges(faults));
     const auto expected = in_memory.run_sequential(queries);
     const auto actual = from_store.run_parallel(queries, 4);
     EXPECT_EQ(actual, expected) << fam.name;
@@ -225,7 +227,8 @@ TEST_P(LabelStoreParity, LoadedSchemeValidatesQueryArguments) {
   scheme->save(file.path());
   const auto loaded = load_scheme(file.path());
   const std::vector<EdgeId> bad{g.num_edges()};
-  EXPECT_THROW((void)loaded->prepare_faults(bad), std::invalid_argument);
+  EXPECT_THROW((void)loaded->prepare_faults(FaultSpec::edges(bad)),
+               std::invalid_argument);
   EXPECT_THROW((void)loaded->connected(g.num_vertices(), 0, FaultSpec{}),
                std::invalid_argument);
   EXPECT_THROW(
@@ -513,8 +516,10 @@ TEST_P(LabelStoreV1Compat, LoadsAndServesEdgeFaultsUnchanged) {
       const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
       const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
       const bool expected = graph::connected_avoiding(g, s, t, faults);
-      EXPECT_EQ(loaded->connected(s, t, faults), expected) << "it=" << it;
-      EXPECT_EQ(rebuilt->connected(s, t, faults), expected) << "it=" << it;
+      EXPECT_EQ(loaded->connected(s, t, FaultSpec::edges(faults)), expected)
+          << "it=" << it;
+      EXPECT_EQ(rebuilt->connected(s, t, FaultSpec::edges(faults)), expected)
+          << "it=" << it;
     }
   }
 }
@@ -529,7 +534,7 @@ TEST_P(LabelStoreV1Compat, VertexFaultsRaiseTypedCapabilityError) {
                CapabilityError);
   const ConnectivityOracle oracle = ConnectivityOracle::from_store(path);
   EXPECT_FALSE(oracle.supports_vertex_faults());
-  EXPECT_THROW((void)oracle.connected_vertex_faults(0, 2, vf),
+  EXPECT_THROW((void)oracle.connected(0, 2, FaultSpec::vertices(vf)),
                CapabilityError);
   // Edge-only specs keep working through the same session API.
   BatchQueryEngine session(load_scheme(path),
@@ -557,7 +562,7 @@ TEST_P(LabelStoreV1Compat, ResaveUpgradesToV2WithoutAdjacency) {
     const auto faults = random_faults(rng, g, 2);
     const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
     const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
-    EXPECT_EQ(reloaded->connected(s, t, faults),
+    EXPECT_EQ(reloaded->connected(s, t, FaultSpec::edges(faults)),
               graph::connected_avoiding(g, s, t, faults))
         << "it=" << it;
   }

@@ -44,7 +44,7 @@ TEST(ConnectivityOracle, EdgeFaultsMatchGroundTruth) {
     }
     const VertexId s = static_cast<VertexId>(rng.next_below(40));
     const VertexId t = static_cast<VertexId>(rng.next_below(40));
-    EXPECT_EQ(oracle.connected(s, t, faults),
+    EXPECT_EQ(oracle.connected(s, t, FaultSpec::edges(faults)),
               graph::connected_avoiding(g, s, t, faults));
   }
   EXPECT_GT(oracle.space_bits(), 0u);
@@ -65,7 +65,7 @@ TEST(ConnectivityOracle, VertexFaultReduction) {
     }
     const VertexId s = static_cast<VertexId>(rng.next_below(30));
     const VertexId t = static_cast<VertexId>(rng.next_below(30));
-    EXPECT_EQ(oracle.connected_vertex_faults(s, t, faults),
+    EXPECT_EQ(oracle.connected(s, t, FaultSpec::vertices(faults)),
               brute_vertex_fault_connected(g, s, t, faults))
         << "it=" << it;
   }
@@ -77,12 +77,13 @@ TEST(ConnectivityOracle, VertexFaultEndpointRules) {
   cfg.f = 4;
   const ConnectivityOracle oracle(g, cfg);
   const std::vector<VertexId> fault{3};
-  EXPECT_FALSE(oracle.connected_vertex_faults(3, 5, fault));
-  EXPECT_FALSE(oracle.connected_vertex_faults(5, 3, fault));
-  EXPECT_TRUE(oracle.connected_vertex_faults(3, 3, fault));
+  EXPECT_FALSE(oracle.connected(3, 5, FaultSpec::vertices(fault)));
+  EXPECT_FALSE(oracle.connected(5, 3, FaultSpec::vertices(fault)));
+  EXPECT_TRUE(oracle.connected(3, 3, FaultSpec::vertices(fault)));
   // Cutting one cycle vertex leaves the rest connected.
-  EXPECT_TRUE(oracle.connected_vertex_faults(2, 4, fault));
-  EXPECT_THROW(oracle.connected_vertex_faults(0, 1, std::vector<VertexId>{99}),
+  EXPECT_TRUE(oracle.connected(2, 4, FaultSpec::vertices(fault)));
+  EXPECT_THROW(oracle.connected(0, 1, FaultSpec::vertices(
+                   std::vector<VertexId>{99})),
                std::invalid_argument);
 }
 
@@ -99,9 +100,9 @@ TEST(ConnectivityOracle, ArticulationVertexDisconnects) {
   cfg.f = 6;
   const ConnectivityOracle oracle(g, cfg);
   const std::vector<VertexId> cut{2};
-  EXPECT_FALSE(oracle.connected_vertex_faults(0, 3, cut));
-  EXPECT_TRUE(oracle.connected_vertex_faults(0, 1, cut));
-  EXPECT_TRUE(oracle.connected_vertex_faults(3, 4, cut));
+  EXPECT_FALSE(oracle.connected(0, 3, FaultSpec::vertices(cut)));
+  EXPECT_TRUE(oracle.connected(0, 1, FaultSpec::vertices(cut)));
+  EXPECT_TRUE(oracle.connected(3, 4, FaultSpec::vertices(cut)));
 }
 
 TEST(ConnectivityOracle, BatchMatchesSingleQueries) {
@@ -116,11 +117,11 @@ TEST(ConnectivityOracle, BatchMatchesSingleQueries) {
     queries.push_back({static_cast<VertexId>(rng.next_below(32)),
                        static_cast<VertexId>(rng.next_below(32))});
   }
-  const auto results = oracle.batch_connected(queries, faults);
+  const auto results = oracle.batch_connected(queries, FaultSpec::edges(faults));
   ASSERT_EQ(results.size(), queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(results[i],
-              oracle.connected(queries[i].s, queries[i].t, faults));
+    EXPECT_EQ(results[i], oracle.connected(queries[i].s, queries[i].t,
+                                           FaultSpec::edges(faults)));
   }
 }
 

@@ -13,6 +13,7 @@
 // surface as the typed StoreError, never UB (the suite also runs under
 // the asan preset).
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -107,8 +108,8 @@ void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
 void fix_manifest_header_checksum(std::vector<std::uint8_t>& bytes) {
   ASSERT_GE(bytes.size(), store::kManifestHeaderBytes);
   const std::uint64_t sum =
-      store::fnv1a(std::span<const std::uint8_t>(bytes.data(), 72));
-  for (int i = 0; i < 8; ++i) bytes[72 + i] = (sum >> (8 * i)) & 0xff;
+      store::fnv1a(std::span<const std::uint8_t>(bytes.data(), 88));
+  for (int i = 0; i < 8; ++i) bytes[88 + i] = (sum >> (8 * i)) & 0xff;
 }
 
 bool spans_equal(std::span<const std::uint8_t> a,
@@ -609,6 +610,326 @@ TEST_F(ShardedStoreAdversarial, PayloadChecksumGuardsEverythingElse) {
   bytes[bytes.size() - 1] ^= 0x10;
   write_file(manifest.path(), bytes);
   EXPECT_THROW((void)ShardedStoreView::open(manifest.path()), StoreError);
+}
+
+TEST_F(ShardedStoreAdversarial, EpochZeroManifestThrows) {
+  ManifestFile manifest("epoch0");
+  auto bytes = make_manifest(manifest);
+  for (int i = 0; i < 8; ++i) bytes[64 + i] = 0;  // epoch field
+  fix_manifest_header_checksum(bytes);
+  write_file(manifest.path(), bytes);
+  EXPECT_THROW((void)ShardedStoreView::open(manifest.path(), false),
+               StoreError);
+}
+
+// ------------------------------------------------------------------
+// save_sharded failure / shrink hygiene, and the content-addressed
+// delta-push + shard-adoption path.
+
+// Delegating wrapper that serializes exactly like `inner` except for
+// one poisoned edge, whose label either throws mid-save (failure
+// hygiene) or flips its bytes (a one-shard content change for the delta
+// tests). Never used for queries.
+class EdgePatchScheme : public ConnectivityScheme {
+ public:
+  enum class Mode { kThrow, kFlip };
+  EdgePatchScheme(const ConnectivityScheme& inner, EdgeId poison, Mode mode)
+      : inner_(inner), poison_(poison), mode_(mode) {}
+
+  BackendKind backend() const override { return inner_.backend(); }
+  VertexId num_vertices() const override { return inner_.num_vertices(); }
+  EdgeId num_edges() const override { return inner_.num_edges(); }
+  std::size_t vertex_label_bits() const override {
+    return inner_.vertex_label_bits();
+  }
+  std::size_t edge_label_bits() const override {
+    return inner_.edge_label_bits();
+  }
+  const AdjacencyProvider* adjacency() const override {
+    return inner_.adjacency();
+  }
+  void serialize_params(store::ByteWriter& out) const override {
+    inner_.serialize_params(out);
+  }
+  void serialize_vertex_label(VertexId v,
+                              store::ByteWriter& out) const override {
+    inner_.serialize_vertex_label(v, out);
+  }
+  void serialize_edge_label(EdgeId e, store::ByteWriter& out) const override {
+    if (e != poison_) {
+      inner_.serialize_edge_label(e, out);
+      return;
+    }
+    if (mode_ == Mode::kThrow) {
+      throw std::runtime_error("poisoned edge label");
+    }
+    store::ByteWriter tmp;
+    inner_.serialize_edge_label(e, tmp);
+    std::vector<std::uint8_t> flipped(tmp.view().begin(), tmp.view().end());
+    for (std::uint8_t& b : flipped) b ^= 0xff;
+    out.bytes(flipped);
+  }
+  std::unique_ptr<Workspace> make_workspace() const override {
+    throw std::logic_error("EdgePatchScheme does not serve queries");
+  }
+
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const EdgeId>) const override {
+    throw std::logic_error("EdgePatchScheme does not serve queries");
+  }
+  bool query_edges(VertexId, VertexId, const FaultSet&, Workspace&,
+                   const QueryOptions&) const override {
+    throw std::logic_error("EdgePatchScheme does not serve queries");
+  }
+
+ private:
+  const ConnectivityScheme& inner_;
+  EdgeId poison_;
+  Mode mode_;
+};
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(ShardedStoreHygiene, MidSaveThrowLeavesNoOrphanShards) {
+  const Graph g = graph::random_connected(48, 120, 13);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  ManifestFile manifest("midthrow");
+  // An edge in the LAST shard's range, so earlier shard files have
+  // already been written when the save aborts.
+  const EdgePatchScheme poisoned(*scheme, g.num_edges() - 1,
+                                 EdgePatchScheme::Mode::kThrow);
+  EXPECT_THROW(save_sharded(poisoned, manifest.path(), 4),
+               std::runtime_error);
+  EXPECT_FALSE(file_exists(manifest.path()));
+  for (unsigned k = 0; k < 8; ++k) {
+    EXPECT_FALSE(file_exists(manifest.shard_path(k))) << "shard " << k;
+  }
+  // The path is clean: a real save afterwards succeeds and serves.
+  save_sharded(*scheme, manifest.path(), 4);
+  EXPECT_NE(ShardedStoreView::open(manifest.path()), nullptr);
+}
+
+TEST(ShardedStoreHygiene, MidSaveThrowKeepsPriorGenerationIntact) {
+  const Graph g = graph::random_connected(32, 80, 17);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  ManifestFile manifest("midthrow_prior");
+  save_sharded(*scheme, manifest.path(), 4);
+  const auto manifest_before = read_file(manifest.path());
+  const auto shard0_before = read_file(manifest.shard_path(0));
+
+  const EdgePatchScheme poisoned(*scheme, g.num_edges() - 1,
+                                 EdgePatchScheme::Mode::kThrow);
+  EXPECT_THROW(save_sharded(poisoned, manifest.path(), 4),
+               std::runtime_error);
+  // A failed re-save must not tear down the generation already on disk
+  // (the build failed before anything was published over it).
+  EXPECT_EQ(read_file(manifest.path()), manifest_before);
+  EXPECT_EQ(read_file(manifest.shard_path(0)), shard0_before);
+  EXPECT_NE(ShardedStoreView::open(manifest.path()), nullptr);
+}
+
+TEST(ShardedStoreHygiene, ResaveWithFewerShardsUnlinksStaleFiles) {
+  const Graph g = graph::random_connected(40, 100, 19);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  ManifestFile manifest("shrink");
+  save_sharded(*scheme, manifest.path(), 8);
+  for (unsigned k = 0; k < 8; ++k) {
+    ASSERT_TRUE(file_exists(manifest.shard_path(k))) << "shard " << k;
+  }
+  save_sharded(*scheme, manifest.path(), 3);
+  for (unsigned k = 0; k < 3; ++k) {
+    EXPECT_TRUE(file_exists(manifest.shard_path(k))) << "shard " << k;
+  }
+  // Stale K >= 3 files would shadow the live store (and resurrect on a
+  // later K-grow); the re-save must have removed them.
+  for (unsigned k = 3; k < 8; ++k) {
+    EXPECT_FALSE(file_exists(manifest.shard_path(k))) << "shard " << k;
+  }
+  const auto view = ShardedStoreView::open(manifest.path());
+  EXPECT_EQ(view->info().num_shards, 3u);
+  EXPECT_EQ(view->prefetch(2).shards_opened, 3u);
+}
+
+class DeltaFiles {
+ public:
+  explicit DeltaFiles(const std::string& name)
+      : parent_(name + "_parent"), child_(name + "_child") {}
+  ManifestFile& parent() { return parent_; }
+  ManifestFile& child() { return child_; }
+
+ private:
+  ManifestFile parent_;
+  ManifestFile child_;
+};
+
+TEST(ShardedStoreDelta, ZeroDeltaPushReusesEveryShardByHardLink) {
+  const Graph g = graph::random_connected(48, 120, 23);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  DeltaFiles files("zerodelta");
+  save_sharded(*scheme, files.parent().path(), 4);
+  const auto parent_view = ShardedStoreView::open(files.parent().path());
+  EXPECT_EQ(parent_view->info().manifest_epoch, 1u);
+  EXPECT_EQ(parent_view->info().parent_digest, 0u);
+
+  const DeltaPushStats stats =
+      save_sharded_delta(*scheme, files.child().path(), files.parent().path());
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.shards_total, 4u);
+  EXPECT_EQ(stats.shards_written, 0u);
+  EXPECT_EQ(stats.shards_reused, 4u);
+  EXPECT_EQ(stats.bytes_written, 0u);
+  EXPECT_GT(stats.bytes_reused, 0u);
+  EXPECT_GT(stats.manifest_bytes, 0u);
+
+  // Reuse is by hard link, not copy: same inode, link count >= 2.
+  struct stat parent_st{};
+  struct stat child_st{};
+  ASSERT_EQ(::stat(files.parent().shard_path(0).c_str(), &parent_st), 0);
+  ASSERT_EQ(::stat(files.child().shard_path(0).c_str(), &child_st), 0);
+  EXPECT_EQ(parent_st.st_ino, child_st.st_ino);
+  EXPECT_GE(child_st.st_nlink, 2u);
+
+  // The child verifies clean and chains to the parent generation.
+  const auto child_view = ShardedStoreView::open(files.child().path());
+  EXPECT_EQ(child_view->info().manifest_epoch, 2u);
+  EXPECT_EQ(child_view->info().parent_digest,
+            parent_view->info().payload_checksum);
+}
+
+TEST(ShardedStoreDelta, SingleChangedShardWritesExactlyOneShard) {
+  const Graph g = graph::random_connected(48, 120, 29);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  DeltaFiles files("onechanged");
+  save_sharded(*scheme, files.parent().path(), 4);
+
+  // Edge 0 lives in shard 0's range; flipping its label bytes must
+  // rewrite shard 0 and ONLY shard 0.
+  const EdgePatchScheme patched(*scheme, 0, EdgePatchScheme::Mode::kFlip);
+  const DeltaPushStats stats = save_sharded_delta(
+      patched, files.child().path(), files.parent().path());
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.shards_written, 1u);
+  EXPECT_EQ(stats.shards_reused, 3u);
+  EXPECT_GT(stats.bytes_written, 0u);
+  // O(1 shard), not O(store): the rewrite is far below the reused bytes
+  // of the three untouched shards.
+  EXPECT_LT(stats.bytes_written, stats.bytes_reused);
+
+  struct stat parent_st{};
+  struct stat child_st{};
+  ASSERT_EQ(::stat(files.parent().shard_path(0).c_str(), &parent_st), 0);
+  ASSERT_EQ(::stat(files.child().shard_path(0).c_str(), &child_st), 0);
+  EXPECT_NE(parent_st.st_ino, child_st.st_ino);  // rewritten, not linked
+  ASSERT_EQ(::stat(files.parent().shard_path(1).c_str(), &parent_st), 0);
+  ASSERT_EQ(::stat(files.child().shard_path(1).c_str(), &child_st), 0);
+  EXPECT_EQ(parent_st.st_ino, child_st.st_ino);  // linked, not rewritten
+
+  // Digest bookkeeping is consistent: the child verifies clean.
+  EXPECT_NE(ShardedStoreView::open(files.child().path()), nullptr);
+}
+
+TEST(ShardedStoreDelta, PushOverParentPathKeepsUnchangedShardsInPlace) {
+  const Graph g = graph::random_connected(40, 100, 31);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  ManifestFile manifest("inplace");
+  save_sharded(*scheme, manifest.path(), 4);
+  struct stat before{};
+  ASSERT_EQ(::stat(manifest.shard_path(2).c_str(), &before), 0);
+
+  const DeltaPushStats stats =
+      save_sharded_delta(*scheme, manifest.path(), manifest.path());
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.shards_reused, 4u);
+  EXPECT_EQ(stats.bytes_written, 0u);
+  struct stat after{};
+  ASSERT_EQ(::stat(manifest.shard_path(2).c_str(), &after), 0);
+  EXPECT_EQ(before.st_ino, after.st_ino);  // untouched in place
+  const auto view = ShardedStoreView::open(manifest.path());
+  EXPECT_EQ(view->info().manifest_epoch, 2u);
+}
+
+TEST(ShardedStoreDelta, ChainedPushesIncrementEpochAndLinkDigests) {
+  const Graph g = graph::random_connected(40, 100, 37);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  ManifestFile a("chain_a");
+  ManifestFile b("chain_b");
+  ManifestFile c("chain_c");
+  save_sharded(*scheme, a.path(), 4);
+  // num_shards = 0 inherits the parent's K.
+  EXPECT_EQ(save_sharded_delta(*scheme, b.path(), a.path()).epoch, 2u);
+  EXPECT_EQ(save_sharded_delta(*scheme, c.path(), b.path()).epoch, 3u);
+  const auto va = ShardedStoreView::open(a.path());
+  const auto vb = ShardedStoreView::open(b.path());
+  const auto vc = ShardedStoreView::open(c.path());
+  EXPECT_EQ(vb->info().num_shards, 4u);
+  EXPECT_EQ(vb->info().parent_digest, va->info().payload_checksum);
+  EXPECT_EQ(vc->info().parent_digest, vb->info().payload_checksum);
+}
+
+TEST(ShardedStoreDelta, AdoptionSharesUnchangedShardMaps) {
+  const Graph g = graph::random_connected(48, 120, 41);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  DeltaFiles files("adopt");
+  save_sharded(*scheme, files.parent().path(), 4);
+  const auto parent_view = ShardedStoreView::open(files.parent().path());
+  (void)parent_view->prefetch(2);  // all four shards mapped
+
+  // One changed shard: adoption must carry the three unchanged maps
+  // over and leave exactly the changed one for prefetch to open.
+  const EdgePatchScheme patched(*scheme, 0, EdgePatchScheme::Mode::kFlip);
+  save_sharded_delta(patched, files.child().path(), files.parent().path());
+  const auto child_view = ShardedStoreView::open(
+      files.child().path(), /*verify_checksum=*/true, parent_view);
+  EXPECT_EQ(child_view->shards_adopted(), 3u);
+  EXPECT_EQ(child_view->shards_open(), 3u);
+  const store::PrefetchStats stats = child_view->prefetch(2);
+  EXPECT_EQ(stats.shards_adopted, 3u);
+  EXPECT_EQ(stats.shards_opened, 1u);
+  EXPECT_EQ(child_view->shards_open(), 4u);
+
+  // Unchanged labels serve byte-identically through the adopted maps
+  // (skip shard 0's edge range — its labels were deliberately flipped).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(
+        spans_equal(child_view->vertex_blob(v), parent_view->vertex_blob(v)));
+  }
+}
+
+TEST(ShardedStoreDelta, ZeroDeltaAdoptionResolvesRoutesImmediately) {
+  const Graph g = graph::random_connected(40, 100, 43);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  DeltaFiles files("adoptall");
+  save_sharded(*scheme, files.parent().path(), 4);
+  const auto parent_view = ShardedStoreView::open(files.parent().path());
+  (void)parent_view->prefetch(2);
+
+  save_sharded_delta(*scheme, files.child().path(), files.parent().path());
+  const auto child_view = ShardedStoreView::open(
+      files.child().path(), /*verify_checksum=*/true, parent_view);
+  // Everything adopted: the view is fully warm at open — routes already
+  // resolved, a prefetch has nothing left to map.
+  EXPECT_EQ(child_view->shards_adopted(), 4u);
+  EXPECT_NE(child_view->routes(), nullptr);
+  EXPECT_EQ(child_view->prefetch(2).shards_opened, 0u);
+}
+
+TEST(ShardedStoreDelta, AdoptionFromColdParentAdoptsNothing) {
+  const Graph g = graph::random_connected(40, 100, 47);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  DeltaFiles files("coldparent");
+  save_sharded(*scheme, files.parent().path(), 4);
+  const auto parent_view = ShardedStoreView::open(files.parent().path());
+  // Parent never touched: no maps to share, so adoption is a no-op and
+  // the child serves through ordinary lazy opens.
+  save_sharded_delta(*scheme, files.child().path(), files.parent().path());
+  const auto child_view = ShardedStoreView::open(
+      files.child().path(), /*verify_checksum=*/true, parent_view);
+  EXPECT_EQ(child_view->shards_adopted(), 0u);
+  EXPECT_EQ(child_view->prefetch(2).shards_opened, 4u);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 
 #include "core/batch_engine.hpp"
 #include "core/connectivity_scheme.hpp"
+#include "core/journal.hpp"
 #include "core/label_store.hpp"
 #include "core/sharded_store.hpp"
 #include "graph/connectivity.hpp"
@@ -79,6 +80,7 @@ class TempStore {
  private:
   void cleanup() {
     std::remove(path_.c_str());
+    std::remove((path_ + ".jrnl").c_str());
     for (unsigned k = 0; k < 8; ++k) {
       std::remove((path_ + ".shard" + std::to_string(k) + ".ftcs").c_str());
     }
@@ -474,6 +476,218 @@ TEST(StoreSwap, LiveSwapUnderLoadIsNeverTorn) {
                     epochs_seen.end());
   EXPECT_GE(epochs_seen.size(), 2u)
       << "stress load never observed a swap; swapper too slow?";
+}
+
+// ------------------------------------------------------------------
+// swap_store(path): the delta-push serving path. A swap onto a
+// delta-pushed manifest must adopt the unchanged shards' mmaps from the
+// outgoing generation (mapping only the changed ones) and replay the
+// new path's journal sidecar.
+
+// Serializes exactly like `inner` except edge `flip`, whose label bytes
+// are inverted — a one-shard content change. Only used to WRITE stores;
+// the flipped edge is never queried or faulted in these tests.
+class FlipEdgeScheme : public ConnectivityScheme {
+ public:
+  FlipEdgeScheme(const ConnectivityScheme& inner, EdgeId flip)
+      : inner_(inner), flip_(flip) {}
+  BackendKind backend() const override { return inner_.backend(); }
+  VertexId num_vertices() const override { return inner_.num_vertices(); }
+  EdgeId num_edges() const override { return inner_.num_edges(); }
+  std::size_t vertex_label_bits() const override {
+    return inner_.vertex_label_bits();
+  }
+  std::size_t edge_label_bits() const override {
+    return inner_.edge_label_bits();
+  }
+  const AdjacencyProvider* adjacency() const override {
+    return inner_.adjacency();
+  }
+  void serialize_params(store::ByteWriter& out) const override {
+    inner_.serialize_params(out);
+  }
+  void serialize_vertex_label(VertexId v,
+                              store::ByteWriter& out) const override {
+    inner_.serialize_vertex_label(v, out);
+  }
+  void serialize_edge_label(EdgeId e, store::ByteWriter& out) const override {
+    if (e != flip_) {
+      inner_.serialize_edge_label(e, out);
+      return;
+    }
+    store::ByteWriter tmp;
+    inner_.serialize_edge_label(e, tmp);
+    std::vector<std::uint8_t> flipped(tmp.view().begin(), tmp.view().end());
+    for (std::uint8_t& b : flipped) b ^= 0xff;
+    out.bytes(flipped);
+  }
+  std::unique_ptr<Workspace> make_workspace() const override {
+    throw std::logic_error("FlipEdgeScheme does not serve queries");
+  }
+
+ protected:
+  std::unique_ptr<FaultSet> prepare_edge_faults(
+      std::span<const EdgeId>) const override {
+    throw std::logic_error("FlipEdgeScheme does not serve queries");
+  }
+  bool query_edges(VertexId, VertexId, const FaultSet&, Workspace&,
+                   const QueryOptions&) const override {
+    throw std::logic_error("FlipEdgeScheme does not serve queries");
+  }
+
+ private:
+  const ConnectivityScheme& inner_;
+  EdgeId flip_;
+};
+
+std::shared_ptr<const ShardedStoreView> serving_sharded_view(
+    const BatchQueryEngine& session) {
+  return std::dynamic_pointer_cast<const ShardedStoreView>(
+      session.scheme().store_view());
+}
+
+TEST(StoreSwapDelta, SwapByPathAdoptsAllShardsOfZeroDeltaPush) {
+  const Graph g = graph::random_connected(48, 120, 9);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  TempStore store_a("deltaswap_a");
+  TempStore store_b("deltaswap_b");
+  save_sharded(*scheme, store_a.path(), 4);
+
+  const std::vector<EdgeId> faults{2, 31};
+  std::vector<BatchQueryEngine::Query> queries;
+  SplitMix64 rng(13);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back({static_cast<VertexId>(rng.next_below(g.num_vertices())),
+                       static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+  }
+  BatchQueryEngine session(load_scheme(store_a.path()),
+                           FaultSpec::edges(faults));
+  const auto baseline = session.run_sequential(queries);
+
+  const DeltaPushStats stats =
+      save_sharded_delta(*scheme, store_b.path(), store_a.path());
+  ASSERT_EQ(stats.shards_reused, 4u);
+  EXPECT_EQ(session.swap_store(store_b.path()), 2u);
+  const auto view = serving_sharded_view(session);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->info().manifest_epoch, 2u);
+  // Every shard byte-identical: the swap re-mapped nothing at all.
+  EXPECT_EQ(view->shards_adopted(), 4u);
+  EXPECT_EQ(view->prefetch().shards_opened, 0u);
+  EXPECT_EQ(session.run_parallel(queries, 3), baseline);
+}
+
+TEST(StoreSwapDelta, SwapByPathMapsOnlyTheChangedShard) {
+  const Graph g = graph::random_connected(48, 120, 25);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, 3));
+  TempStore store_a("onechanged_a");
+  TempStore store_b("onechanged_b");
+  save_sharded(*scheme, store_a.path(), 4);
+
+  // Faults and queries keep clear of edge 0 — the label this test
+  // deliberately corrupts in shard 0 of generation B.
+  const std::vector<EdgeId> faults{40, 77};
+  std::vector<BatchQueryEngine::Query> queries;
+  SplitMix64 rng(17);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back({static_cast<VertexId>(rng.next_below(g.num_vertices())),
+                       static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+  }
+  BatchQueryEngine session(load_scheme(store_a.path()),
+                           FaultSpec::edges(faults));
+  const auto baseline = session.run_sequential(queries);
+
+  const FlipEdgeScheme patched(*scheme, 0);
+  const DeltaPushStats stats =
+      save_sharded_delta(patched, store_b.path(), store_a.path());
+  ASSERT_EQ(stats.shards_written, 1u);
+  ASSERT_EQ(stats.shards_reused, 3u);
+
+  EXPECT_EQ(session.swap_store(store_b.path()), 2u);
+  const auto view = serving_sharded_view(session);
+  ASSERT_NE(view, nullptr);
+  // The acceptance assertion: 3 of 4 shards adopted from the previous
+  // generation, only the changed one freshly mapped — and the swap's
+  // own prefetch already did that mapping (nothing left to open).
+  EXPECT_EQ(view->shards_adopted(), 3u);
+  EXPECT_EQ(view->shards_open(), 4u);
+  const store::PrefetchStats after = view->prefetch();
+  EXPECT_EQ(after.shards_adopted, 3u);
+  EXPECT_EQ(after.shards_opened, 0u);
+  // Vertex labels and the queried fault labels are untouched by the
+  // flip, so every answer matches generation A.
+  EXPECT_EQ(session.run_parallel(queries, 3), baseline);
+}
+
+TEST(StoreSwapDelta, JournalSidecarFollowsTheGeneration) {
+  const unsigned f = 4;
+  // Near-tree, so single deleted edges genuinely disconnect pairs.
+  const Graph g = graph::random_connected(40, 44, 35);
+  const auto scheme = make_scheme(g, test_config(BackendKind::kCoreFtc, f));
+  TempStore store_a("jrnl_a");
+  TempStore store_b("jrnl_b");
+  TempStore store_c("jrnl_c");
+  save_sharded(*scheme, store_a.path(), 4);
+
+  std::vector<BatchQueryEngine::Query> queries;
+  SplitMix64 rng(19);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back({static_cast<VertexId>(rng.next_below(g.num_vertices())),
+                       static_cast<VertexId>(rng.next_below(g.num_vertices()))});
+  }
+
+  const std::vector<EdgeId> query_faults{21};
+  // A journaled deletion the workload can actually observe on top of
+  // the query's own fault.
+  std::vector<EdgeId> journaled;
+  for (EdgeId e = 0; e < g.num_edges() && journaled.empty(); ++e) {
+    if (e == query_faults[0]) continue;
+    const std::vector<EdgeId> both{e, query_faults[0]};
+    for (const auto& q : queries) {
+      if (graph::connected_avoiding(g, q.s, q.t, both) !=
+          graph::connected_avoiding(g, q.s, q.t, query_faults)) {
+        journaled = {e};
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(journaled.empty()) << "no deletion is observable";
+  std::vector<EdgeId> merged = journaled;
+  merged.insert(merged.end(), query_faults.begin(), query_faults.end());
+
+  DeletionJournal::append(
+      journal_path_for(store_a.path()),
+      open_store_view(store_a.path())->info().payload_checksum, f, journaled);
+
+  BatchQueryEngine explicit_session(*scheme, FaultSpec::edges(merged));
+  const auto truth_merged = explicit_session.run_sequential(queries);
+  BatchQueryEngine plain_session(*scheme, FaultSpec::edges(query_faults));
+  const auto truth_plain = plain_session.run_sequential(queries);
+  ASSERT_NE(truth_merged, truth_plain)
+      << "journaled deletions must be observable for this test to bite";
+
+  // Generation A serves with its journal folded in.
+  BatchQueryEngine session(load_scheme(store_a.path()),
+                           FaultSpec::edges(query_faults));
+  ASSERT_NE(session.scheme().journal(), nullptr);
+  EXPECT_EQ(session.run_sequential(queries), truth_merged);
+
+  // Generation B carries its own sidecar (journals bind to a digest, so
+  // each generation gets its own): the swap replays it.
+  save_sharded_delta(*scheme, store_b.path(), store_a.path());
+  DeletionJournal::append(journal_path_for(store_b.path()),
+                          open_store_view(store_b.path())->info().payload_checksum,
+                          f, journaled);
+  EXPECT_EQ(session.swap_store(store_b.path()), 2u);
+  ASSERT_NE(session.scheme().journal(), nullptr);
+  EXPECT_EQ(session.run_sequential(queries), truth_merged);
+
+  // Generation C has no sidecar: after this swap the deletions are gone
+  // and only the query's own faults apply.
+  save_sharded_delta(*scheme, store_c.path(), store_b.path());
+  EXPECT_EQ(session.swap_store(store_c.path()), 3u);
+  EXPECT_EQ(session.scheme().journal(), nullptr);
+  EXPECT_EQ(session.run_sequential(queries), truth_plain);
 }
 
 }  // namespace

@@ -133,7 +133,7 @@ TEST_P(StressDifferential, AllFamiliesAgreeWithBfsGroundTruth) {
           const auto t =
               static_cast<VertexId>(rng.next_below(g.num_vertices()));
           const bool expected = graph::connected_avoiding(g, s, t, faults);
-          EXPECT_EQ(scheme->connected(s, t, faults), expected)
+          EXPECT_EQ(scheme->connected(s, t, FaultSpec::edges(faults)), expected)
               << "REPLAY (family=" << inst->family << ", n=" << inst->n
               << ", seed=" << inst->seed << ") backend="
               << backend_name(GetParam()) << " faults=" << fault_list(faults)
@@ -163,7 +163,7 @@ TEST_P(StressDifferential, SessionsAgreeWithOneShotAcrossAblations) {
       for (unsigned i = 0; i < 1 + rng.next_below(f); ++i) {
         faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
       }
-      const auto fault_set = scheme->prepare_faults(faults);
+      const auto fault_set = scheme->prepare_faults(FaultSpec::edges(faults));
       const auto workspace = scheme->make_workspace();
       for (int it = 0; it < 15; ++it) {
         const auto s =

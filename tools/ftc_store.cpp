@@ -34,19 +34,40 @@
 //   ftc_store merge   labels.ftcm --out labels.ftcs
 //       folds a sharded store back into one container file.
 //
+//   ftc_store push    labels.ftcm --out next.ftcm [--parent prev.ftcm]
+//                     [--shards K]
+//       content-addressed delta push: republishes the store as a new
+//       manifest generation, hard-linking shards that are byte-identical
+//       to the parent's instead of rewriting them, and chaining the new
+//       manifest to the parent (epoch + 1, parent digest). --parent
+//       defaults to --out when a manifest already exists there; with no
+//       parent at all this is a plain full sharded save.
+//
+//   ftc_store journal append labels.ftcs --edges 3,17 [--budget F]
+//   ftc_store journal compact labels.ftcs
+//       appends edge deletions to the store's "<path>.jrnl" sidecar (the
+//       zero-rebuild churn path: journaled deletions fold into every
+//       query's fault set at load until the labels are rebuilt). The
+//       first append fixes the journal's fault budget via --budget;
+//       later appends inherit it. compact folds all frames into one.
+//
 //   ftc_store swap-demo [--f K] [--n N] [--m M] [--queries Q] [--swaps S]
-//                       [--seed S] [--threads T] [--prefetch[=P]]
+//                       [--seed S] [--threads T] [--prefetch[=P]] [--delta]
 //       end-to-end zero-downtime swap demonstration: builds two label
 //       generations, serves batches from one BatchQueryEngine session
 //       while another thread swap_store()s between them, and verifies
 //       every answer against the BFS ground truth of the epoch it was
-//       served from.
+//       served from. --delta runs the delta-push variant instead: serve
+//       a sharded store, push a new manifest generation against it, swap
+//       by path, and report how many shard mmaps the new generation
+//       adopted versus newly mapped (a no-op delta must adopt all K).
 //
 // build/inspect/query/shard/merge accept both single containers and
 // sharded manifests anywhere a store path is expected (the magic
 // dispatch in open_store_view / load_scheme decides).
 //
 // Exit codes: 0 ok, 1 usage error, 2 store/build/capability error.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -60,6 +81,7 @@
 
 #include "core/batch_engine.hpp"
 #include "core/connectivity_scheme.hpp"
+#include "core/journal.hpp"
 #include "core/label_store.hpp"
 #include "core/sharded_store.hpp"
 #include "graph/connectivity.hpp"
@@ -80,9 +102,14 @@ using namespace ftc;
                "[--prefetch[=P]]\n"
                "       %s shard FILE --out MANIFEST [--shards K]\n"
                "       %s merge MANIFEST --out FILE\n"
+               "       %s push FILE --out MANIFEST [--parent MANIFEST] "
+               "[--shards K]\n"
+               "       %s journal append FILE --edges a,b,c [--budget F]\n"
+               "       %s journal compact FILE\n"
                "       %s swap-demo [--f K] [--n N] [--m M] [--queries Q] "
-               "[--swaps S] [--seed S] [--threads T] [--prefetch[=P]]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "[--swaps S] [--seed S] [--threads T] [--prefetch[=P]] "
+               "[--delta]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -343,6 +370,30 @@ int cmd_inspect(int argc, char** argv) {
   std::printf("edge label bits    %zu\n", info.edge_label_bits);
   std::printf("payload checksum   %016llx\n",
               static_cast<unsigned long long>(info.payload_checksum));
+  // Deletion-journal sidecar occupancy (the churn budget): report it
+  // even when the journal itself is unusable, so operators can see WHY
+  // (over capacity, digest mismatch after a push, corruption).
+  const std::string jpath = core::journal_path_for(path);
+  if (core::DeletionJournal::exists(jpath)) {
+    try {
+      const auto j = core::DeletionJournal::open(jpath);
+      j->validate_against(info, path);
+      std::printf("journal            epoch %llu: %zu/%u deletions "
+                  "(%zu query-fault slots remain; %zu frames, %zu bytes)\n",
+                  static_cast<unsigned long long>(j->epoch()), j->occupancy(),
+                  j->fault_budget(), j->remaining(), j->num_frames(),
+                  j->file_bytes());
+    } catch (const std::exception& e) {
+      std::printf("journal            UNSERVABLE: %s\n", e.what());
+    }
+  }
+  if (sharded != nullptr) {
+    std::printf("manifest epoch     %llu\n",
+                static_cast<unsigned long long>(info.manifest_epoch));
+    std::printf("parent digest      %016llx%s\n",
+                static_cast<unsigned long long>(info.parent_digest),
+                info.parent_digest == 0 ? " (full save, no parent)" : "");
+  }
   if (sharded != nullptr) {
     // --verbose: sequentially map + digest-verify every shard and report
     // what each one costs (the per-shard share of a cold first query or
@@ -397,6 +448,122 @@ int cmd_shard(int argc, char** argv) {
   return 0;
 }
 
+int cmd_push(int argc, char** argv) {
+  std::string path;
+  const auto flags =
+      parse_flags(argc, argv, 2, &path, {"out", "parent", "shards"});
+  const auto out_it = flags.find("out");
+  if (path.empty() || out_it == flags.end()) {
+    std::fprintf(stderr, "push: FILE and --out MANIFEST are required\n");
+    return 1;
+  }
+  // The pushed labels are the store's own (replay_journal=false: a
+  // journal is query-side state, not label content — pushing does not
+  // bake journaled deletions into the labels).
+  core::LoadOptions options;
+  options.replay_journal = false;
+  const auto scheme = core::load_scheme(path, options);
+  std::string parent = flag_or(flags, "parent", "");
+  if (parent.empty()) {
+    // Re-pushing over an existing manifest chains to it by default.
+    struct stat st{};
+    if (::stat(out_it->second.c_str(), &st) == 0) parent = out_it->second;
+  }
+  const auto shards = static_cast<unsigned>(flag_u64(flags, "shards", 0));
+  if (parent.empty()) {
+    core::save_sharded(*scheme, out_it->second, shards > 0 ? shards : 4);
+    const auto view = core::open_store_view(out_it->second);
+    std::printf("full push %s -> %s: epoch 1, %u shards, %zu bytes\n",
+                path.c_str(), out_it->second.c_str(), view->info().num_shards,
+                view->info().file_bytes);
+    return 0;
+  }
+  const core::DeltaPushStats stats =
+      core::save_sharded_delta(*scheme, out_it->second, parent, shards);
+  std::printf(
+      "delta push %s -> %s (parent %s)\n"
+      "  epoch %llu: %zu/%zu shards reused, %zu written\n"
+      "  bytes written %llu (+%llu manifest), bytes reused %llu\n",
+      path.c_str(), out_it->second.c_str(), parent.c_str(),
+      static_cast<unsigned long long>(stats.epoch), stats.shards_reused,
+      stats.shards_total, stats.shards_written,
+      static_cast<unsigned long long>(stats.bytes_written),
+      static_cast<unsigned long long>(stats.manifest_bytes),
+      static_cast<unsigned long long>(stats.bytes_reused));
+  return 0;
+}
+
+int cmd_journal(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "journal: append|compact subcommand required\n");
+    return 1;
+  }
+  const std::string sub = argv[2];
+  std::string path;
+  if (sub == "append") {
+    const auto flags = parse_flags(argc, argv, 3, &path, {"edges", "budget"});
+    const auto edges_it = flags.find("edges");
+    if (path.empty() || edges_it == flags.end()) {
+      std::fprintf(stderr,
+                   "journal append: FILE and --edges a,b,c are required\n");
+      return 1;
+    }
+    const auto edges = parse_id_list(edges_it->second);
+    if (edges.empty()) {
+      std::fprintf(stderr, "journal append: --edges must name an edge\n");
+      return 1;
+    }
+    // Bind to the store: digest for the chain, num_edges for ID hygiene
+    // (a typo'd edge ID must fail here, not at some later load).
+    const auto view = core::open_store_view(path, /*verify_checksum=*/false);
+    for (const graph::EdgeId e : edges) {
+      if (e >= view->info().num_edges) {
+        std::fprintf(stderr, "journal append: edge %u out of range (m=%u)\n",
+                     e, view->info().num_edges);
+        return 1;
+      }
+    }
+    const std::string jpath = core::journal_path_for(path);
+    std::uint32_t budget = 0;
+    if (flags.count("budget") != 0) {
+      budget = static_cast<std::uint32_t>(
+          parse_u64_or_die(flags.at("budget")));
+    } else if (core::DeletionJournal::exists(jpath)) {
+      budget = core::DeletionJournal::open(jpath)->fault_budget();
+    } else {
+      std::fprintf(stderr,
+                   "journal append: --budget F is required for the first "
+                   "append (stores do not record their fault budget)\n");
+      return 1;
+    }
+    core::DeletionJournal::append(jpath, view->info().payload_checksum,
+                                  budget, edges);
+    const auto j = core::DeletionJournal::open(jpath);
+    std::printf("journal %s: epoch %llu, %zu/%u deletions journaled "
+                "(%zu query-fault slots remain)\n",
+                jpath.c_str(), static_cast<unsigned long long>(j->epoch()),
+                j->occupancy(), j->fault_budget(), j->remaining());
+    return 0;
+  }
+  if (sub == "compact") {
+    const auto flags = parse_flags(argc, argv, 3, &path, {});
+    (void)flags;
+    if (path.empty()) {
+      std::fprintf(stderr, "journal compact: FILE is required\n");
+      return 1;
+    }
+    const auto stats =
+        core::DeletionJournal::compact(core::journal_path_for(path));
+    std::printf("compacted %s: %zu -> %zu frames, %zu -> %zu bytes\n",
+                core::journal_path_for(path).c_str(), stats.frames_before,
+                stats.frames_after, stats.file_bytes_before,
+                stats.file_bytes_after);
+    return 0;
+  }
+  std::fprintf(stderr, "journal: unknown subcommand %s\n", sub.c_str());
+  return 1;
+}
+
 int cmd_merge(int argc, char** argv) {
   std::string path;
   const auto flags = parse_flags(argc, argv, 2, &path, {"out"});
@@ -413,6 +580,85 @@ int cmd_merge(int argc, char** argv) {
   return 0;
 }
 
+// swap-demo --delta: one serving session, a zero-delta push from the
+// serving manifest to a child manifest, then swap_store(path). Every
+// shard is byte-identical to its parent, so the swap must adopt all of
+// them (no new mmaps) and answers must not change.
+int run_delta_swap_demo(const std::map<std::string, std::string>& flags) {
+  const auto n = static_cast<graph::VertexId>(flag_u64(flags, "n", 96));
+  const auto m = static_cast<graph::EdgeId>(flag_u64(flags, "m", 3 * n));
+  const auto f = static_cast<unsigned>(flag_u64(flags, "f", 4));
+  const auto queries_per_batch = flag_u64(flags, "queries", 256);
+  const std::uint64_t seed = flag_u64(flags, "seed", 1);
+  core::SchemeConfig config;
+  config.backend = core::parse_backend(flag_or(flags, "backend", "core-ftc"));
+  config.set_f(f).set_seed(seed);
+
+  const graph::Graph g = graph::random_connected(n, m, seed);
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  const std::string store_a =
+      dir + "/ftc_delta_demo_a_" + std::to_string(::getpid()) + ".ftcm";
+  const std::string store_b =
+      dir + "/ftc_delta_demo_b_" + std::to_string(::getpid()) + ".ftcm";
+  constexpr unsigned kShards = 4;
+  const auto scheme = core::make_scheme(g, config);
+  core::save_sharded(*scheme, store_a, kShards);
+
+  SplitMix64 rng(seed);
+  std::vector<graph::EdgeId> faults;
+  for (unsigned i = 0; i < f; ++i) {
+    faults.push_back(static_cast<graph::EdgeId>(rng.next_below(m)));
+  }
+  std::vector<core::BatchQueryEngine::Query> batch;
+  for (std::uint64_t i = 0; i < queries_per_batch; ++i) {
+    batch.push_back({static_cast<graph::VertexId>(rng.next_below(n)),
+                     static_cast<graph::VertexId>(rng.next_below(n))});
+  }
+
+  core::BatchQueryEngine session(core::load_scheme(store_a),
+                                 core::FaultSpec::edges(faults));
+  const auto before = session.run_sequential(batch);
+
+  const core::DeltaPushStats stats =
+      core::save_sharded_delta(*scheme, store_b, store_a);
+  std::printf("delta push: epoch %llu, %zu/%zu shards reused, %zu written\n",
+              static_cast<unsigned long long>(stats.epoch),
+              stats.shards_reused, stats.shards_total, stats.shards_written);
+  const auto epoch = session.swap_store(store_b);
+  const auto view = std::dynamic_pointer_cast<const core::ShardedStoreView>(
+      session.scheme().store_view());
+  const std::size_t adopted = view != nullptr ? view->shards_adopted() : 0;
+  std::printf("swap to %s (engine epoch %llu): %zu/%u shards adopted, "
+              "%zu newly mapped\n",
+              store_b.c_str(), static_cast<unsigned long long>(epoch),
+              adopted, kShards, kShards - adopted);
+  const auto after = session.run_sequential(batch);
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    mismatches += before[i] != after[i];
+  }
+  std::printf("%zu queries re-run after swap, %llu answers changed\n",
+              batch.size(), static_cast<unsigned long long>(mismatches));
+
+  for (const auto& path : {store_b, store_a}) {
+    const auto manifest = core::ShardedStoreView::open(path, false);
+    for (const auto& rec : manifest->shards()) {
+      std::remove((dir + "/" + rec.name).c_str());
+    }
+    std::remove(path.c_str());
+  }
+  if (stats.shards_reused != kShards || adopted != kShards ||
+      mismatches != 0) {
+    std::fprintf(stderr,
+                 "delta swap-demo: expected a zero-delta push to reuse and "
+                 "adopt all %u shards with unchanged answers\n",
+                 kShards);
+    return 2;
+  }
+  return 0;
+}
+
 // Live-swap demonstration: one serving session, two label generations,
 // concurrent swap_store calls, every answer checked against the BFS
 // ground truth of the epoch it was served from.
@@ -420,7 +666,8 @@ int cmd_swap_demo(int argc, char** argv) {
   const auto flags = parse_flags(
       argc, argv, 2, nullptr,
       {"f", "n", "m", "queries", "swaps", "seed", "threads", "backend"},
-      {"prefetch"});
+      {"prefetch", "delta"});
+  if (flags.count("delta") != 0) return run_delta_swap_demo(flags);
   const auto n = static_cast<graph::VertexId>(flag_u64(flags, "n", 96));
   const auto m = static_cast<graph::EdgeId>(flag_u64(flags, "m", 3 * n));
   const auto f = static_cast<unsigned>(flag_u64(flags, "f", 4));
@@ -544,7 +791,7 @@ int cmd_query(int argc, char** argv) {
   const auto flags =
       parse_flags(argc, argv, 2, &path,
                   {"mode", "faults", "vertex-faults", "pairs", "threads"},
-                  {"prefetch"});
+                  {"prefetch", "ignore-journal"});
   if (path.empty()) {
     std::fprintf(stderr, "query: FILE is required\n");
     return 1;
@@ -574,8 +821,13 @@ int cmd_query(int argc, char** argv) {
   const auto view = core::open_store_view(path, options.verify_checksum);
   const long pf = prefetch_threads(flags);
   if (pf >= 0) run_prefetch(*view, pf);
-  core::BatchQueryEngine session(core::load_scheme(view, options.mode),
-                                 spec);
+  auto scheme = core::load_scheme(view, options.mode);
+  // The view-based load skips sidecar discovery; attach the deletion
+  // journal here so the CLI answers match load_scheme(path) semantics.
+  if (flags.count("ignore-journal") == 0) {
+    core::attach_journal_sidecar(*scheme, path, /*replay=*/true);
+  }
+  core::BatchQueryEngine session(std::move(scheme), spec);
   const auto results = threads > 1 ? session.run_parallel(pairs, threads)
                                    : session.run_sequential(pairs);
   for (std::size_t i = 0; i < pairs.size(); ++i) {
@@ -595,6 +847,8 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(argc, argv);
     if (cmd == "query") return cmd_query(argc, argv);
     if (cmd == "shard") return cmd_shard(argc, argv);
+    if (cmd == "push") return cmd_push(argc, argv);
+    if (cmd == "journal") return cmd_journal(argc, argv);
     if (cmd == "merge") return cmd_merge(argc, argv);
     if (cmd == "swap-demo") return cmd_swap_demo(argc, argv);
   } catch (const std::exception& e) {
