@@ -40,6 +40,13 @@
 #                             # over-budget queries must be refused, and
 #                             # a zero-delta push must reuse every shard
 #                             # and swap in with every shard adopted
+#   scripts/ci.sh torture     # fault-injection / crash-consistency leg:
+#                             # asan run of the failpoint + SIGBUS +
+#                             # torture-sweep suites, then a CLI drill —
+#                             # env-armed ENOSPC aborts a push with the
+#                             # serving generation left fsck-clean, and a
+#                             # truncated shard makes fsck exit 2 naming
+#                             # exactly that shard
 #   scripts/ci.sh tsan        # ThreadSanitizer leg: tsan preset build +
 #                             # run of the concurrency-heavy suites
 #                             # (sharded prefetch races, live epoch swap)
@@ -231,6 +238,53 @@ if [ "${1:-}" = "store-delta" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "torture" ]; then
+  echo "=== fault-injection / crash-consistency torture leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_fault_injection test_torture ftc_store
+  # The store's own SIGBUS translator replaces ASan's handler; tell ASan
+  # to stand down on SIGBUS so guarded mapped reads stay recoverable.
+  ASAN_OPTIONS="${ASAN_OPTIONS:+$ASAN_OPTIONS:}handle_sigbus=0" \
+    ctest --preset asan -R 'test_fault_injection|test_torture' -j "$jobs"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  build-asan/ftc_store build --out "$tmp/flat.ftcs" --family grid \
+    --rows 12 --cols 12 --backend core-ftc --f 8 >/dev/null
+  build-asan/ftc_store push "$tmp/flat.ftcs" --out "$tmp/gen.ftcm" \
+    --shards 4 >/dev/null
+  build-asan/ftc_store fsck "$tmp/gen.ftcm" | grep -q ': clean'
+  # Env-armed failpoint drill: the injected ENOSPC must abort the push
+  # typed, and the serving generation must stay intact and fsck-clean.
+  if FTC_FAILPOINTS='store.write.fsync=once:ENOSPC' \
+       build-asan/ftc_store push "$tmp/flat.ftcs" --out "$tmp/gen.ftcm" \
+       >/dev/null 2>&1; then
+    echo "ci: push with injected ENOSPC unexpectedly succeeded" >&2
+    exit 1
+  fi
+  build-asan/ftc_store fsck "$tmp/gen.ftcm" > "$tmp/fsck_after_abort.out"
+  grep -q 'manifest ok (epoch 1' "$tmp/fsck_after_abort.out"
+  grep -q ': clean' "$tmp/fsck_after_abort.out"
+  # A clean push still lands on the untouched parent.
+  build-asan/ftc_store push "$tmp/flat.ftcs" --out "$tmp/gen.ftcm" \
+    | grep -q 'epoch 2: 4/4 shards reused, 0 written'
+  build-asan/ftc_store fsck "$tmp/gen.ftcm" | grep -q ': clean'
+  # Damage one shard behind the manifest: fsck must exit 2 and name
+  # exactly that shard, with every other shard still verifying.
+  : > "$tmp/gen.ftcm.shard2.ftcs"
+  if build-asan/ftc_store fsck "$tmp/gen.ftcm" > "$tmp/fsck.out"; then
+    echo "ci: fsck of a damaged store exited 0" >&2
+    exit 1
+  fi
+  grep -q 'shard 2 .*: FAILED' "$tmp/fsck.out"
+  grep -q ': 1 damaged' "$tmp/fsck.out"
+  [ "$(grep -c ': FAILED' "$tmp/fsck.out")" = "1" ]
+  grep -q 'shard 0 .*: ok' "$tmp/fsck.out"
+  grep -q 'shard 3 .*: ok' "$tmp/fsck.out"
+  echo "ci: torture leg green (suites + env failpoint drill + fsck triage)"
+  exit 0
+fi
+
 if [ "${1:-}" = "tsan" ]; then
   echo "=== concurrency leg (tsan) ==="
   cmake --preset tsan
@@ -274,16 +328,18 @@ if [ "${1:-}" = "bench-smoke" ]; then
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
     --target bench_decoder_hotpath bench_vertex_faults bench_shard_swap \
-    bench_delta_push
+    bench_delta_push bench_fault_injection
   # Run inside build/ so the smoke-size JSON cannot clobber the
   # checked-in repo-root baseline (regenerate that via bench_all.sh).
   (cd build && ./bench_decoder_hotpath --smoke)
   (cd build && ./bench_vertex_faults --smoke)
   (cd build && ./bench_shard_swap --smoke)
   (cd build && ./bench_delta_push --smoke)
+  (cd build && ./bench_fault_injection --smoke)
   if command -v python3 >/dev/null; then
     python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json \
-      build/BENCH_shard_swap.json build/BENCH_delta_push.json <<'EOF'
+      build/BENCH_shard_swap.json build/BENCH_delta_push.json \
+      build/BENCH_fault_injection.json <<'EOF'
 import json, sys
 required = {
     "BENCH_decoder_hotpath.json": {"backend", "f", "single_query_us",
@@ -300,6 +356,12 @@ required = {
                               "shards_written", "shards_reused",
                               "bytes_written", "bytes_reused", "swap_ms",
                               "shards_adopted", "shards_remapped"},
+    "BENCH_fault_injection.json": {"k_shards", "failpoint_off_ns",
+                                   "failpoint_armed_miss_ns",
+                                   "open_clean_ms", "open_retry_ms",
+                                   "healthy_us_per_query",
+                                   "degraded_us_per_query",
+                                   "shards_quarantined"},
 }
 for path in sys.argv[1:]:
     with open(path) as fh:
@@ -317,6 +379,7 @@ EOF
     grep -q '^\[{.*}\]$' build/BENCH_decoder_hotpath.json
     grep -q '^\[{.*}\]$' build/BENCH_vertex_faults.json
     grep -q '^\[{.*}\]$' build/BENCH_shard_swap.json
+    grep -q '^\[{.*}\]$' build/BENCH_fault_injection.json
     echo "bench-smoke: JSON shape check passed (python3 unavailable)"
   fi
   echo "ci: bench smoke green"

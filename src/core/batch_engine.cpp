@@ -149,6 +149,27 @@ const ConnectivityScheme& BatchQueryEngine::scheme() const {
   return *snapshot()->scheme;
 }
 
+BatchQueryEngine::GenerationStats BatchQueryEngine::generation_stats() const {
+  const std::shared_ptr<Generation> gen = snapshot();
+  GenerationStats stats;
+  stats.epoch = gen->epoch;
+  const auto sharded = std::dynamic_pointer_cast<const ShardedStoreView>(
+      gen->scheme->store_view());
+  if (sharded == nullptr) {
+    // In-memory or single-container generation: no shards to degrade.
+    stats.num_shards = 1;
+    stats.shards_open = 1;
+    return stats;
+  }
+  stats.num_shards = sharded->info().num_shards;
+  stats.shards_open = sharded->shards_open();
+  stats.shards_adopted = sharded->shards_adopted();
+  stats.quarantine = sharded->quarantine_report();
+  stats.shards_quarantined = stats.quarantine.size();
+  stats.degraded = stats.shards_quarantined != 0;
+  return stats;
+}
+
 std::uint64_t BatchQueryEngine::install(
     std::shared_ptr<const ConnectivityScheme> scheme) {
   // Warm the incoming labels OUTSIDE the lock before anything is

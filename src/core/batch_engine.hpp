@@ -45,6 +45,7 @@
 
 #include "core/connectivity_scheme.hpp"
 #include "core/label_store.hpp"
+#include "core/sharded_store.hpp"
 
 namespace ftc::core {
 
@@ -53,6 +54,19 @@ class BatchQueryEngine {
   struct Query {
     graph::VertexId s = 0;
     graph::VertexId t = 0;
+  };
+
+  // Health snapshot of the current label generation, for serving-tier
+  // observability: how much of the keyspace is mapped, adopted, or
+  // quarantined. Non-sharded generations report one fully-open "shard".
+  struct GenerationStats {
+    std::uint64_t epoch = 0;
+    std::size_t num_shards = 0;
+    std::size_t shards_open = 0;
+    std::size_t shards_adopted = 0;
+    std::size_t shards_quarantined = 0;
+    bool degraded = false;  // any shard quarantined
+    std::vector<QuarantineRecord> quarantine;
   };
 
   // Opens a session for one fault set — any mix of edge and vertex
@@ -110,6 +124,10 @@ class BatchQueryEngine {
   // Epoch the most recent connected()/run_*() call on the query thread
   // answered from. Meaningful only on that thread.
   std::uint64_t last_run_epoch() const { return last_run_epoch_; }
+
+  // Health of the current generation (see GenerationStats). Safe from
+  // any thread; pins the generation for the duration of the call.
+  GenerationStats generation_stats() const;
 
   // Replaces the session's fault set; cached workspaces and the worker
   // pool are kept. Query-thread only (like the query entry points).

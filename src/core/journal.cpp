@@ -1,5 +1,7 @@
 #include "core/journal.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -7,6 +9,9 @@
 #include <cstring>
 #include <fstream>
 #include <utility>
+
+#include "util/failpoint.hpp"
+#include "util/scoped_fd.hpp"
 
 namespace ftc::core {
 
@@ -17,18 +22,60 @@ using graph::EdgeId;
 // Whole-file read; journals are bounded by f IDs plus frame framing, so
 // slurping is the simple and correct choice (no mmap lifetime to manage).
 std::vector<std::uint8_t> read_file(const std::string& path) {
+  if (const int fe = FTC_FAILPOINT("journal.read")) {
+    errno = fe;
+    throw StoreIoError("cannot open deletion journal: " + path + " (" +
+                       std::strerror(errno) + ")");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw StoreError("cannot open deletion journal: " + path + " (" +
-                     std::strerror(errno) + ")");
+    throw StoreIoError("cannot open deletion journal: " + path + " (" +
+                       std::strerror(errno) + ")");
   }
   std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
                                   std::istreambuf_iterator<char>()};
   if (in.bad()) {
-    throw StoreError("cannot read deletion journal: " + path);
+    throw StoreIoError("cannot read deletion journal: " + path);
   }
   return bytes;
 }
+
+// Advisory exclusive lock serializing the journal's read-modify-write
+// cycles (append, compact) across processes. The lock lives on a
+// sidecar "<journal>.lock" file: write_file_atomic replaces the
+// journal's inode on every rewrite, so flocking the journal itself
+// would hand two writers two different inodes and no exclusion.
+class JournalLock {
+ public:
+  explicit JournalLock(const std::string& journal_path) {
+    const std::string lock_path = journal_path + ".lock";
+    int open_errno = 0;
+    if (const int fe = FTC_FAILPOINT("journal.flock")) {
+      open_errno = fe;
+    } else {
+      fd_.reset(::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                       0644));
+      open_errno = errno;
+    }
+    if (!fd_) {
+      throw StoreIoError("cannot open journal lock file: " + lock_path +
+                         " (" + std::strerror(open_errno) + ")");
+    }
+    int rc;
+    do {
+      rc = ::flock(fd_.get(), LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      throw StoreIoError("cannot lock journal: " + lock_path + " (" +
+                         std::strerror(errno) + ")");
+    }
+  }
+  // Closing the fd releases the flock; the sidecar file stays behind
+  // (unlinking it would race a third writer onto a fresh inode).
+
+ private:
+  util::ScopedFd fd_;
+};
 
 // One frame appended to `w`; returns the new chain value. `chain` seeds
 // the running digest (kFnvBasis before the first frame).
@@ -148,6 +195,10 @@ std::uint64_t DeletionJournal::append(const std::string& path,
   const std::vector<EdgeId> ids = canonical(edges);
   FTC_REQUIRE(!ids.empty(), "journal append needs at least one edge ID");
 
+  // Exclusive for the whole read-modify-write: two appenders serialized
+  // here cannot drop each other's frames.
+  const JournalLock lock(path);
+
   std::vector<std::uint8_t> existing;
   std::uint64_t epoch = 0;
   std::uint64_t chain = store::kFnvBasis;
@@ -200,6 +251,7 @@ std::uint64_t DeletionJournal::append(const std::string& path,
 
 DeletionJournal::CompactStats DeletionJournal::compact(
     const std::string& path) {
+  const JournalLock lock(path);
   const auto prior = open(path);
   CompactStats stats;
   stats.frames_before = prior->num_frames();

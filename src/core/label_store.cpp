@@ -29,6 +29,8 @@
 #include "core/ftc_query.hpp"
 #include "core/journal.hpp"
 #include "core/scheme_adapters.hpp"
+#include "util/failpoint.hpp"
+#include "util/scoped_fd.hpp"
 
 namespace ftc::core {
 
@@ -282,28 +284,55 @@ MappedFile map_readonly(const std::string& path, std::size_t min_bytes,
                         const char* kind) {
   // O_NONBLOCK so opening a FIFO with no writer fails fast instead of
   // blocking; harmless for regular files (the only kind accepted below).
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
-  if (fd < 0) {
-    throw StoreError(std::string("cannot open ") + kind + ": " + path + " (" +
-                     std::strerror(errno) + ")");
+  util::ScopedFd fd;
+  if (const int fe = FTC_FAILPOINT("store.map.open")) {
+    errno = fe;
+  } else {
+    fd.reset(::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK));
+  }
+  if (!fd) {
+    throw StoreIoError(std::string("cannot open ") + kind + ": " + path +
+                       " (" + std::strerror(errno) + ")");
   }
   struct stat st{};
-  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
-    ::close(fd);
+  int rc;
+  if (const int fe = FTC_FAILPOINT("store.map.fstat")) {
+    errno = fe;
+    rc = -1;
+  } else {
+    rc = ::fstat(fd.get(), &st);
+  }
+  if (rc != 0) {
+    throw StoreIoError("cannot stat " + path + " (" + std::strerror(errno) +
+                       ")");
+  }
+  if (!S_ISREG(st.st_mode)) {
     throw StoreError("not a regular file: " + path);
   }
   const std::size_t size = static_cast<std::size_t>(st.st_size);
   if (size < min_bytes) {
-    ::close(fd);
     throw StoreError(std::string(kind) + " truncated (no header): " + path);
   }
-  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (map == MAP_FAILED) {
-    throw StoreError("mmap failed: " + path + " (" + std::strerror(errno) +
-                     ")");
+  void* map = MAP_FAILED;
+  if (const int fe = FTC_FAILPOINT("store.map.mmap")) {
+    errno = fe;
+  } else {
+    map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.get(), 0);
   }
+  if (map == MAP_FAILED) {
+    throw StoreIoError("mmap failed: " + path + " (" + std::strerror(errno) +
+                       ")");
+  }
+  // Register with the SIGBUS translator so a file mutated behind this
+  // mapping surfaces as a typed error at the guarded read, not a crash.
+  util::register_mapped_range(map, size);
   return {static_cast<const std::uint8_t*>(map), size};
+}
+
+void unmap_file(const MappedFile& file) {
+  if (file.data == nullptr) return;
+  util::unregister_mapped_range(file.data);
+  ::munmap(const_cast<std::uint8_t*>(file.data), file.size);
 }
 
 void write_file_atomic(const std::string& path,
@@ -317,43 +346,74 @@ void write_file_atomic(const std::string& path,
   const std::string tmp = path + ".tmp." +
                           std::to_string(static_cast<long>(::getpid())) +
                           "." + std::to_string(save_counter.fetch_add(1));
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                        0644);
-  if (fd < 0) throw StoreError("cannot open for writing: " + tmp);
-  const auto fail_write = [&](const std::string& what) -> StoreError {
-    ::close(fd);
+  util::ScopedFd fd;
+  if (const int fe = FTC_FAILPOINT("store.write.open")) {
+    errno = fe;
+  } else {
+    fd.reset(
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  }
+  if (!fd) throw StoreIoError("cannot open for writing: " + tmp);
+  const auto fail_write = [&](const std::string& what) -> StoreIoError {
+    fd.reset();
     std::remove(tmp.c_str());
-    return StoreError(what + ": " + tmp);
+    return StoreIoError(what + ": " + tmp);
   };
   std::size_t written = 0;
   while (written < file.size()) {
-    const ::ssize_t n =
-        ::write(fd, file.data() + written, file.size() - written);
+    ::ssize_t n;
+    if (const int fe = FTC_FAILPOINT("store.write.write")) {
+      errno = fe;
+      n = -1;
+    } else {
+      n = ::write(fd.get(), file.data() + written, file.size() - written);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       throw fail_write("write failed");
     }
     written += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) throw fail_write("fsync failed");
-  if (::close(fd) != 0) {
-    std::remove(tmp.c_str());
-    throw StoreError("close failed: " + tmp);
+  int rc;
+  if (const int fe = FTC_FAILPOINT("store.write.fsync")) {
+    errno = fe;
+    rc = -1;
+  } else {
+    rc = ::fsync(fd.get());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (rc != 0) throw fail_write("fsync failed");
+  if (const int fe = FTC_FAILPOINT("store.write.close")) {
+    errno = fe;
+    fd.reset();  // still close the real fd; the injected error wins
+    rc = -1;
+  } else {
+    rc = fd.close_now();
+  }
+  if (rc != 0) {
     std::remove(tmp.c_str());
-    throw StoreError("cannot rename " + tmp + " -> " + path);
+    throw StoreIoError("close failed: " + tmp);
+  }
+  if (const int fe = FTC_FAILPOINT("store.write.rename")) {
+    errno = fe;
+    rc = -1;
+  } else {
+    rc = std::rename(tmp.c_str(), path.c_str());
+  }
+  if (rc != 0) {
+    std::remove(tmp.c_str());
+    throw StoreIoError("cannot rename " + tmp + " -> " + path);
   }
   // Persist the rename itself (best-effort: the data is already synced,
-  // and some filesystems reject directory fsync).
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
+  // and some filesystems reject directory fsync). The failpoint only
+  // counts the boundary — a skipped directory sync never fails a save.
+  if (FTC_FAILPOINT("store.write.dirsync") == 0) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash + 1);
+    const util::ScopedFd dir_fd(
+        ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+    if (dir_fd) ::fsync(dir_fd.get());
   }
 }
 
@@ -369,9 +429,26 @@ void ConnectivityScheme::save(const std::string& path) const {
 // Mmap view.
 
 LabelStoreView::~LabelStoreView() {
-  if (map_ != nullptr) {
-    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
-  }
+  store::unmap_file({map_, map_bytes_});
+}
+
+bool LabelStoreView::contains(const void* addr) const {
+  const auto* p = static_cast<const std::uint8_t*>(addr);
+  return p >= map_ && p < map_ + map_bytes_;
+}
+
+void LabelStoreView::on_mapped_fault(const void* addr) const {
+  (void)addr;
+  throw StoreIoError(
+      "mapped read faulted (store file truncated or replaced behind the "
+      "live mapping): " +
+      path_);
+}
+
+void StoreView::on_mapped_fault(const void* addr) const {
+  (void)addr;
+  throw StoreIoError(
+      "mapped label store read faulted (backing file truncated or replaced)");
 }
 
 std::shared_ptr<const LabelStoreView> LabelStoreView::open(
@@ -381,11 +458,20 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   const std::size_t size = mapped.size;
 
   std::shared_ptr<LabelStoreView> view(new LabelStoreView());
+  view->path_ = path;
   view->map_ = mapped.data;
   view->map_bytes_ = size;
 
   const std::span<const std::uint8_t> bytes(view->map_, size);
-  store::ByteReader h(bytes.first(store::kHeaderBytes));
+  // Parse the header from a stack copy taken under a SIGBUS guard, so
+  // even the first page disappearing under the mapping is a typed error.
+  std::uint8_t header_copy[store::kHeaderBytes];
+  store::with_sigbus_guard(path, "label store header", [&] {
+    std::memcpy(header_copy, view->map_, store::kHeaderBytes);
+  });
+  const std::span<const std::uint8_t> header_bytes(header_copy,
+                                                   store::kHeaderBytes);
+  store::ByteReader h(header_bytes);
   if (h.u64() != store::kMagic) {
     throw StoreError("bad magic (not a label store file): " + path);
   }
@@ -403,7 +489,8 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   const std::uint64_t adj_size = h.u64();  // reserved (zero) in v1
   const std::size_t header_checksum_off = h.pos();
   const std::uint64_t header_checksum = h.u64();
-  if (store::fnv1a(bytes.first(header_checksum_off)) != header_checksum) {
+  if (store::fnv1a(header_bytes.first(header_checksum_off)) !=
+      header_checksum) {
     throw StoreError("corrupt header (checksum mismatch): " + path);
   }
   if (info.format_version < store::kMinFormatVersion ||
@@ -472,25 +559,30 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   // section end (up to the pre-adjacency alignment pad), and (the blobs
   // being fixed-size per scheme) every spacing must match the width
   // implied by the params blob.
-  const std::size_t expected_blob = store::expected_edge_blob_bytes(
-      info.backend, view->params_blob(), info.format_version);
-  std::uint64_t prev = read_u64_at(view->map_, view->index_off_);
-  if (prev != 0) {
-    throw StoreError("corrupt edge index (must start at 0): " + path);
-  }
-  for (EdgeId e = 0; e < info.num_edges; ++e) {
-    const std::uint64_t next = read_u64_at(
-        view->map_,
-        view->index_off_ + 8 * (static_cast<std::size_t>(e) + 1));
-    if (next < prev || next > blob_region) {
-      throw StoreError("corrupt edge index (offsets not monotone): " + path);
+  std::size_t expected_blob = 0;
+  store::with_sigbus_guard(path, "label store params", [&] {
+    expected_blob = store::expected_edge_blob_bytes(
+        info.backend, view->params_blob(), info.format_version);
+  });
+  store::with_sigbus_guard(path, "label store edge index", [&] {
+    std::uint64_t prev = read_u64_at(view->map_, view->index_off_);
+    if (prev != 0) {
+      throw StoreError("corrupt edge index (must start at 0): " + path);
     }
-    if (next - prev != expected_blob) {
-      throw StoreError("corrupt edge index (blob size mismatch): " + path);
+    for (EdgeId e = 0; e < info.num_edges; ++e) {
+      const std::uint64_t next = read_u64_at(
+          view->map_,
+          view->index_off_ + 8 * (static_cast<std::size_t>(e) + 1));
+      if (next < prev || next > blob_region) {
+        throw StoreError("corrupt edge index (offsets not monotone): " + path);
+      }
+      if (next - prev != expected_blob) {
+        throw StoreError("corrupt edge index (blob size mismatch): " + path);
+      }
+      prev = next;
     }
-    prev = next;
-  }
-  info.edge_blob_bytes = static_cast<std::size_t>(prev);
+    info.edge_blob_bytes = static_cast<std::size_t>(prev);
+  });
   const bool blob_end_ok =
       info.has_adjacency
           ? align8(info.edge_blob_bytes) == blob_region
@@ -505,19 +597,28 @@ std::shared_ptr<const LabelStoreView> LabelStoreView::open(
   if (info.has_adjacency) {
     view->adj_ = store::CsrAdjacency{view->map_, adj_off, info.adjacency_bytes,
                                      info.num_vertices, info.num_edges};
-    view->adj_.validate(path);
+    store::with_sigbus_guard(path, "label store adjacency",
+                             [&] { view->adj_.validate(path); });
   }
 
-  const store::StoreLabelBits bits = store::derive_label_bits(
-      info.backend, view->params_blob(), info.format_version);
+  store::StoreLabelBits bits;
+  store::with_sigbus_guard(path, "label store params", [&] {
+    bits = store::derive_label_bits(info.backend, view->params_blob(),
+                                    info.format_version);
+  });
   info.vertex_label_bits = bits.vertex_label_bits;
   info.edge_label_bits = bits.edge_label_bits;
 
-  if (verify_checksum &&
-      store::fnv1a(bytes.subspan(store::kHeaderBytes)) !=
-          info.payload_checksum) {
-    throw StoreError("payload checksum mismatch (corrupt label store): " +
-                     path);
+  if (verify_checksum) {
+    // The O(file) scan — by far the widest SIGBUS window at open.
+    std::uint64_t payload_fnv = 0;
+    store::with_sigbus_guard(path, "label store payload", [&] {
+      payload_fnv = store::fnv1a(bytes.subspan(store::kHeaderBytes));
+    });
+    if (payload_fnv != info.payload_checksum) {
+      throw StoreError("payload checksum mismatch (corrupt label store): " +
+                       path);
+    }
   }
 
   // Flat route table: the container is one contiguous mapping with
@@ -721,6 +822,56 @@ class StoredSchemeBase : public ConnectivityScheme {
     return view_->edge_blob(e);
   }
 
+  // Both endpoint ancestry records under ONE SIGBUS guard — the only
+  // mapped reads of an edge-fault query. A backing file mutated behind
+  // the mapping lands in on_mapped_fault (the sharded view quarantines
+  // the shard and throws DegradedError) instead of killing the process.
+  // Cost when nothing faults: one sigsetjmp with no mask save — noise
+  // against the decode the query then runs.
+  std::pair<graph::AncestryLabel, graph::AncestryLabel> anc_pair(
+      VertexId s, VertexId t) const {
+    if (!vertex_cache_.empty()) return {anc(s), anc(t)};
+    const std::uint8_t* ps;
+    const std::uint8_t* pt;
+    if (const store::FlatRoutes* rt = routes_.get()) {
+      FTC_REQUIRE(s < rt->num_vertices, "vertex out of range");
+      FTC_REQUIRE(t < rt->num_vertices, "vertex out of range");
+      ps = rt->vertex_ptr[s];
+      pt = rt->vertex_ptr[t];
+    } else {
+      // Pre-routes path: may lazily open (and internally guard) the
+      // owning shards; only the final record reads run under our guard.
+      ps = view_->vertex_blob(s).data();
+      pt = view_->vertex_blob(t).data();
+    }
+    util::SigbusGuard guard;
+    if (sigsetjmp(guard.jump(), 0) == 0) {
+      guard.arm();
+      const graph::AncestryLabel a = store::decode_vertex_record_at(ps);
+      const graph::AncestryLabel b = store::decode_vertex_record_at(pt);
+      return {a, b};
+    }
+    view_->on_mapped_fault(guard.fault_addr());
+    __builtin_unreachable();  // noreturn through a virtual call
+  }
+
+  // Copies one edge blob out of the mapping under a SIGBUS guard; the
+  // decoder then runs on the owned copy, unguarded (it allocates).
+  // Prepare-time only (<= f blobs per fault set), so the copy is off
+  // the per-query path.
+  std::vector<std::uint8_t> copy_edge_blob(EdgeId e) const {
+    const std::span<const std::uint8_t> src = edge_bytes(e);
+    std::vector<std::uint8_t> out(src.size());
+    util::SigbusGuard guard;
+    if (sigsetjmp(guard.jump(), 0) == 0) {
+      guard.arm();
+      std::memcpy(out.data(), src.data(), src.size());
+      return out;
+    }
+    view_->on_mapped_fault(guard.fault_addr());
+    __builtin_unreachable();  // noreturn through a virtual call
+  }
+
   std::shared_ptr<const StoreView> view_;
   detail::RouteCache routes_{*view_};  // after view_: init order matters
   std::vector<graph::AncestryLabel> vertex_cache_;  // kMaterialize only
@@ -779,14 +930,16 @@ class StoredCoreScheme final : public StoredSchemeBase {
         faults, "fault set from a different backend");
     auto& ws = checked_cast<CoreStoredWorkspace&>(
         workspace, "workspace from a different backend");
-    return FtcDecoder::connected(VertexLabel{params_, anc(s)},
-                                 VertexLabel{params_, anc(t)}, fs.prepared(),
+    const auto [anc_s, anc_t] = anc_pair(s, t);
+    return FtcDecoder::connected(VertexLabel{params_, anc_s},
+                                 VertexLabel{params_, anc_t}, fs.prepared(),
                                  ws.inner(), options);
   }
 
  private:
   EdgeLabel decode_edge(EdgeId e) const {
-    store::ByteReader r(edge_bytes(e));
+    const std::vector<std::uint8_t> blob = copy_edge_blob(e);
+    store::ByteReader r(blob);
     return store::decode_core_edge(r, params_);
   }
 
@@ -835,14 +988,16 @@ class StoredCycleScheme final : public StoredSchemeBase {
                    const QueryOptions& /*options*/) const override {
     const auto& fs = checked_cast<const CycleStoredFaults&>(
         faults, "fault set from a different backend");
-    return dp21::CycleSpaceFtc::connected(dp21::CsVertexLabel{anc(s)},
-                                          dp21::CsVertexLabel{anc(t)},
+    const auto [anc_s, anc_t] = anc_pair(s, t);
+    return dp21::CycleSpaceFtc::connected(dp21::CsVertexLabel{anc_s},
+                                          dp21::CsVertexLabel{anc_t},
                                           fs.prepared());
   }
 
  private:
   dp21::CsEdgeLabel decode_edge(EdgeId e) const {
-    store::ByteReader r(edge_bytes(e));
+    const std::vector<std::uint8_t> blob = copy_edge_blob(e);
+    store::ByteReader r(blob);
     return store::decode_cycle_edge(r, params_);
   }
 
@@ -890,14 +1045,16 @@ class StoredAgmScheme final : public StoredSchemeBase {
         faults, "fault set from a different backend");
     auto& ws = checked_cast<AgmStoredWorkspace&>(
         workspace, "workspace from a different backend");
-    return dp21::AgmFtc::connected(dp21::AgmVertexLabel{anc(s)},
-                                   dp21::AgmVertexLabel{anc(t)},
+    const auto [anc_s, anc_t] = anc_pair(s, t);
+    return dp21::AgmFtc::connected(dp21::AgmVertexLabel{anc_s},
+                                   dp21::AgmVertexLabel{anc_t},
                                    fs.prepared(), ws.inner());
   }
 
  private:
   dp21::AgmEdgeLabel decode_edge(EdgeId e) const {
-    store::ByteReader r(edge_bytes(e));
+    const std::vector<std::uint8_t> blob = copy_edge_blob(e);
+    store::ByteReader r(blob);
     return store::decode_agm_edge(r, params_);
   }
 

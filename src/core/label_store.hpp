@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "core/connectivity_scheme.hpp"
+#include "util/sigbus_guard.hpp"
 
 namespace ftc::core {
 
@@ -76,6 +77,17 @@ namespace ftc::core {
 class StoreError : public std::runtime_error {
  public:
   explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Environmental I/O failure: a syscall failing on the open/map/write
+// path (including injected failpoint errnos) or a SIGBUS translated
+// from a mapping whose backing file was truncated or replaced. Distinct
+// from structural StoreError (bad magic, checksum mismatch, malformed
+// index — re-reading won't help) because the sharded view's retry
+// layer treats only THIS subclass as transient and retryable.
+class StoreIoError : public StoreError {
+ public:
+  explicit StoreIoError(const std::string& what) : StoreError(what) {}
 };
 
 namespace store {
@@ -327,15 +339,41 @@ void write_file_atomic(const std::string& path,
                        std::span<const std::uint8_t> bytes);
 
 // Read-only mmap of a regular file, shared by the container and
-// manifest readers. Throws StoreError (naming `kind` in the message)
-// when the file is missing, not regular, smaller than min_bytes, or
-// unmappable. The caller owns the mapping (munmap(data, size)).
+// manifest readers. Throws StoreIoError when the file cannot be opened,
+// stat'ed or mapped, StoreError when it is not regular or smaller than
+// min_bytes (`kind` names the artifact in messages). The mapping's
+// range is registered with the process-wide SIGBUS translator
+// (util/sigbus_guard.hpp); the caller owns the mapping and releases it
+// with unmap_file().
 struct MappedFile {
   const std::uint8_t* data = nullptr;
   std::size_t size = 0;
 };
 MappedFile map_readonly(const std::string& path, std::size_t min_bytes,
                         const char* kind);
+
+// munmap + SIGBUS-range unregistration for a map_readonly() mapping.
+void unmap_file(const MappedFile& file);
+
+// Runs `fn` — a read-only scan over a registered mapping — under a
+// SIGBUS guard: a fault inside the scan (backing file truncated or
+// replaced behind the mmap) surfaces as StoreIoError instead of killing
+// the process. `fn` should hold no resources while touching mapped
+// bytes (siglongjmp skips destructors of frames between the guard and
+// the fault); the validation scans this wraps are plain loops.
+template <typename Fn>
+void with_sigbus_guard(const std::string& path, const char* what, Fn&& fn) {
+  util::SigbusGuard guard;
+  if (sigsetjmp(guard.jump(), 0) == 0) {
+    guard.arm();
+    fn();
+    return;
+  }
+  throw StoreIoError(std::string(what) +
+                     " read faulted (file truncated or replaced behind the "
+                     "mapping): " +
+                     path);
+}
 
 }  // namespace store
 
@@ -415,6 +453,14 @@ class StoreView {
   // published; the table lives as long as this view.
   virtual const store::FlatRoutes* routes() const { return nullptr; }
 
+  // Translates a SIGBUS caught inside this view's registered mappings:
+  // guarded reads (query-path ancestry reads, prepare-time blob copies)
+  // land here with the faulting address. A sharded view attributes the
+  // fault to the owning shard, quarantines it, and throws DegradedError
+  // naming the unservable ranges; the base and single-container views
+  // throw StoreIoError.
+  [[noreturn]] virtual void on_mapped_fault(const void* addr) const;
+
  protected:
   StoreView() = default;
   StoreInfo info_;
@@ -449,9 +495,18 @@ class LabelStoreView final : public StoreView {
   // available.
   const store::FlatRoutes* routes() const override { return &routes_; }
 
+  [[noreturn]] void on_mapped_fault(const void* addr) const override;
+
+  const std::string& path() const { return path_; }
+
+  // Whether addr falls inside this view's mapping — how a sharded view
+  // attributes a translated SIGBUS to the owning shard.
+  bool contains(const void* addr) const;
+
  private:
   LabelStoreView() = default;
 
+  std::string path_;
   const std::uint8_t* map_ = nullptr;  // whole file
   std::size_t map_bytes_ = 0;
   std::size_t params_off_ = 0;

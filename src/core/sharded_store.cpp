@@ -25,7 +25,15 @@
 #include <thread>
 #include <utility>
 
+#include "util/failpoint.hpp"
+#include "util/scoped_fd.hpp"
+
 namespace ftc::core {
+
+RetryPolicy& default_retry_policy() {
+  static RetryPolicy policy;
+  return policy;
+}
 
 namespace {
 
@@ -93,28 +101,43 @@ struct ParentManifest {
   std::uint64_t epoch = 0;
 };
 
-// Stages the byte-identical file at src for publication as dst without
-// copying: a hard link under the stage name (renamed onto dst only in
-// the publish phase, with every other shard). Returns false (touching
-// nothing) when linking is impossible — src gone, cross-filesystem, no
-// link permission — and the caller falls back to a full write. in_place
-// reports that dst already IS src (same inode: a push over the parent's
-// own path), i.e. nothing needs staging at all.
-bool stage_shard_reuse(const std::string& src, const std::string& dst,
-                       const std::string& stage, bool& in_place) {
-  in_place = false;
+// How staging the byte-identical file at src for publication as dst
+// went. kInPlace: dst already IS src (same inode — a push over the
+// parent's own path), nothing to stage. kLinked: a hard link sits under
+// the stage name (renamed onto dst in the publish phase with every
+// other shard). kLinkFailedFallback: the mount refuses hard links
+// (EXDEV/EPERM) — the caller writes the shard in full and records the
+// typed fallback in DeltaPushStats. kNoSource: src gone, not regular,
+// or the link failed for any other reason — plain full write.
+enum class ReuseResult : std::uint8_t {
+  kNoSource = 0,
+  kInPlace = 1,
+  kLinked = 2,
+  kLinkFailedFallback = 3,
+};
+
+ReuseResult stage_shard_reuse(const std::string& src, const std::string& dst,
+                              const std::string& stage) {
   struct stat src_st{};
   if (::stat(src.c_str(), &src_st) != 0 || !S_ISREG(src_st.st_mode)) {
-    return false;
+    return ReuseResult::kNoSource;
   }
   struct stat dst_st{};
   if (::stat(dst.c_str(), &dst_st) == 0 && dst_st.st_dev == src_st.st_dev &&
       dst_st.st_ino == src_st.st_ino) {
-    in_place = true;  // pushing over the parent path: the file stays put
-    return true;
+    return ReuseResult::kInPlace;
   }
   ::unlink(stage.c_str());
-  return ::link(src.c_str(), stage.c_str()) == 0;
+  int rc;
+  if (const int fe = FTC_FAILPOINT("store.shard.link")) {
+    errno = fe;
+    rc = -1;
+  } else {
+    rc = ::link(src.c_str(), stage.c_str());
+  }
+  if (rc == 0) return ReuseResult::kLinked;
+  return errno == EXDEV || errno == EPERM ? ReuseResult::kLinkFailedFallback
+                                          : ReuseResult::kNoSource;
 }
 
 DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
@@ -144,6 +167,7 @@ DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
   stats.epoch = parent != nullptr ? parent->epoch + 1 : 1;
   stats.shards_total = num_shards;
   std::atomic<std::size_t> shards_reused{0};
+  std::atomic<std::size_t> link_fallbacks{0};
   std::atomic<std::uint64_t> bytes_written{0};
   std::atomic<std::uint64_t> bytes_reused{0};
   std::vector<ShardFile> produced(num_shards, ShardFile::kNone);
@@ -181,14 +205,24 @@ DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
               prec.file_bytes != rec.file_bytes) {
             continue;
           }
-          bool in_place = false;
-          if (stage_shard_reuse(parent->dir + prec.name, dir + rec.name,
-                                dir + rec.name + stage_suffix, in_place)) {
-            produced[k] = in_place ? ShardFile::kInPlace : ShardFile::kStaged;
+          const ReuseResult reuse =
+              stage_shard_reuse(parent->dir + prec.name, dir + rec.name,
+                                dir + rec.name + stage_suffix);
+          if (reuse == ReuseResult::kInPlace ||
+              reuse == ReuseResult::kLinked) {
+            produced[k] = reuse == ReuseResult::kInPlace
+                              ? ShardFile::kInPlace
+                              : ShardFile::kStaged;
             shards_reused.fetch_add(1, std::memory_order_relaxed);
             bytes_reused.fetch_add(rec.file_bytes,
                                    std::memory_order_relaxed);
             return;
+          }
+          if (reuse == ReuseResult::kLinkFailedFallback) {
+            // Hard-link-hostile mount: the push still succeeds, the
+            // shard is just written in full below and the fallback is
+            // surfaced in the stats.
+            link_fallbacks.fetch_add(1, std::memory_order_relaxed);
           }
           break;  // reuse impossible (e.g. cross-device): write in full
         }
@@ -270,9 +304,16 @@ DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
       struct stat st{};
       replaced[k] = ::stat(final_name.c_str(), &st) == 0;
       const std::string stage = final_name + stage_suffix;
-      if (::rename(stage.c_str(), final_name.c_str()) != 0) {
-        throw StoreError("cannot publish shard file: " + final_name + " (" +
-                         std::strerror(errno) + ")");
+      int rc;
+      if (const int fe = FTC_FAILPOINT("store.shard.publish")) {
+        errno = fe;
+        rc = -1;
+      } else {
+        rc = ::rename(stage.c_str(), final_name.c_str());
+      }
+      if (rc != 0) {
+        throw StoreIoError("cannot publish shard file: " + final_name + " (" +
+                           std::strerror(errno) + ")");
       }
       produced[k] = ShardFile::kPublished;
     }
@@ -310,6 +351,7 @@ DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
   stats.shards_written = stats.shards_total - stats.shards_reused;
   stats.bytes_written = bytes_written.load(std::memory_order_relaxed);
   stats.bytes_reused = bytes_reused.load(std::memory_order_relaxed);
+  stats.shards_link_fallback = link_fallbacks.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -347,14 +389,26 @@ DeltaPushStats save_sharded_delta(const ConnectivityScheme& scheme,
 // Reader.
 
 ShardedStoreView::~ShardedStoreView() {
-  if (map_ != nullptr) {
-    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
-  }
+  store::unmap_file({map_, map_bytes_});
 }
 
 std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
     const std::string& path, bool verify_checksum,
     const std::shared_ptr<const ShardedStoreView>& reuse_from) {
+  return open_impl(path, verify_checksum, reuse_from,
+                   /*tolerate_missing_shards=*/false);
+}
+
+std::shared_ptr<const ShardedStoreView> ShardedStoreView::open_degraded(
+    const std::string& path, bool verify_checksum) {
+  return open_impl(path, verify_checksum, nullptr,
+                   /*tolerate_missing_shards=*/true);
+}
+
+std::shared_ptr<const ShardedStoreView> ShardedStoreView::open_impl(
+    const std::string& path, bool verify_checksum,
+    const std::shared_ptr<const ShardedStoreView>& reuse_from,
+    bool tolerate_missing_shards) {
   const store::MappedFile mapped = store::map_readonly(
       path, store::kManifestHeaderBytesV1, "store manifest");
   const std::size_t size = mapped.size;
@@ -367,7 +421,19 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   view->verify_checksum_ = verify_checksum;
 
   const std::span<const std::uint8_t> bytes(view->map_, size);
-  store::ByteReader h(bytes);
+  // Parse the header from a stack copy made under a SIGBUS guard: a
+  // manifest truncated or replaced behind the mapping surfaces as a
+  // typed StoreIoError instead of a crash, and every later header field
+  // read is fault-free by construction.
+  std::uint8_t header_copy[store::kManifestHeaderBytes];
+  const std::size_t header_copy_bytes =
+      std::min<std::size_t>(size, store::kManifestHeaderBytes);
+  store::with_sigbus_guard(path, "store manifest header", [&] {
+    std::memcpy(header_copy, view->map_, header_copy_bytes);
+  });
+  const std::span<const std::uint8_t> header_span(header_copy,
+                                                  header_copy_bytes);
+  store::ByteReader h(header_span);
   if (h.u64() != store::kManifestMagic) {
     throw StoreError("bad magic (not a store manifest): " + path);
   }
@@ -410,7 +476,8 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   const std::size_t header_checksum_off = h.pos();
   const std::uint64_t header_checksum = h.u64();
   FTC_CHECK(h.pos() == header_bytes, "manifest header layout drifted");
-  if (store::fnv1a(bytes.first(header_checksum_off)) != header_checksum) {
+  if (store::fnv1a(header_span.first(header_checksum_off)) !=
+      header_checksum) {
     throw StoreError("corrupt manifest header (checksum mismatch): " + path);
   }
   if (info.manifest_epoch == 0) {
@@ -440,16 +507,26 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
 
   // The manifest reader never trusts the recorded section sizes: every
   // section bound is checked against the mapped size before any read.
-  if (verify_checksum && store::fnv1a(bytes.subspan(header_bytes)) !=
-                             info.payload_checksum) {
-    throw StoreError("payload checksum mismatch (corrupt manifest): " + path);
+  if (verify_checksum) {
+    std::uint64_t payload_fnv = 0;
+    store::with_sigbus_guard(path, "store manifest payload", [&] {
+      payload_fnv = store::fnv1a(bytes.subspan(header_bytes));
+    });
+    if (payload_fnv != info.payload_checksum) {
+      throw StoreError("payload checksum mismatch (corrupt manifest): " +
+                       path);
+    }
   }
   if (params_size > size - header_bytes) {
     throw StoreError("store manifest truncated (params exceed file): " + path);
   }
   view->params_off_ = header_bytes;
   info.params_bytes = static_cast<std::size_t>(params_size);
-  if (store::fnv1a(view->params_blob()) != params_hash) {
+  std::uint64_t params_fnv = 0;
+  store::with_sigbus_guard(path, "store manifest params", [&] {
+    params_fnv = store::fnv1a(view->params_blob());
+  });
+  if (params_fnv != params_hash) {
     throw StoreError("corrupt manifest (params blob hash mismatch): " + path);
   }
 
@@ -473,23 +550,25 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   view->records_.reserve(info.num_shards);
   std::uint64_t v_cursor = 0;
   std::uint64_t e_cursor = 0;
-  for (std::uint32_t k = 0; k < info.num_shards; ++k) {
-    store::ShardRecord rec;
-    try {
-      rec = store::decode_shard_record(table);
-    } catch (const StoreError& e) {
-      throw StoreError(std::string(e.what()) + ": " + path);
+  store::with_sigbus_guard(path, "store manifest shard table", [&] {
+    for (std::uint32_t k = 0; k < info.num_shards; ++k) {
+      store::ShardRecord rec;
+      try {
+        rec = store::decode_shard_record(table);
+      } catch (const StoreError& e) {
+        throw StoreError(std::string(e.what()) + ": " + path);
+      }
+      if (rec.vertex_begin != v_cursor || rec.vertex_end < rec.vertex_begin ||
+          rec.edge_begin != e_cursor || rec.edge_end < rec.edge_begin) {
+        throw StoreError(
+            "corrupt manifest (shard ranges overlap or leave a gap): " + path);
+      }
+      v_cursor = rec.vertex_end;
+      e_cursor = rec.edge_end;
+      validate_shard_name(rec.name, path);
+      view->records_.push_back(std::move(rec));
     }
-    if (rec.vertex_begin != v_cursor || rec.vertex_end < rec.vertex_begin ||
-        rec.edge_begin != e_cursor || rec.edge_end < rec.edge_begin) {
-      throw StoreError(
-          "corrupt manifest (shard ranges overlap or leave a gap): " + path);
-    }
-    v_cursor = rec.vertex_end;
-    e_cursor = rec.edge_end;
-    validate_shard_name(rec.name, path);
-    view->records_.push_back(std::move(rec));
-  }
+  });
   if (v_cursor != n64 || e_cursor != m64) {
     throw StoreError("corrupt manifest (shard ranges do not cover the "
                      "store): " + path);
@@ -502,36 +581,51 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
   if (info.has_adjacency) {
     view->adj_ = store::CsrAdjacency{view->map_, adj_off, info.adjacency_bytes,
                                      info.num_vertices, info.num_edges};
-    view->adj_.validate(path);
+    store::with_sigbus_guard(path, "store manifest adjacency", [&] {
+      view->adj_.validate(path);
+    });
   }
 
   // Params must decode for this backend (also yields the per-edge blob
   // width for the aggregate accounting below). Format v2 semantics: the
   // manifest writer and the shard containers share the v2 params codec.
   info.format_version = static_cast<std::uint32_t>(store::kFormatVersion);
-  const std::size_t blob_bytes = store::expected_edge_blob_bytes(
-      info.backend, view->params_blob(), info.format_version);
-  const store::StoreLabelBits bits = store::derive_label_bits(
-      info.backend, view->params_blob(), info.format_version);
+  std::size_t blob_bytes = 0;
+  store::StoreLabelBits bits;
+  store::with_sigbus_guard(path, "store manifest params", [&] {
+    blob_bytes = store::expected_edge_blob_bytes(
+        info.backend, view->params_blob(), info.format_version);
+    bits = store::derive_label_bits(info.backend, view->params_blob(),
+                                    info.format_version);
+  });
   info.vertex_label_bits = bits.vertex_label_bits;
   info.edge_label_bits = bits.edge_label_bits;
 
   // Every shard file must already exist with exactly the recorded size;
-  // mapping and full validation stay lazy.
+  // mapping and full validation stay lazy. open_degraded() turns a
+  // failed stat into a quarantine (applied below, once the quarantine
+  // arrays exist) so the healthy ranges still come up.
   info.file_bytes = size;
-  for (const store::ShardRecord& rec : view->records_) {
+  std::vector<std::pair<std::size_t, std::string>> dead_shards;
+  for (std::size_t k = 0; k < view->records_.size(); ++k) {
+    const store::ShardRecord& rec = view->records_[k];
     struct stat shard_st{};
     const std::string shard_path = view->dir_ + rec.name;
+    std::string why;
     if (::stat(shard_path.c_str(), &shard_st) != 0) {
-      throw StoreError("missing shard file: " + shard_path + " (" +
-                       std::strerror(errno) + ")");
+      why = "missing shard file: " + shard_path + " (" +
+            std::strerror(errno) + ")";
+    } else if (!S_ISREG(shard_st.st_mode) ||
+               static_cast<std::uint64_t>(shard_st.st_size) !=
+                   rec.file_bytes) {
+      why = "shard file size disagrees with manifest: " + shard_path;
     }
-    if (!S_ISREG(shard_st.st_mode) ||
-        static_cast<std::uint64_t>(shard_st.st_size) != rec.file_bytes) {
-      throw StoreError("shard file size disagrees with manifest: " +
-                       shard_path);
+    if (why.empty()) {
+      info.file_bytes += static_cast<std::size_t>(rec.file_bytes);
+      continue;
     }
-    info.file_bytes += static_cast<std::size_t>(rec.file_bytes);
+    if (!tolerate_missing_shards) throw StoreError(why);
+    dead_shards.emplace_back(k, std::move(why));
   }
 
   // Aggregate section accounting (nominal; shards carry the real
@@ -545,9 +639,13 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
 
   view->shard_views_.resize(info.num_shards);
   view->opened_ = std::make_unique<std::atomic<bool>[]>(info.num_shards);
+  view->quarantined_ = std::make_unique<std::atomic<bool>[]>(info.num_shards);
+  view->quarantine_reasons_.resize(info.num_shards);
   for (std::uint32_t k = 0; k < info.num_shards; ++k) {
     view->opened_[k].store(false, std::memory_order_relaxed);
+    view->quarantined_[k].store(false, std::memory_order_relaxed);
   }
+  for (const auto& [k, why] : dead_shards) view->quarantine_shard(k, why);
   if (reuse_from != nullptr) view->adopt_shards(*reuse_from);
   return view;
 }
@@ -590,7 +688,7 @@ void ShardedStoreView::adopt_shards(const ShardedStoreView& parent) {
   if (open_count_ == records_.size()) resolve_routes();
 }
 
-std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
+std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard_once(
     std::size_t k) const {
   const store::ShardRecord& rec = records_[k];
   const std::string shard_path = dir_ + rec.name;
@@ -615,6 +713,108 @@ std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
                      shard_path);
   }
   return v;
+}
+
+std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
+    std::size_t k) const {
+  // Transient (StoreIoError) failures retry under the process-wide
+  // policy; structural failures never do (re-reading corrupt bytes
+  // cannot help). Either way, an exhausted shard is quarantined so the
+  // next query over its range degrades instantly instead of re-paying
+  // the open + backoff.
+  const RetryPolicy policy = default_retry_policy();
+  const unsigned attempts = std::max(1u, policy.max_attempts);
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      return open_shard_once(k);
+    } catch (const StoreIoError& e) {
+      if (attempt >= attempts) {
+        quarantine_shard(k, std::string(e.what()) + " (after " +
+                                std::to_string(attempt) + " attempts)");
+        throw_degraded(k);
+      }
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::microseconds(static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) * policy.multiplier));
+    } catch (const DegradedError&) {
+      throw;  // a racing opener already quarantined this shard
+    } catch (const StoreError& e) {
+      quarantine_shard(k, e.what());
+      throw_degraded(k);
+    }
+  }
+}
+
+void ShardedStoreView::quarantine_shard(std::size_t k,
+                                        const std::string& reason) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (quarantined_[k].load(std::memory_order_relaxed)) return;  // first wins
+  quarantine_reasons_[k] = reason;
+  quarantined_[k].store(true, std::memory_order_release);
+}
+
+void ShardedStoreView::throw_degraded(std::size_t k) const {
+  const store::ShardRecord& rec = records_[k];
+  std::string reason;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reason = quarantine_reasons_[k];
+  }
+  throw DegradedError(
+      "shard " + std::to_string(k) + " quarantined (vertices [" +
+          std::to_string(rec.vertex_begin) + ", " +
+          std::to_string(rec.vertex_end) + "), edges [" +
+          std::to_string(rec.edge_begin) + ", " +
+          std::to_string(rec.edge_end) + ") unservable): " + reason,
+      k, rec.vertex_begin, rec.vertex_end, rec.edge_begin, rec.edge_end);
+}
+
+std::size_t ShardedStoreView::shards_quarantined() const {
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < records_.size(); ++k) {
+    if (quarantined_[k].load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+std::vector<QuarantineRecord> ShardedStoreView::quarantine_report() const {
+  std::vector<QuarantineRecord> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t k = 0; k < records_.size(); ++k) {
+    if (!quarantined_[k].load(std::memory_order_relaxed)) continue;
+    const store::ShardRecord& rec = records_[k];
+    out.push_back(QuarantineRecord{k, rec.vertex_begin, rec.vertex_end,
+                                   rec.edge_begin, rec.edge_end,
+                                   quarantine_reasons_[k]});
+  }
+  return out;
+}
+
+void ShardedStoreView::verify_shard(std::size_t k) const {
+  FTC_REQUIRE(k < records_.size(), "shard index out of range");
+  (void)open_shard_once(k);  // probe mapping discarded; never published
+}
+
+void ShardedStoreView::on_mapped_fault(const void* addr) const {
+  // Attribute the fault to the shard whose live mapping covers it. The
+  // snapshot under mutex_ is cheap (K shared_ptr copies) and only runs
+  // on the already-catastrophic path.
+  std::vector<std::shared_ptr<const LabelStoreView>> views;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    views = shard_views_;
+  }
+  for (std::size_t k = 0; k < views.size(); ++k) {
+    if (views[k] != nullptr && views[k]->contains(addr)) {
+      quarantine_shard(k, "mapped read faulted (file truncated or replaced "
+                          "behind the mapping): " + dir_ + records_[k].name);
+      throw_degraded(k);
+    }
+  }
+  throw StoreIoError(
+      "mapped read faulted (file truncated or replaced behind the "
+      "mapping): " + path_);
 }
 
 bool ShardedStoreView::publish_shard(
@@ -662,6 +862,7 @@ const LabelStoreView& ShardedStoreView::shard(std::size_t k) const {
   // (the loser's mapping is discarded); slot k is written exactly once,
   // and the release store publishes it to lock-free readers.
   if (!opened_[k].load(std::memory_order_acquire)) {
+    if (quarantined_[k].load(std::memory_order_acquire)) throw_degraded(k);
     publish_shard(k, open_shard(k));
   }
   return *shard_views_[k];
@@ -688,6 +889,9 @@ store::PrefetchStats ShardedStoreView::prefetch(unsigned threads) const {
       if (k >= num_shards) return;
       if (opened_[k].load(std::memory_order_acquire)) continue;
       try {
+        if (quarantined_[k].load(std::memory_order_acquire)) {
+          throw_degraded(k);
+        }
         const auto s0 = std::chrono::steady_clock::now();
         auto v = open_shard(k);
         stats.shard_us[k] =
@@ -698,9 +902,12 @@ store::PrefetchStats ShardedStoreView::prefetch(unsigned threads) const {
           opened.fetch_add(1, std::memory_order_relaxed);
         }
       } catch (...) {
+        // Record the first failure but keep draining the queue: every
+        // other shard still opens, so a single bad shard degrades its
+        // own range instead of aborting the whole prefetch (swap_store
+        // keeps the old generation serving when this rethrows below).
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
-        return;
       }
     }
   };
@@ -811,21 +1018,29 @@ std::size_t ShardedStoreView::shards_open() const {
 std::shared_ptr<const StoreView> open_store_view(
     const std::string& path, bool verify_checksum,
     const std::shared_ptr<const StoreView>& reuse_from) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
-  if (fd < 0) {
-    throw StoreError("cannot open label store: " + path + " (" +
-                     std::strerror(errno) + ")");
+  util::ScopedFd fd;
+  if (const int fe = FTC_FAILPOINT("store.sniff.open")) {
+    errno = fe;
+  } else {
+    fd.reset(::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK));
+  }
+  if (!fd) {
+    throw StoreIoError("cannot open label store: " + path + " (" +
+                       std::strerror(errno) + ")");
   }
   std::uint8_t buf[8];
-  std::size_t got = 0;
-  while (got < sizeof(buf)) {
-    const ::ssize_t r = ::read(fd, buf + got, sizeof(buf) - got);
-    if (r < 0 && errno == EINTR) continue;
-    if (r <= 0) break;
-    got += static_cast<std::size_t>(r);
+  bool read_ok;
+  if (const int fe = FTC_FAILPOINT("store.sniff.read")) {
+    errno = fe;
+    read_ok = false;
+  } else {
+    read_ok = util::read_full(fd.get(), buf, sizeof(buf));
   }
-  ::close(fd);
-  if (got < sizeof(buf)) {
+  if (!read_ok) {
+    if (errno != 0) {
+      throw StoreIoError("cannot read label store magic: " + path + " (" +
+                         std::strerror(errno) + ")");
+    }
     throw StoreError("label store truncated (no magic): " + path);
   }
   std::uint64_t magic = 0;

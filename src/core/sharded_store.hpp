@@ -78,6 +78,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -88,6 +89,56 @@
 #include "core/label_store.hpp"
 
 namespace ftc::core {
+
+// A query routed into a quarantined shard: the shard failed to open
+// persistently (retries exhausted), failed validation, or had a SIGBUS
+// translated off its live mapping. Carries the unservable ID ranges so
+// callers can degrade exactly that slice of the keyspace while every
+// other shard keeps serving. Derives from StoreError so existing
+// "artifact failure" handling keeps catching it.
+class DegradedError : public StoreError {
+ public:
+  DegradedError(const std::string& what, std::size_t shard_index,
+                std::uint64_t vb, std::uint64_t ve, std::uint64_t eb,
+                std::uint64_t ee)
+      : StoreError(what),
+        shard(shard_index),
+        vertex_begin(vb),
+        vertex_end(ve),
+        edge_begin(eb),
+        edge_end(ee) {}
+
+  std::size_t shard = 0;
+  std::uint64_t vertex_begin = 0;
+  std::uint64_t vertex_end = 0;
+  std::uint64_t edge_begin = 0;
+  std::uint64_t edge_end = 0;
+};
+
+// Retry schedule for transient (StoreIoError-class) failures on the
+// shard open / prefetch / swap paths: flaky disks, fd pressure, racing
+// publishes. Validation failures (plain StoreError) never retry —
+// re-reading corrupt bytes cannot help.
+struct RetryPolicy {
+  unsigned max_attempts = 3;  // total attempts, >= 1
+  std::chrono::microseconds initial_backoff{100};
+  double multiplier = 2.0;  // backoff growth per attempt
+};
+
+// Process-wide policy ShardedStoreView retries under (tests shrink it;
+// not synchronized — set it before serving traffic).
+RetryPolicy& default_retry_policy();
+
+// One quarantined shard: index, the ID ranges it makes unservable, and
+// the failure that quarantined it.
+struct QuarantineRecord {
+  std::size_t shard = 0;
+  std::uint64_t vertex_begin = 0;
+  std::uint64_t vertex_end = 0;
+  std::uint64_t edge_begin = 0;
+  std::uint64_t edge_end = 0;
+  std::string reason;
+};
 
 namespace store {
 
@@ -151,6 +202,10 @@ struct DeltaPushStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_reused = 0;
   std::uint64_t manifest_bytes = 0;
+  // Byte-identical shards whose hard-link reuse failed with EXDEV/EPERM
+  // (cross-filesystem or link-restricted mounts) and fell back to a
+  // full byte copy; counted in shards_written/bytes_written.
+  std::size_t shards_link_fallback = 0;
 };
 
 // Content-addressed delta push: saves `scheme` like save_sharded, but
@@ -193,6 +248,16 @@ class ShardedStoreView final : public StoreView {
       const std::string& path, bool verify_checksum = true,
       const std::shared_ptr<const ShardedStoreView>& reuse_from = nullptr);
 
+  // Like open(), but a shard file that is missing or has the wrong size
+  // QUARANTINES that shard instead of failing the whole open — the fsck
+  // / incident-response entry point: the manifest itself must still be
+  // fully valid, but a store with damaged shard files opens and serves
+  // every healthy range (queries into the dead ranges throw
+  // DegradedError). Serving swaps keep using the strict open() so a
+  // damaged generation never replaces a healthy one.
+  static std::shared_ptr<const ShardedStoreView> open_degraded(
+      const std::string& path, bool verify_checksum = true);
+
   ~ShardedStoreView() override;
 
   std::span<const std::uint8_t> params_blob() const override;
@@ -227,12 +292,43 @@ class ShardedStoreView final : public StoreView {
   // reported in every PrefetchStats from this view).
   std::size_t shards_adopted() const { return adopted_count_; }
 
+  // Degraded-serving observability: quarantined shard count and the full
+  // per-shard report (ranges + reason) for health endpoints and fsck.
+  std::size_t shards_quarantined() const;
+  std::vector<QuarantineRecord> quarantine_report() const;
+
+  // Opens and fully validates shard k against the manifest WITHOUT
+  // retry, quarantine, or publication into the serving slots — the
+  // offline fsck primitive. Throws the shard's StoreError on failure;
+  // the probe mapping is discarded either way.
+  void verify_shard(std::size_t k) const;
+
+  // Attributes a translated SIGBUS to the owning shard, quarantines it,
+  // and throws DegradedError naming its ranges; faults that match no
+  // shard mapping throw StoreIoError for the whole store.
+  [[noreturn]] void on_mapped_fault(const void* addr) const override;
+
  private:
   ShardedStoreView() = default;
 
+  // Shared body of open() / open_degraded(); tolerate_missing_shards
+  // turns shard stat failures into quarantines instead of throws.
+  static std::shared_ptr<const ShardedStoreView> open_impl(
+      const std::string& path, bool verify_checksum,
+      const std::shared_ptr<const ShardedStoreView>& reuse_from,
+      bool tolerate_missing_shards);
+
   // Opens and validates shard k against the manifest (full container
-  // validation + cross-checks). Throws StoreError on any mismatch.
+  // validation + cross-checks), one attempt. Throws StoreError /
+  // StoreIoError on any mismatch or I/O failure.
+  std::shared_ptr<const LabelStoreView> open_shard_once(std::size_t k) const;
+  // open_shard_once under default_retry_policy(): transient
+  // (StoreIoError) failures retry with backoff; exhausted retries and
+  // validation failures quarantine the shard and throw DegradedError.
   std::shared_ptr<const LabelStoreView> open_shard(std::size_t k) const;
+  // Marks shard k unservable and remembers why (first reason wins).
+  void quarantine_shard(std::size_t k, const std::string& reason) const;
+  [[noreturn]] void throw_degraded(std::size_t k) const;
   // Returns shard k, opening it on first touch (open_shard runs outside
   // the slot lock; racing opens of one shard let the first win).
   const LabelStoreView& shard(std::size_t k) const;
@@ -267,6 +363,11 @@ class ShardedStoreView final : public StoreView {
   mutable std::vector<std::shared_ptr<const LabelStoreView>> shard_views_;
   mutable std::unique_ptr<std::atomic<bool>[]> opened_;
   mutable std::size_t open_count_ = 0;  // slots published, guarded by mutex_
+  // Quarantine state: flag read lock-free on the routing path, reasons
+  // guarded by mutex_. Sticky for the life of the view — a repaired file
+  // is picked up by the next generation's swap, not by un-quarantining.
+  mutable std::unique_ptr<std::atomic<bool>[]> quarantined_;
+  mutable std::vector<std::string> quarantine_reasons_;  // guarded by mutex_
   std::size_t adopted_count_ = 0;       // set once at open()
   // Global flat route table, built once under mutex_ when open_count_
   // reaches K and then read lock-free through routes_ptr_.

@@ -1,0 +1,107 @@
+// Zero-cost-when-off failpoint harness for syscall-boundary fault
+// injection.
+//
+// A failpoint is a named site in the code (e.g. "store.write.fsync")
+// that can be armed to report a synthetic errno instead of letting the
+// real syscall run. Sites are compiled in unconditionally; when no
+// failpoint is armed the per-site cost is ONE relaxed atomic load and a
+// predictable branch, so sites are cheap enough to leave on hot-ish
+// paths (they still stay off the per-query label-read path, which does
+// no syscalls).
+//
+// Usage at a site:
+//
+//   int rc;
+//   if (const int fe = FTC_FAILPOINT("store.write.fsync")) {
+//     errno = fe;
+//     rc = -1;
+//   } else {
+//     rc = ::fsync(fd);
+//   }
+//
+// Arming, programmatically or via the FTC_FAILPOINTS environment
+// variable (parsed once at startup and again by load_env()):
+//
+//   FTC_FAILPOINTS="store.write.fsync=once:EIO;store.shard.link=always:EXDEV"
+//
+// Spec grammar: `mode[:arg][:ERRNO]` where mode is one of
+//   off        — never fires (clears the point but keeps counting hits)
+//   once       — fires on the first hit only
+//   nth:N      — fires on the Nth hit only (1-based)
+//   prob:P     — fires each hit with probability P in [0,1]
+//   always     — fires on every hit
+//   count      — never fires; used to count how many times a site is
+//                hit by an operation (torture sweeps enumerate
+//                boundaries with this, then replay with nth:N)
+// ERRNO is a symbolic name (EIO, ENOSPC, EXDEV, ...) or a decimal
+// number; it defaults to EIO. Hits are counted for every armed point,
+// whether or not it fires.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftc::failpoint {
+
+namespace detail {
+// Number of armed failpoints across the process. Zero means every
+// FTC_FAILPOINT expands to a single relaxed load + untaken branch.
+extern std::atomic<int> g_active_count;
+
+// Slow path: looks the name up in the registry, bumps its hit count,
+// and decides whether to fire. Returns the errno to inject, or 0.
+int check_slow(const char* name);
+}  // namespace detail
+
+inline bool armed() {
+  return detail::g_active_count.load(std::memory_order_relaxed) != 0;
+}
+
+// Returns the errno this site should fail with, or 0 to proceed.
+inline int fire(const char* name) {
+  if (!armed()) return 0;
+  return detail::check_slow(name);
+}
+
+// Arms `name` with the given spec (see grammar above). Replacing an
+// existing spec resets its hit count. Throws std::invalid_argument on
+// a malformed spec.
+void set(const std::string& name, const std::string& spec);
+
+// Disarms one point / every point. Hit counts are discarded.
+void clear(const std::string& name);
+void clear_all();
+
+// Times the named site was reached since it was armed (0 if unknown).
+std::uint64_t hit_count(const std::string& name);
+
+// Names of currently armed failpoints (including exhausted `once`
+// points and `count` observers).
+std::vector<std::string> active();
+
+// Parses FTC_FAILPOINTS ("name=spec;name=spec"). Also run by a static
+// initializer so env-armed failpoints work without any call site.
+void load_env();
+
+// RAII arm/disarm for tests.
+class Scoped {
+ public:
+  Scoped(std::string name, const std::string& spec) : name_(std::move(name)) {
+    set(name_, spec);
+  }
+  ~Scoped() { clear(name_); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+  std::uint64_t hits() const { return hit_count(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ftc::failpoint
+
+#define FTC_FAILPOINT(name) ::ftc::failpoint::fire(name)

@@ -1,0 +1,73 @@
+// RAII file descriptor + the small read helpers the store and sniff
+// paths used to hand-roll. Every early-error return closes the fd.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <utility>
+
+namespace ftc::util {
+
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  int release() { return std::exchange(fd_, -1); }
+
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+  // Close explicitly and report the close() result — write paths need
+  // to surface a failed close, which the destructor must swallow.
+  int close_now() {
+    const int fd = release();
+    return fd >= 0 ? ::close(fd) : 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Reads exactly `len` bytes at the fd's current offset, retrying on
+// EINTR / short reads. Returns false on EOF-before-len or read error
+// (errno is left set by the failing read; 0 on plain EOF).
+inline bool read_full(int fd, void* buf, std::size_t len) {
+  auto* out = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ::ssize_t n = ::read(fd, out + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      errno = 0;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace ftc::util

@@ -1,0 +1,149 @@
+#include "util/sigbus_guard.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace ftc::util {
+
+void deliver_to_guard(SigbusGuard* g, const void* addr);
+
+namespace {
+
+// Registered mapping table. The handler scans it lock-free (atomics
+// only — it runs in signal context); writers serialize on a mutex and
+// publish base last so a half-written slot never matches.
+constexpr std::size_t kMaxRanges = 16384;
+
+struct Range {
+  std::atomic<std::uintptr_t> base{0};
+  std::atomic<std::size_t> len{0};
+};
+
+Range g_ranges[kMaxRanges];
+std::atomic<std::size_t> g_high_water{0};  // slots ever used; scan bound
+std::mutex g_ranges_mutex;
+
+// Innermost armed guard on this thread. SIGBUS from a bad mapped read
+// is synchronous, so touching a thread_local in the handler is sound.
+thread_local SigbusGuard* t_top = nullptr;
+
+struct sigaction g_old_action;
+std::once_flag g_install_once;
+
+bool in_registered_range(const void* addr) {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::size_t n = g_high_water.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uintptr_t base =
+        g_ranges[i].base.load(std::memory_order_acquire);
+    if (base == 0) continue;
+    const std::size_t len = g_ranges[i].len.load(std::memory_order_relaxed);
+    if (a >= base && a - base < len) return true;
+  }
+  return false;
+}
+
+void forward_to_previous(int sig, siginfo_t* info, void* ctx) {
+  if ((g_old_action.sa_flags & SA_SIGINFO) != 0 &&
+      g_old_action.sa_sigaction != nullptr) {
+    g_old_action.sa_sigaction(sig, info, ctx);
+    return;
+  }
+  if (g_old_action.sa_handler == SIG_IGN) return;
+  if (g_old_action.sa_handler != SIG_DFL &&
+      g_old_action.sa_handler != nullptr) {
+    g_old_action.sa_handler(sig);
+    return;
+  }
+  // Default disposition: restore and re-raise so the process dies with
+  // the genuine SIGBUS (core dump / sanitizer report intact).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void handle_sigbus(int sig, siginfo_t* info, void* ctx) {
+  SigbusGuard* guard = t_top;
+  if (guard != nullptr && info != nullptr &&
+      in_registered_range(info->si_addr)) {
+    deliver_to_guard(guard, info->si_addr);  // siglongjmp; no return
+  }
+  forward_to_previous(sig, info, ctx);
+}
+
+void install_handler() {
+  struct sigaction action {};
+  action.sa_sigaction = &handle_sigbus;
+  sigemptyset(&action.sa_mask);
+  // SA_NODEFER: the handler exits via siglongjmp, so SIGBUS must not be
+  // left blocked (guards sigsetjmp with savemask=0 — no mask to
+  // restore, and no sigprocmask syscall per guarded read).
+  action.sa_flags = SA_SIGINFO | SA_NODEFER;
+  ::sigaction(SIGBUS, &action, &g_old_action);
+}
+
+}  // namespace
+
+void deliver_to_guard(SigbusGuard* g, const void* addr) {
+  g->fault_addr_ = addr;
+  g->armed_ = false;
+  t_top = g->prev_;  // re-expose the outer guard before jumping
+  siglongjmp(g->jump_, 1);
+}
+
+void register_mapped_range(const void* base, std::size_t len) {
+  if (base == nullptr || len == 0) return;
+  std::call_once(g_install_once, install_handler);
+  const std::lock_guard<std::mutex> lock(g_ranges_mutex);
+  const std::size_t n = g_high_water.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g_ranges[i].base.load(std::memory_order_relaxed) == 0) {
+      g_ranges[i].len.store(len, std::memory_order_relaxed);
+      g_ranges[i].base.store(reinterpret_cast<std::uintptr_t>(base),
+                             std::memory_order_release);
+      return;
+    }
+  }
+  if (n < kMaxRanges) {
+    g_ranges[n].len.store(len, std::memory_order_relaxed);
+    g_ranges[n].base.store(reinterpret_cast<std::uintptr_t>(base),
+                           std::memory_order_relaxed);
+    g_high_water.store(n + 1, std::memory_order_release);
+    return;
+  }
+  // Out of slots: this mapping simply stays untranslated (a fault in it
+  // forwards to the previous handler). 16384 concurrent mappings is far
+  // beyond any real generation; don't fail an open over bookkeeping.
+}
+
+void unregister_mapped_range(const void* base) {
+  if (base == nullptr) return;
+  const auto key = reinterpret_cast<std::uintptr_t>(base);
+  const std::lock_guard<std::mutex> lock(g_ranges_mutex);
+  const std::size_t n = g_high_water.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g_ranges[i].base.load(std::memory_order_relaxed) == key) {
+      g_ranges[i].base.store(0, std::memory_order_release);
+      g_ranges[i].len.store(0, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+SigbusGuard::SigbusGuard() = default;
+
+SigbusGuard::~SigbusGuard() {
+  if (armed_ && t_top == this) t_top = prev_;
+  armed_ = false;
+}
+
+void SigbusGuard::arm() {
+  prev_ = t_top;
+  fault_addr_ = nullptr;
+  armed_ = true;
+  t_top = this;
+}
+
+}  // namespace ftc::util

@@ -1,0 +1,65 @@
+// Process-wide SIGBUS translation for mmap-backed reads.
+//
+// A file truncated or replaced behind a live read-only mapping delivers
+// SIGBUS on the next access to a page past the new EOF; untreated, that
+// kills the process. This module turns such faults — and only those
+// inside ranges explicitly registered by the store layer — into a
+// longjmp back to the innermost armed SigbusGuard on the faulting
+// thread, where the caller rethrows a typed error.
+//
+// Contract for guarded regions: the code between arm() and the end of
+// the guarded block must not allocate or otherwise own resources whose
+// destructors matter, because siglongjmp skips them. Guards therefore
+// wrap tight scan loops and raw memcpy/reads of mapped bytes; the
+// throw happens back in the guard's own frame, which unwinds normally.
+//
+//   util::SigbusGuard g;
+//   if (sigsetjmp(g.jump(), 0) == 0) {
+//     g.arm();
+//     ... read mapped bytes only ...
+//   } else {
+//     throw ...;  // g.fault_addr() names the faulting page
+//   }
+//
+// Faults outside registered ranges, or with no armed guard on the
+// faulting thread, are forwarded to the previously installed handler
+// (ASan's, or the default — i.e. still a crash, as it should be).
+#pragma once
+
+#include <csetjmp>
+#include <cstddef>
+
+namespace ftc::util {
+
+// Registers [base, base + len) as a mapped region whose faults should
+// be translated. Installs the process-wide handler on first use.
+// Thread-safe. No-op for len == 0.
+void register_mapped_range(const void* base, std::size_t len);
+void unregister_mapped_range(const void* base);
+
+class SigbusGuard {
+ public:
+  SigbusGuard();
+  ~SigbusGuard();
+  SigbusGuard(const SigbusGuard&) = delete;
+  SigbusGuard& operator=(const SigbusGuard&) = delete;
+
+  sigjmp_buf& jump() { return jump_; }
+
+  // Makes this guard the landing site for SIGBUS on this thread. Must
+  // be called after sigsetjmp(jump(), 0) returned 0. Guards nest: the
+  // innermost armed guard wins; the destructor re-exposes the outer.
+  void arm();
+
+  // Faulting address, valid after the sigsetjmp returned nonzero.
+  const void* fault_addr() const { return fault_addr_; }
+
+ private:
+  friend void deliver_to_guard(SigbusGuard* g, const void* addr);
+  sigjmp_buf jump_;
+  SigbusGuard* prev_ = nullptr;
+  const void* fault_addr_ = nullptr;
+  bool armed_ = false;
+};
+
+}  // namespace ftc::util
