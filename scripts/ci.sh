@@ -47,9 +47,21 @@
 #                             # serving generation left fsck-clean, and a
 #                             # truncated shard makes fsck exit 2 naming
 #                             # exactly that shard
+#   scripts/ci.sh remote      # remote serving tier leg: asan run of the
+#                             # shard-cache + remote-store suites, then a
+#                             # loopback CLI e2e — ftc_store serve over a
+#                             # sharded store, 1k-query parity remote vs
+#                             # local, cache eviction under a tiny byte
+#                             # budget, env-armed transport failpoints
+#                             # (retry-then-succeed, FTC_RETRY_ATTEMPTS
+#                             # tuning, quarantine on a dead origin
+#                             # shard), warm-cache serving through origin
+#                             # damage, and explicit fsck exit codes
+#                             # (0 clean / 2 damaged)
 #   scripts/ci.sh tsan        # ThreadSanitizer leg: tsan preset build +
 #                             # run of the concurrency-heavy suites
-#                             # (sharded prefetch races, live epoch swap)
+#                             # (sharded prefetch races, live epoch swap,
+#                             # shard-cache fetch/evict races)
 #   scripts/ci.sh docs        # documentation leg: every relative link in
 #                             # README.md and docs/*.md must resolve to a
 #                             # file in the repo (dead links fail)
@@ -285,13 +297,130 @@ if [ "${1:-}" = "torture" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "remote" ]; then
+  echo "=== remote serving tier leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_shard_cache test_remote_store ftc_store
+  # The suites carry the fault ladder under asan: digest-refusal on a
+  # corrupt origin, retry on transient EIO, quarantine + DegradedError on
+  # a persistent one WHILE warm shards keep answering.
+  ctest --preset asan -R 'test_shard_cache|test_remote_store' -j "$jobs"
+
+  tmp="$(mktemp -d)"
+  server_pid=""
+  cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+  }
+  trap cleanup EXIT
+  build-asan/ftc_store build --out "$tmp/flat.ftcs" --family grid \
+    --rows 12 --cols 12 --backend core-ftc --f 8 >/dev/null
+  mkdir "$tmp/srv"
+  build-asan/ftc_store shard "$tmp/flat.ftcs" --out "$tmp/srv/labels.ftcm" \
+    --shards 4 >/dev/null
+  # Explicit fsck exit-code contract on the healthy store: 0 means clean.
+  rc=0; build-asan/ftc_store fsck "$tmp/srv/labels.ftcm" >/dev/null || rc=$?
+  [ "$rc" = "0" ]
+
+  build-asan/ftc_store serve "$tmp/srv" --port 0 > "$tmp/serve.out" &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q '^serving ' "$tmp/serve.out" 2>/dev/null && break
+    sleep 0.05
+  done
+  url="$(sed -n 's/.* on \(http:[^ ]*\) .*/\1/p' "$tmp/serve.out")"
+  [ -n "$url" ]
+  manifest_url="${url}labels.ftcm"
+
+  pairs=""
+  for i in $(seq 0 999); do
+    pairs+="$(( (i * 37 + 11) % 144 )):$(( (i * 53 + 29) % 144 )),"
+  done
+  pairs="${pairs%,}"
+  build-asan/ftc_store query "$tmp/srv/labels.ftcm" --faults 3,40 \
+    --vertex-faults 77 --pairs "$pairs" > "$tmp/local.out"
+  [ "$(wc -l < "$tmp/local.out")" = "1000" ]
+
+  # Cold remote serve: every shard crosses loopback once, digest-verified
+  # into the cache, and the 1k answers must be byte-identical to local.
+  FTC_CACHE_DIR="$tmp/cache" build-asan/ftc_store query "$manifest_url" \
+    --faults 3,40 --vertex-faults 77 --pairs "$pairs" > "$tmp/remote.out"
+  cmp "$tmp/local.out" "$tmp/remote.out"
+  [ "$(ls "$tmp/cache"/shard-*.ftcs | wc -l)" = "4" ]
+  # Warm re-serve over the populated cache: parity again, no new shards.
+  FTC_CACHE_DIR="$tmp/cache" build-asan/ftc_store query "$manifest_url" \
+    --faults 3,40 --vertex-faults 77 --pairs "$pairs" > "$tmp/warm.out"
+  cmp "$tmp/local.out" "$tmp/warm.out"
+  [ "$(ls "$tmp/cache"/shard-*.ftcs | wc -l)" = "4" ]
+
+  # Eviction drill: a budget below one shard keeps at most the most
+  # recent fetch resident — answers must not change.
+  FTC_CACHE_DIR="$tmp/cache_tiny" FTC_CACHE_BYTES=4096 \
+    build-asan/ftc_store query "$manifest_url" --faults 3,40 \
+    --vertex-faults 77 --pairs "$pairs" > "$tmp/evicted.out"
+  cmp "$tmp/local.out" "$tmp/evicted.out"
+  [ "$(ls "$tmp/cache_tiny"/shard-*.ftcs | wc -l)" = "1" ]
+
+  # Transport retry drill: one injected EIO on a socket read is absorbed
+  # by the retry policy; answers stay byte-identical.
+  FTC_CACHE_DIR="$tmp/cache_retry" \
+    FTC_FAILPOINTS='remote.read=once:EIO' \
+    build-asan/ftc_store query "$manifest_url" --faults 3,40 \
+    --vertex-faults 77 --pairs "$pairs" > "$tmp/retried.out"
+  cmp "$tmp/local.out" "$tmp/retried.out"
+  # The same fault with retries tuned down to a single attempt via the
+  # environment must surface as a typed store error (exit 2).
+  rc=0
+  FTC_CACHE_DIR="$tmp/cache_noretry" FTC_RETRY_ATTEMPTS=1 \
+    FTC_FAILPOINTS='remote.read=once:EIO' \
+    build-asan/ftc_store query "$manifest_url" --faults 3,40 \
+    --pairs 0:1 >/dev/null 2> "$tmp/noretry.err" || rc=$?
+  [ "$rc" = "2" ]
+  grep -q 'remote read failed' "$tmp/noretry.err"
+
+  # Degraded serving drill: drop one shard from the origin. Queries are
+  # lazy, so a cold cache still answers pairs in the healthy shards'
+  # ranges, while a pair needing the dead shard (vertex 80 lives in
+  # shard 2 of 4 over 144 vertices) gets the typed quarantine (exit 2).
+  # A warm cache keeps answering the full 1k parity stream — the origin
+  # is damaged but every shard is already local.
+  rm "$tmp/srv/labels.ftcm.shard2.ftcs"
+  FTC_CACHE_DIR="$tmp/cache_cold2" build-asan/ftc_store query \
+    "$manifest_url" --faults 3,40 --pairs 0:1 >/dev/null
+  rc=0
+  FTC_CACHE_DIR="$tmp/cache_cold2" build-asan/ftc_store query \
+    "$manifest_url" --faults 3,40 --pairs 80:1 \
+    >/dev/null 2> "$tmp/degraded.err" || rc=$?
+  [ "$rc" = "2" ]
+  grep -q 'quarantined' "$tmp/degraded.err"
+  grep -q 'remote object not found' "$tmp/degraded.err"
+  FTC_CACHE_DIR="$tmp/cache" build-asan/ftc_store query "$manifest_url" \
+    --faults 3,40 --vertex-faults 77 --pairs "$pairs" > "$tmp/survivor.out"
+  cmp "$tmp/local.out" "$tmp/survivor.out"
+
+  # Explicit fsck exit-code contract on the damaged store: 2, naming it.
+  rc=0; build-asan/ftc_store fsck "$tmp/srv/labels.ftcm" \
+    > "$tmp/fsck.out" 2>&1 || rc=$?
+  [ "$rc" = "2" ]
+  grep -q 'shard 2 .*: FAILED' "$tmp/fsck.out"
+
+  kill "$server_pid"
+  wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+  echo "ci: remote leg green (suites + loopback parity + eviction + retry env + degraded serving + fsck exit codes)"
+  exit 0
+fi
+
 if [ "${1:-}" = "tsan" ]; then
   echo "=== concurrency leg (tsan) ==="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-    --target test_sharded_store test_store_swap
-  ctest --preset tsan -R 'test_sharded_store|test_store_swap' -j "$jobs"
-  echo "ci: sharded prefetch + live-swap suites green under tsan"
+    --target test_sharded_store test_store_swap test_shard_cache
+  ctest --preset tsan \
+    -R 'test_sharded_store|test_store_swap|test_shard_cache' -j "$jobs"
+  echo "ci: sharded prefetch + live-swap + shard-cache suites green under tsan"
   exit 0
 fi
 
@@ -328,7 +457,7 @@ if [ "${1:-}" = "bench-smoke" ]; then
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
     --target bench_decoder_hotpath bench_vertex_faults bench_shard_swap \
-    bench_delta_push bench_fault_injection
+    bench_delta_push bench_fault_injection bench_remote_fetch
   # Run inside build/ so the smoke-size JSON cannot clobber the
   # checked-in repo-root baseline (regenerate that via bench_all.sh).
   (cd build && ./bench_decoder_hotpath --smoke)
@@ -336,10 +465,11 @@ if [ "${1:-}" = "bench-smoke" ]; then
   (cd build && ./bench_shard_swap --smoke)
   (cd build && ./bench_delta_push --smoke)
   (cd build && ./bench_fault_injection --smoke)
+  (cd build && ./bench_remote_fetch --smoke)
   if command -v python3 >/dev/null; then
     python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json \
       build/BENCH_shard_swap.json build/BENCH_delta_push.json \
-      build/BENCH_fault_injection.json <<'EOF'
+      build/BENCH_fault_injection.json build/BENCH_remote_fetch.json <<'EOF'
 import json, sys
 required = {
     "BENCH_decoder_hotpath.json": {"backend", "f", "single_query_us",
@@ -362,6 +492,11 @@ required = {
                                    "healthy_us_per_query",
                                    "degraded_us_per_query",
                                    "shards_quarantined"},
+    "BENCH_remote_fetch.json": {"k_shards", "store_bytes", "bytes_fetched",
+                                "cold_open_ms", "cold_prefetch_ms",
+                                "warm_open_ms", "warm_prefetch_ms",
+                                "cold_first_query_us", "warm_first_query_us",
+                                "local_batch_qps", "remote_batch_qps"},
 }
 for path in sys.argv[1:]:
     with open(path) as fh:
@@ -380,6 +515,7 @@ EOF
     grep -q '^\[{.*}\]$' build/BENCH_vertex_faults.json
     grep -q '^\[{.*}\]$' build/BENCH_shard_swap.json
     grep -q '^\[{.*}\]$' build/BENCH_fault_injection.json
+    grep -q '^\[{.*}\]$' build/BENCH_remote_fetch.json
     echo "bench-smoke: JSON shape check passed (python3 unavailable)"
   fi
   echo "ci: bench smoke green"

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <utility>
 
+#include "core/shard_source.hpp"
+#include "core/sharded_store.hpp"
 #include "util/failpoint.hpp"
 #include "util/scoped_fd.hpp"
 
@@ -284,8 +286,15 @@ void DeletionJournal::validate_against(const StoreInfo& info,
 void attach_journal_sidecar(ConnectivityScheme& scheme,
                             const std::string& store_path, bool replay) {
   if (!replay) return;
-  const std::string jpath = journal_path_for(store_path);
-  if (!DeletionJournal::exists(jpath)) return;
+  // A remote store's sidecar lives next to the manifest on the origin
+  // ("<url>.jrnl"); fetch it into the cache and replay the local copy.
+  // Validation still names the URL, and the digest binding inside the
+  // journal makes a stale cached copy fail loudly rather than replay
+  // against the wrong generation.
+  const std::string jpath = is_http_url(store_path)
+                                ? fetch_remote_journal(store_path)
+                                : journal_path_for(store_path);
+  if (jpath.empty() || !DeletionJournal::exists(jpath)) return;
   const std::shared_ptr<const StoreView> view = scheme.store_view();
   FTC_CHECK(view != nullptr,
             "journal replay needs a store-served scheme");

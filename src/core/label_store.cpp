@@ -41,17 +41,13 @@ using graph::VertexId;
 
 std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
 
+// Little-endian on disk, independent of host byte order (util/digest.hpp).
 std::uint64_t read_u64_at(const std::uint8_t* base, std::size_t offset) {
-  // Little-endian on disk, independent of host byte order.
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{base[offset + i]} << (8 * i);
-  return v;
+  return util::read_u64_le(base + offset);
 }
 
 std::uint32_t read_u32_at(const std::uint8_t* base, std::size_t offset) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{base[offset + i]} << (8 * i);
-  return v;
+  return util::read_u32_le(base + offset);
 }
 
 }  // namespace

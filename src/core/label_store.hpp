@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "core/connectivity_scheme.hpp"
+#include "util/digest.hpp"
 #include "util/sigbus_guard.hpp"
 
 namespace ftc::core {
@@ -102,15 +103,10 @@ inline constexpr std::uint64_t kMagic = 0x45524F5453435446ULL;
 inline constexpr std::uint8_t kFlagHasAdjacency = 0x01;
 
 // FNV-1a over a byte range (seedable so checksums can be streamed).
-inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
-inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
-                           std::uint64_t h = kFnvBasis) {
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+// The implementation lives in util/digest.hpp — one digest shared by
+// containers, manifests, journals and the remote shard cache.
+using util::fnv1a;
+using util::kFnvBasis;
 
 // Little-endian byte sink used by the container writer and the
 // per-backend label blob encoders.

@@ -1,0 +1,108 @@
+// RemoteStoreView: a sharded store opened from an http:// manifest URL.
+//
+// The open fetches the manifest (small, always transferred in full),
+// parks a verbatim copy in the shard cache, and runs the ordinary
+// manifest reader over it — so a remote manifest gets every structural
+// check a local one does, including the payload checksum over the
+// transferred bytes. Shards stay lazy: the shard_local_path() override
+// routes each first touch through ShardCache::fetch_shard(), and from
+// there on the shard is a local mmap like any other. All the
+// serving-tier machinery above (retry, quarantine, DegradedError,
+// FlatRoutes, swap_store adoption) is inherited unchanged.
+#include "core/sharded_store.hpp"
+
+#include <thread>
+
+#include "core/shard_cache.hpp"
+#include "core/shard_source.hpp"
+
+namespace ftc::core {
+
+namespace {
+
+// Whole-object fetch under default_retry_policy(): transient transport
+// failures (StoreIoError) back off and retry; structural failures
+// (absent object, malformed response) throw through immediately. The
+// shard fetch path gets its retries from open_shard(); this helper
+// covers the metadata objects (manifest, journal) that are fetched
+// outside that loop.
+std::vector<std::uint8_t> fetch_with_retry(const ShardSource& source,
+                                           const std::string& name) {
+  const RetryPolicy policy = default_retry_policy();
+  const unsigned attempts = std::max(1u, policy.max_attempts);
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      return source.fetch(name);
+    } catch (const StoreIoError&) {
+      if (attempt >= attempts) throw;
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::microseconds(static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) * policy.multiplier));
+      if (policy.max_backoff.count() > 0 && backoff > policy.max_backoff) {
+        backoff = policy.max_backoff;
+      }
+    }
+  }
+}
+
+HttpEndpoint parse_store_url(const std::string& url) {
+  HttpEndpoint ep;
+  if (!parse_http_url(url, &ep)) {
+    throw StoreError("malformed store URL (expected "
+                     "http://host[:port]/path/manifest): " + url);
+  }
+  return ep;
+}
+
+}  // namespace
+
+std::shared_ptr<const RemoteStoreView> RemoteStoreView::open(
+    const std::string& url, bool verify_checksum,
+    const std::shared_ptr<const ShardedStoreView>& reuse_from,
+    std::shared_ptr<ShardCache> cache) {
+  const HttpEndpoint ep = parse_store_url(url);
+  if (cache == nullptr) cache = default_remote_cache();
+  auto source = std::make_shared<HttpShardSource>(ep.host, ep.port, ep.dir);
+
+  // The manifest is re-fetched on every open (it is the mutable part of
+  // a store — epochs move by replacing it), but put_blob content-
+  // addresses the copy, so reopening an unchanged epoch rewrites
+  // nothing.
+  const std::vector<std::uint8_t> manifest_bytes =
+      fetch_with_retry(*source, ep.object);
+  const std::string local_manifest = cache->put_blob("manifest",
+                                                     manifest_bytes);
+
+  std::shared_ptr<RemoteStoreView> view(new RemoteStoreView());
+  view->url_ = url;
+  view->cache_ = std::move(cache);
+  view->source_ = std::move(source);
+  open_impl(view, local_manifest, verify_checksum, reuse_from,
+            /*tolerate_missing_shards=*/false, /*stat_shards=*/false);
+  // Error messages and journal validation should name the origin, not
+  // the cache copy the manifest reader happened to map.
+  view->path_ = url;
+  return view;
+}
+
+std::string RemoteStoreView::shard_local_path(std::size_t k) const {
+  return cache_->fetch_shard(*source_, records_[k]);
+}
+
+std::string RemoteStoreView::shard_display_name(std::size_t k) const {
+  return source_->describe(records_[k].name);
+}
+
+std::string fetch_remote_journal(const std::string& store_url) {
+  const HttpEndpoint ep = parse_store_url(store_url);
+  const HttpShardSource source(ep.host, ep.port, ep.dir);
+  const std::string journal_name = ep.object + ".jrnl";
+  std::uint64_t size = 0;
+  if (!source.stat(journal_name, &size)) return std::string();
+  const std::vector<std::uint8_t> bytes =
+      fetch_with_retry(source, journal_name);
+  return default_remote_cache()->put_blob("journal", bytes);
+}
+
+}  // namespace ftc::core

@@ -19,19 +19,56 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <string_view>
 #include <thread>
 #include <utility>
 
+#include "core/shard_source.hpp"
+#include "util/digest.hpp"
 #include "util/failpoint.hpp"
 #include "util/scoped_fd.hpp"
 
 namespace ftc::core {
 
+namespace {
+
+// Env-tunable retry knobs (satellite of the remote tier: operators
+// adjust remote-fetch retries without a rebuild). Invalid or absent
+// values keep the compiled default for that field only.
+RetryPolicy policy_from_env() {
+  RetryPolicy policy;
+  const auto read_u64 = [](const char* name, std::uint64_t* out) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (errno != 0 || end == value || *end != '\0') return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+  };
+  std::uint64_t v = 0;
+  if (read_u64("FTC_RETRY_ATTEMPTS", &v) && v >= 1) {
+    policy.max_attempts = static_cast<unsigned>(std::min<std::uint64_t>(
+        v, std::numeric_limits<unsigned>::max()));
+  }
+  if (read_u64("FTC_RETRY_BASE_US", &v)) {
+    policy.initial_backoff = std::chrono::microseconds(v);
+  }
+  if (read_u64("FTC_RETRY_CAP_US", &v)) {
+    policy.max_backoff = std::chrono::microseconds(v);
+  }
+  return policy;
+}
+
+}  // namespace
+
 RetryPolicy& default_retry_policy() {
-  static RetryPolicy policy;
+  static RetryPolicy policy = policy_from_env();
   return policy;
 }
 
@@ -77,9 +114,7 @@ void validate_shard_name(const std::string& name, const std::string& path) {
 // over the (already checksummed) shard bytes.
 std::uint64_t container_payload_checksum(std::span<const std::uint8_t> file) {
   FTC_CHECK(file.size() >= store::kHeaderBytes, "container too small");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{file[40 + i]} << (8 * i);
-  return v;
+  return util::read_u64_le(file.data() + 40);
 }
 
 // What save_sharded_impl did to the file behind shard k, so error
@@ -395,25 +430,29 @@ ShardedStoreView::~ShardedStoreView() {
 std::shared_ptr<const ShardedStoreView> ShardedStoreView::open(
     const std::string& path, bool verify_checksum,
     const std::shared_ptr<const ShardedStoreView>& reuse_from) {
-  return open_impl(path, verify_checksum, reuse_from,
-                   /*tolerate_missing_shards=*/false);
+  std::shared_ptr<ShardedStoreView> view(new ShardedStoreView());
+  open_impl(view, path, verify_checksum, reuse_from,
+            /*tolerate_missing_shards=*/false, /*stat_shards=*/true);
+  return view;
 }
 
 std::shared_ptr<const ShardedStoreView> ShardedStoreView::open_degraded(
     const std::string& path, bool verify_checksum) {
-  return open_impl(path, verify_checksum, nullptr,
-                   /*tolerate_missing_shards=*/true);
+  std::shared_ptr<ShardedStoreView> view(new ShardedStoreView());
+  open_impl(view, path, verify_checksum, nullptr,
+            /*tolerate_missing_shards=*/true, /*stat_shards=*/true);
+  return view;
 }
 
-std::shared_ptr<const ShardedStoreView> ShardedStoreView::open_impl(
-    const std::string& path, bool verify_checksum,
+void ShardedStoreView::open_impl(
+    const std::shared_ptr<ShardedStoreView>& view, const std::string& path,
+    bool verify_checksum,
     const std::shared_ptr<const ShardedStoreView>& reuse_from,
-    bool tolerate_missing_shards) {
+    bool tolerate_missing_shards, bool stat_shards) {
   const store::MappedFile mapped = store::map_readonly(
       path, store::kManifestHeaderBytesV1, "store manifest");
   const std::size_t size = mapped.size;
 
-  std::shared_ptr<ShardedStoreView> view(new ShardedStoreView());
   view->map_ = mapped.data;
   view->map_bytes_ = size;
   view->path_ = path;
@@ -604,11 +643,19 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open_impl(
   // Every shard file must already exist with exactly the recorded size;
   // mapping and full validation stay lazy. open_degraded() turns a
   // failed stat into a quarantine (applied below, once the quarantine
-  // arrays exist) so the healthy ranges still come up.
+  // arrays exist) so the healthy ranges still come up. A remote open
+  // (stat_shards == false) skips the check — the shards have no local
+  // file until fetched; the manifest's recorded sizes stand in for the
+  // stat, and the digest verification at fetch time is strictly
+  // stronger than an existence probe.
   info.file_bytes = size;
   std::vector<std::pair<std::size_t, std::string>> dead_shards;
   for (std::size_t k = 0; k < view->records_.size(); ++k) {
     const store::ShardRecord& rec = view->records_[k];
+    if (!stat_shards) {
+      info.file_bytes += static_cast<std::size_t>(rec.file_bytes);
+      continue;
+    }
     struct stat shard_st{};
     const std::string shard_path = view->dir_ + rec.name;
     std::string why;
@@ -647,7 +694,6 @@ std::shared_ptr<const ShardedStoreView> ShardedStoreView::open_impl(
   }
   for (const auto& [k, why] : dead_shards) view->quarantine_shard(k, why);
   if (reuse_from != nullptr) view->adopt_shards(*reuse_from);
-  return view;
 }
 
 void ShardedStoreView::adopt_shards(const ShardedStoreView& parent) {
@@ -688,10 +734,21 @@ void ShardedStoreView::adopt_shards(const ShardedStoreView& parent) {
   if (open_count_ == records_.size()) resolve_routes();
 }
 
+std::string ShardedStoreView::shard_local_path(std::size_t k) const {
+  return dir_ + records_[k].name;
+}
+
+std::string ShardedStoreView::shard_display_name(std::size_t k) const {
+  return dir_ + records_[k].name;
+}
+
 std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard_once(
     std::size_t k) const {
   const store::ShardRecord& rec = records_[k];
-  const std::string shard_path = dir_ + rec.name;
+  // The transport seam: the base class resolves to the file next to the
+  // manifest; a remote view fetches through the cache here (and may
+  // throw the transport's StoreIoError, retried by open_shard).
+  const std::string shard_path = shard_local_path(k);
   auto v = LabelStoreView::open(shard_path, verify_checksum_);
   const StoreInfo& si = v->info();
   if (si.backend != info_.backend ||
@@ -737,6 +794,9 @@ std::shared_ptr<const LabelStoreView> ShardedStoreView::open_shard(
       std::this_thread::sleep_for(backoff);
       backoff = std::chrono::microseconds(static_cast<std::int64_t>(
           static_cast<double>(backoff.count()) * policy.multiplier));
+      if (policy.max_backoff.count() > 0 && backoff > policy.max_backoff) {
+        backoff = policy.max_backoff;
+      }
     } catch (const DegradedError&) {
       throw;  // a racing opener already quarantined this shard
     } catch (const StoreError& e) {
@@ -808,7 +868,7 @@ void ShardedStoreView::on_mapped_fault(const void* addr) const {
   for (std::size_t k = 0; k < views.size(); ++k) {
     if (views[k] != nullptr && views[k]->contains(addr)) {
       quarantine_shard(k, "mapped read faulted (file truncated or replaced "
-                          "behind the mapping): " + dir_ + records_[k].name);
+                          "behind the mapping): " + shard_display_name(k));
       throw_degraded(k);
     }
   }
@@ -1018,6 +1078,14 @@ std::size_t ShardedStoreView::shards_open() const {
 std::shared_ptr<const StoreView> open_store_view(
     const std::string& path, bool verify_checksum,
     const std::shared_ptr<const StoreView>& reuse_from) {
+  // URL dispatch comes before the sniff: a URL is not a local file, and
+  // every caller (load_scheme, swap_store, the CLI) reaches the remote
+  // tier through this one branch.
+  if (is_http_url(path)) {
+    return RemoteStoreView::open(
+        path, verify_checksum,
+        std::dynamic_pointer_cast<const ShardedStoreView>(reuse_from));
+  }
   util::ScopedFd fd;
   if (const int fe = FTC_FAILPOINT("store.sniff.open")) {
     errno = fe;

@@ -123,10 +123,19 @@ struct RetryPolicy {
   unsigned max_attempts = 3;  // total attempts, >= 1
   std::chrono::microseconds initial_backoff{100};
   double multiplier = 2.0;  // backoff growth per attempt
+  // Ceiling the exponential growth stops at — remote fetches retry
+  // under the same policy as local opens, and unbounded doubling
+  // against a flapping origin turns a 3-attempt budget into seconds.
+  std::chrono::microseconds max_backoff{100000};
 };
 
 // Process-wide policy ShardedStoreView retries under (tests shrink it;
-// not synchronized — set it before serving traffic).
+// not synchronized — set it before serving traffic). Seeded once, on
+// first use, from the environment so operators can tune remote-fetch
+// retries without a rebuild:
+//   FTC_RETRY_ATTEMPTS  total attempts (>= 1)
+//   FTC_RETRY_BASE_US   initial backoff in microseconds
+//   FTC_RETRY_CAP_US    backoff ceiling in microseconds
 RetryPolicy& default_retry_policy();
 
 // One quarantined shard: index, the ID ranges it makes unservable, and
@@ -231,7 +240,14 @@ DeltaPushStats save_sharded_delta(const ConnectivityScheme& scheme,
 // queries may race to open the same shard and one open wins). Adjacency
 // reads come from the manifest's own side-table. info() aggregates the
 // whole store: file_bytes spans manifest plus shards, num_shards > 0.
-class ShardedStoreView final : public StoreView {
+//
+// Subclassable at exactly one seam: shard_local_path() resolves shard k
+// to a local file the container opener can mmap. The base class reads
+// next to the manifest — the local-directory transport today's opens
+// always were. RemoteStoreView overrides it to pull the shard through a
+// ShardSource into the digest-verified ShardCache first; everything
+// else (lazy opens, retry, quarantine, routes, adoption) is shared.
+class ShardedStoreView : public StoreView {
  public:
   // Maps and validates the manifest (structure always; the manifest
   // payload FNV pass only when verify_checksum). Shard files are
@@ -308,15 +324,33 @@ class ShardedStoreView final : public StoreView {
   // shard mapping throw StoreIoError for the whole store.
   [[noreturn]] void on_mapped_fault(const void* addr) const override;
 
- private:
+ protected:
   ShardedStoreView() = default;
 
-  // Shared body of open() / open_degraded(); tolerate_missing_shards
-  // turns shard stat failures into quarantines instead of throws.
-  static std::shared_ptr<const ShardedStoreView> open_impl(
-      const std::string& path, bool verify_checksum,
+  // Resolves shard k to a local file path LabelStoreView::open can
+  // mmap. Called on the lazy first-touch / prefetch / verify paths,
+  // outside any lock; may block (a remote override fetches here) and
+  // may throw StoreIoError (transient, retried) or StoreError
+  // (structural, quarantines). Base: the file named by the manifest
+  // record, next to the manifest.
+  virtual std::string shard_local_path(std::size_t k) const;
+  // Names shard k in quarantine reasons and fault reports WITHOUT side
+  // effects — never fetches. Base: the same path shard_local_path
+  // returns; remote: the origin URL.
+  virtual std::string shard_display_name(std::size_t k) const;
+
+  // Shared body of open() / open_degraded() / RemoteStoreView::open():
+  // maps + validates the manifest at `path` and populates the
+  // caller-allocated `view` (which may be a subclass instance).
+  // tolerate_missing_shards turns shard stat failures into quarantines
+  // instead of throws; stat_shards=false skips the local existence
+  // check entirely (remote shards have no local file until fetched —
+  // info().file_bytes then trusts the manifest's recorded sizes).
+  static void open_impl(
+      const std::shared_ptr<ShardedStoreView>& view, const std::string& path,
+      bool verify_checksum,
       const std::shared_ptr<const ShardedStoreView>& reuse_from,
-      bool tolerate_missing_shards);
+      bool tolerate_missing_shards, bool stat_shards);
 
   // Opens and validates shard k against the manifest (full container
   // validation + cross-checks), one attempt. Throws StoreError /
@@ -374,5 +408,49 @@ class ShardedStoreView final : public StoreView {
   mutable std::unique_ptr<store::FlatRoutes> routes_storage_;
   mutable std::atomic<const store::FlatRoutes*> routes_ptr_{nullptr};
 };
+
+class ShardSource;  // core/shard_source.hpp
+class ShardCache;   // core/shard_cache.hpp
+
+// A sharded store served from an http:// manifest URL. The manifest is
+// fetched (with retry under default_retry_policy()), verified and
+// parked in the shard cache, then parsed by the ordinary manifest
+// reader; shards are fetched through the cache on first touch — a warm
+// cache makes a remote open byte-for-byte the local lazy-open path.
+// Everything above this class (FlatRoutes, BatchQueryEngine,
+// swap_store adoption, quarantine/degraded serving, journal sidecars)
+// is unchanged: open_store_view() dispatches URLs here, so callers
+// never name this type.
+class RemoteStoreView final : public ShardedStoreView {
+ public:
+  // cache == nullptr uses default_remote_cache(). reuse_from enables
+  // the same delta-push shard adoption as the local open — combined
+  // with content-addressed caching, a swap to a child epoch transfers
+  // only the changed shards.
+  static std::shared_ptr<const RemoteStoreView> open(
+      const std::string& url, bool verify_checksum = true,
+      const std::shared_ptr<const ShardedStoreView>& reuse_from = nullptr,
+      std::shared_ptr<ShardCache> cache = nullptr);
+
+  const std::string& url() const { return url_; }
+  const std::shared_ptr<ShardCache>& cache() const { return cache_; }
+
+ protected:
+  std::string shard_local_path(std::size_t k) const override;
+  std::string shard_display_name(std::size_t k) const override;
+
+ private:
+  RemoteStoreView() = default;
+
+  std::string url_;
+  std::shared_ptr<ShardCache> cache_;
+  std::shared_ptr<const ShardSource> source_;
+};
+
+// Fetches the deletion-journal sidecar "<store url>.jrnl" into the
+// default cache and returns its local path, or "" when the origin has
+// none (journals are optional). Transient transport failures retry
+// under default_retry_policy() before throwing.
+std::string fetch_remote_journal(const std::string& store_url);
 
 }  // namespace ftc::core

@@ -77,12 +77,14 @@
 // dispatch in open_store_view / load_scheme decides).
 //
 // Exit codes: 0 ok, 1 usage error, 2 store/build/capability error.
+#include <pthread.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -95,6 +97,7 @@
 #include "core/connectivity_scheme.hpp"
 #include "core/journal.hpp"
 #include "core/label_store.hpp"
+#include "core/shard_server.hpp"
 #include "core/sharded_store.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
@@ -122,9 +125,10 @@ using namespace ftc;
                "       %s journal compact FILE\n"
                "       %s swap-demo [--f K] [--n N] [--m M] [--queries Q] "
                "[--swaps S] [--seed S] [--threads T] [--prefetch[=P]] "
-               "[--delta]\n",
+               "[--delta]\n"
+               "       %s serve DIR [--port P]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0);
   std::exit(1);
 }
 
@@ -951,6 +955,53 @@ int cmd_query(int argc, char** argv) {
   return 0;
 }
 
+// serve: a loopback static shard origin ("ftc_store serve DIR --port P")
+// so demos and e2e tests can exercise the remote tier with no external
+// server. Prints the base URL on stdout (machine-parseable: scripts
+// read it to learn the ephemeral port), then blocks until SIGINT or
+// SIGTERM and shuts down cleanly — exit 0 with every thread joined, so
+// sanitizer legs can assert a leak-free lifecycle.
+int cmd_serve(int argc, char** argv) {
+  std::string dir;
+  const auto flags = parse_flags(argc, argv, 2, &dir, {"port"});
+  if (dir.empty()) usage(argv[0]);
+  const std::uint64_t port = flag_u64(flags, "port", 0);
+  if (port > 65535) {
+    std::fprintf(stderr, "bad port: %llu\n",
+                 static_cast<unsigned long long>(port));
+    return 1;
+  }
+
+  // Block the shutdown signals BEFORE the server spawns threads so
+  // every thread inherits the mask and sigwait below is the only
+  // consumer.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  ::pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  core::ShardHttpServer server(dir, static_cast<std::uint16_t>(port));
+  server.start();
+  std::printf("serving %s on %s (pid %ld)\n", dir.c_str(),
+              server.base_url().c_str(), static_cast<long>(::getpid()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  while (::sigwait(&set, &sig) != 0) {
+  }
+  server.stop();
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "serve: stopped on signal %d after %llu request(s) "
+               "(%llu range, %llu not found, %llu bytes sent)\n",
+               sig, static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.range_requests),
+               static_cast<unsigned long long>(stats.not_found),
+               static_cast<unsigned long long>(stats.bytes_sent));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -971,6 +1022,7 @@ int main(int argc, char** argv) {
     if (cmd == "journal") return cmd_journal(argc, argv);
     if (cmd == "merge") return cmd_merge(argc, argv);
     if (cmd == "swap-demo") return cmd_swap_demo(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
