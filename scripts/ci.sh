@@ -61,7 +61,15 @@
 #   scripts/ci.sh tsan        # ThreadSanitizer leg: tsan preset build +
 #                             # run of the concurrency-heavy suites
 #                             # (sharded prefetch races, live epoch swap,
-#                             # shard-cache fetch/evict races)
+#                             # shard-cache fetch/evict races, parallel
+#                             # builder dispatches)
+#   scripts/ci.sh build-parallel # parallel-build determinism leg: asan
+#                             # run of the byte-identity suite
+#                             # (test_parallel_build) + the randomized
+#                             # parallel-vs-serial differential, then a
+#                             # CLI e2e — `build --threads 8` vs
+#                             # `--threads 1`, cmp byte-identical, for
+#                             # all three backends
 #   scripts/ci.sh docs        # documentation leg: every relative link in
 #                             # README.md and docs/*.md must resolve to a
 #                             # file in the repo (dead links fail)
@@ -417,10 +425,40 @@ if [ "${1:-}" = "tsan" ]; then
   echo "=== concurrency leg (tsan) ==="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-    --target test_sharded_store test_store_swap test_shard_cache
+    --target test_sharded_store test_store_swap test_shard_cache \
+    test_parallel_build
   ctest --preset tsan \
-    -R 'test_sharded_store|test_store_swap|test_shard_cache' -j "$jobs"
-  echo "ci: sharded prefetch + live-swap + shard-cache suites green under tsan"
+    -R 'test_sharded_store|test_store_swap|test_shard_cache|test_parallel_build' \
+    -j "$jobs"
+  echo "ci: sharded prefetch + live-swap + shard-cache + parallel-build suites green under tsan"
+  exit 0
+fi
+
+if [ "${1:-}" = "build-parallel" ]; then
+  echo "=== parallel build determinism leg (asan) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" \
+    --target test_parallel_build test_stress_differential ftc_store
+  # The byte-identity suite (flat + sharded stores across thread counts,
+  # all backends) and the randomized parallel-vs-serial differential
+  # sweep, both under asan.
+  ctest --preset asan -R 'test_parallel_build|test_stress_differential' \
+    -j "$jobs"
+  # CLI end-to-end: an 8-thread build must produce the exact bytes of a
+  # serial build — cmp, not just digest, so the check is independent of
+  # the checksum machinery it is meant to vouch for.
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  for backend in core-ftc dp21-cycle dp21-agm; do
+    build-asan/ftc_store build --out "$tmp/serial.ftcs" --backend "$backend" \
+      --family grid --rows 14 --cols 17 --f 4 --threads 1 >/dev/null
+    build-asan/ftc_store build --out "$tmp/parallel.ftcs" \
+      --backend "$backend" \
+      --family grid --rows 14 --cols 17 --f 4 --threads 8 >/dev/null
+    cmp "$tmp/serial.ftcs" "$tmp/parallel.ftcs"
+    echo "build-parallel: $backend 8-thread store byte-identical to serial"
+  done
+  echo "ci: parallel build determinism leg green (suites + CLI cmp)"
   exit 0
 fi
 
@@ -457,7 +495,8 @@ if [ "${1:-}" = "bench-smoke" ]; then
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
     --target bench_decoder_hotpath bench_vertex_faults bench_shard_swap \
-    bench_delta_push bench_fault_injection bench_remote_fetch
+    bench_delta_push bench_fault_injection bench_remote_fetch \
+    bench_build_scaling
   # Run inside build/ so the smoke-size JSON cannot clobber the
   # checked-in repo-root baseline (regenerate that via bench_all.sh).
   (cd build && ./bench_decoder_hotpath --smoke)
@@ -466,10 +505,12 @@ if [ "${1:-}" = "bench-smoke" ]; then
   (cd build && ./bench_delta_push --smoke)
   (cd build && ./bench_fault_injection --smoke)
   (cd build && ./bench_remote_fetch --smoke)
+  (cd build && ./bench_build_scaling --smoke)
   if command -v python3 >/dev/null; then
     python3 - build/BENCH_decoder_hotpath.json build/BENCH_vertex_faults.json \
       build/BENCH_shard_swap.json build/BENCH_delta_push.json \
-      build/BENCH_fault_injection.json build/BENCH_remote_fetch.json <<'EOF'
+      build/BENCH_fault_injection.json build/BENCH_remote_fetch.json \
+      build/BENCH_build_scaling.json <<'EOF'
 import json, sys
 required = {
     "BENCH_decoder_hotpath.json": {"backend", "f", "single_query_us",
@@ -497,7 +538,18 @@ required = {
                                 "warm_open_ms", "warm_prefetch_ms",
                                 "cold_first_query_us", "warm_first_query_us",
                                 "local_batch_qps", "remote_batch_qps"},
+    "BENCH_build_scaling.json": {"family", "backend", "threads", "build_ms",
+                                 "hierarchy_ms", "sketch_ms",
+                                 "speedup_vs_serial",
+                                 "digest_matches_serial",
+                                 "hardware_concurrency"},
 }
+# The build-scaling bench hard-fails in-process on a digest mismatch;
+# the recorded flag must therefore always be true — a false here means
+# the bench's own gate was bypassed.
+with open("build/BENCH_build_scaling.json") as fh:
+    assert all(r["digest_matches_serial"] for r in json.load(fh)), \
+        "parallel build digest mismatch recorded in BENCH_build_scaling.json"
 for path in sys.argv[1:]:
     with open(path) as fh:
         records = json.load(fh)
@@ -516,6 +568,7 @@ EOF
     grep -q '^\[{.*}\]$' build/BENCH_shard_swap.json
     grep -q '^\[{.*}\]$' build/BENCH_fault_injection.json
     grep -q '^\[{.*}\]$' build/BENCH_remote_fetch.json
+    grep -q '^\[{.*}\]$' build/BENCH_build_scaling.json
     echo "bench-smoke: JSON shape check passed (python3 unavailable)"
   fi
   echo "ci: bench smoke green"

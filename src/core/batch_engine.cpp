@@ -1,10 +1,10 @@
 #include "core/batch_engine.hpp"
 
 #include "core/journal.hpp"
+#include "util/worker_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <thread>
@@ -26,86 +26,12 @@ std::shared_ptr<const ConnectivityScheme> require_scheme(
 
 }  // namespace
 
-// Persistent worker pool: threads are created once (lazily, growing to
-// the largest fan-out ever requested) and parked on a condition variable
-// between batches, so a small run_parallel() batch costs two mutex
-// hand-offs instead of num_threads thread spawns + joins. Each dispatch
-// is a generation: run() publishes the job under the lock, wakes
-// everyone, participates as worker 0, then blocks until the active
-// workers of that generation have drained. A worker whose id is beyond
-// the batch's fan-out just re-arms on the next generation. run() is only
-// ever entered from the engine's (single) caller thread.
-struct BatchQueryEngine::Pool {
-  ~Pool() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex);
-      stop = true;
-    }
-    cv_work.notify_all();
-    for (std::thread& t : threads) t.join();
-  }
-
-  // Runs job(id) for id in [0, active): ids 1..active-1 on pool threads,
-  // id 0 on the calling thread. Returns once every id has finished. The
-  // job must not throw (run_parallel's worker catches internally).
-  void run(unsigned active, const std::function<void(unsigned)>& task) {
-    if (active <= 1) {
-      task(0);
-      return;
-    }
-    while (threads.size() < active - 1) {
-      const unsigned id = static_cast<unsigned>(threads.size()) + 1;
-      threads.emplace_back([this, id] { worker_main(id); });
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex);
-      job = &task;
-      active_workers = active;
-      running = active - 1;
-      ++generation;
-    }
-    cv_work.notify_all();
-    task(0);
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv_done.wait(lock, [this] { return running == 0; });
-      job = nullptr;
-    }
-  }
-
- private:
-  void worker_main(unsigned id) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      const std::function<void(unsigned)>* task = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv_work.wait(lock, [&] {
-          return stop || (generation != seen && job != nullptr);
-        });
-        if (stop) return;
-        seen = generation;
-        if (id >= active_workers) continue;  // not part of this fan-out
-        task = job;
-      }
-      (*task)(id);
-      {
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (--running == 0) cv_done.notify_one();
-      }
-    }
-  }
-
-  std::mutex mutex;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  std::vector<std::thread> threads;  // thread i serves worker id i + 1
-  const std::function<void(unsigned)>* job = nullptr;
-  unsigned active_workers = 0;
-  unsigned running = 0;
-  std::uint64_t generation = 0;
-  bool stop = false;
-};
+// The persistent worker pool lives in util/worker_pool.hpp now, shared
+// with the label builders: threads are created once (lazily) and parked
+// on a condition variable between batches, so a small run_parallel()
+// batch costs two mutex hand-offs instead of num_threads thread spawns
+// + joins. run() is only ever entered from the engine's (single) caller
+// thread.
 
 BatchQueryEngine::BatchQueryEngine(
     std::shared_ptr<const ConnectivityScheme> scheme, const FaultSpec& spec,
@@ -326,7 +252,7 @@ std::vector<bool> BatchQueryEngine::run_parallel(
     }
   };
 
-  if (pool_ == nullptr) pool_ = std::make_unique<Pool>();
+  if (pool_ == nullptr) pool_ = std::make_unique<util::WorkerPool>();
   pool_->run(num_threads, worker);
   if (error) std::rethrow_exception(error);
 

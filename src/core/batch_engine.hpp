@@ -47,6 +47,10 @@
 #include "core/label_store.hpp"
 #include "core/sharded_store.hpp"
 
+namespace ftc::util {
+class WorkerPool;
+}  // namespace ftc::util
+
 namespace ftc::core {
 
 class BatchQueryEngine {
@@ -151,8 +155,6 @@ class BatchQueryEngine {
   const ConnectivityScheme& scheme() const;
 
  private:
-  struct Pool;  // persistent worker pool, defined in batch_engine.cpp
-
   // One immutable label generation: everything a pinned query touches.
   // The workspace arena rides along because workspaces are backend-
   // specific scratch — a swap to a different backend (or labels of a
@@ -186,8 +188,9 @@ class BatchQueryEngine {
   QueryOptions options_;
   std::uint64_t last_run_epoch_ = 0;  // query-thread only
   // Lazily created on the first parallel batch, then reused for the
-  // engine's lifetime; idle workers park on a condition variable.
-  std::unique_ptr<Pool> pool_;
+  // engine's lifetime; idle workers park on a condition variable
+  // (util::WorkerPool — the same parked pool the label builders use).
+  std::unique_ptr<util::WorkerPool> pool_;
 };
 
 }  // namespace ftc::core

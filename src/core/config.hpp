@@ -80,6 +80,9 @@ struct FtcConfig {
   unsigned group_len = 0;    // NetFind group length (0 = provable default)
   std::uint64_t seed = 1;    // randomized hierarchy seed
   FieldKind field = FieldKind::kAuto;
+  // Build worker threads (0 = hardware concurrency). Any value produces
+  // byte-identical labels; this is purely a wall-clock knob.
+  unsigned build_threads = 1;
 };
 
 }  // namespace ftc::core

@@ -222,6 +222,15 @@ struct SchemeConfig {
     agm.seed = seed;
     return *this;
   }
+  // Build worker threads for every backend (0 = hardware concurrency).
+  // Purely a wall-clock knob: any value yields byte-identical labels.
+  unsigned build_threads() const { return ftc.build_threads; }
+  SchemeConfig& set_build_threads(unsigned threads) {
+    ftc.build_threads = threads;
+    cycle.build_threads = threads;
+    agm.build_threads = threads;
+    return *this;
+  }
 };
 
 // Factory: build the labeling selected by config.backend for g. Throws

@@ -10,6 +10,7 @@
 #include "graph/euler_tour.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sketch/rs_sketch.hpp"
+#include "util/worker_pool.hpp"
 
 namespace ftc::core {
 
@@ -80,13 +81,34 @@ struct FtcScheme::Impl {
   std::vector<std::uint32_t> level_pops;
 
   // Computes, per hierarchy level, every T'-vertex's outdetect label (XOR
-  // of incident level-edge IDs) and aggregates subtree sums bottom-up; the
-  // sum below sigma(e)'s lower endpoint is recorded as e's level sketch
-  // (Lemma 1 / Proposition 4).
+  // of incident level-edge IDs) and the subtree sum below every non-root
+  // vertex; the sum below sigma(e)'s lower endpoint is recorded as e's
+  // level sketch (Lemma 1 / Proposition 4).
+  //
+  // Parallel formulation. The subtree of v is the contiguous Euler-tin
+  // range [tin(v), tout(v)], and all sums live in a characteristic-2
+  // field where addition is word-XOR — so instead of the serial
+  // bottom-up fold, index the accumulator by tin and take a prefix scan:
+  //     P[t]          = XOR of own-contributions of tins <= t
+  //     subtree(v)    = P[tout(v)] ^ P[tin(v) - 1]     (tin(v) >= 1)
+  // Every stage partitions the tin axis into one stripe per worker:
+  //   1. accumulate: each worker zeroes its stripe, then folds the
+  //      power-sum contributions of exactly the edge endpoints whose tin
+  //      it owns (an edge spanning two stripes recomputes its k power
+  //      sums once per side — bounded 2x duplication, no communication);
+  //   2. scan: stripe-local inclusive XOR scan;
+  //   3. carry: a serial chain of per-stripe totals (k field elements
+  //      per stripe — negligible), then a parallel carry application;
+  //   4. write-out: per-vertex sketch rows; target rows are disjoint
+  //      because parent_edge is injective over non-root vertices.
+  // XOR makes every accumulation order produce identical bits, so the
+  // result is byte-identical to the serial (1-stripe) build for any
+  // worker count — the contract test_parallel_build enforces.
   template <typename F>
   void build_sketches(const graph::AuxGraph& aux,
                       const graph::AncestryLabeling& anc2,
-                      const geometry::EdgeHierarchy& hier) {
+                      const geometry::EdgeHierarchy& hier,
+                      util::WorkerPool& pool) {
     const VertexId n2 = aux.g2.num_vertices();
     const unsigned k = params.k;
     const unsigned levels = params.num_levels;
@@ -98,55 +120,97 @@ struct FtcScheme::Impl {
     std::vector<EdgeId> sigma_inv(aux.g2.num_edges(), graph::kNoEdge);
     for (EdgeId e = 0; e < orig_m; ++e) sigma_inv[aux.sigma[e]] = e;
 
-    // Post-order over T': children strictly before parents.
-    std::vector<VertexId> post;
-    post.reserve(n2);
-    {
-      std::vector<VertexId> stack{aux.t2.root};
-      while (!stack.empty()) {
-        const VertexId u = stack.back();
-        stack.pop_back();
-        post.push_back(u);
-        for (const VertexId c : aux.t2.children[u]) stack.push_back(c);
-      }
-      std::reverse(post.begin(), post.end());
+    std::vector<std::uint32_t> tin(n2), tout(n2);
+    for (VertexId v = 0; v < n2; ++v) {
+      const graph::AncestryLabel l = anc2.label(v);
+      tin[v] = l.tin;
+      tout[v] = l.tout;
     }
 
-    std::vector<F> acc(static_cast<std::size_t>(n2) * k);
+    const unsigned stripes = static_cast<unsigned>(std::min<std::size_t>(
+        pool.default_active(), static_cast<std::size_t>(n2)));
+    std::vector<std::size_t> bounds(stripes + 1);
+    for (unsigned b = 0; b <= stripes; ++b) {
+      bounds[b] = static_cast<std::size_t>(n2) * b / stripes;
+    }
+
+    std::vector<F> acc(static_cast<std::size_t>(n2) * k);  // indexed by tin
+    std::vector<F> carry(static_cast<std::size_t>(stripes) * k, F::zero());
     for (unsigned lev = 0; lev < levels; ++lev) {
-      std::fill(acc.begin(), acc.end(), F::zero());
-      // Per-vertex own contribution: odd power sums of incident edge IDs.
-      for (const EdgeId e2 : hier.levels[lev]) {
-        const auto& ed = aux.g2.edge(e2);
-        const F id = EdgeCode<F>::encode(anc2.label(ed.u), anc2.label(ed.v));
-        const F id2 = id.square();
-        F p = id;
-        F* au = &acc[static_cast<std::size_t>(ed.u) * k];
-        F* av = &acc[static_cast<std::size_t>(ed.v) * k];
+      // Stages 1 + 2 in one dispatch: a worker only touches rows in its
+      // own tin stripe.
+      pool.run(stripes, [&](unsigned b) {
+        const std::size_t lo = bounds[b];
+        const std::size_t hi = bounds[b + 1];
+        std::fill(acc.begin() + static_cast<std::ptrdiff_t>(lo * k),
+                  acc.begin() + static_cast<std::ptrdiff_t>(hi * k),
+                  F::zero());
+        // Own contributions: odd power sums of incident edge IDs.
+        for (const EdgeId e2 : hier.levels[lev]) {
+          const auto& ed = aux.g2.edge(e2);
+          const std::size_t tu = tin[ed.u];
+          const std::size_t tv = tin[ed.v];
+          const bool own_u = tu >= lo && tu < hi;
+          const bool own_v = tv >= lo && tv < hi;
+          if (!own_u && !own_v) continue;
+          const F id = EdgeCode<F>::encode(anc2.label(ed.u), anc2.label(ed.v));
+          const F id2 = id.square();
+          F p = id;
+          F* au = own_u ? &acc[tu * k] : nullptr;
+          F* av = own_v ? &acc[tv * k] : nullptr;
+          for (unsigned j = 0; j < k; ++j) {
+            if (au != nullptr) au[j] += p;
+            if (av != nullptr) av[j] += p;
+            p *= id2;
+          }
+        }
+        // Stripe-local inclusive XOR scan over the tin axis.
+        for (std::size_t t = lo + 1; t < hi; ++t) {
+          const F* prev = &acc[(t - 1) * k];
+          F* curr = &acc[t * k];
+          for (unsigned j = 0; j < k; ++j) curr[j] += prev[j];
+        }
+      });
+      // Stage 3a, serial: carry[b] = XOR of stripe totals before b (a
+      // stripe's total after the local scan is its last row).
+      for (unsigned j = 0; j < k; ++j) carry[j] = F::zero();
+      for (unsigned b = 1; b < stripes; ++b) {
+        const F* last = &acc[(bounds[b] - 1) * k];
         for (unsigned j = 0; j < k; ++j) {
-          au[j] += p;
-          av[j] += p;
-          p *= id2;
+          carry[static_cast<std::size_t>(b) * k + j] =
+              carry[static_cast<std::size_t>(b - 1) * k + j] + last[j];
         }
       }
-      // Bottom-up: when v is reached its accumulator already holds the
-      // full subtree sum (children were processed earlier). Record it as
-      // the level sketch of sigma^{-1}(parent edge of v), then push it
-      // into the parent.
-      for (const VertexId v : post) {
-        if (v == aux.t2.root) continue;
-        const F* av = &acc[static_cast<std::size_t>(v) * k];
-        const EdgeId eo = sigma_inv[aux.t2.parent_edge[v]];
-        FTC_CHECK(eo != graph::kNoEdge, "T' tree edge without sigma preimage");
-        std::uint64_t* out = &sketch_data[eo * words_per_edge +
-                                          static_cast<std::size_t>(lev) * k *
-                                              wpe];
-        for (unsigned j = 0; j < k; ++j) {
-          for (unsigned w = 0; w < wpe; ++w) out[j * wpe + w] = av[j].word(w);
+      // Stage 3b: apply carries; acc now holds the global prefix P[t].
+      pool.run(stripes, [&](unsigned b) {
+        if (b == 0) return;
+        const F* cb = &carry[static_cast<std::size_t>(b) * k];
+        for (std::size_t t = bounds[b]; t < bounds[b + 1]; ++t) {
+          F* row = &acc[t * k];
+          for (unsigned j = 0; j < k; ++j) row[j] += cb[j];
         }
-        F* ap = &acc[static_cast<std::size_t>(aux.t2.parent[v]) * k];
-        for (unsigned j = 0; j < k; ++j) ap[j] += av[j];
-      }
+      });
+      // Stage 4: per-vertex write-out. Non-root v has tin >= 1 (the root
+      // is the unique tin-0 vertex), and each writes a distinct edge row.
+      pool.run(stripes, [&](unsigned b) {
+        for (VertexId v = static_cast<VertexId>(bounds[b]);
+             v < static_cast<VertexId>(bounds[b + 1]); ++v) {
+          if (v == aux.t2.root) continue;
+          const F* hi_row = &acc[static_cast<std::size_t>(tout[v]) * k];
+          const F* lo_row = &acc[(static_cast<std::size_t>(tin[v]) - 1) * k];
+          const EdgeId eo = sigma_inv[aux.t2.parent_edge[v]];
+          FTC_CHECK(eo != graph::kNoEdge,
+                    "T' tree edge without sigma preimage");
+          std::uint64_t* out =
+              &sketch_data[eo * words_per_edge +
+                           static_cast<std::size_t>(lev) * k * wpe];
+          for (unsigned j = 0; j < k; ++j) {
+            F s = hi_row[j];
+            s += lo_row[j];
+            for (unsigned w = 0; w < wpe; ++w) out[j * wpe + w] = s.word(w);
+          }
+        }
+      });
     }
   }
 };
@@ -159,6 +223,12 @@ FtcScheme FtcScheme::build(const graph::Graph& g, const FtcConfig& config) {
   auto impl = std::make_unique<Impl>();
   impl->orig_n = g.num_vertices();
   impl->orig_m = g.num_edges();
+
+  // One parked pool for the whole build; every phase partitions its
+  // output disjointly (or folds XOR-commutative sums), so the store
+  // bytes are independent of the worker count.
+  util::WorkerPool pool(util::WorkerPool::resolve_threads(config.build_threads));
+  impl->stats.threads = pool.default_active();
 
   const graph::SpanningTree t = graph::bfs_spanning_tree(g, 0);
   const graph::AuxGraph aux = graph::build_aux_graph(g, t);
@@ -184,7 +254,7 @@ FtcScheme FtcScheme::build(const graph::Graph& g, const FtcConfig& config) {
   const auto th = std::chrono::steady_clock::now();
   const auto points = geometry::map_nontree_edges(aux.g2, aux.t2, et2);
   geometry::EdgeHierarchy hier =
-      geometry::build_hierarchy(points, hierarchy_config(config));
+      geometry::build_hierarchy(points, hierarchy_config(config), &pool);
   // Drop the trailing empty level: it carries no sketch content.
   FTC_CHECK(!hier.levels.empty() && hier.levels.back().empty(),
             "hierarchy must terminate with the empty set");
@@ -223,11 +293,13 @@ FtcScheme FtcScheme::build(const graph::Graph& g, const FtcConfig& config) {
   }
 
   // Sketch payload.
+  // Wall-clock on the coordinating thread (NOT summed per-worker CPU):
+  // parallel and serial builds report comparable phase timings.
   const auto ts = std::chrono::steady_clock::now();
   if (field == FieldKind::kGF64) {
-    impl->build_sketches<gf::GF2_64>(aux, anc2, hier);
+    impl->build_sketches<gf::GF2_64>(aux, anc2, hier, pool);
   } else {
-    impl->build_sketches<gf::GF2_128>(aux, anc2, hier);
+    impl->build_sketches<gf::GF2_128>(aux, anc2, hier, pool);
   }
   impl->stats.sketch_seconds = seconds_since(ts);
 

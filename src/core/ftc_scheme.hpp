@@ -28,6 +28,9 @@ struct BuildStats {
   unsigned field_bits = 0;
   std::uint32_t n_aux = 0;          // |V_{G'}|
   std::size_t hierarchy_edges = 0;  // sum of level sizes
+  unsigned threads = 1;             // resolved build worker count
+  // Wall-clock phase timings measured on the coordinating thread — NOT
+  // summed per-worker CPU, so serial and parallel builds compare 1:1.
   double hierarchy_seconds = 0;
   double sketch_seconds = 0;
   double total_seconds = 0;

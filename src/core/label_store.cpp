@@ -20,6 +20,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -200,9 +201,43 @@ std::vector<std::uint8_t> build_adjacency_section(
   return section.take();
 }
 
-std::vector<std::uint8_t> build_container_bytes(
-    const ConnectivityScheme& scheme, VertexId v_begin, VertexId v_end,
-    EdgeId e_begin, EdgeId e_end, bool include_adjacency) {
+namespace {
+
+// Little-endian u64 store, mirroring ByteWriter::patch_u64 for sinks
+// that patch raw buffers instead of a ByteWriter.
+void store_u64_le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = (v >> (8 * i)) & 0xff;
+}
+
+// Serial shared by every temp-file writer (write_file_atomic and the
+// streaming FileSink), so concurrent saves of the same path from one
+// process can never collide on a temp name.
+unsigned next_save_serial() {
+  static std::atomic<unsigned> save_counter{0};
+  return save_counter.fetch_add(1);
+}
+
+// Flush granularity of the streaming emitter: label records are
+// serialized into a scratch ByteWriter and handed to the sink whenever
+// it crosses this size, so writer memory is O(chunk) regardless of the
+// container size.
+constexpr std::size_t kStreamChunkBytes = std::size_t{1} << 20;
+
+// One emitter, three sinks. emit_container produces the container byte
+// stream for a sink exposing
+//     void write(std::span<const std::uint8_t>);
+//     std::uint64_t offset() const;   // bytes written so far
+// The header is emitted FIRST with both checksum fields zero; each sink
+// finalizes the checksums its own way (MemorySink patches its buffer,
+// FileSink rewrites the 64-byte header in place, DigestSink never needs
+// them — the payload checksum is definitionally over bytes past the
+// header). Routing build_container_bytes, write_container_streamed and
+// digest_container through this one function is what guarantees the
+// in-memory, streamed and digest-only outputs can never drift apart.
+template <typename Sink>
+void emit_container(const ConnectivityScheme& scheme, VertexId v_begin,
+                    VertexId v_end, EdgeId e_begin, EdgeId e_end,
+                    bool include_adjacency, Sink& sink) {
   FTC_REQUIRE(v_begin <= v_end && v_end <= scheme.num_vertices(),
               "vertex range out of order or out of range");
   FTC_REQUIRE(e_begin <= e_end && e_end <= scheme.num_edges(),
@@ -213,15 +248,16 @@ std::vector<std::uint8_t> build_container_bytes(
   store::ByteWriter params;
   scheme.serialize_params(params);
 
-  // Edge blobs first (the offset index precedes them in the file).
-  store::ByteWriter blobs;
-  std::vector<std::uint64_t> offsets;
-  offsets.reserve(static_cast<std::size_t>(m) + 1);
-  for (EdgeId e = e_begin; e < e_end; ++e) {
-    offsets.push_back(blobs.size());
-    scheme.serialize_edge_label(e, blobs);
+  // The offset index precedes the blobs in the file, but blobs of one
+  // scheme are uniform-width (the reader enforces this at open), so the
+  // index is arithmetic: probe one blob for the width instead of
+  // buffering the whole section to learn its offsets.
+  std::uint64_t blob_bytes = 0;
+  if (m > 0) {
+    store::ByteWriter probe;
+    scheme.serialize_edge_label(e_begin, probe);
+    blob_bytes = probe.size();
   }
-  offsets.push_back(blobs.size());
 
   // Adjacency side-table (format v2): present iff the scheme can name
   // its incidence lists, so saved schemes keep vertex-fault capability.
@@ -235,45 +271,121 @@ std::vector<std::uint8_t> build_container_bytes(
     adj_section = build_adjacency_section(scheme);
   }
 
-  store::ByteWriter w;
-  w.u64(store::kMagic);
-  w.u32(static_cast<std::uint32_t>(store::kFormatVersion));
-  w.u8(static_cast<std::uint8_t>(scheme.backend()));
-  w.u8(!adj_section.empty() ? store::kFlagHasAdjacency : 0);  // flags
-  w.u8(0);
-  w.u8(0);
-  w.u64(n);
-  w.u64(m);
-  w.u64(params.size());
-  const std::size_t payload_checksum_off = w.size();
-  w.u64(0);  // payload checksum, patched below
-  w.u64(adj_section.size());  // adjacency section size (0 when absent)
-  const std::size_t header_checksum_off = w.size();
-  w.u64(0);  // header checksum, patched below
-  FTC_CHECK(w.size() == store::kHeaderBytes, "store header layout drifted");
+  const auto pad8 = [&sink] {
+    static constexpr std::uint8_t zeros[8] = {};
+    const std::size_t rem = static_cast<std::size_t>(sink.offset()) % 8;
+    if (rem != 0) {
+      sink.write(std::span<const std::uint8_t>(zeros, 8 - rem));
+    }
+  };
+  store::ByteWriter chunk;
+  const auto flush = [&sink, &chunk](std::size_t watermark) {
+    if (chunk.size() < watermark) return;
+    sink.write(chunk.view());
+    chunk = store::ByteWriter{};
+  };
 
-  w.bytes(params.view());
-  w.pad_to(8);
+  store::ByteWriter header;
+  header.u64(store::kMagic);
+  header.u32(static_cast<std::uint32_t>(store::kFormatVersion));
+  header.u8(static_cast<std::uint8_t>(scheme.backend()));
+  header.u8(!adj_section.empty() ? store::kFlagHasAdjacency : 0);  // flags
+  header.u8(0);
+  header.u8(0);
+  header.u64(n);
+  header.u64(m);
+  header.u64(params.size());
+  header.u64(0);  // payload checksum, finalized by the sink
+  header.u64(adj_section.size());  // adjacency section size (0 when absent)
+  header.u64(0);  // header checksum, finalized by the sink
+  FTC_CHECK(header.size() == store::kHeaderBytes,
+            "store header layout drifted");
+  sink.write(header.view());
+
+  sink.write(params.view());
+  pad8();
   for (VertexId v = v_begin; v < v_end; ++v) {
-    const std::size_t before = w.size();
-    scheme.serialize_vertex_label(v, w);
-    FTC_CHECK(w.size() - before == store::kVertexRecordBytes,
+    const std::size_t before = chunk.size();
+    scheme.serialize_vertex_label(v, chunk);
+    FTC_CHECK(chunk.size() - before == store::kVertexRecordBytes,
               "vertex record must be fixed-size");
+    flush(kStreamChunkBytes);
   }
-  w.pad_to(8);
-  for (const std::uint64_t off : offsets) w.u64(off);
-  w.bytes(blobs.view());
+  flush(1);
+  pad8();
+  for (EdgeId e = 0; e <= m; ++e) {
+    chunk.u64(static_cast<std::uint64_t>(e) * blob_bytes);
+    flush(kStreamChunkBytes);
+  }
+  for (EdgeId e = e_begin; e < e_end; ++e) {
+    const std::size_t before = chunk.size();
+    scheme.serialize_edge_label(e, chunk);
+    // The arithmetic index above is only valid for uniform blobs; a
+    // scheme violating that must fail the save, not corrupt the index.
+    FTC_CHECK(chunk.size() - before == blob_bytes,
+              "edge blobs must be uniform-width");
+    flush(kStreamChunkBytes);
+  }
+  flush(1);
   if (!adj_section.empty()) {
-    w.pad_to(8);
-    w.bytes(adj_section);
+    pad8();
+    sink.write(adj_section);
+  }
+}
+
+// Sink 1: buffer everything, then patch the checksums — the historical
+// build_container_bytes behavior.
+class MemorySink {
+ public:
+  void write(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  std::uint64_t offset() const { return buf_.size(); }
+
+  std::vector<std::uint8_t> finish() {
+    FTC_CHECK(buf_.size() >= store::kHeaderBytes, "container without header");
+    const std::span<const std::uint8_t> file(buf_);
+    store_u64_le(buf_.data() + 40,
+                 store::fnv1a(file.subspan(store::kHeaderBytes)));
+    store_u64_le(buf_.data() + 56, store::fnv1a(file.first(56)));
+    return std::move(buf_);
   }
 
-  const auto file = w.view();
-  w.patch_u64(payload_checksum_off,
-              store::fnv1a(file.subspan(store::kHeaderBytes)));
-  w.patch_u64(header_checksum_off,
-              store::fnv1a(file.first(header_checksum_off)));
-  return w.take();
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Sink 2: fold the stream straight into the payload digest — the
+// no-I/O pass delta pushes use to detect unchanged shards.
+class DigestSink {
+ public:
+  void write(std::span<const std::uint8_t> b) {
+    const std::uint64_t off = offset_;
+    offset_ += b.size();
+    if (off + b.size() <= store::kHeaderBytes) return;  // header bytes
+    if (off < store::kHeaderBytes) {
+      b = b.subspan(static_cast<std::size_t>(store::kHeaderBytes - off));
+    }
+    digest_ = store::fnv1a(b, digest_);
+  }
+  std::uint64_t offset() const { return offset_; }
+
+  ContainerDigest finish() const { return {offset_, digest_}; }
+
+ private:
+  std::uint64_t offset_ = 0;
+  std::uint64_t digest_ = store::kFnvBasis;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> build_container_bytes(
+    const ConnectivityScheme& scheme, VertexId v_begin, VertexId v_end,
+    EdgeId e_begin, EdgeId e_end, bool include_adjacency) {
+  MemorySink sink;
+  emit_container(scheme, v_begin, v_end, e_begin, e_end, include_adjacency,
+                 sink);
+  return sink.finish();
 }
 
 MappedFile map_readonly(const std::string& path, std::size_t min_bytes,
@@ -338,10 +450,9 @@ void write_file_atomic(const std::string& path,
   // fsync the directory — so a crashed, failed or racing save never
   // leaves a half-written store under the target name, even across
   // power loss on writeback filesystems.
-  static std::atomic<unsigned> save_counter{0};
   const std::string tmp = path + ".tmp." +
                           std::to_string(static_cast<long>(::getpid())) +
-                          "." + std::to_string(save_counter.fetch_add(1));
+                          "." + std::to_string(next_save_serial());
   util::ScopedFd fd;
   if (const int fe = FTC_FAILPOINT("store.write.open")) {
     errno = fe;
@@ -413,12 +524,189 @@ void write_file_atomic(const std::string& path,
   }
 }
 
+namespace {
+
+// Sink 3: stream straight to disk with write_file_atomic's exact crash
+// story and failpoint surface (store.write.{open,write,fsync,close,
+// rename,dirsync}), without ever materializing the container: the only
+// buffered state is the 64-byte header copy (its checksum fields are
+// patched with one pwrite at finish) and the emitter's flush chunk.
+class FileSink {
+ public:
+  explicit FileSink(std::string path)
+      : path_(std::move(path)),
+        tmp_(path_ + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
+             "." + std::to_string(next_save_serial())) {
+    if (const int fe = FTC_FAILPOINT("store.write.open")) {
+      errno = fe;
+    } else {
+      fd_.reset(
+          ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    }
+    if (!fd_) throw StoreIoError("cannot open for writing: " + tmp_);
+  }
+
+  ~FileSink() {
+    // Abandoned before finish() (the emitter threw): never leave the
+    // partial temp file behind.
+    if (!finished_) {
+      fd_.reset();
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(std::span<const std::uint8_t> b) {
+    // Keep a copy of the header bytes (they stream out with zeroed
+    // checksum fields) and fold everything after them into the payload
+    // checksum as it passes through.
+    if (offset_ < store::kHeaderBytes) {
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(b.size(), store::kHeaderBytes - offset_));
+      std::copy_n(b.data(), take,
+                  header_ + static_cast<std::size_t>(offset_));
+      if (take < b.size()) digest_ = store::fnv1a(b.subspan(take), digest_);
+    } else {
+      digest_ = store::fnv1a(b, digest_);
+    }
+    offset_ += b.size();
+    std::size_t written = 0;
+    while (written < b.size()) {
+      ::ssize_t n;
+      if (const int fe = FTC_FAILPOINT("store.write.write")) {
+        errno = fe;
+        n = -1;
+      } else {
+        n = ::write(fd_.get(), b.data() + written, b.size() - written);
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw fail("write failed");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::uint64_t offset() const { return offset_; }
+
+  // Patches the header checksums in place, then fsync + rename exactly
+  // like write_file_atomic. After this returns the container is durably
+  // at path_.
+  ContainerDigest finish() {
+    FTC_CHECK(offset_ >= store::kHeaderBytes, "container without header");
+    store_u64_le(header_ + 40, digest_);
+    store_u64_le(header_ + 56,
+                 store::fnv1a(std::span<const std::uint8_t>(header_, 56)));
+    std::size_t written = 0;
+    while (written < store::kHeaderBytes) {
+      ::ssize_t n;
+      if (const int fe = FTC_FAILPOINT("store.write.write")) {
+        errno = fe;
+        n = -1;
+      } else {
+        n = ::pwrite(fd_.get(), header_ + written,
+                     store::kHeaderBytes - written,
+                     static_cast<::off_t>(written));
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw fail("write failed");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    int rc;
+    if (const int fe = FTC_FAILPOINT("store.write.fsync")) {
+      errno = fe;
+      rc = -1;
+    } else {
+      rc = ::fsync(fd_.get());
+    }
+    if (rc != 0) throw fail("fsync failed");
+    if (const int fe = FTC_FAILPOINT("store.write.close")) {
+      errno = fe;
+      fd_.reset();  // still close the real fd; the injected error wins
+      rc = -1;
+    } else {
+      rc = fd_.close_now();
+    }
+    if (rc != 0) {
+      std::remove(tmp_.c_str());
+      finished_ = true;
+      throw StoreIoError("close failed: " + tmp_);
+    }
+    if (const int fe = FTC_FAILPOINT("store.write.rename")) {
+      errno = fe;
+      rc = -1;
+    } else {
+      rc = std::rename(tmp_.c_str(), path_.c_str());
+    }
+    if (rc != 0) {
+      std::remove(tmp_.c_str());
+      finished_ = true;
+      throw StoreIoError("cannot rename " + tmp_ + " -> " + path_);
+    }
+    finished_ = true;
+    if (FTC_FAILPOINT("store.write.dirsync") == 0) {
+      const std::size_t slash = path_.find_last_of('/');
+      const std::string dir = slash == std::string::npos
+                                  ? std::string(".")
+                                  : path_.substr(0, slash + 1);
+      const util::ScopedFd dir_fd(
+          ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+      if (dir_fd) ::fsync(dir_fd.get());
+    }
+    return {offset_, digest_};
+  }
+
+ private:
+  StoreIoError fail(const std::string& what) {
+    fd_.reset();
+    std::remove(tmp_.c_str());
+    finished_ = true;
+    return StoreIoError(what + ": " + tmp_);
+  }
+
+  const std::string path_;
+  const std::string tmp_;
+  util::ScopedFd fd_;
+  std::uint8_t header_[store::kHeaderBytes] = {};
+  std::uint64_t offset_ = 0;
+  std::uint64_t digest_ = store::kFnvBasis;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+ContainerDigest write_container_streamed(const ConnectivityScheme& scheme,
+                                         const std::string& path,
+                                         VertexId v_begin, VertexId v_end,
+                                         EdgeId e_begin, EdgeId e_end,
+                                         bool include_adjacency) {
+  FileSink sink(path);
+  emit_container(scheme, v_begin, v_end, e_begin, e_end, include_adjacency,
+                 sink);
+  return sink.finish();
+}
+
+ContainerDigest digest_container(const ConnectivityScheme& scheme,
+                                 VertexId v_begin, VertexId v_end,
+                                 EdgeId e_begin, EdgeId e_end,
+                                 bool include_adjacency) {
+  DigestSink sink;
+  emit_container(scheme, v_begin, v_end, e_begin, e_end, include_adjacency,
+                 sink);
+  return sink.finish();
+}
+
 }  // namespace store
 
 void ConnectivityScheme::save(const std::string& path) const {
-  const auto file = store::build_container_bytes(
-      *this, 0, num_vertices(), 0, num_edges(), /*include_adjacency=*/true);
-  store::write_file_atomic(path, file);
+  // Streamed: labels serialize straight to disk in O(chunk) memory, so
+  // saving never doubles the resident footprint of a large scheme.
+  store::write_container_streamed(*this, path, 0, num_vertices(), 0,
+                                  num_edges(), /*include_adjacency=*/true);
 }
 
 // ------------------------------------------------------------------

@@ -326,6 +326,41 @@ std::vector<std::uint8_t> build_container_bytes(
 std::vector<std::uint8_t> build_adjacency_section(
     const ConnectivityScheme& scheme);
 
+// Identity of one serialized container: enough to decide delta-push
+// shard reuse (sharded_store.cpp) without writing — or even fully
+// materializing — the container.
+struct ContainerDigest {
+  std::uint64_t file_bytes = 0;
+  // FNV-1a over bytes [kHeaderBytes, file end), as stored at header
+  // offset 40.
+  std::uint64_t payload_checksum = 0;
+};
+
+// Streams the container for the given ranges straight to `path`: label
+// records are serialized in bounded chunks and written as they are
+// produced, so peak writer memory is O(chunk), not O(container). The
+// bytes, the temp-file + fsync + rename atomicity protocol, and the
+// store.write.* failpoint sites are IDENTICAL to build_container_bytes
+// + write_file_atomic (one shared emitter produces both). Returns the
+// written container's digest. Throws StoreIoError on I/O failure, with
+// the temp file removed.
+ContainerDigest write_container_streamed(const ConnectivityScheme& scheme,
+                                         const std::string& path,
+                                         graph::VertexId v_begin,
+                                         graph::VertexId v_end,
+                                         graph::EdgeId e_begin,
+                                         graph::EdgeId e_end,
+                                         bool include_adjacency);
+
+// The digest write_container_streamed would produce, with no file I/O:
+// one serialization pass folded directly into the checksum. Used by
+// delta pushes to detect byte-identical shards before writing anything.
+ContainerDigest digest_container(const ConnectivityScheme& scheme,
+                                 graph::VertexId v_begin,
+                                 graph::VertexId v_end,
+                                 graph::EdgeId e_begin, graph::EdgeId e_end,
+                                 bool include_adjacency);
+
 // Durable atomic file write shared by the container and manifest
 // writers: unique temp file (per process and per call) + fsync + rename
 // into place + best-effort directory fsync, so a crashed, failed or

@@ -109,14 +109,6 @@ void validate_shard_name(const std::string& name, const std::string& path) {
   }
 }
 
-// The shard container's payload checksum, straight from its header —
-// recorded in the manifest as the shard digest without a second FNV pass
-// over the (already checksummed) shard bytes.
-std::uint64_t container_payload_checksum(std::span<const std::uint8_t> file) {
-  FTC_CHECK(file.size() >= store::kHeaderBytes, "container too small");
-  return util::read_u64_le(file.data() + 40);
-}
-
 // What save_sharded_impl did to the file behind shard k, so error
 // cleanup only unlinks files THIS call produced and never a parent's
 // in-place-reused shard or a prior generation's published one.
@@ -218,23 +210,28 @@ DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
   // name only once all of them built, so a failed save never disturbs a
   // prior generation living under this path; the manifest goes last, so
   // a crash mid-save never publishes a manifest naming missing shards.
-  // In delta mode a shard whose byte image matches a parent record
-  // (payload digest + exact size — digests are over the full payload, so
-  // a match means byte-identical files) is hard-linked from the parent
-  // instead of written.
+  // Shards stream straight from the scheme to disk
+  // (write_container_streamed), so peak save memory per worker is one
+  // flush chunk, not one shard image. In delta mode a no-I/O digest
+  // pass runs first; a shard matching a parent record (payload digest +
+  // exact size — digests are over the full payload, so a match means
+  // byte-identical files) is hard-linked from the parent instead of
+  // written, and only changed shards pay the serialize-again-to-disk
+  // pass.
   std::vector<std::exception_ptr> errors(num_shards);
   const auto build_shard = [&](unsigned k) {
     try {
       store::ShardRecord& rec = records[k];
-      const auto bytes = store::build_container_bytes(
-          scheme, static_cast<VertexId>(rec.vertex_begin),
-          static_cast<VertexId>(rec.vertex_end),
-          static_cast<EdgeId>(rec.edge_begin),
-          static_cast<EdgeId>(rec.edge_end),
-          /*include_adjacency=*/false);
-      rec.file_bytes = bytes.size();
-      rec.payload_digest = container_payload_checksum(bytes);
+      const auto v_begin = static_cast<VertexId>(rec.vertex_begin);
+      const auto v_end = static_cast<VertexId>(rec.vertex_end);
+      const auto e_begin = static_cast<EdgeId>(rec.edge_begin);
+      const auto e_end = static_cast<EdgeId>(rec.edge_end);
       if (parent != nullptr) {
+        const store::ContainerDigest digest = store::digest_container(
+            scheme, v_begin, v_end, e_begin, e_end,
+            /*include_adjacency=*/false);
+        rec.file_bytes = digest.file_bytes;
+        rec.payload_digest = digest.payload_checksum;
         for (const store::ShardRecord& prec : parent->records) {
           if (prec.payload_digest != rec.payload_digest ||
               prec.file_bytes != rec.file_bytes) {
@@ -262,7 +259,11 @@ DeltaPushStats save_sharded_impl(const ConnectivityScheme& scheme,
           break;  // reuse impossible (e.g. cross-device): write in full
         }
       }
-      store::write_file_atomic(dir + rec.name + stage_suffix, bytes);
+      const store::ContainerDigest written = store::write_container_streamed(
+          scheme, dir + rec.name + stage_suffix, v_begin, v_end, e_begin,
+          e_end, /*include_adjacency=*/false);
+      rec.file_bytes = written.file_bytes;
+      rec.payload_digest = written.payload_checksum;
       produced[k] = ShardFile::kStaged;
       bytes_written.fetch_add(rec.file_bytes, std::memory_order_relaxed);
     } catch (...) {

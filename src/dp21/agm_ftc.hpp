@@ -26,6 +26,9 @@ struct AgmFtcConfig {
   double scale = 1.0;         // multiplier on the log n repetition count
   unsigned reps_override = 0;
   std::uint64_t seed = 1;
+  // Build worker threads (0 = hardware concurrency); byte-identical
+  // labels for any value (sketch toggles/merges are XOR-commutative).
+  unsigned build_threads = 1;
 };
 
 struct AgmVertexLabel {

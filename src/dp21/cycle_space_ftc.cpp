@@ -6,6 +6,7 @@
 #include "graph/fragments.hpp"
 #include "graph/spanning_tree.hpp"
 #include "util/common.hpp"
+#include "util/worker_pool.hpp"
 #include "util/xor_kernel.hpp"
 
 namespace ftc::dp21 {
@@ -58,10 +59,10 @@ CycleSpaceFtc CycleSpaceFtc::build(const graph::Graph& g,
   scheme.vertex_anc_.reserve(n);
   for (VertexId v = 0; v < n; ++v) scheme.vertex_anc_.push_back(anc.label(v));
 
+  // Pass 1 (always serial): lambda draws per non-tree edge in edge-ID
+  // order — the RNG stream is position-dependent, so this order IS the
+  // determinism contract and must not depend on the thread count.
   SplitMix64 rng(config.seed);
-  // lambda per non-tree edge; accumulate at endpoints for the subtree-XOR.
-  std::vector<std::vector<std::uint64_t>> acc(
-      n, std::vector<std::uint64_t>(words, 0));
   scheme.edge_labels_.resize(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     CsEdgeLabel& label = scheme.edge_labels_[e];
@@ -72,33 +73,85 @@ CycleSpaceFtc CycleSpaceFtc::build(const graph::Graph& g,
     label.vec.resize(words);
     for (auto& w : label.vec) w = rng.next();
     label.vec.back() &= top_mask;
-    xor_into(acc[g.edge(e).u], label.vec);
-    xor_into(acc[g.edge(e).v], label.vec);
   }
-  // Subtree XOR bottom-up: a tree edge (p, v) is crossed by exactly the
-  // non-tree edges with an odd number of endpoints below v.
-  std::vector<VertexId> order;  // reverse pre-order = children before parents
-  {
-    std::vector<VertexId> stack{t.root};
-    while (!stack.empty()) {
-      const VertexId u = stack.back();
-      stack.pop_back();
-      order.push_back(u);
-      for (const VertexId c : t.children[u]) stack.push_back(c);
+
+  // Pass 2: a tree edge (p, v) is crossed by exactly the non-tree edges
+  // with an odd number of endpoints below v, i.e. the subtree XOR of the
+  // endpoint accumulators. Subtrees are contiguous Euler-tin ranges and
+  // the sum is XOR, so instead of the bottom-up fold compute a prefix
+  // scan over the tin axis (see ftc_scheme.cpp for the stage contract;
+  // GF(2) makes any accumulation order bit-identical):
+  //     P[t]       = XOR of endpoint accumulators with tin <= t
+  //     subtree(v) = P[tout(v)] ^ P[tin(v) - 1]
+  util::WorkerPool pool(
+      util::WorkerPool::resolve_threads(config.build_threads));
+  std::vector<std::uint32_t> tin(n), tout(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const AncestryLabel l = anc.label(v);
+    tin[v] = l.tin;
+    tout[v] = l.tout;
+  }
+  const unsigned stripes = static_cast<unsigned>(std::min<std::size_t>(
+      pool.default_active(), static_cast<std::size_t>(n)));
+  std::vector<std::size_t> bounds(stripes + 1);
+  for (unsigned b = 0; b <= stripes; ++b) {
+    bounds[b] = static_cast<std::size_t>(n) * b / stripes;
+  }
+  std::vector<std::uint64_t> acc(static_cast<std::size_t>(n) * words, 0);
+  // Accumulate + stripe-local scan: each worker touches only the tin
+  // rows of its own stripe.
+  pool.run(stripes, [&](unsigned b) {
+    const std::size_t lo = bounds[b];
+    const std::size_t hi = bounds[b + 1];
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const CsEdgeLabel& label = scheme.edge_labels_[e];
+      if (label.is_tree) continue;
+      for (const VertexId u : {g.edge(e).u, g.edge(e).v}) {
+        const std::size_t tu = tin[u];
+        if (tu >= lo && tu < hi) {
+          xor_words(acc.data() + tu * words, label.vec.data(), words);
+        }
+      }
     }
-    std::reverse(order.begin(), order.end());
+    for (std::size_t ti = lo + 1; ti < hi; ++ti) {
+      xor_words(acc.data() + ti * words, acc.data() + (ti - 1) * words,
+                words);
+    }
+  });
+  // Serial carry chain of stripe totals, then parallel application.
+  std::vector<std::uint64_t> carry(static_cast<std::size_t>(stripes) * words,
+                                   0);
+  for (unsigned b = 1; b < stripes; ++b) {
+    std::uint64_t* cb = carry.data() + static_cast<std::size_t>(b) * words;
+    std::copy(carry.data() + static_cast<std::size_t>(b - 1) * words,
+              carry.data() + static_cast<std::size_t>(b) * words, cb);
+    xor_words(cb, acc.data() + (bounds[b] - 1) * words, words);
   }
-  for (const VertexId v : order) {
-    if (v == t.root) continue;
-    CsEdgeLabel& label = scheme.edge_labels_[t.parent_edge[v]];
-    if (label.vec.empty()) {
-      // First (and only) time this tree edge is finalized.
+  pool.run(stripes, [&](unsigned b) {
+    if (b == 0) return;
+    const std::uint64_t* cb =
+        carry.data() + static_cast<std::size_t>(b) * words;
+    for (std::size_t ti = bounds[b]; ti < bounds[b + 1]; ++ti) {
+      xor_words(acc.data() + ti * words, cb, words);
+    }
+  });
+  // Write-out: non-root v finalizes its (unique) parent tree edge.
+  pool.run(stripes, [&](unsigned b) {
+    for (VertexId v = static_cast<VertexId>(bounds[b]);
+         v < static_cast<VertexId>(bounds[b + 1]); ++v) {
+      if (v == t.root) continue;
+      CsEdgeLabel& label = scheme.edge_labels_[t.parent_edge[v]];
       label.a = anc.label(t.parent[v]);
       label.b = anc.label(v);
-      label.vec = acc[v];
+      label.vec.assign(words, 0);
+      xor_words(label.vec.data(),
+                acc.data() + static_cast<std::size_t>(tout[v]) * words,
+                words);
+      xor_words(label.vec.data(),
+                acc.data() + (static_cast<std::size_t>(tin[v]) - 1) * words,
+                words);
     }
-    xor_into(acc[t.parent[v]], acc[v]);
-  }
+  });
   return scheme;
 }
 

@@ -30,6 +30,9 @@ struct CycleSpaceConfig {
   double scale = 2.0;
   unsigned bits_override = 0;
   std::uint64_t seed = 1;
+  // Build worker threads (0 = hardware concurrency); byte-identical
+  // labels for any value (the RNG pass stays serial in edge-ID order).
+  unsigned build_threads = 1;
 };
 
 struct CsVertexLabel {

@@ -6,6 +6,7 @@
 #include "geometry/greedy_net.hpp"
 #include "geometry/netfind.hpp"
 #include "util/common.hpp"
+#include "util/worker_pool.hpp"
 
 namespace ftc::geometry {
 
@@ -13,13 +14,13 @@ namespace {
 
 std::vector<Point2> next_level(const std::vector<Point2>& cur,
                                const HierarchyConfig& config,
-                               unsigned level) {
+                               unsigned level, util::WorkerPool* pool) {
   switch (config.kind) {
     case HierarchyKind::kDeterministicNetFind: {
       const unsigned gl = config.group_len != 0
                               ? config.group_len
                               : provable_group_len(cur.size());
-      std::vector<Point2> net = netfind(cur, gl);
+      std::vector<Point2> net = netfind(cur, gl, pool);
       if (net.size() >= cur.size()) {
         // Only reachable with non-provable (too small) group lengths: the
         // net failed to shrink. Keep every other point to force progress;
@@ -67,20 +68,24 @@ std::vector<Point2> next_level(const std::vector<Point2>& cur,
 }  // namespace
 
 EdgeHierarchy build_hierarchy(std::span<const Point2> points,
-                              const HierarchyConfig& config) {
+                              const HierarchyConfig& config,
+                              util::WorkerPool* pool) {
   EdgeHierarchy h;
   std::vector<Point2> cur(points.begin(), points.end());
   // Canonical order so the hierarchy is independent of input order.
-  std::sort(cur.begin(), cur.end(), [](const Point2& a, const Point2& b) {
-    return std::tie(a.x, a.y, a.edge) < std::tie(b.x, b.y, b.edge);
-  });
+  util::parallel_sort(
+      cur,
+      [](const Point2& a, const Point2& b) {
+        return std::tie(a.x, a.y, a.edge) < std::tie(b.x, b.y, b.edge);
+      },
+      pool);
   while (true) {
     std::vector<graph::EdgeId> ids;
     ids.reserve(cur.size());
     for (const Point2& p : cur) ids.push_back(p.edge);
     h.levels.push_back(std::move(ids));
     if (cur.empty()) break;
-    cur = next_level(cur, config, h.depth() - 1);
+    cur = next_level(cur, config, h.depth() - 1, pool);
   }
   return h;
 }

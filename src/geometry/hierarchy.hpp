@@ -13,6 +13,10 @@
 
 #include "geometry/point_map.hpp"
 
+namespace ftc::util {
+class WorkerPool;
+}  // namespace ftc::util
+
 namespace ftc::geometry {
 
 enum class HierarchyKind {
@@ -45,8 +49,12 @@ struct EdgeHierarchy {
 };
 
 // Builds the hierarchy over the given points (one per non-tree edge).
+// `pool` parallelizes the per-level net computation (the NetFind
+// frontier walk and the canonical sorts); the resulting levels are
+// byte-identical for any worker count — see netfind().
 EdgeHierarchy build_hierarchy(std::span<const Point2> points,
-                              const HierarchyConfig& config);
+                              const HierarchyConfig& config,
+                              util::WorkerPool* pool = nullptr);
 
 // The k for which the deterministic NetFind hierarchy is provably
 // (S_{f,T}, k)-good (Lemma 5): a checkered H_{2f} region decomposes into

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "util/common.hpp"
+#include "util/worker_pool.hpp"
 
 namespace ftc::geometry {
 
@@ -49,11 +50,20 @@ void emit_crossing_net(const std::vector<Point2>& y_sorted,
   }
 }
 
-void netfind_rec(std::vector<Point2> y_sorted, unsigned group_len,
-                 std::vector<Point2>* out) {
+// One node of the divide-and-conquer tree: emits the node's crossing net
+// into *out and stable-partitions the node around its tie-broken x-median
+// into *left / *right (both preserve the y-order). Returns false — and
+// leaves the children empty — when the node is below the heaviness
+// threshold (no rectangle inside it can be heavy). Deterministic: the
+// same input set produces the same pivot, the same emissions and the
+// same children regardless of which thread runs it, which is what lets
+// the parallel frontier walk emit the exact set of the serial recursion.
+bool split_node(const std::vector<Point2>& y_sorted, unsigned group_len,
+                std::vector<Point2>* out, std::vector<Point2>* left,
+                std::vector<Point2>* right) {
   const std::size_t n = y_sorted.size();
   if (n < static_cast<std::size_t>(netfind_threshold(group_len))) {
-    return;  // no rectangle inside can be heavy
+    return false;
   }
   // Split line: the x-median under the tie-broken order.
   std::vector<Point2> scratch(y_sorted);
@@ -64,24 +74,60 @@ void netfind_rec(std::vector<Point2> y_sorted, unsigned group_len,
 
   emit_crossing_net(y_sorted, pivot, group_len, out);
 
-  // Stable partition preserves the y-order inside each half.
-  std::vector<Point2> left, right;
-  left.reserve(mid);
-  right.reserve(n - mid);
+  left->reserve(mid);
+  right->reserve(n - mid);
   const XLess xless;
   for (const Point2& p : y_sorted) {
     if (!xless(pivot, p)) {
-      left.push_back(p);
+      left->push_back(p);
     } else {
-      right.push_back(p);
+      right->push_back(p);
     }
   }
-  FTC_CHECK(left.size() == mid && right.size() == n - mid,
+  FTC_CHECK(left->size() == mid && right->size() == n - mid,
             "median partition sizes mismatch");
+  return true;
+}
+
+void netfind_rec(std::vector<Point2> y_sorted, unsigned group_len,
+                 std::vector<Point2>* out) {
+  std::vector<Point2> left, right;
+  if (!split_node(y_sorted, group_len, out, &left, &right)) return;
   y_sorted.clear();
   y_sorted.shrink_to_fit();
   netfind_rec(std::move(left), group_len, out);
   netfind_rec(std::move(right), group_len, out);
+}
+
+// Breadth-first walk of the same tree: each round splits every frontier
+// node, fanned across the pool with a strided assignment. Workers write
+// only their own emission buffer and their own nodes' child slots, so
+// rounds are race-free; the union of emissions equals the serial
+// recursion's (each node computes the identical pivot and gadget).
+void netfind_frontier(std::vector<Point2> y_sorted, unsigned group_len,
+                      std::vector<Point2>* out, util::WorkerPool* pool) {
+  const std::size_t threshold = netfind_threshold(group_len);
+  std::vector<std::vector<Point2>> worker_out(pool->default_active());
+  std::vector<std::vector<Point2>> frontier;
+  if (y_sorted.size() >= threshold) frontier.push_back(std::move(y_sorted));
+  while (!frontier.empty()) {
+    std::vector<std::vector<Point2>> children(frontier.size() * 2);
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        pool->default_active(), frontier.size()));
+    pool->run(workers, [&](unsigned w) {
+      for (std::size_t i = w; i < frontier.size(); i += workers) {
+        split_node(frontier[i], group_len, &worker_out[w], &children[2 * i],
+                   &children[2 * i + 1]);
+      }
+    });
+    frontier.clear();
+    for (std::vector<Point2>& child : children) {
+      if (child.size() >= threshold) frontier.push_back(std::move(child));
+    }
+  }
+  for (const std::vector<Point2>& w : worker_out) {
+    out->insert(out->end(), w.begin(), w.end());
+  }
 }
 
 }  // namespace
@@ -90,15 +136,21 @@ unsigned provable_group_len(std::size_t n) {
   return 4 * std::max(1u, ceil_log2(std::max<std::size_t>(n, 2)));
 }
 
-std::vector<Point2> netfind(std::vector<Point2> points, unsigned group_len) {
+std::vector<Point2> netfind(std::vector<Point2> points, unsigned group_len,
+                            util::WorkerPool* pool) {
   FTC_REQUIRE(group_len >= 2, "group length must be >= 2");
-  std::sort(points.begin(), points.end(), YLess{});
+  util::parallel_sort(points, YLess{}, pool);
   std::vector<Point2> out;
-  netfind_rec(std::move(points), group_len, &out);
+  if (pool != nullptr && pool->default_active() > 1) {
+    netfind_frontier(std::move(points), group_len, &out, pool);
+  } else {
+    netfind_rec(std::move(points), group_len, &out);
+  }
   // Canonical order + dedup (a point may be emitted at several levels).
-  std::sort(out.begin(), out.end(), [](const Point2& a, const Point2& b) {
+  const auto canon = [](const Point2& a, const Point2& b) {
     return std::tie(a.x, a.y, a.edge) < std::tie(b.x, b.y, b.edge);
-  });
+  };
+  util::parallel_sort(out, canon, pool);
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }

@@ -16,6 +16,10 @@
 
 #include "geometry/point_map.hpp"
 
+namespace ftc::util {
+class WorkerPool;
+}  // namespace ftc::util
+
 namespace ftc::geometry {
 
 // The provable group length for universe size N (Lemma 12's epsilon =
@@ -26,8 +30,14 @@ unsigned provable_group_len(std::size_t n);
 inline unsigned netfind_threshold(unsigned group_len) { return 3 * group_len; }
 
 // Computes the net. Deterministic; output order is canonical (sorted by
-// (x, y, edge)). group_len must be >= 2.
-std::vector<Point2> netfind(std::vector<Point2> points, unsigned group_len);
+// (x, y, edge)). group_len must be >= 2. When `pool` is non-null the
+// divide-and-conquer tree is walked breadth-first with the frontier
+// fanned across the pool's workers; every split uses the same tie-broken
+// x-median as the serial recursion, so the emitted point SET — and after
+// the canonical sort + dedup, the returned bytes — are identical for any
+// worker count.
+std::vector<Point2> netfind(std::vector<Point2> points, unsigned group_len,
+                            util::WorkerPool* pool = nullptr);
 
 // Test/bench helper: count input points inside the closed rectangle.
 std::size_t points_in_rect(std::span<const Point2> pts, std::uint32_t x1,

@@ -291,6 +291,78 @@ TEST_P(StressDifferential, VertexAndMixedFaultsAgreeWithBfsGroundTruth) {
   }
 }
 
+// Parallel-build sweep: seeded generator families built at a RANDOM
+// thread count (drawn per instance from the replayable rng), checked
+// two ways against the serial build of the same instance — the saved
+// store bytes must be identical, and answers must match the serial
+// scheme AND the BFS ground truth. This is the randomized counterpart
+// of test_parallel_build's fixed {1,2,8,hw} sweep: over CI runs it
+// walks odd thread counts (3, 5, 7, ...) that fixed grids never try.
+TEST_P(StressDifferential, ParallelBuildsMatchSerialAcrossFamilies) {
+  const unsigned f = 4;
+  struct Sweep {
+    const char* family;
+    unsigned n;
+    std::uint64_t seed;
+  };
+  const Sweep sweeps[] = {
+      {"gnp", 40, 2},
+      {"grid", 6, 0},
+      {"path_of_cliques", 6, 0},
+      {"preferential_attachment", 40, 1},
+      {"hypercube", 5, 0},
+  };
+  for (const Sweep& sweep : sweeps) {
+    const auto inst = make_instance(sweep.family, sweep.n, sweep.seed);
+    if (!inst.has_value()) continue;  // disconnected gnp draw
+    const Graph& g = inst->g;
+    SplitMix64 rng(mix_hash(sweep.n * 31 + sweep.seed, 0x7a11e1));
+    // 2..9 workers; the draw is part of the replay triple via the rng.
+    const unsigned threads = 2 + static_cast<unsigned>(rng.next_below(8));
+
+    SchemeConfig cfg = stress_config(GetParam(), f);
+    cfg.set_build_threads(1);
+    const auto serial = make_scheme(g, cfg);
+    cfg.set_build_threads(threads);
+    const auto parallel = make_scheme(g, cfg);
+
+    // Store-byte equality: the strongest statement — every label, every
+    // parameter, every checksum identical.
+    const auto serial_bytes = store::build_container_bytes(
+        *serial, 0, g.num_vertices(), 0, g.num_edges(), true);
+    const auto parallel_bytes = store::build_container_bytes(
+        *parallel, 0, g.num_vertices(), 0, g.num_edges(), true);
+    EXPECT_EQ(parallel_bytes, serial_bytes)
+        << "REPLAY (family=" << sweep.family << ", n=" << sweep.n
+        << ", seed=" << sweep.seed << ") backend=" << backend_name(GetParam())
+        << " threads=" << threads;
+
+    for (int it = 0; it < 20; ++it) {
+      std::vector<EdgeId> faults;
+      for (unsigned i = 0; i < rng.next_below(f + 1); ++i) {
+        faults.push_back(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+      }
+      const auto s = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const auto t = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const bool expected = graph::connected_avoiding(g, s, t, faults);
+      const bool serial_got = serial->connected(s, t, FaultSpec::edges(faults));
+      const bool parallel_got =
+          parallel->connected(s, t, FaultSpec::edges(faults));
+      EXPECT_EQ(serial_got, expected)
+          << "REPLAY (family=" << sweep.family << ", n=" << sweep.n
+          << ", seed=" << sweep.seed << ") backend="
+          << backend_name(GetParam()) << " faults=" << fault_list(faults)
+          << " s=" << s << " t=" << t << " path=serial";
+      EXPECT_EQ(parallel_got, expected)
+          << "REPLAY (family=" << sweep.family << ", n=" << sweep.n
+          << ", seed=" << sweep.seed << ") backend="
+          << backend_name(GetParam()) << " threads=" << threads
+          << " faults=" << fault_list(faults) << " s=" << s << " t=" << t
+          << " path=parallel";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, StressDifferential,
                          ::testing::ValuesIn(kAllBackends),
                          [](const auto& info) {

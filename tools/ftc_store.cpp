@@ -4,9 +4,11 @@
 //                     [--family random|gnp|grid|barbell|cliques|pa|
 //                      hypercube|cycle|complete] [--n N] [--m M] [--p P]
 //                     [--rows R] [--cols C] [--k K] [--len L] [--deg D]
-//                     [--dim D] [--seed S]
+//                     [--dim D] [--seed S] [--threads T]
 //       generates the graph, builds the selected backend's labels and
-//       writes them as one container file.
+//       writes them as one container file. --threads T fans the build
+//       across T workers (0 = hardware concurrency); the output bytes
+//       are identical for every T.
 //
 //   ftc_store inspect labels.ftcs [--verbose]
 //       prints the parsed header: backend, dimensions, per-section and
@@ -111,7 +113,7 @@ using namespace ftc;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s build --out FILE [--backend B] [--f K] [--family F] "
-               "[generator flags] [--seed S] [--shards K]\n"
+               "[generator flags] [--seed S] [--shards K] [--threads T]\n"
                "       %s inspect FILE [--verbose]\n"
                "       %s query FILE --faults a,b,c --vertex-faults u,v "
                "--pairs s:t,s:t [--mode mmap|materialize] [--threads T] "
@@ -325,7 +327,7 @@ int cmd_build(int argc, char** argv) {
   const auto flags = parse_flags(
       argc, argv, 2, nullptr,
       {"out", "backend", "f", "scheme-seed", "family", "n", "m", "p", "rows",
-       "cols", "k", "len", "deg", "dim", "seed", "shards"});
+       "cols", "k", "len", "deg", "dim", "seed", "shards", "threads"});
   const auto out_it = flags.find("out");
   if (out_it == flags.end()) {
     std::fprintf(stderr, "build: --out FILE is required\n");
@@ -335,6 +337,10 @@ int cmd_build(int argc, char** argv) {
   config.backend = core::parse_backend(flag_or(flags, "backend", "core-ftc"));
   config.set_f(static_cast<unsigned>(flag_u64(flags, "f", 3)));
   config.set_seed(flag_u64(flags, "scheme-seed", 1));
+  // Build worker threads (0 = hardware concurrency). The store bytes are
+  // identical for any value — only the wall-clock changes.
+  config.set_build_threads(
+      static_cast<unsigned>(flag_u64(flags, "threads", 1)));
   const auto shards = static_cast<unsigned>(flag_u64(flags, "shards", 0));
 
   const graph::Graph g = make_graph(flags);
